@@ -1,0 +1,57 @@
+// Command peepul-bench regenerates every figure and table of the paper's
+// evaluation (§7):
+//
+//	peepul-bench                 # everything, paper-scale sweeps
+//	peepul-bench -fig 12         # one figure
+//	peepul-bench -quick          # reduced sweeps for a fast sanity pass
+//	peepul-bench -seed 7         # different workload seed
+//
+// Output is row-oriented, one row per plotted point, matching the series
+// of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
+// analogue).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3" or "all"`)
+	seed := flag.Int64("seed", 1, "workload seed")
+	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
+	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
+	flag.Parse()
+
+	fig12Ns, fig13Ns, fig14Ns := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns
+	if *quick {
+		fig12Ns = []int{500, 1000, 1500}
+		fig13Ns = []int{5000, 10000, 20000}
+		fig14Ns = []int{2000, 5000, 10000}
+		if *scale == 1.0 {
+			*scale = 0.1
+		}
+	}
+
+	run := func(name string, f func()) {
+		if *fig == "all" || *fig == name {
+			f()
+			fmt.Println()
+		}
+	}
+	run("12", func() { bench.PrintFig12(os.Stdout, bench.Fig12(fig12Ns, *seed)) })
+	run("13", func() { bench.PrintFig13(os.Stdout, bench.Fig13(fig13Ns, *seed)) })
+	run("14", func() { bench.PrintFig14(os.Stdout, bench.Fig14(fig14Ns, *seed)) })
+	run("15", func() { bench.PrintFig15(os.Stdout, bench.Fig15(fig14Ns, *seed)) })
+	run("table3", func() { bench.PrintTable3(os.Stdout, bench.Table3(*scale)) })
+
+	switch *fig {
+	case "all", "12", "13", "14", "15", "table3":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Certified Mergeable
+// Replicated Data Types" (Soundarapandian, Kamath, Nagar,
+// Sivaramakrishnan — PLDI 2022): the Peepul library of efficient MRDTs
+// over a Git-like branch-and-merge store, with the paper's
+// replication-aware simulation machinery recast as an executable
+// certification harness.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the paper-versus-measured
+// record of every figure and table. The root package carries the
+// benchmark suite (bench_test.go) that regenerates the evaluation.
+package repro

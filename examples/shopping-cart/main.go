@@ -1,0 +1,84 @@
+// Shopping cart: the OR-set's add-wins semantics on a realistic scenario —
+// a user's cart edited concurrently from a phone and a laptop. Removing an
+// item only cancels the additions the remover has seen; a concurrent
+// re-add survives the merge, so no purchase intent is silently lost.
+//
+//	go run ./examples/shopping-cart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/orset"
+	"repro/internal/store"
+)
+
+// Item ids for the demo catalogue.
+const (
+	espressoBeans = 1001
+	grinder       = 1002
+	kettle        = 1003
+)
+
+var names = map[int64]string{
+	espressoBeans: "espresso beans",
+	grinder:       "burr grinder",
+	kettle:        "gooseneck kettle",
+}
+
+func main() {
+	codec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
+		var buf []byte
+		for _, p := range s {
+			buf = store.AppendInt64(buf, p.E)
+			buf = store.AppendTimestamp(buf, p.T)
+		}
+		return buf
+	})
+	st := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, codec, "phone")
+	must(st.Fork("phone", "laptop"))
+
+	add := func(dev string, item int64) {
+		st.Apply(dev, orset.Op{Kind: orset.Add, E: item})
+		fmt.Printf("[%s] add    %s\n", dev, names[item])
+	}
+	remove := func(dev string, item int64) {
+		st.Apply(dev, orset.Op{Kind: orset.Remove, E: item})
+		fmt.Printf("[%s] remove %s\n", dev, names[item])
+	}
+
+	// Shared prefix: beans in the cart, then the devices go offline.
+	add("phone", espressoBeans)
+	must(st.Sync("phone", "laptop"))
+
+	// Offline editing: the laptop clears the beans and adds a grinder; the
+	// phone re-adds the beans (user really wants them) and a kettle.
+	remove("laptop", espressoBeans)
+	add("laptop", grinder)
+	add("phone", espressoBeans)
+	add("phone", kettle)
+
+	fmt.Println("\n-- devices reconnect and sync --")
+	must(st.Sync("phone", "laptop"))
+
+	v, _ := st.Apply("phone", orset.Op{Kind: orset.Read})
+	fmt.Println("\nfinal cart (both devices):")
+	for _, item := range v.Elems {
+		fmt.Printf("  - %s\n", names[item])
+	}
+	// Add-wins: the beans survive because the phone's re-add was not seen
+	// by the laptop's remove; the grinder and kettle are both present.
+	if len(v.Elems) != 3 {
+		panic(fmt.Sprintf("expected 3 items, got %v", v.Elems))
+	}
+	l, _ := st.Apply("laptop", orset.Op{Kind: orset.Read})
+	if len(l.Elems) != 3 {
+		panic("laptop disagrees with phone")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package alphamap implements the generic α-map MRDT of §5.3: a map from
+// string keys to values that are themselves MRDTs, parameterized by the
+// inner data type's implementation. Its specification and simulation
+// relation are derived compositionally from the inner data type's, via the
+// projection function of §5.4 — verifying the map for one inner MRDT
+// certifies it for every verified inner MRDT.
+package alphamap
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// Op is an α-map operation: apply the inner operation Inner to the value at
+// key K. Set updates the binding with the resulting inner state; Get
+// applies the operation only for its return value, leaving the map
+// unchanged (§5.3).
+type Op[InnerOp any] struct {
+	Get   bool
+	K     string
+	Inner InnerOp
+}
+
+// Entry is one key binding.
+type Entry[S any] struct {
+	K string
+	V S
+}
+
+// State is the concrete α-map state: bindings sorted by key. Treat as
+// immutable.
+type State[S any] []Entry[S]
+
+// Map is the α-map MRDT for inner implementation D_α.
+type Map[S, InnerOp, InnerVal any] struct {
+	Inner core.MRDT[S, InnerOp, InnerVal]
+}
+
+// New returns an α-map over the given inner MRDT.
+func New[S, InnerOp, InnerVal any](inner core.MRDT[S, InnerOp, InnerVal]) Map[S, InnerOp, InnerVal] {
+	return Map[S, InnerOp, InnerVal]{Inner: inner}
+}
+
+// Init returns the empty map.
+func (Map[S, InnerOp, InnerVal]) Init() State[S] { return nil }
+
+func find[S any](s State[S], k string) (int, bool) {
+	return slices.BinarySearchFunc(s, k, func(e Entry[S], k string) int {
+		switch {
+		case e.K < k:
+			return -1
+		case e.K > k:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// value returns δ(σ, k): the binding for k, or the inner initial state
+// when k is unbound (§5.3, line 3).
+func (m Map[S, InnerOp, InnerVal]) value(s State[S], k string) S {
+	if i, ok := find(s, k); ok {
+		return s[i].V
+	}
+	return m.Inner.Init()
+}
+
+// Do applies op: fetch the value at the key (or the inner initial state),
+// run the inner operation on it, and for Set record the updated value.
+func (m Map[S, InnerOp, InnerVal]) Do(op Op[InnerOp], s State[S], t core.Timestamp) (State[S], InnerVal) {
+	v, r := m.Inner.Do(op.Inner, m.value(s, op.K), t)
+	if op.Get {
+		return s, r
+	}
+	i, ok := find(s, op.K)
+	next := make(State[S], 0, len(s)+1)
+	next = append(next, s[:i]...)
+	next = append(next, Entry[S]{K: op.K, V: v})
+	if ok {
+		next = append(next, s[i+1:]...)
+	} else {
+		next = append(next, s[i:]...)
+	}
+	return next, r
+}
+
+// Merge merges the values of every key bound anywhere, using the inner
+// merge with the LCA's binding (or the inner initial state) as the base
+// (§5.3, line 6).
+func (m Map[S, InnerOp, InnerVal]) Merge(lca, a, b State[S]) State[S] {
+	keys := make(map[string]bool)
+	for _, e := range lca {
+		keys[e.K] = true
+	}
+	for _, e := range a {
+		keys[e.K] = true
+	}
+	for _, e := range b {
+		keys[e.K] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	slices.Sort(sorted)
+	out := make(State[S], 0, len(sorted))
+	for _, k := range sorted {
+		out = append(out, Entry[S]{
+			K: k,
+			V: m.Inner.Merge(m.value(lca, k), m.value(a, k), m.value(b, k)),
+		})
+	}
+	return out
+}
+
+// Project is the projection function of §5.4: it extracts from an α-map
+// abstract execution the inner-type execution at key k. Every Set event on
+// k maps to one inner event preserving operation, return value, timestamp
+// and visibility; Get events do not mutate and are not projected.
+func Project[InnerOp, InnerVal any](k string, abs *core.AbstractState[Op[InnerOp], InnerVal]) *core.AbstractState[InnerOp, InnerVal] {
+	h := core.NewHistory[InnerOp, InnerVal]()
+	idOf := make(map[core.EventID]core.EventID)
+	var projected []core.EventID
+	evs := abs.Events()
+	for _, e := range evs {
+		o := abs.Oper(e)
+		if o.Get || o.K != k {
+			continue
+		}
+		var preds []core.EventID
+		for _, f := range evs {
+			if fo := abs.Oper(f); !fo.Get && fo.K == k && abs.Vis(f, e) {
+				preds = append(preds, idOf[f])
+			}
+		}
+		id := h.Append(o.Inner, abs.Rval(e), abs.Time(e), preds)
+		idOf[e] = id
+		projected = append(projected, id)
+	}
+	return core.StateOf(h, projected)
+}
+
+// Spec derives F_α-map from the inner specification (§5.3):
+// F(get/set(k, o), I) = F_α(o, project(k, I)).
+func Spec[InnerOp, InnerVal any](inner core.Spec[InnerOp, InnerVal]) core.Spec[Op[InnerOp], InnerVal] {
+	return func(op Op[InnerOp], abs *core.AbstractState[Op[InnerOp], InnerVal]) InnerVal {
+		return inner(op.Inner, Project(op.K, abs))
+	}
+}
+
+// Rsim derives the α-map simulation relation from the inner one (§5.3):
+// every bound key has a Set event, and the inner relation holds between
+// the key's projected execution and its binding (with unbound keys checked
+// against the inner initial state).
+func Rsim[S, InnerOp, InnerVal any](m Map[S, InnerOp, InnerVal], inner core.Rsim[S, InnerOp, InnerVal]) core.Rsim[State[S], Op[InnerOp], InnerVal] {
+	return func(abs *core.AbstractState[Op[InnerOp], InnerVal], s State[S]) bool {
+		for i := 1; i < len(s); i++ {
+			if s[i-1].K >= s[i].K {
+				return false
+			}
+		}
+		keys := make(map[string]bool)
+		for _, e := range abs.Events() {
+			if o := abs.Oper(e); !o.Get {
+				keys[o.K] = true
+			}
+		}
+		if len(keys) != len(s) {
+			return false
+		}
+		for _, entry := range s {
+			if !keys[entry.K] {
+				return false
+			}
+		}
+		for k := range keys {
+			if !inner(Project(k, abs), m.value(s, k)) {
+				return false
+			}
+		}
+		return true
+	}
+}

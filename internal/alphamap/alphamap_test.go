@@ -1,0 +1,154 @@
+package alphamap_test
+
+import (
+	"testing"
+
+	"repro/internal/alphamap"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/gset"
+)
+
+type cmap = alphamap.Map[counter.PNState, counter.Op, counter.Val]
+
+func newCounterMap() cmap {
+	return alphamap.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{})
+}
+
+func setOp(k string, op counter.Op) alphamap.Op[counter.Op] {
+	return alphamap.Op[counter.Op]{K: k, Inner: op}
+}
+
+func getOp(k string, op counter.Op) alphamap.Op[counter.Op] {
+	return alphamap.Op[counter.Op]{Get: true, K: k, Inner: op}
+}
+
+func TestMapSetGet(t *testing.T) {
+	m := newCounterMap()
+	s := m.Init()
+	s, _ = m.Do(setOp("a", counter.Op{Kind: counter.Inc, N: 3}), s, 1)
+	s, _ = m.Do(setOp("b", counter.Op{Kind: counter.Inc, N: 5}), s, 2)
+	s, _ = m.Do(setOp("a", counter.Op{Kind: counter.Dec, N: 1}), s, 3)
+	_, v := m.Do(getOp("a", counter.Op{Kind: counter.Read}), s, 4)
+	if v != 2 {
+		t.Fatalf("get a = %d, want 2", v)
+	}
+	_, v = m.Do(getOp("b", counter.Op{Kind: counter.Read}), s, 5)
+	if v != 5 {
+		t.Fatalf("get b = %d, want 5", v)
+	}
+	// Unbound key reads the inner initial state.
+	_, v = m.Do(getOp("z", counter.Op{Kind: counter.Read}), s, 6)
+	if v != 0 {
+		t.Fatalf("get z = %d, want 0", v)
+	}
+}
+
+func TestGetDoesNotBind(t *testing.T) {
+	m := newCounterMap()
+	s := m.Init()
+	s2, _ := m.Do(getOp("a", counter.Op{Kind: counter.Read}), s, 1)
+	if len(s2) != 0 {
+		t.Fatal("get must not create a binding")
+	}
+	// But a mutating op through Set does, even on a fresh key.
+	s3, _ := m.Do(setOp("a", counter.Op{Kind: counter.Inc, N: 1}), s, 2)
+	if len(s3) != 1 || s3[0].K != "a" {
+		t.Fatalf("set must bind: %+v", s3)
+	}
+}
+
+func TestMapMergePerKey(t *testing.T) {
+	m := newCounterMap()
+	lca := m.Init()
+	lca, _ = m.Do(setOp("k", counter.Op{Kind: counter.Inc, N: 1}), lca, 1)
+	a, _ := m.Do(setOp("k", counter.Op{Kind: counter.Inc, N: 10}), lca, 2)
+	a, _ = m.Do(setOp("onlyA", counter.Op{Kind: counter.Inc, N: 2}), a, 3)
+	b, _ := m.Do(setOp("k", counter.Op{Kind: counter.Inc, N: 100}), lca, 4)
+	merged := m.Merge(lca, a, b)
+	_, v := m.Do(getOp("k", counter.Op{Kind: counter.Read}), merged, 9)
+	if v != 111 {
+		t.Fatalf("merged k = %d, want 111", v)
+	}
+	_, v = m.Do(getOp("onlyA", counter.Op{Kind: counter.Read}), merged, 10)
+	if v != 2 {
+		t.Fatalf("merged onlyA = %d, want 2", v)
+	}
+}
+
+func TestMapMergeWithGSetInner(t *testing.T) {
+	// The same generic map composes with a different inner MRDT unchanged.
+	m := alphamap.New[gset.State, gset.Op, gset.Val](gset.Set{})
+	lca := m.Init()
+	a, _ := m.Do(alphamap.Op[gset.Op]{K: "s", Inner: gset.Op{Kind: gset.Add, E: 1}}, lca, 1)
+	b, _ := m.Do(alphamap.Op[gset.Op]{K: "s", Inner: gset.Op{Kind: gset.Add, E: 2}}, lca, 2)
+	merged := m.Merge(lca, a, b)
+	_, v := m.Do(alphamap.Op[gset.Op]{Get: true, K: "s", Inner: gset.Op{Kind: gset.Read}}, merged, 3)
+	if len(v.Elems) != 2 || v.Elems[0] != 1 || v.Elems[1] != 2 {
+		t.Fatalf("merged inner set = %v", v.Elems)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	h := core.NewHistory[alphamap.Op[counter.Op], counter.Val]()
+	e1 := h.Append(setOp("a", counter.Op{Kind: counter.Inc, N: 3}), 0, 1, nil)
+	e2 := h.Append(setOp("b", counter.Op{Kind: counter.Inc, N: 7}), 0, 2, []core.EventID{e1})
+	e3 := h.Append(setOp("a", counter.Op{Kind: counter.Dec, N: 1}), 0, 3, []core.EventID{e1, e2})
+	g1 := h.Append(getOp("a", counter.Op{Kind: counter.Read}), 2, 4, []core.EventID{e1, e2, e3})
+	abs := core.StateOf(h, []core.EventID{e1, e2, e3, g1})
+
+	pa := alphamap.Project("a", abs)
+	if pa.NumEvents() != 2 {
+		t.Fatalf("projection of a has %d events, want 2 (gets are skipped)", pa.NumEvents())
+	}
+	// Visibility is preserved through the projection.
+	evs := pa.Events()
+	if !pa.Vis(evs[0], evs[1]) {
+		t.Fatal("projected events must preserve visibility")
+	}
+	pb := alphamap.Project("b", abs)
+	if pb.NumEvents() != 1 {
+		t.Fatalf("projection of b has %d events, want 1", pb.NumEvents())
+	}
+	if alphamap.Project("z", abs).NumEvents() != 0 {
+		t.Fatal("projection of an untouched key must be empty")
+	}
+}
+
+func TestDerivedSpec(t *testing.T) {
+	spec := alphamap.Spec[counter.Op, counter.Val](counter.PNSpec)
+	h := core.NewHistory[alphamap.Op[counter.Op], counter.Val]()
+	e1 := h.Append(setOp("a", counter.Op{Kind: counter.Inc, N: 3}), 0, 1, nil)
+	e2 := h.Append(setOp("a", counter.Op{Kind: counter.Inc, N: 4}), 0, 2, nil) // concurrent
+	abs := core.StateOf(h, []core.EventID{e1, e2})
+	if got := spec(getOp("a", counter.Op{Kind: counter.Read}), abs); got != 7 {
+		t.Fatalf("derived spec = %d, want 7", got)
+	}
+	if got := spec(getOp("b", counter.Op{Kind: counter.Read}), abs); got != 0 {
+		t.Fatalf("derived spec for unbound key = %d, want 0", got)
+	}
+}
+
+func TestDerivedRsim(t *testing.T) {
+	m := newCounterMap()
+	rsim := alphamap.Rsim[counter.PNState, counter.Op, counter.Val](m, counter.PNRsim)
+	h := core.NewHistory[alphamap.Op[counter.Op], counter.Val]()
+	e1 := h.Append(setOp("a", counter.Op{Kind: counter.Inc, N: 3}), 0, 1, nil)
+	abs := core.StateOf(h, []core.EventID{e1})
+	good := alphamap.State[counter.PNState]{{K: "a", V: counter.PNState{P: 3}}}
+	if !rsim(abs, good) {
+		t.Fatal("derived Rsim must accept the faithful state")
+	}
+	bad := alphamap.State[counter.PNState]{{K: "a", V: counter.PNState{P: 4}}}
+	if rsim(abs, bad) {
+		t.Fatal("derived Rsim must reject a wrong inner state")
+	}
+	missing := alphamap.State[counter.PNState]{}
+	if rsim(abs, missing) {
+		t.Fatal("derived Rsim must reject a missing binding")
+	}
+	extra := alphamap.State[counter.PNState]{{K: "a", V: counter.PNState{P: 3}}, {K: "ghost", V: counter.PNState{}}}
+	if rsim(abs, extra) {
+		t.Fatal("derived Rsim must reject a binding with no set event")
+	}
+}

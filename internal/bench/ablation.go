@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"repro/internal/orset"
+	"repro/internal/queue"
+)
+
+// Naive reference implementations for the ablation benchmarks: each undoes
+// one of the design choices DESIGN.md calls out, so the benchmark isolates
+// that choice's contribution. Correctness of each naive variant against
+// the optimized one is asserted by tests, so the benchmarks compare equals.
+
+// NaiveOrSetMerge is the unoptimized OR-set merge computed exactly as the
+// set formula reads — membership tests by linear scan, O(n²) overall —
+// instead of the single linear pass over sorted slices.
+func NaiveOrSetMerge(lca, a, b orset.State) orset.State {
+	contains := func(s orset.State, p orset.Pair) bool {
+		for _, q := range s {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	var out orset.State
+	for _, p := range lca { // lca ∩ a ∩ b
+		if contains(a, p) && contains(b, p) {
+			out = append(out, p)
+		}
+	}
+	for _, p := range a { // a − lca
+		if !contains(lca, p) {
+			out = append(out, p)
+		}
+	}
+	for _, p := range b { // b − lca
+		if !contains(lca, p) {
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(s orset.State) {
+	// Insertion sort is fine here; the naive merge dominates the cost.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func less(a, b orset.Pair) bool {
+	if a.E != b.E {
+		return a.E < b.E
+	}
+	return a.T < b.T
+}
+
+// NaiveQueueIntersection computes the surviving-LCA-prefix of the queue
+// merge by per-element membership scans over both branches — O(n²) —
+// instead of the three-pointer linear walk of Appendix B.
+func NaiveQueueIntersection(l, a, b []queue.Pair) []queue.Pair {
+	member := func(s []queue.Pair, p queue.Pair) bool {
+		for _, q := range s {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	var out []queue.Pair
+	for _, p := range l {
+		if member(a, p) && member(b, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// QueueIntersectionLinear exposes the linear intersection for the
+// ablation benchmark (the production path reaches it through Merge).
+func QueueIntersectionLinear(l, a, b []queue.Pair) []queue.Pair {
+	var out []queue.Pair
+	i, j, k := 0, 0, 0
+	for i < len(l) && j < len(a) && k < len(b) {
+		if l[i].T < a[j].T || l[i].T < b[k].T {
+			i++
+		} else {
+			out = append(out, l[i])
+			i++
+			j++
+			k++
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/orset"
+	"repro/internal/queue"
+)
+
+// The naive ablation variants must agree with the optimized
+// implementations on random workloads — otherwise the benchmarks would be
+// comparing different functions.
+
+func TestNaiveOrSetMergeAgrees(t *testing.T) {
+	var impl orset.OrSet
+	for seed := int64(0); seed < 30; seed++ {
+		l, a, b := OrSetMergeWorkload[orset.State](impl, 120, 30, seed)
+		fast := impl.Merge(l, a, b)
+		naive := NaiveOrSetMerge(l, a, b)
+		if !slices.Equal(fast, naive) {
+			t.Fatalf("seed %d: fast %v != naive %v", seed, fast, naive)
+		}
+	}
+}
+
+func TestNaiveQueueIntersectionAgrees(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		lca, a, b := QueueWorkload(150, seed)
+		l, as, bs := lca.ToSlice(), a.ToSlice(), b.ToSlice()
+		fast := QueueIntersectionLinear(l, as, bs)
+		naive := NaiveQueueIntersection(l, as, bs)
+		if !slices.Equal(fast, naive) {
+			t.Fatalf("seed %d: fast %v != naive %v", seed, fast, naive)
+		}
+	}
+}
+
+func TestQueueIntersectionLinearMatchesMergePrefix(t *testing.T) {
+	// The linear intersection used in the ablation is the same computation
+	// the production merge performs: the merged queue must start with it.
+	var impl queue.Queue
+	lca, a, b := QueueWorkload(200, 9)
+	ixn := QueueIntersectionLinear(lca.ToSlice(), a.ToSlice(), b.ToSlice())
+	merged := impl.Merge(lca, a, b).ToSlice()
+	if len(merged) < len(ixn) {
+		t.Fatal("merge shorter than its intersection prefix")
+	}
+	if !slices.Equal(merged[:len(ixn)], ixn) {
+		t.Fatal("merge does not start with the LCA survivors")
+	}
+}
+
+func TestNaiveOrSetMergeSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var s orset.State
+	for i := 0; i < 40; i++ {
+		s = append(s, orset.Pair{E: int64(r.Intn(10)), T: 0})
+	}
+	sortPairs(s)
+	for i := 1; i < len(s); i++ {
+		if less(s[i], s[i-1]) {
+			t.Fatal("sortPairs result not sorted")
+		}
+	}
+}

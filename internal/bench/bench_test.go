@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueueWorkloadDeterministic(t *testing.T) {
+	l1, a1, b1 := QueueWorkload(500, 42)
+	l2, a2, b2 := QueueWorkload(500, 42)
+	if l1.Len() != l2.Len() || a1.Len() != a2.Len() || b1.Len() != b2.Len() {
+		t.Fatal("same seed must produce the same workload")
+	}
+	_, _, b3 := QueueWorkload(500, 43)
+	if b1.Len() == b3.Len() {
+		// Sizes can collide, so compare contents.
+		s1, s3 := b1.ToSlice(), b3.ToSlice()
+		same := len(s1) == len(s3)
+		for i := 0; same && i < len(s1); i++ {
+			same = s1[i] == s3[i]
+		}
+		if same {
+			t.Fatal("different seeds must diverge")
+		}
+	}
+}
+
+func TestQueueWorkloadShape(t *testing.T) {
+	lca, a, b := QueueWorkload(1000, 1)
+	// 75:25 enqueue:dequeue keeps the queue roughly half the op count.
+	if lca.Len() < 300 || lca.Len() > 700 {
+		t.Fatalf("lca size %d out of expected band", lca.Len())
+	}
+	if a.Len() <= lca.Len()/2 || b.Len() <= lca.Len()/2 {
+		t.Fatalf("branches should stay populated: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestMixedWorkloadDistribution(t *testing.T) {
+	ops := MixedOrSetWorkload(10000, 1000, 7)
+	var lookups, adds, removes int
+	for _, mo := range ops {
+		switch mo.Op.Kind {
+		case 3: // orset.Lookup
+			lookups++
+		case 1: // orset.Add
+			adds++
+		case 2: // orset.Remove
+			removes++
+		}
+	}
+	if lookups < 6500 || lookups > 7500 {
+		t.Fatalf("lookups = %d, want ≈7000", lookups)
+	}
+	if adds < 1700 || adds > 2300 {
+		t.Fatalf("adds = %d, want ≈2000", adds)
+	}
+	if removes < 700 || removes > 1300 {
+		t.Fatalf("removes = %d, want ≈1000", removes)
+	}
+}
+
+func TestFig12SmallShape(t *testing.T) {
+	rows := Fig12([]int{200, 400}, 1)
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		if r.Peepul <= 0 || r.Quark <= 0 {
+			t.Fatalf("non-positive timings: %+v", r)
+		}
+	}
+	// Quark's quadratic reification should already lose at these sizes.
+	if rows[1].Quark < rows[1].Peepul {
+		t.Fatalf("expected Quark slower: %+v", rows[1])
+	}
+}
+
+func TestFig13SmallShape(t *testing.T) {
+	rows := Fig13([]int{2000, 4000}, 1)
+	for _, r := range rows {
+		if r.PeepulSize > Fig13ValueRange {
+			t.Fatalf("Peepul OR-set-space can never exceed the value range: %+v", r)
+		}
+		if r.QuarkSize < r.PeepulSize {
+			t.Fatalf("Quark should carry duplicates: %+v", r)
+		}
+	}
+}
+
+func TestFig14And15SmallShape(t *testing.T) {
+	rows := Fig14([]int{2000}, 1)
+	if len(rows) != 1 || rows[0].OrSet <= 0 || rows[0].Space <= 0 || rows[0].SpaceTime <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	srows := Fig15([]int{2000}, 1)
+	if srows[0].Space > srows[0].OrSet {
+		t.Fatalf("space-efficient OR-set must not exceed the plain one: %+v", srows[0])
+	}
+	if srows[0].Space != srows[0].SpaceTime {
+		t.Fatalf("space and spacetime store the same pairs: %+v", srows[0])
+	}
+}
+
+func TestPrintersProduceRows(t *testing.T) {
+	var sb strings.Builder
+	PrintFig12(&sb, Fig12([]int{100}, 1))
+	PrintFig13(&sb, Fig13([]int{500}, 1))
+	PrintFig14(&sb, Fig14([]int{500}, 1))
+	PrintFig15(&sb, Fig15([]int{500}, 1))
+	out := sb.String()
+	for _, want := range []string{"Figure 12", "Figure 13", "Figure 14", "Figure 15", "peepul-merge", "or-set-spacetime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3SmokeAndPrinter(t *testing.T) {
+	reports := Table3(0.02)
+	if len(reports) < 10 {
+		t.Fatalf("expected a report per MRDT, got %d", len(reports))
+	}
+	var sb strings.Builder
+	PrintTable3(&sb, reports)
+	out := sb.String()
+	for _, want := range []string{"functional-queue", "or-set-space", "irc-chat", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in Table 3' output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("certification failure in Table 3':\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/orset"
+	"repro/internal/quark"
+	"repro/internal/queue"
+)
+
+// Fig12Ns is the paper's Figure 12 sweep: number of operations used to
+// build the diverging queues.
+var Fig12Ns = []int{1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000}
+
+// Fig12Row is one point of Figure 12: wall-clock time of a single
+// three-way queue merge under each system.
+type Fig12Row struct {
+	N      int
+	Peepul time.Duration
+	Quark  time.Duration
+}
+
+// Fig12 regenerates Figure 12: for each operation count, build the same
+// LCA and divergent versions and time the Peepul linear merge against the
+// Quark relational merge.
+func Fig12(ns []int, seed int64) []Fig12Row {
+	var peepul queue.Queue
+	var qk quark.Queue
+	rows := make([]Fig12Row, 0, len(ns))
+	for _, n := range ns {
+		lca, a, b := QueueWorkload(n, seed)
+		start := time.Now()
+		_ = peepul.Merge(lca, a, b)
+		pt := time.Since(start)
+		start = time.Now()
+		_ = qk.Merge(lca, a, b)
+		qt := time.Since(start)
+		rows = append(rows, Fig12Row{N: n, Peepul: pt, Quark: qt})
+	}
+	return rows
+}
+
+// Fig13Ns is the paper's Figure 13 sweep.
+var Fig13Ns = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+
+// Fig13ValueRange is the value domain of the Figure 13 workload: the paper
+// draws values "randomly picked in the range (0:1000)".
+const Fig13ValueRange = 1000
+
+// Fig13Row is one point of Figure 13: the number of entries in the final
+// merged set, including duplicates.
+type Fig13Row struct {
+	N          int
+	QuarkSize  int
+	PeepulSize int
+}
+
+// Fig13 regenerates Figure 13: the same add/remove workload is run through
+// the Quark OR-set (which accumulates duplicate (element, id) pairs) and
+// the Peepul space-efficient OR-set, and the final merged set sizes are
+// compared.
+func Fig13(ns []int, seed int64) []Fig13Row {
+	var qk quark.OrSet
+	var sp orset.OrSetSpace
+	rows := make([]Fig13Row, 0, len(ns))
+	for _, n := range ns {
+		ql, qa, qb := OrSetMergeWorkload[orset.State](qk, n, Fig13ValueRange, seed)
+		qm := qk.Merge(ql, qa, qb)
+		sl, sa, sb := OrSetMergeWorkload[orset.SpaceState](sp, n, Fig13ValueRange, seed)
+		sm := sp.Merge(sl, sa, sb)
+		rows = append(rows, Fig13Row{N: n, QuarkSize: len(qm), PeepulSize: len(sm)})
+	}
+	return rows
+}
+
+// Fig14Ns is the paper's Figure 14/15 sweep.
+var Fig14Ns = []int{5000, 10000, 15000, 20000, 25000, 30000}
+
+// Fig14ValueRange is the value domain of the Figure 14/15 workload.
+const Fig14ValueRange = 1000
+
+// Fig14MergeEvery is the merge cadence of the §7.2.2 workload.
+const Fig14MergeEvery = 500
+
+// Fig14Row is one point of Figure 14: total running time of the mixed
+// workload for each of the three Peepul OR-sets.
+type Fig14Row struct {
+	N         int
+	OrSet     time.Duration
+	Space     time.Duration
+	SpaceTime time.Duration
+}
+
+// Fig15Row is one point of Figure 15: maximum state footprint in bytes
+// observed while running the mixed workload (16 bytes per stored
+// (element, timestamp) pair, mirroring the paper's heap measurement of the
+// extracted OCaml structures).
+type Fig15Row struct {
+	N         int
+	OrSet     int
+	Space     int
+	SpaceTime int
+}
+
+// runMixed executes the Figure 14/15 workload on one OR-set
+// implementation: two branches apply their operations in program order and
+// every Fig14MergeEvery operations the branches synchronize (merge both
+// ways through their last common state). It returns the total wall time
+// and the maximum footprint.
+func runMixed[S any](impl core.MRDT[S, orset.Op, orset.Val], ops []MixedOp, sizeOf func(S) int) (time.Duration, int) {
+	start := time.Now()
+	lca := impl.Init()
+	branches := [2]S{impl.Init(), impl.Init()}
+	maxSize := 0
+	ts := core.Timestamp(1)
+	for i, mo := range ops {
+		next, _ := impl.Do(mo.Op, branches[mo.Branch], ts)
+		ts++
+		branches[mo.Branch] = next
+		if (i+1)%Fig14MergeEvery == 0 {
+			merged := impl.Merge(lca, branches[0], branches[1])
+			lca, branches[0], branches[1] = merged, merged, merged
+			if s := sizeOf(merged); s > maxSize {
+				maxSize = s
+			}
+		}
+	}
+	merged := impl.Merge(lca, branches[0], branches[1])
+	if s := sizeOf(merged); s > maxSize {
+		maxSize = s
+	}
+	return time.Since(start), maxSize
+}
+
+// Fig14 regenerates Figure 14.
+func Fig14(ns []int, seed int64) []Fig14Row {
+	rows := make([]Fig14Row, 0, len(ns))
+	for _, n := range ns {
+		ops := MixedOrSetWorkload(n, Fig14ValueRange, seed)
+		t1, _ := runMixed[orset.State](orset.OrSet{}, ops, sizeOfPlain)
+		t2, _ := runMixed[orset.SpaceState](orset.OrSetSpace{}, ops, sizeOfSpace)
+		t3, _ := runMixed[orset.TreeState](orset.OrSetSpaceTime{}, ops, sizeOfTree)
+		rows = append(rows, Fig14Row{N: n, OrSet: t1, Space: t2, SpaceTime: t3})
+	}
+	return rows
+}
+
+// Fig15 regenerates Figure 15 on the same workload as Figure 14.
+func Fig15(ns []int, seed int64) []Fig15Row {
+	rows := make([]Fig15Row, 0, len(ns))
+	for _, n := range ns {
+		ops := MixedOrSetWorkload(n, Fig14ValueRange, seed)
+		_, s1 := runMixed[orset.State](orset.OrSet{}, ops, sizeOfPlain)
+		_, s2 := runMixed[orset.SpaceState](orset.OrSetSpace{}, ops, sizeOfSpace)
+		_, s3 := runMixed[orset.TreeState](orset.OrSetSpaceTime{}, ops, sizeOfTree)
+		rows = append(rows, Fig15Row{N: n, OrSet: s1, Space: s2, SpaceTime: s3})
+	}
+	return rows
+}
+
+const bytesPerPair = 16 // element (8) + timestamp (8)
+
+func sizeOfPlain(s orset.State) int { return len(s) * bytesPerPair }
+
+func sizeOfSpace(s orset.SpaceState) int { return len(s) * bytesPerPair }
+
+func sizeOfTree(s orset.TreeState) int {
+	n := 0
+	var walk func(t orset.TreeState)
+	walk = func(t orset.TreeState) {
+		if t == nil {
+			return
+		}
+		n++
+		walk(t.Left)
+		walk(t.Right)
+	}
+	walk(s)
+	return n * bytesPerPair
+}

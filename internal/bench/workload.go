@@ -1,0 +1,112 @@
+// Package bench contains the workload generators and figure harnesses that
+// regenerate every table and figure of the paper's evaluation (§7):
+// Figure 12 (queue merge time, Peepul vs Quark), Figure 13 (OR-set size,
+// Peepul vs Quark), Figure 14 (running time of the three Peepul OR-sets),
+// Figure 15 (space consumption of the three OR-sets) and Table 3′ (the
+// certification-effort analogue of the paper's verification-effort
+// Table 3). Workloads are seeded, so every run is reproducible.
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/orset"
+	"repro/internal/queue"
+)
+
+// QueueWorkload produces the three-way-merge input of §7.2.1: an LCA built
+// from n random operations with a 75:25 enqueue:dequeue split, and two
+// divergent versions obtained by running two further random operation
+// sequences (of n/2 operations each) on top of it.
+func QueueWorkload(n int, seed int64) (lca, a, b queue.State) {
+	r := rand.New(rand.NewSource(seed))
+	var impl queue.Queue
+	ts := core.Timestamp(1)
+	step := func(s queue.State, r *rand.Rand) queue.State {
+		if r.Intn(100) < 75 {
+			next, _ := impl.Do(queue.Op{Kind: queue.Enqueue, V: int64(ts)}, s, ts)
+			ts++
+			return next
+		}
+		next, _ := impl.Do(queue.Op{Kind: queue.Dequeue}, s, ts)
+		ts++
+		return next
+	}
+	lca = impl.Init()
+	for i := 0; i < n; i++ {
+		lca = step(lca, r)
+	}
+	ra := rand.New(rand.NewSource(seed + 1))
+	rb := rand.New(rand.NewSource(seed + 2))
+	a, b = lca, lca
+	for i := 0; i < n/2; i++ {
+		a = step(a, ra)
+	}
+	for i := 0; i < n/2; i++ {
+		b = step(b, rb)
+	}
+	return lca, a, b
+}
+
+// OrSetMergeWorkload produces the OR-set merge input of §7.2.1 for any
+// OR-set implementation: an LCA from n operations with a 50:50 add:remove
+// split over values drawn uniformly from [0, valueRange), and two
+// divergent versions from n/2 further operations each.
+func OrSetMergeWorkload[S any](impl core.MRDT[S, orset.Op, orset.Val], n, valueRange int, seed int64) (lca, a, b S) {
+	ts := core.Timestamp(1)
+	step := func(s S, r *rand.Rand) S {
+		e := int64(r.Intn(valueRange))
+		op := orset.Op{Kind: orset.Add, E: e}
+		if r.Intn(100) < 50 {
+			op.Kind = orset.Remove
+		}
+		next, _ := impl.Do(op, s, ts)
+		ts++
+		return next
+	}
+	r := rand.New(rand.NewSource(seed))
+	lca = impl.Init()
+	for i := 0; i < n; i++ {
+		lca = step(lca, r)
+	}
+	ra := rand.New(rand.NewSource(seed + 1))
+	rb := rand.New(rand.NewSource(seed + 2))
+	a, b = lca, lca
+	for i := 0; i < n/2; i++ {
+		a = step(a, ra)
+	}
+	for i := 0; i < n/2; i++ {
+		b = step(b, rb)
+	}
+	return lca, a, b
+}
+
+// MixedOp is one operation of the Figure 14/15 workload.
+type MixedOp struct {
+	Op     orset.Op
+	Branch int // 0 or 1
+}
+
+// MixedOrSetWorkload produces the §7.2.2 workload: n operations split 70%
+// lookup / 20% add / 10% remove over values in [0, valueRange), assigned
+// to two branches at random.
+func MixedOrSetWorkload(n, valueRange int, seed int64) []MixedOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]MixedOp, n)
+	for i := range ops {
+		e := int64(r.Intn(valueRange))
+		roll := r.Intn(100)
+		var op orset.Op
+		switch {
+		case roll < 70:
+			op = orset.Op{Kind: orset.Lookup, E: e}
+		case roll < 90:
+			op = orset.Op{Kind: orset.Add, E: e}
+		default:
+			op = orset.Op{Kind: orset.Remove, E: e}
+		}
+		ops[i] = MixedOp{Op: op, Branch: r.Intn(2)}
+	}
+	return ops
+}

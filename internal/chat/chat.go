@@ -1,0 +1,114 @@
+// Package chat implements the decentralised IRC-style chat application of
+// §5.1: channels map to mergeable logs of messages in reverse chronological
+// order. It is a thin wrapper over the α-map MRDT instantiated with the
+// mergeable log (Figure 10) — its implementation, specification and
+// simulation relation are all obtained compositionally, which is the point
+// of §5.
+package chat
+
+import (
+	"repro/internal/alphamap"
+	"repro/internal/core"
+	"repro/internal/mlog"
+)
+
+// OpKind distinguishes chat operations.
+type OpKind int
+
+// Chat operations.
+const (
+	Read OpKind = iota // read a channel's log, newest first
+	Send               // post a message to a channel
+)
+
+// Op is a chat operation on channel Ch.
+type Op struct {
+	Kind OpKind
+	Ch   string
+	Msg  string
+}
+
+// Val is an operation's return value: the channel log for Read, nil for
+// Send.
+type Val = mlog.Val
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool { return mlog.ValEq(a, b) }
+
+// State is the chat state: an α-map from channel names to mergeable logs.
+type State = alphamap.State[mlog.State]
+
+// logMap is the underlying log-map MRDT (D_log-map in Figure 10).
+var logMap = alphamap.New[mlog.State, mlog.Op, mlog.Val](mlog.Log{})
+
+// Chat is the chat MRDT: D_chat = D_log-map with send/read translated to
+// set/get of append/read (Figure 10).
+type Chat struct{}
+
+var _ core.MRDT[State, Op, Val] = Chat{}
+
+// Init returns the empty chat (no channels).
+func (Chat) Init() State { return logMap.Init() }
+
+// Do applies op at state s with timestamp t.
+func (Chat) Do(op Op, s State, t core.Timestamp) (State, Val) {
+	return logMap.Do(translate(op), s, t)
+}
+
+// Merge merges channel-wise with the mergeable log's merge.
+func (Chat) Merge(lca, a, b State) State { return logMap.Merge(lca, a, b) }
+
+func translate(op Op) alphamap.Op[mlog.Op] {
+	switch op.Kind {
+	case Send:
+		return alphamap.Op[mlog.Op]{K: op.Ch, Inner: mlog.Op{Kind: mlog.Append, Msg: op.Msg}}
+	default:
+		return alphamap.Op[mlog.Op]{Get: true, K: op.Ch, Inner: mlog.Op{Kind: mlog.Read}}
+	}
+}
+
+// Spec is F_chat (Figure 6): rd(ch) returns exactly the messages sent to
+// ch, in reverse chronological order — derived as
+// F_log-map(get(ch, rd), I) (Figure 10).
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	inner := alphamap.Spec[mlog.Op, mlog.Val](mlog.Spec)
+	// Re-view the chat execution as a log-map execution.
+	h := core.NewHistory[alphamap.Op[mlog.Op], mlog.Val]()
+	idOf := make(map[core.EventID]core.EventID)
+	var ids []core.EventID
+	evs := abs.Events()
+	for _, e := range evs {
+		var preds []core.EventID
+		for _, f := range evs {
+			if abs.Vis(f, e) {
+				preds = append(preds, idOf[f])
+			}
+		}
+		id := h.Append(translate(abs.Oper(e)), abs.Rval(e), abs.Time(e), preds)
+		idOf[e] = id
+		ids = append(ids, id)
+	}
+	return inner(translate(op), core.StateOf(h, ids))
+}
+
+// Rsim is the chat simulation relation, derived from the α-map relation
+// instantiated with the mergeable log's.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	inner := alphamap.Rsim[mlog.State, mlog.Op, mlog.Val](logMap, mlog.Rsim)
+	h := core.NewHistory[alphamap.Op[mlog.Op], mlog.Val]()
+	idOf := make(map[core.EventID]core.EventID)
+	var ids []core.EventID
+	evs := abs.Events()
+	for _, e := range evs {
+		var preds []core.EventID
+		for _, f := range evs {
+			if abs.Vis(f, e) {
+				preds = append(preds, idOf[f])
+			}
+		}
+		id := h.Append(translate(abs.Oper(e)), abs.Rval(e), abs.Time(e), preds)
+		idOf[e] = id
+		ids = append(ids, id)
+	}
+	return inner(core.StateOf(h, ids), s)
+}

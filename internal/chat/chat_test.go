@@ -1,0 +1,135 @@
+package chat_test
+
+import (
+	"testing"
+
+	"repro/internal/chat"
+	"repro/internal/core"
+	"repro/internal/mlog"
+	"repro/internal/store"
+)
+
+func send(t *testing.T, impl chat.Chat, s chat.State, ch, msg string, ts core.Timestamp) chat.State {
+	t.Helper()
+	next, _ := impl.Do(chat.Op{Kind: chat.Send, Ch: ch, Msg: msg}, s, ts)
+	return next
+}
+
+func read(t *testing.T, impl chat.Chat, s chat.State, ch string) []mlog.Entry {
+	t.Helper()
+	_, v := impl.Do(chat.Op{Kind: chat.Read, Ch: ch}, s, 1<<40)
+	return v.Log
+}
+
+func TestChatSendRead(t *testing.T) {
+	var impl chat.Chat
+	s := impl.Init()
+	s = send(t, impl, s, "#go", "hello", 1)
+	s = send(t, impl, s, "#ml", "bonjour", 2)
+	s = send(t, impl, s, "#go", "world", 3)
+	log := read(t, impl, s, "#go")
+	if len(log) != 2 || log[0].Msg != "world" || log[1].Msg != "hello" {
+		t.Fatalf("#go log = %v (want newest first)", log)
+	}
+	if got := read(t, impl, s, "#ml"); len(got) != 1 || got[0].Msg != "bonjour" {
+		t.Fatalf("#ml log = %v", got)
+	}
+	if got := read(t, impl, s, "#empty"); len(got) != 0 {
+		t.Fatalf("#empty log = %v", got)
+	}
+}
+
+func TestChatMergeInterleavesChannels(t *testing.T) {
+	var impl chat.Chat
+	lca := impl.Init()
+	lca = send(t, impl, lca, "#go", "base", 1)
+	a := send(t, impl, lca, "#go", "from-a", 3)
+	a = send(t, impl, a, "#ml", "ml-a", 4)
+	b := send(t, impl, lca, "#go", "from-b", 2)
+	m := impl.Merge(lca, a, b)
+	log := read(t, impl, m, "#go")
+	if len(log) != 3 || log[0].Msg != "from-a" || log[1].Msg != "from-b" || log[2].Msg != "base" {
+		t.Fatalf("#go merged log = %v", log)
+	}
+	if got := read(t, impl, m, "#ml"); len(got) != 1 || got[0].Msg != "ml-a" {
+		t.Fatalf("#ml merged log = %v", got)
+	}
+}
+
+func TestChatSpecMatchesFigure6(t *testing.T) {
+	// Build an abstract chat execution with a concurrent send and check the
+	// spec orders by timestamp, newest first, per channel.
+	h := core.NewHistory[chat.Op, chat.Val]()
+	s1 := h.Append(chat.Op{Kind: chat.Send, Ch: "#go", Msg: "one"}, chat.Val{}, 1, nil)
+	s2 := h.Append(chat.Op{Kind: chat.Send, Ch: "#go", Msg: "two"}, chat.Val{}, 2, nil)
+	s3 := h.Append(chat.Op{Kind: chat.Send, Ch: "#ml", Msg: "other"}, chat.Val{}, 3, []core.EventID{s1, s2})
+	abs := core.StateOf(h, []core.EventID{s1, s2, s3})
+	v := chat.Spec(chat.Op{Kind: chat.Read, Ch: "#go"}, abs)
+	if len(v.Log) != 2 || v.Log[0].Msg != "two" || v.Log[1].Msg != "one" {
+		t.Fatalf("spec #go = %v", v.Log)
+	}
+	if v := chat.Spec(chat.Op{Kind: chat.Read, Ch: "#ml"}, abs); len(v.Log) != 1 {
+		t.Fatalf("spec #ml = %v", v.Log)
+	}
+}
+
+func TestChatRsim(t *testing.T) {
+	var impl chat.Chat
+	h := core.NewHistory[chat.Op, chat.Val]()
+	s1 := h.Append(chat.Op{Kind: chat.Send, Ch: "#go", Msg: "one"}, chat.Val{}, 1, nil)
+	abs := core.StateOf(h, []core.EventID{s1})
+	good, _ := impl.Do(chat.Op{Kind: chat.Send, Ch: "#go", Msg: "one"}, impl.Init(), 1)
+	if !chat.Rsim(abs, good) {
+		t.Fatal("Rsim must accept the faithful chat state")
+	}
+	bad, _ := impl.Do(chat.Op{Kind: chat.Send, Ch: "#go", Msg: "one"}, impl.Init(), 2)
+	if chat.Rsim(abs, bad) {
+		t.Fatal("Rsim must reject a wrong message timestamp")
+	}
+}
+
+// TestChatOnStore runs a three-replica chat session over the Git-like
+// store and checks all replicas converge to identical channel logs.
+func TestChatOnStore(t *testing.T) {
+	codec := store.FuncCodec[chat.State](func(s chat.State) []byte {
+		var buf []byte
+		for _, e := range s {
+			buf = store.AppendString(buf, e.K)
+			for _, m := range e.V {
+				buf = store.AppendTimestamp(buf, m.T)
+				buf = store.AppendString(buf, m.Msg)
+			}
+		}
+		return buf
+	})
+	st := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, codec, "alice")
+	if err := st.Fork("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Fork("alice", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	st.Apply("alice", chat.Op{Kind: chat.Send, Ch: "#pl", Msg: "alice: hi"})
+	st.Apply("bob", chat.Op{Kind: chat.Send, Ch: "#pl", Msg: "bob: hey"})
+	st.Apply("carol", chat.Op{Kind: chat.Send, Ch: "#sys", Msg: "carol: boot"})
+	// Gossip until everyone has everything.
+	for _, pair := range [][2]string{{"alice", "bob"}, {"bob", "carol"}, {"alice", "bob"}, {"alice", "carol"}} {
+		if err := st.Sync(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var logs []string
+	for _, replica := range []string{"alice", "bob", "carol"} {
+		v, err := st.Apply(replica, chat.Op{Kind: chat.Read, Ch: "#pl"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Log) != 2 {
+			t.Fatalf("%s sees %d messages in #pl, want 2", replica, len(v.Log))
+		}
+		logs = append(logs, v.Log[0].Msg+"|"+v.Log[1].Msg)
+	}
+	if logs[0] != logs[1] || logs[1] != logs[2] {
+		t.Fatalf("replicas disagree on #pl: %v", logs)
+	}
+}

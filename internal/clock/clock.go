@@ -1,0 +1,80 @@
+// Package clock provides the unique, happens-before-respecting timestamps
+// the datastore must supply to MRDT operations (§2.1): a Lamport clock
+// (Lamport 1978) combined with a replica id, packed into a single
+// core.Timestamp so that timestamps are totally ordered and globally
+// unique — the store property Ψ_ts.
+package clock
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// replicaBits is the width of the replica-id field in a packed timestamp.
+const replicaBits = 16
+
+// MaxReplica is the largest representable replica id.
+const MaxReplica = 1<<replicaBits - 1
+
+// Pack combines a Lamport counter and a replica id into a timestamp.
+// Counters dominate the comparison; replica ids break ties between
+// replicas that chose the same counter, giving uniqueness.
+func Pack(counter int64, replica int) core.Timestamp {
+	return core.Timestamp(counter<<replicaBits | int64(replica))
+}
+
+// Unpack splits a packed timestamp.
+func Unpack(t core.Timestamp) (counter int64, replica int) {
+	return int64(t) >> replicaBits, int(int64(t) & MaxReplica)
+}
+
+// Clock is one replica's Lamport clock. The zero value is not usable; use
+// New.
+type Clock struct {
+	mu      sync.Mutex
+	replica int
+	counter int64
+}
+
+// New returns a clock for the given replica id.
+func New(replica int) (*Clock, error) {
+	if replica < 0 || replica > MaxReplica {
+		return nil, fmt.Errorf("clock: replica id %d out of range [0, %d]", replica, MaxReplica)
+	}
+	return &Clock{replica: replica}, nil
+}
+
+// Replica returns the clock's replica id.
+func (c *Clock) Replica() int { return c.replica }
+
+// Tick advances the clock and returns a fresh timestamp, strictly greater
+// than every timestamp previously returned or observed by this clock.
+func (c *Clock) Tick() core.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counter++
+	return Pack(c.counter, c.replica)
+}
+
+// Now returns the clock's current counter without advancing it — for
+// observing a clock's position (e.g. to seed another clock) without
+// consuming a timestamp.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counter
+}
+
+// Observe applies the Lamport receive rule for a timestamp obtained from
+// another replica (e.g. carried by a merged-in state): subsequent local
+// timestamps will exceed it.
+func (c *Clock) Observe(t core.Timestamp) {
+	remote, _ := Unpack(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.counter {
+		c.counter = remote
+	}
+}

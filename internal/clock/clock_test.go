@@ -1,0 +1,114 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []struct {
+		counter int64
+		replica int
+	}{
+		{0, 0}, {1, 1}, {42, MaxReplica}, {1 << 40, 7},
+	}
+	for _, c := range cases {
+		ts := Pack(c.counter, c.replica)
+		counter, replica := Unpack(ts)
+		if counter != c.counter || replica != c.replica {
+			t.Errorf("round trip (%d, %d) -> (%d, %d)", c.counter, c.replica, counter, replica)
+		}
+	}
+}
+
+func TestPackOrdering(t *testing.T) {
+	// Larger counters dominate regardless of replica id.
+	if Pack(2, 0) <= Pack(1, MaxReplica) {
+		t.Fatal("counter must dominate replica id in comparisons")
+	}
+	// Equal counters are tie-broken by replica id, so distinct replicas
+	// never collide.
+	if Pack(5, 1) == Pack(5, 2) {
+		t.Fatal("distinct replicas must produce distinct timestamps")
+	}
+}
+
+func TestNewRejectsBadReplica(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative replica id accepted")
+	}
+	if _, err := New(MaxReplica + 1); err == nil {
+		t.Fatal("oversized replica id accepted")
+	}
+}
+
+func TestTickMonotonic(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev core.Timestamp = -1
+	for i := 0; i < 100; i++ {
+		ts := c.Tick()
+		if ts <= prev {
+			t.Fatalf("Tick not strictly increasing: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	if c.Replica() != 3 {
+		t.Fatal("Replica accessor")
+	}
+}
+
+func TestObserveAdvances(t *testing.T) {
+	a, _ := New(1)
+	b, _ := New(2)
+	for i := 0; i < 50; i++ {
+		a.Tick()
+	}
+	remote := a.Tick()
+	b.Observe(remote)
+	if got := b.Tick(); got <= remote {
+		t.Fatalf("after Observe, Tick (%d) must exceed the observed timestamp (%d)", got, remote)
+	}
+}
+
+func TestObserveStaleIsNoop(t *testing.T) {
+	c, _ := New(1)
+	c.Tick()
+	high := c.Tick()
+	c.Observe(Pack(1, 0)) // stale
+	if got := c.Tick(); got <= high {
+		t.Fatal("observing a stale timestamp must not rewind the clock")
+	}
+}
+
+func TestUniqueAcrossReplicasConcurrent(t *testing.T) {
+	const replicas = 8
+	const ticks = 500
+	var mu sync.Mutex
+	seen := make(map[core.Timestamp]bool, replicas*ticks)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		c, _ := New(r)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]core.Timestamp, 0, ticks)
+			for i := 0; i < ticks; i++ {
+				local = append(local, c.Tick())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %d", ts)
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+}

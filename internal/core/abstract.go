@@ -1,0 +1,127 @@
+package core
+
+// Event is a single operation instance in an execution (Definition 2.2):
+// the operation performed, its return value and its unique timestamp.
+type Event[Op, Val any] struct {
+	ID   EventID
+	Op   Op
+	Rval Val
+	Time Timestamp
+}
+
+// History is the global event table of one execution. Abstract states are
+// subsets of its events; the visibility relation is stored once per event
+// (the set of events visible to it), because visibility edges are created
+// only when an event is performed (do#) and never change afterwards.
+type History[Op, Val any] struct {
+	events []Event[Op, Val]
+	pred   []Bitset // pred[e] = set of events visible to e (vis → e)
+}
+
+// NewHistory returns an empty history.
+func NewHistory[Op, Val any]() *History[Op, Val] {
+	return &History[Op, Val]{}
+}
+
+// NumEvents returns the number of events recorded so far.
+func (h *History[Op, Val]) NumEvents() int { return len(h.events) }
+
+// Event returns the event with the given id.
+func (h *History[Op, Val]) Event(e EventID) Event[Op, Val] { return h.events[e] }
+
+// AbstractState is an abstract state I = ⟨E, oper, rval, time, vis⟩
+// (Definition 2.2), represented as a subset of the events of a shared
+// History. oper/rval/time are projections of the event table and vis is the
+// restriction of the history's visibility relation to the subset.
+type AbstractState[Op, Val any] struct {
+	h   *History[Op, Val]
+	set Bitset
+}
+
+// EmptyAbstract returns the empty abstract state I0 over history h.
+func EmptyAbstract[Op, Val any](h *History[Op, Val]) *AbstractState[Op, Val] {
+	return &AbstractState[Op, Val]{h: h}
+}
+
+// Clone returns an independent copy of the abstract state (sharing the
+// immutable history).
+func (a *AbstractState[Op, Val]) Clone() *AbstractState[Op, Val] {
+	return &AbstractState[Op, Val]{h: a.h, set: a.set.Clone()}
+}
+
+// History returns the shared history the state draws its events from.
+func (a *AbstractState[Op, Val]) History() *History[Op, Val] { return a.h }
+
+// Events returns the event ids in the state, in increasing id order.
+func (a *AbstractState[Op, Val]) Events() []EventID {
+	raw := a.set.Elems()
+	out := make([]EventID, len(raw))
+	for i, e := range raw {
+		out[i] = EventID(e)
+	}
+	return out
+}
+
+// Contains reports whether event e is in the state.
+func (a *AbstractState[Op, Val]) Contains(e EventID) bool { return a.set.Has(int(e)) }
+
+// NumEvents returns |E|.
+func (a *AbstractState[Op, Val]) NumEvents() int { return a.set.Count() }
+
+// Oper returns oper(e).
+func (a *AbstractState[Op, Val]) Oper(e EventID) Op { return a.h.events[e].Op }
+
+// Rval returns rval(e).
+func (a *AbstractState[Op, Val]) Rval(e EventID) Val { return a.h.events[e].Rval }
+
+// Time returns time(e).
+func (a *AbstractState[Op, Val]) Time(e EventID) Timestamp { return a.h.events[e].Time }
+
+// Vis reports e --vis--> f restricted to this state: both events are in the
+// state and e was visible to f when f was performed.
+func (a *AbstractState[Op, Val]) Vis(e, f EventID) bool {
+	return a.set.Has(int(e)) && a.set.Has(int(f)) && a.h.pred[f].Has(int(e))
+}
+
+// Concurrent reports that e and f are both in the state and neither is
+// visible to the other.
+func (a *AbstractState[Op, Val]) Concurrent(e, f EventID) bool {
+	if !a.set.Has(int(e)) || !a.set.Has(int(f)) || e == f {
+		return false
+	}
+	return !a.h.pred[f].Has(int(e)) && !a.h.pred[e].Has(int(f))
+}
+
+// SameEvents reports whether a and b contain exactly the same events
+// (abstract state equality δ(b1) = δ(b2), given a shared history).
+func (a *AbstractState[Op, Val]) SameEvents(b *AbstractState[Op, Val]) bool {
+	return a.set.Equal(b.set)
+}
+
+// Key returns a canonical map key for the event set.
+func (a *AbstractState[Op, Val]) Key() string { return a.set.Key() }
+
+// DoAbs is the abstract operation do# (§3): it records a new event with the
+// given operation, return value and timestamp, visible from every event
+// currently in the state, and returns the extended abstract state.
+func (a *AbstractState[Op, Val]) DoAbs(op Op, rval Val, t Timestamp) (*AbstractState[Op, Val], EventID) {
+	id := EventID(len(a.h.events))
+	a.h.events = append(a.h.events, Event[Op, Val]{ID: id, Op: op, Rval: rval, Time: t})
+	a.h.pred = append(a.h.pred, a.set.Clone())
+	next := a.set.Clone()
+	next.Add(int(id))
+	return &AbstractState[Op, Val]{h: a.h, set: next}, id
+}
+
+// MergeAbs is merge# (§3): the union of the two event sets. The visibility
+// relation needs no explicit union because each event's visibility set is
+// fixed at creation and shared through the history.
+func (a *AbstractState[Op, Val]) MergeAbs(b *AbstractState[Op, Val]) *AbstractState[Op, Val] {
+	return &AbstractState[Op, Val]{h: a.h, set: a.set.Union(b.set)}
+}
+
+// LCAAbs is lca# (§3): the intersection of the two event sets, with the
+// event properties and visibility restricted to it.
+func (a *AbstractState[Op, Val]) LCAAbs(b *AbstractState[Op, Val]) *AbstractState[Op, Val] {
+	return &AbstractState[Op, Val]{h: a.h, set: a.set.Intersect(b.set)}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "testing"
+
+func TestAbstractDoVisibility(t *testing.T) {
+	h := NewHistory[string, int]()
+	i0 := EmptyAbstract(h)
+	i1, e1 := i0.DoAbs("a", 0, 1)
+	i2, e2 := i1.DoAbs("b", 0, 2)
+	if !i2.Vis(e1, e2) {
+		t.Fatal("e1 must be visible to e2 (same branch, earlier)")
+	}
+	if i2.Vis(e2, e1) {
+		t.Fatal("visibility must not be symmetric")
+	}
+	if i2.NumEvents() != 2 {
+		t.Fatalf("NumEvents = %d", i2.NumEvents())
+	}
+	if i0.NumEvents() != 0 || i1.NumEvents() != 1 {
+		t.Fatal("DoAbs must not mutate its receiver's event set")
+	}
+}
+
+func TestAbstractConcurrentEvents(t *testing.T) {
+	h := NewHistory[string, int]()
+	base, e0 := EmptyAbstract(h).DoAbs("base", 0, 1)
+	// Fork: two events each performed against `base` independently.
+	ia, ea := base.DoAbs("a", 0, 2)
+	ib, eb := base.DoAbs("b", 0, 3)
+	m := ia.MergeAbs(ib)
+	if !m.Concurrent(ea, eb) {
+		t.Fatal("events from divergent branches must be concurrent")
+	}
+	if m.Vis(ea, eb) || m.Vis(eb, ea) {
+		t.Fatal("no visibility between concurrent events")
+	}
+	if !m.Vis(e0, ea) || !m.Vis(e0, eb) {
+		t.Fatal("base event visible to both")
+	}
+	if m.Concurrent(e0, ea) {
+		t.Fatal("causally ordered events are not concurrent")
+	}
+	if m.Concurrent(ea, ea) {
+		t.Fatal("an event is not concurrent with itself")
+	}
+}
+
+func TestAbstractMergeLCA(t *testing.T) {
+	h := NewHistory[string, int]()
+	base, _ := EmptyAbstract(h).DoAbs("base", 0, 1)
+	ia, _ := base.DoAbs("a", 0, 2)
+	ib, _ := base.DoAbs("b", 0, 3)
+	lca := ia.LCAAbs(ib)
+	if !lca.SameEvents(base) {
+		t.Fatal("lca# must be the common prefix")
+	}
+	m := ia.MergeAbs(ib)
+	if m.NumEvents() != 3 {
+		t.Fatalf("merge# events = %d, want 3", m.NumEvents())
+	}
+	// merge# then lca# with one side is that side.
+	if !m.LCAAbs(ia).SameEvents(ia) {
+		t.Fatal("lca#(merge#(a,b), a) = a")
+	}
+}
+
+func TestAbstractAccessors(t *testing.T) {
+	h := NewHistory[string, int]()
+	i1, e1 := EmptyAbstract(h).DoAbs("op1", 42, 7)
+	if i1.Oper(e1) != "op1" || i1.Rval(e1) != 42 || i1.Time(e1) != 7 {
+		t.Fatal("accessor mismatch")
+	}
+	if !i1.Contains(e1) {
+		t.Fatal("Contains")
+	}
+	if h.NumEvents() != 1 || h.Event(e1).Op != "op1" {
+		t.Fatal("history accessor mismatch")
+	}
+	c := i1.Clone()
+	if !c.SameEvents(i1) || c.History() != h {
+		t.Fatal("Clone must preserve events and history")
+	}
+}
+
+func TestPsiTSViolations(t *testing.T) {
+	// Duplicate timestamps violate Ψ_ts.
+	h := NewHistory[string, int]()
+	i1, _ := EmptyAbstract(h).DoAbs("a", 0, 5)
+	i2, _ := i1.DoAbs("b", 0, 5)
+	if PsiTS(i2) {
+		t.Fatal("duplicate timestamps must violate Ψ_ts")
+	}
+	// Causally ordered events with non-increasing timestamps violate Ψ_ts.
+	h2 := NewHistory[string, int]()
+	j1, _ := EmptyAbstract(h2).DoAbs("a", 0, 9)
+	j2, _ := j1.DoAbs("b", 0, 3)
+	if PsiTS(j2) {
+		t.Fatal("vis with decreasing timestamps must violate Ψ_ts")
+	}
+	// A well-formed history satisfies Ψ_ts.
+	h3 := NewHistory[string, int]()
+	k1, _ := EmptyAbstract(h3).DoAbs("a", 0, 1)
+	k2, _ := k1.DoAbs("b", 0, 2)
+	if !PsiTS(k2) {
+		t.Fatal("well-formed history must satisfy Ψ_ts")
+	}
+}
+
+func TestPsiLCAHolds(t *testing.T) {
+	h := NewHistory[string, int]()
+	base, _ := EmptyAbstract(h).DoAbs("base", 0, 1)
+	ia, _ := base.DoAbs("a", 0, 2)
+	ib, _ := base.DoAbs("b", 0, 3)
+	if !PsiLCA(ia.LCAAbs(ib), ia, ib) {
+		t.Fatal("Ψ_lca must hold for genuine fork")
+	}
+}
+
+func TestObsEquiv(t *testing.T) {
+	impl := toyCounter{}
+	probes := []toyOp{{Read: true}}
+	eq := func(a, b int) bool { return a == b }
+	if !ObsEquiv[int, toyOp, int](impl, probes, eq, 3, 3, 100) {
+		t.Fatal("equal states must be observationally equivalent")
+	}
+	if ObsEquiv[int, toyOp, int](impl, probes, eq, 3, 4, 100) {
+		t.Fatal("counters 3 and 4 are distinguishable by read")
+	}
+}

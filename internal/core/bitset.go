@@ -1,0 +1,149 @@
+package core
+
+import "math/bits"
+
+// Bitset is a growable set of small non-negative integers, used to represent
+// sets of events (abstract states are event sets over a shared History).
+// The zero value is an empty set. All binary operations treat missing words
+// as zero, so sets of different lengths compose freely.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns an empty bitset with capacity hint n bits.
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Clone returns an independent copy of s.
+func (s Bitset) Clone() Bitset {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Bitset{words: w}
+}
+
+// Add inserts i into the set.
+func (s *Bitset) Add(i int) {
+	w := i / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(i) % 64)
+}
+
+// Has reports whether i is in the set.
+func (s Bitset) Has(i int) bool {
+	w := i / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Union returns s ∪ t as a new set.
+func (s Bitset) Union(t Bitset) Bitset {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	w := make([]uint64, n)
+	for i := range w {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		w[i] = a | b
+	}
+	return Bitset{words: w}
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Bitset) Intersect(t Bitset) Bitset {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = s.words[i] & t.words[i]
+	}
+	return Bitset{words: w}
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Bitset) Equal(t Bitset) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Bitset) SubsetOf(t Bitset) bool {
+	for i, a := range s.words {
+		var b uint64
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if a&^b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements in the set.
+func (s Bitset) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Elems returns the elements of the set in increasing order.
+func (s Bitset) Elems() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string key for the set contents, usable as a map
+// key (two sets with equal elements produce equal keys).
+func (s Bitset) Key() string {
+	// Trim trailing zero words so equal sets of different capacity agree.
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		w := s.words[i]
+		for b := 0; b < 8; b++ {
+			buf = append(buf, byte(w>>(8*b)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	var s Bitset
+	if s.Count() != 0 || s.Has(0) || s.Has(100) {
+		t.Fatal("zero value should be empty")
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(130)
+	if !s.Has(3) || !s.Has(64) || !s.Has(130) {
+		t.Fatal("missing added elements")
+	}
+	if s.Has(4) || s.Has(65) {
+		t.Fatal("phantom elements")
+	}
+	if got := s.Elems(); !reflect.DeepEqual(got, []int{3, 64, 130}) {
+		t.Fatalf("Elems = %v", got)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestBitsetAddIdempotent(t *testing.T) {
+	var s Bitset
+	s.Add(7)
+	s.Add(7)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after duplicate Add", s.Count())
+	}
+}
+
+func TestBitsetUnionIntersect(t *testing.T) {
+	var a, b Bitset
+	a.Add(1)
+	a.Add(100)
+	b.Add(100)
+	b.Add(200)
+	u := a.Union(b)
+	if got := u.Elems(); !reflect.DeepEqual(got, []int{1, 100, 200}) {
+		t.Fatalf("Union = %v", got)
+	}
+	i := a.Intersect(b)
+	if got := i.Elems(); !reflect.DeepEqual(got, []int{100}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+}
+
+func TestBitsetEqualDifferentCapacity(t *testing.T) {
+	a := NewBitset(512)
+	var b Bitset
+	a.Add(5)
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with equal contents but different capacity must be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("canonical keys must agree regardless of capacity")
+	}
+}
+
+func TestBitsetSubset(t *testing.T) {
+	var a, b Bitset
+	a.Add(2)
+	b.Add(2)
+	b.Add(90)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊄ a expected")
+	}
+	var empty Bitset
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Fatal("empty set is subset of everything")
+	}
+}
+
+func TestBitsetCloneIndependent(t *testing.T) {
+	var a Bitset
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Has(2) {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+// Property: Union is commutative, associative and idempotent; Intersect is
+// the dual; De Morgan-ish containment relations hold.
+func TestBitsetAlgebraProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Bitset {
+		var s Bitset
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			s.Add(r.Intn(300))
+		}
+		return s
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(gen(r))
+			}
+		},
+	}
+	comm := func(a, b Bitset) bool {
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c Bitset) bool {
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c))) &&
+			a.Intersect(b).Intersect(c).Equal(a.Intersect(b.Intersect(c)))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Error(err)
+	}
+	idem := func(a Bitset) bool {
+		return a.Union(a).Equal(a) && a.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Error(err)
+	}
+	contain := func(a, b Bitset) bool {
+		return a.Intersect(b).SubsetOf(a) && a.SubsetOf(a.Union(b))
+	}
+	if err := quick.Check(contain, cfg); err != nil {
+		t.Error(err)
+	}
+	keyEq := func(a, b Bitset) bool {
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(keyEq, cfg); err != nil {
+		t.Error(err)
+	}
+}

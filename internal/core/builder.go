@@ -1,0 +1,27 @@
+package core
+
+// Append records an event with an explicitly supplied visibility set and
+// returns its id. It is the low-level constructor behind do#; it also lets
+// compositional specifications (the α-map projection of §5.4) and tests
+// build abstract executions with arbitrary — not necessarily
+// branch-generated — visibility relations.
+func (h *History[Op, Val]) Append(op Op, rval Val, t Timestamp, preds []EventID) EventID {
+	id := EventID(len(h.events))
+	var p Bitset
+	for _, e := range preds {
+		p.Add(int(e))
+	}
+	h.events = append(h.events, Event[Op, Val]{ID: id, Op: op, Rval: rval, Time: t})
+	h.pred = append(h.pred, p)
+	return id
+}
+
+// StateOf returns the abstract state over h containing exactly the given
+// events.
+func StateOf[Op, Val any](h *History[Op, Val], events []EventID) *AbstractState[Op, Val] {
+	var s Bitset
+	for _, e := range events {
+		s.Add(int(e))
+	}
+	return &AbstractState[Op, Val]{h: h, set: s}
+}

@@ -1,0 +1,39 @@
+package core
+
+import "maps"
+
+// CloneHistory returns a deep copy of the history's tables. Event payloads
+// and visibility bitsets are copied shallowly: both are immutable once
+// recorded.
+func (h *History[Op, Val]) CloneHistory() *History[Op, Val] {
+	events := make([]Event[Op, Val], len(h.events))
+	copy(events, h.events)
+	pred := make([]Bitset, len(h.pred))
+	copy(pred, h.pred)
+	return &History[Op, Val]{events: events, pred: pred}
+}
+
+// Clone returns an independent copy of the LTS, so that an exhaustive
+// explorer can branch the search without replaying prefixes. Concrete
+// states are shared between the copies — MRDT implementations are required
+// to be purely functional, so shared states are never mutated.
+func (l *LTS[S, Op, Val]) Clone() *LTS[S, Op, Val] {
+	hist := l.hist.CloneHistory()
+	versions := make([]version[S, Op, Val], len(l.versions))
+	for i, v := range l.versions {
+		versions[i] = version[S, Op, Val]{
+			conc:    v.conc,
+			abs:     &AbstractState[Op, Val]{h: hist, set: v.abs.set.Clone()},
+			parents: v.parents,
+		}
+	}
+	return &LTS[S, Op, Val]{
+		impl:       l.impl,
+		hist:       hist,
+		versions:   versions,
+		byKey:      maps.Clone(l.byKey),
+		heads:      maps.Clone(l.heads),
+		nextBranch: l.nextBranch,
+		clock:      l.clock,
+	}
+}

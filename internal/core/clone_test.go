@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+func TestLTSCloneIsIndependent(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.Do(0, toyOp{})
+	b, _ := l.CreateBranch(0)
+	l.Do(b, toyOp{})
+
+	c := l.Clone()
+	// Divergent evolution after the clone.
+	l.Do(0, toyOp{})
+	c.Do(b, toyOp{})
+	c.Do(b, toyOp{})
+
+	lv, _ := l.Concrete(0)
+	cv, _ := c.Concrete(0)
+	if lv != 2 || cv != 1 {
+		t.Fatalf("original b0=%d (want 2), clone b0=%d (want 1)", lv, cv)
+	}
+	// Branch b forked from b0 at value 1, then incremented once before the
+	// clone (2); only the clone increments it further (4).
+	lb, _ := l.Concrete(b)
+	cb, _ := c.Concrete(b)
+	if lb != 2 || cb != 4 {
+		t.Fatalf("original b1=%d (want 2), clone b1=%d (want 4)", lb, cb)
+	}
+	// Histories diverge without interference.
+	la, _ := l.Abstract(0)
+	ca, _ := c.Abstract(0)
+	if la.NumEvents() != 2 || ca.NumEvents() != 1 {
+		t.Fatalf("original events=%d (want 2), clone events=%d (want 1)", la.NumEvents(), ca.NumEvents())
+	}
+}
+
+func TestLTSCloneSupportsMergesOnBothSides(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	b, _ := l.CreateBranch(0)
+	l.Do(0, toyOp{})
+	l.Do(b, toyOp{})
+	c := l.Clone()
+	if err := l.Merge(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Merge(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	lv, _ := l.Concrete(0)
+	cv, _ := c.Concrete(b)
+	if lv != 2 || cv != 2 {
+		t.Fatalf("merge on original=%d, on clone=%d; want 2, 2", lv, cv)
+	}
+}
+
+func TestHistoryCloneSharesNothingMutable(t *testing.T) {
+	h := NewHistory[string, int]()
+	s1, _ := EmptyAbstract(h).DoAbs("a", 0, 1)
+	h2 := h.CloneHistory()
+	// Extending the original must not leak into the clone.
+	s1.DoAbs("b", 0, 2)
+	if h.NumEvents() != 2 || h2.NumEvents() != 1 {
+		t.Fatalf("original=%d clone=%d events", h.NumEvents(), h2.NumEvents())
+	}
+}
+
+func TestStateOfAndAppend(t *testing.T) {
+	h := NewHistory[string, int]()
+	e1 := h.Append("x", 1, 10, nil)
+	e2 := h.Append("y", 2, 20, []EventID{e1})
+	st := StateOf(h, []EventID{e1, e2})
+	if !st.Vis(e1, e2) || st.Vis(e2, e1) {
+		t.Fatal("explicit visibility must be respected")
+	}
+	partial := StateOf(h, []EventID{e2})
+	if partial.Contains(e1) || !partial.Contains(e2) {
+		t.Fatal("StateOf must include exactly the given events")
+	}
+	if partial.Vis(e1, e2) {
+		t.Fatal("visibility is restricted to the state's events")
+	}
+}

@@ -1,0 +1,81 @@
+// Package core implements the formal model of mergeable replicated data
+// types (MRDTs) from "Certified Mergeable Replicated Data Types" (PLDI 2022):
+// data type implementations (Definition 2.1), abstract states and visibility
+// (Definition 2.2), declarative specifications (Definition 2.3), the
+// replicated-store labelled transition system of §3 (Figure 3), the store
+// properties Ψ_ts and Ψ_lca (Table 1), and observational equivalence with
+// convergence modulo observable behaviour (Definitions 3.4–3.5).
+//
+// The package is deliberately split in two roles:
+//
+//   - The MRDT interface and Timestamp type are the production surface that
+//     concrete data types (internal/counter, internal/orset, internal/queue,
+//     …) implement and that the versioned store (internal/store) drives.
+//
+//   - History/AbstractState/LTS mirror the paper's semantics and exist to
+//     state and check correctness. They shadow every concrete branch state
+//     with the abstract event history the paper's specifications are written
+//     against; the certification harness (internal/sim) walks the LTS and
+//     checks the proof obligations of Table 2 at every transition.
+package core
+
+// Timestamp is the totally ordered, globally unique operation timestamp
+// supplied by the datastore (§2.1). The store guarantees that
+// happens-before implies strictly increasing timestamps and that no two
+// operations share a timestamp (property Ψ_ts).
+type Timestamp int64
+
+// EventID identifies an event in a History. IDs are dense, assigned in the
+// order events are performed.
+type EventID int
+
+// BranchID identifies a branch (replica) in the replicated store.
+type BranchID int
+
+// MRDT is a mergeable replicated data type implementation
+// D_τ = (Σ, σ0, do, merge) (Definition 2.1).
+//
+// S is the type of concrete branch states Σ, Op the operation type Op_τ and
+// Val the return-value type Val_τ. Implementations must be purely
+// functional: Do and Merge must not mutate their arguments, because the
+// store retains ancestor states for use as lowest common ancestors.
+type MRDT[S, Op, Val any] interface {
+	// Init returns the initial state σ0.
+	Init() S
+	// Do applies operation op at state s with the store-provided unique
+	// timestamp t, returning the updated state and the return value.
+	Do(op Op, s S, t Timestamp) (S, Val)
+	// Merge performs the three-way merge of two divergent states a and b
+	// with their lowest common ancestor lca.
+	Merge(lca, a, b S) S
+}
+
+// Spec is a replicated data type specification F_τ (Definition 2.3): given
+// an operation and the abstract state visible to it, it returns the value
+// the operation must return.
+type Spec[Op, Val any] func(op Op, abs *AbstractState[Op, Val]) Val
+
+// Rsim is a replication-aware simulation relation (§4.1) relating the
+// abstract state at a branch to the concrete state at that branch.
+type Rsim[S, Op, Val any] func(abs *AbstractState[Op, Val], s S) bool
+
+// ValEq compares return values. Specifications frequently return slices
+// (e.g. the contents of a set), which are not comparable with ==, so
+// equality is supplied per data type.
+type ValEq[Val any] func(a, b Val) bool
+
+// ObsEquiv reports whether two concrete states are observationally
+// equivalent (Definition 3.4) with respect to a finite probe alphabet:
+// every probe operation returns equal values on both states. Probes are
+// applied with the same fresh timestamp on both sides and the resulting
+// states are discarded.
+func ObsEquiv[S, Op, Val any](impl MRDT[S, Op, Val], probes []Op, eq ValEq[Val], a, b S, t Timestamp) bool {
+	for _, op := range probes {
+		_, va := impl.Do(op, a, t)
+		_, vb := impl.Do(op, b, t)
+		if !eq(va, vb) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoLCA is returned by Merge when no recorded version's event set equals
+// the intersection of the two branches' event sets. The MERGE rule of
+// Figure 3 requires such a version (the store always provides one in
+// practice; see internal/store for the production implementation).
+var ErrNoLCA = errors.New("core: no lowest common ancestor version")
+
+// ErrNoBranch is returned for operations on unknown branches.
+var ErrNoBranch = errors.New("core: unknown branch")
+
+type versionID int
+
+type version[S, Op, Val any] struct {
+	conc    S
+	abs     *AbstractState[Op, Val]
+	parents []versionID
+}
+
+// LTS is the labelled transition system M_{D_τ} of §3 (Figure 3). Each
+// branch maps to both a concrete state (as computed by the MRDT
+// implementation) and an abstract state (as computed by do#/merge#/lca#).
+// All versions ever produced are retained in a DAG so that the concrete
+// state at the lowest common ancestor of two branches is available to the
+// three-way merge, exactly as a Git-like store would provide it.
+//
+// The LTS is the reference semantics used for certification; the production
+// store lives in internal/store and does not track abstract states.
+type LTS[S, Op, Val any] struct {
+	impl       MRDT[S, Op, Val]
+	hist       *History[Op, Val]
+	versions   []version[S, Op, Val]
+	byKey      map[string]versionID // canonical event-set key → version
+	heads      map[BranchID]versionID
+	nextBranch BranchID
+	clock      Timestamp
+}
+
+// NewLTS returns the initial store state C⊥: a single branch b0 holding the
+// implementation's initial state and the empty abstract state.
+func NewLTS[S, Op, Val any](impl MRDT[S, Op, Val]) *LTS[S, Op, Val] {
+	hist := NewHistory[Op, Val]()
+	l := &LTS[S, Op, Val]{
+		impl:  impl,
+		hist:  hist,
+		byKey: make(map[string]versionID),
+		heads: make(map[BranchID]versionID),
+	}
+	v0 := version[S, Op, Val]{conc: impl.Init(), abs: EmptyAbstract(hist)}
+	l.versions = append(l.versions, v0)
+	l.byKey[v0.abs.Key()] = 0
+	l.heads[0] = 0
+	l.nextBranch = 1
+	return l
+}
+
+// Impl returns the data type implementation the LTS runs.
+func (l *LTS[S, Op, Val]) Impl() MRDT[S, Op, Val] { return l.impl }
+
+// History returns the execution's shared event history.
+func (l *LTS[S, Op, Val]) History() *History[Op, Val] { return l.hist }
+
+// Branches returns the ids of all live branches in creation order.
+func (l *LTS[S, Op, Val]) Branches() []BranchID {
+	out := make([]BranchID, 0, len(l.heads))
+	for b := BranchID(0); b < l.nextBranch; b++ {
+		if _, ok := l.heads[b]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Concrete returns φ(b), the concrete state at branch b.
+func (l *LTS[S, Op, Val]) Concrete(b BranchID) (S, error) {
+	v, ok := l.heads[b]
+	if !ok {
+		var zero S
+		return zero, fmt.Errorf("%w: %d", ErrNoBranch, b)
+	}
+	return l.versions[v].conc, nil
+}
+
+// Abstract returns δ(b), the abstract state at branch b.
+func (l *LTS[S, Op, Val]) Abstract(b BranchID) (*AbstractState[Op, Val], error) {
+	v, ok := l.heads[b]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoBranch, b)
+	}
+	return l.versions[v].abs, nil
+}
+
+// Clock returns the next timestamp the store will hand out.
+func (l *LTS[S, Op, Val]) Clock() Timestamp { return l.clock }
+
+// CreateBranch applies the CREATEBRANCH rule: fork a new branch from src,
+// copying both its concrete and abstract state. It returns the new branch's
+// id.
+func (l *LTS[S, Op, Val]) CreateBranch(src BranchID) (BranchID, error) {
+	v, ok := l.heads[src]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoBranch, src)
+	}
+	b := l.nextBranch
+	l.nextBranch++
+	l.heads[b] = v
+	return b, nil
+}
+
+// Do applies the DO rule at branch b: the implementation's do runs on the
+// concrete state with a fresh unique timestamp, and do# shadows it on the
+// abstract state. It returns the operation's return value and the new
+// event's id.
+func (l *LTS[S, Op, Val]) Do(b BranchID, op Op) (Val, EventID, error) {
+	var zero Val
+	hv, ok := l.heads[b]
+	if !ok {
+		return zero, 0, fmt.Errorf("%w: %d", ErrNoBranch, b)
+	}
+	cur := l.versions[hv]
+	t := l.clock
+	l.clock++
+	conc, rval := l.impl.Do(op, cur.conc, t)
+	abs, ev := cur.abs.DoAbs(op, rval, t)
+	l.addVersion(b, version[S, Op, Val]{conc: conc, abs: abs, parents: []versionID{hv}})
+	return rval, ev, nil
+}
+
+// Merge applies the MERGE rule, merging branch src into branch dst. The
+// lowest common ancestor version is located by its event set (the
+// intersection of the two branches' event sets, per lca#); its concrete
+// state seeds the implementation's three-way merge while merge# computes
+// the new abstract state.
+func (l *LTS[S, Op, Val]) Merge(dst, src BranchID) error {
+	hd, ok := l.heads[dst]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoBranch, dst)
+	}
+	hs, ok := l.heads[src]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoBranch, src)
+	}
+	vd, vs := l.versions[hd], l.versions[hs]
+	lcaAbs := vd.abs.LCAAbs(vs.abs)
+	lv, ok := l.byKey[lcaAbs.Key()]
+	if !ok {
+		return ErrNoLCA
+	}
+	lca := l.versions[lv]
+	merged := l.impl.Merge(lca.conc, vd.conc, vs.conc)
+	abs := vd.abs.MergeAbs(vs.abs)
+	l.addVersion(dst, version[S, Op, Val]{conc: merged, abs: abs, parents: []versionID{hd, hs}})
+	return nil
+}
+
+// LCAOf returns the abstract and concrete states at the lowest common
+// ancestor of two branches, for use by the certification harness.
+func (l *LTS[S, Op, Val]) LCAOf(b1, b2 BranchID) (*AbstractState[Op, Val], S, error) {
+	var zero S
+	h1, ok := l.heads[b1]
+	if !ok {
+		return nil, zero, fmt.Errorf("%w: %d", ErrNoBranch, b1)
+	}
+	h2, ok := l.heads[b2]
+	if !ok {
+		return nil, zero, fmt.Errorf("%w: %d", ErrNoBranch, b2)
+	}
+	lcaAbs := l.versions[h1].abs.LCAAbs(l.versions[h2].abs)
+	lv, ok := l.byKey[lcaAbs.Key()]
+	if !ok {
+		return nil, zero, ErrNoLCA
+	}
+	return l.versions[lv].abs, l.versions[lv].conc, nil
+}
+
+// CanMerge reports whether the MERGE rule is enabled for (dst, src), i.e.
+// whether a version with the LCA event set exists.
+func (l *LTS[S, Op, Val]) CanMerge(dst, src BranchID) bool {
+	hd, ok1 := l.heads[dst]
+	hs, ok2 := l.heads[src]
+	if !ok1 || !ok2 {
+		return false
+	}
+	_, ok := l.byKey[l.versions[hd].abs.LCAAbs(l.versions[hs].abs).Key()]
+	return ok
+}
+
+// PsiLCASound reports whether a merge of src into dst satisfies the store
+// property Ψ_lca (Table 1): every event in the LCA is visible to every
+// event on either branch outside the LCA. The paper's Φ_merge obligation
+// assumes Ψ_lca, so Ψ_lca-violating merges — which arise under asymmetric
+// gossip (a branch pulls a peer that previously pulled it, with
+// interleaved local operations) — sit outside the verified envelope. The
+// certification explorer only takes merges for which this holds; the
+// production store (internal/store) detects the same condition on the
+// commit DAG and refuses such merges rather than corrupting state.
+func (l *LTS[S, Op, Val]) PsiLCASound(dst, src BranchID) bool {
+	hd, ok1 := l.heads[dst]
+	hs, ok2 := l.heads[src]
+	if !ok1 || !ok2 {
+		return false
+	}
+	ia, ib := l.versions[hd].abs, l.versions[hs].abs
+	return PsiLCA(ia.LCAAbs(ib), ia, ib)
+}
+
+func (l *LTS[S, Op, Val]) addVersion(b BranchID, v version[S, Op, Val]) {
+	id := versionID(len(l.versions))
+	l.versions = append(l.versions, v)
+	if _, dup := l.byKey[v.abs.Key()]; !dup {
+		l.byKey[v.abs.Key()] = id
+	}
+	l.heads[b] = id
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// toyCounter is a minimal MRDT used to exercise the LTS: an increment-only
+// counter with merge(l,a,b) = a + b - l.
+type toyCounter struct{}
+
+type toyOp struct{ Read bool } // Read=false means increment
+
+func (toyCounter) Init() int { return 0 }
+
+func (toyCounter) Do(op toyOp, s int, _ Timestamp) (int, int) {
+	if op.Read {
+		return s, s
+	}
+	return s + 1, -1
+}
+
+func (toyCounter) Merge(l, a, b int) int { return a + b - l }
+
+func toySpec(op toyOp, abs *AbstractState[toyOp, int]) int {
+	if !op.Read {
+		return -1
+	}
+	n := 0
+	for _, e := range abs.Events() {
+		if !abs.Oper(e).Read {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLTSSingleBranchDo(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	for i := 0; i < 5; i++ {
+		if _, _, err := l.Do(0, toyOp{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _, err := l.Do(0, toyOp{Read: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("read = %d, want 5", v)
+	}
+	abs, err := l.Abstract(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := toySpec(toyOp{Read: true}, abs); got != 5 {
+		t.Fatalf("spec over abstract state = %d, want 5", got)
+	}
+}
+
+func TestLTSCreateBranchCopiesState(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.Do(0, toyOp{})
+	l.Do(0, toyOp{})
+	b, err := l.CreateBranch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := l.Concrete(b)
+	c0, _ := l.Concrete(0)
+	if cb != c0 || cb != 2 {
+		t.Fatalf("forked concrete state = %d, want 2", cb)
+	}
+	a0, _ := l.Abstract(0)
+	ab, _ := l.Abstract(b)
+	if !a0.SameEvents(ab) {
+		t.Fatal("forked abstract state must equal source")
+	}
+}
+
+func TestLTSMergeThreeWay(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.Do(0, toyOp{}) // lca has 1
+	b, _ := l.CreateBranch(0)
+	l.Do(0, toyOp{}) // branch 0: 2
+	l.Do(b, toyOp{}) // branch b: 2
+	l.Do(b, toyOp{}) // branch b: 3
+	if !l.CanMerge(0, b) {
+		t.Fatal("merge should be enabled")
+	}
+	if err := l.Merge(0, b); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := l.Concrete(0)
+	if c != 4 { // 2 + 3 - 1
+		t.Fatalf("merged counter = %d, want 4", c)
+	}
+	abs, _ := l.Abstract(0)
+	if abs.NumEvents() != 4 {
+		t.Fatalf("merged abstract has %d events, want 4", abs.NumEvents())
+	}
+}
+
+func TestLTSMutualMergeConverges(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.Do(0, toyOp{})
+	b, _ := l.CreateBranch(0)
+	l.Do(0, toyOp{})
+	l.Do(b, toyOp{})
+	if err := l.Merge(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Merge(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	a0, _ := l.Abstract(0)
+	ab, _ := l.Abstract(b)
+	if !a0.SameEvents(ab) {
+		t.Fatal("after mutual merge both branches must have same abstract state")
+	}
+	c0, _ := l.Concrete(0)
+	cb, _ := l.Concrete(b)
+	if c0 != cb || c0 != 3 {
+		t.Fatalf("converged states %d, %d; want 3, 3", c0, cb)
+	}
+}
+
+func TestLTSCrissCrossMergeHasLCA(t *testing.T) {
+	// A criss-cross pattern: both branches merge each other, diverge again,
+	// then merge again. The second merge's LCA event set is the union from
+	// the first mutual merge, which exists as a recorded version.
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	b, _ := l.CreateBranch(0)
+	l.Do(0, toyOp{})
+	l.Do(b, toyOp{})
+	if err := l.Merge(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Merge(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Do(0, toyOp{})
+	l.Do(b, toyOp{})
+	if !l.CanMerge(0, b) {
+		t.Fatal("criss-cross second merge should find the mutual-merge version as LCA")
+	}
+	if err := l.Merge(0, b); err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := l.Concrete(0)
+	if c0 != 4 {
+		t.Fatalf("merged counter = %d, want 4", c0)
+	}
+}
+
+func TestLTSErrors(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	if _, _, err := l.Do(99, toyOp{}); !errors.Is(err, ErrNoBranch) {
+		t.Fatalf("Do on unknown branch: %v", err)
+	}
+	if _, err := l.CreateBranch(42); !errors.Is(err, ErrNoBranch) {
+		t.Fatalf("CreateBranch on unknown branch: %v", err)
+	}
+	if err := l.Merge(0, 7); !errors.Is(err, ErrNoBranch) {
+		t.Fatalf("Merge with unknown branch: %v", err)
+	}
+	if _, err := l.Concrete(13); !errors.Is(err, ErrNoBranch) {
+		t.Fatalf("Concrete on unknown branch: %v", err)
+	}
+	if _, err := l.Abstract(13); !errors.Is(err, ErrNoBranch) {
+		t.Fatalf("Abstract on unknown branch: %v", err)
+	}
+}
+
+func TestLTSTimestampsUniqueIncreasing(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	b, _ := l.CreateBranch(0)
+	for i := 0; i < 10; i++ {
+		l.Do(0, toyOp{})
+		l.Do(b, toyOp{})
+	}
+	l.Merge(0, b)
+	abs, _ := l.Abstract(0)
+	if !PsiTS(abs) {
+		t.Fatal("Ψ_ts must hold on every abstract state the LTS produces")
+	}
+}
+
+func TestLTSPsiLCA(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.Do(0, toyOp{})
+	l.Do(0, toyOp{})
+	b, _ := l.CreateBranch(0)
+	l.Do(0, toyOp{})
+	l.Do(b, toyOp{})
+	aAbs, _ := l.Abstract(0)
+	bAbs, _ := l.Abstract(b)
+	lcaAbs, lcaConc, err := l.LCAOf(0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcaConc != 2 {
+		t.Fatalf("lca concrete = %d, want 2", lcaConc)
+	}
+	if !PsiLCA(lcaAbs, aAbs, bAbs) {
+		t.Fatal("Ψ_lca must hold for LTS-produced LCA")
+	}
+	if !lcaAbs.SameEvents(aAbs.LCAAbs(bAbs)) {
+		t.Fatal("LCA abstract state must equal lca# of the branches")
+	}
+}
+
+func TestLTSBranchesListing(t *testing.T) {
+	l := NewLTS[int, toyOp, int](toyCounter{})
+	l.CreateBranch(0)
+	l.CreateBranch(0)
+	got := l.Branches()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Branches = %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+// Store properties (Table 1). These hold by construction of the store
+// semantics; the certification harness re-checks them on every abstract
+// state it produces, both as a sanity check on the semantics and because
+// they are premises of the proof obligations Φ_do and Φ_merge (Table 2).
+
+// PsiTS checks Ψ_ts(I): causally related events have strictly increasing
+// timestamps, and timestamps are unique.
+func PsiTS[Op, Val any](a *AbstractState[Op, Val]) bool {
+	evs := a.Events()
+	seen := make(map[Timestamp]EventID, len(evs))
+	for _, e := range evs {
+		t := a.Time(e)
+		if prev, dup := seen[t]; dup && prev != e {
+			return false
+		}
+		seen[t] = e
+	}
+	for _, e := range evs {
+		for _, f := range evs {
+			if e != f && a.Vis(e, f) && a.Time(e) >= a.Time(f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PsiLCA checks Ψ_lca(I_l, I_a, I_b) for I_l = lca#(I_a, I_b): the
+// visibility relation restricted to the LCA's events agrees across all
+// three states, and every LCA event is visible to every event newly added
+// on either branch.
+func PsiLCA[Op, Val any](l, a, b *AbstractState[Op, Val]) bool {
+	lev := l.Events()
+	// vis agreement on I_l.E: with a shared history this is structural, but
+	// we check the definition literally.
+	for _, e := range lev {
+		for _, f := range lev {
+			if e == f {
+				continue
+			}
+			if l.Vis(e, f) != a.Vis(e, f) || l.Vis(e, f) != b.Vis(e, f) {
+				return false
+			}
+		}
+	}
+	// Every event of I_l is visible to every event in (I_a.E ∪ I_b.E) \ I_l.E.
+	check := func(s *AbstractState[Op, Val]) bool {
+		for _, f := range s.Events() {
+			if l.Contains(f) {
+				continue
+			}
+			for _, e := range lev {
+				if !s.Vis(e, f) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return check(a) && check(b)
+}

@@ -1,0 +1,144 @@
+// Package counter implements the two counter MRDTs of the paper's
+// evaluation (§7.1): the increment-only counter and the PN-counter, with
+// their declarative specifications and replication-aware simulation
+// relations.
+package counter
+
+import "repro/internal/core"
+
+// OpKind distinguishes counter operations.
+type OpKind int
+
+// Counter operations.
+const (
+	Read OpKind = iota // read the counter value
+	Inc                // add N (increment-only and PN counter)
+	Dec                // subtract N (PN counter only)
+)
+
+// Op is a counter operation. N is the increment/decrement amount and is
+// ignored for Read.
+type Op struct {
+	Kind OpKind
+	N    int64
+}
+
+// Val is an operation's return value: the counter value for Read, 0 (⊥)
+// otherwise.
+type Val = int64
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool { return a == b }
+
+// Inc is the increment-only counter MRDT: Σ = int64, do(inc n) adds n, and
+// merge(l, a, b) = a + b − l, which counts every increment exactly once
+// because the LCA's increments are contained in both branches.
+type IncCounter struct{}
+
+var _ core.MRDT[int64, Op, Val] = IncCounter{}
+
+// Init returns the initial state 0.
+func (IncCounter) Init() int64 { return 0 }
+
+// Do applies op at state s.
+func (IncCounter) Do(op Op, s int64, _ core.Timestamp) (int64, Val) {
+	switch op.Kind {
+	case Read:
+		return s, s
+	case Inc:
+		return s + op.N, 0
+	default: // Dec is not part of the increment-only counter; ignore.
+		return s, 0
+	}
+}
+
+// Merge implements three-way merge: a + b − lca.
+func (IncCounter) Merge(lca, a, b int64) int64 { return a + b - lca }
+
+// IncSpec is F_counter: read returns the sum of all increment amounts in
+// the visible history.
+func IncSpec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return 0
+	}
+	var sum int64
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Inc {
+			sum += o.N
+		}
+	}
+	return sum
+}
+
+// IncRsim relates abstract and concrete states: the concrete counter equals
+// the sum of increments in the abstract state.
+func IncRsim(abs *core.AbstractState[Op, Val], s int64) bool {
+	return s == IncSpec(Op{Kind: Read}, abs)
+}
+
+// PNState is the PN-counter state: separate totals of increments and
+// decrements, each itself an increment-only counter.
+type PNState struct {
+	P int64 // total increments
+	N int64 // total decrements
+}
+
+// PNCounter is the PN-counter MRDT. Reads return P − N; merge merges the
+// two components independently, exactly as two increment-only counters.
+type PNCounter struct{}
+
+var _ core.MRDT[PNState, Op, Val] = PNCounter{}
+
+// Init returns the initial state (0, 0).
+func (PNCounter) Init() PNState { return PNState{} }
+
+// Do applies op at state s.
+func (PNCounter) Do(op Op, s PNState, _ core.Timestamp) (PNState, Val) {
+	switch op.Kind {
+	case Read:
+		return s, s.P - s.N
+	case Inc:
+		return PNState{P: s.P + op.N, N: s.N}, 0
+	case Dec:
+		return PNState{P: s.P, N: s.N + op.N}, 0
+	default:
+		return s, 0
+	}
+}
+
+// Merge merges componentwise: p = pa + pb − pl, n = na + nb − nl.
+func (PNCounter) Merge(lca, a, b PNState) PNState {
+	return PNState{P: a.P + b.P - lca.P, N: a.N + b.N - lca.N}
+}
+
+// PNSpec is F_pncounter: read returns Σ inc − Σ dec over the visible
+// history.
+func PNSpec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return 0
+	}
+	var sum int64
+	for _, e := range abs.Events() {
+		switch o := abs.Oper(e); o.Kind {
+		case Inc:
+			sum += o.N
+		case Dec:
+			sum -= o.N
+		}
+	}
+	return sum
+}
+
+// PNRsim relates abstract and concrete PN-counter states componentwise.
+func PNRsim(abs *core.AbstractState[Op, Val], s PNState) bool {
+	var p, n int64
+	for _, e := range abs.Events() {
+		switch o := abs.Oper(e); o.Kind {
+		case Inc:
+			p += o.N
+		case Dec:
+			n += o.N
+		}
+	}
+	return s.P == p && s.N == n
+}

@@ -1,0 +1,136 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestIncCounterDo(t *testing.T) {
+	var impl IncCounter
+	s := impl.Init()
+	if s != 0 {
+		t.Fatal("initial state must be 0")
+	}
+	s, v := impl.Do(Op{Kind: Inc, N: 5}, s, 1)
+	if s != 5 || v != 0 {
+		t.Fatalf("after inc 5: state=%d val=%d", s, v)
+	}
+	s, v = impl.Do(Op{Kind: Read}, s, 2)
+	if s != 5 || v != 5 {
+		t.Fatalf("read: state=%d val=%d", s, v)
+	}
+	// Dec is ignored by the increment-only counter.
+	s, _ = impl.Do(Op{Kind: Dec, N: 3}, s, 3)
+	if s != 5 {
+		t.Fatal("inc-only counter must ignore Dec")
+	}
+}
+
+func TestIncCounterMergeProperties(t *testing.T) {
+	var impl IncCounter
+	// Merge with self as LCA keeps a branch's increments.
+	if got := impl.Merge(2, 7, 2); got != 7 {
+		t.Fatalf("merge(2,7,2) = %d, want 7", got)
+	}
+	// Symmetry.
+	f := func(l, da, db int64) bool {
+		base := clamp(l)
+		a, b := base+clamp(da), base+clamp(db)
+		return impl.Merge(base, a, b) == impl.Merge(base, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Idempotence: two branches with identical histories have themselves as
+	// LCA (lca#(I,I) = I), so merge(a, a, a) = a.
+	g := func(d int64) bool {
+		a := clamp(d)
+		return impl.Merge(a, a, a) == a
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(d int64) int64 {
+	if d < 0 {
+		d = -d
+	}
+	return d % 1000
+}
+
+func TestPNCounterDo(t *testing.T) {
+	var impl PNCounter
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Inc, N: 10}, s, 1)
+	s, _ = impl.Do(Op{Kind: Dec, N: 4}, s, 2)
+	_, v := impl.Do(Op{Kind: Read}, s, 3)
+	if v != 6 {
+		t.Fatalf("read = %d, want 6", v)
+	}
+	if s.P != 10 || s.N != 4 {
+		t.Fatalf("state = %+v", s)
+	}
+}
+
+func TestPNCounterCanGoNegative(t *testing.T) {
+	var impl PNCounter
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Dec, N: 3}, s, 1)
+	_, v := impl.Do(Op{Kind: Read}, s, 2)
+	if v != -3 {
+		t.Fatalf("read = %d, want -3", v)
+	}
+}
+
+func TestPNCounterMergeConcurrent(t *testing.T) {
+	var impl PNCounter
+	lca := PNState{P: 5, N: 1}
+	a := PNState{P: 8, N: 1} // +3 on a
+	b := PNState{P: 5, N: 4} // -3 on b
+	m := impl.Merge(lca, a, b)
+	if m.P != 8 || m.N != 4 {
+		t.Fatalf("merge = %+v, want {8 4}", m)
+	}
+}
+
+func TestPNCounterMergeSymmetric(t *testing.T) {
+	var impl PNCounter
+	f := func(lp, ln, dap, dan, dbp, dbn int64) bool {
+		l := PNState{P: clamp(lp), N: clamp(ln)}
+		a := PNState{P: l.P + clamp(dap), N: l.N + clamp(dan)}
+		b := PNState{P: l.P + clamp(dbp), N: l.N + clamp(dbn)}
+		return impl.Merge(l, a, b) == impl.Merge(l, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecsOnBuiltHistories(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	e1 := h.Append(Op{Kind: Inc, N: 3}, 0, 1, nil)
+	e2 := h.Append(Op{Kind: Inc, N: 4}, 0, 2, []core.EventID{e1})
+	e3 := h.Append(Op{Kind: Dec, N: 5}, 0, 3, []core.EventID{e1})
+	abs := core.StateOf(h, []core.EventID{e1, e2, e3})
+	if got := IncSpec(Op{Kind: Read}, abs); got != 7 {
+		t.Fatalf("IncSpec = %d, want 7 (Dec ignored)", got)
+	}
+	if got := PNSpec(Op{Kind: Read}, abs); got != 2 {
+		t.Fatalf("PNSpec = %d, want 2", got)
+	}
+	if !IncRsim(abs, 7) || IncRsim(abs, 8) {
+		t.Fatal("IncRsim")
+	}
+	if !PNRsim(abs, PNState{P: 7, N: 5}) || PNRsim(abs, PNState{P: 7, N: 4}) {
+		t.Fatal("PNRsim")
+	}
+}
+
+func TestValEq(t *testing.T) {
+	if !ValEq(3, 3) || ValEq(3, 4) {
+		t.Fatal("ValEq")
+	}
+}

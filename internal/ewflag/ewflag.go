@@ -1,0 +1,204 @@
+// Package ewflag implements the enable-wins flag MRDT (§7.1): a boolean
+// flag where a concurrent enable and disable resolve to enabled.
+//
+// The concrete state pairs the flag with a count of enable operations. The
+// count lets the three-way merge distinguish "the flag is true because a
+// branch performed a *new* enable" (which must win against a concurrent
+// disable) from "the flag is true because it was already true at the LCA"
+// (which a concurrent disable must beat).
+package ewflag
+
+import "repro/internal/core"
+
+// OpKind distinguishes flag operations.
+type OpKind int
+
+// Flag operations.
+const (
+	Read OpKind = iota
+	Enable
+	Disable
+)
+
+// Op is a flag operation.
+type Op struct{ Kind OpKind }
+
+// Val is the return value: the flag for Read, false (⊥) otherwise.
+type Val = bool
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool { return a == b }
+
+// State is the concrete flag state.
+type State struct {
+	Enables int64 // number of enable events in the visible history
+	Flag    bool
+}
+
+// Flag is the enable-wins flag MRDT.
+type Flag struct{}
+
+var _ core.MRDT[State, Op, Val] = Flag{}
+
+// Init returns the disabled initial state.
+func (Flag) Init() State { return State{} }
+
+// Do applies op at state s.
+func (Flag) Do(op Op, s State, _ core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Read:
+		return s, s.Flag
+	case Enable:
+		return State{Enables: s.Enables + 1, Flag: true}, false
+	case Disable:
+		return State{Enables: s.Enables, Flag: false}, false
+	default:
+		return s, false
+	}
+}
+
+// Merge implements enable-wins three-way merge. The merged flag is true iff
+// either branch has a new enable it still observes as winning
+// (flag ∧ enables grew), or both branches agree the flag is true (covering
+// the case where it was true at the LCA and neither branch disabled it).
+func (Flag) Merge(lca, a, b State) State {
+	return State{
+		Enables: a.Enables + b.Enables - lca.Enables,
+		Flag: (a.Flag && b.Flag) ||
+			(a.Flag && a.Enables > lca.Enables) ||
+			(b.Flag && b.Enables > lca.Enables),
+	}
+}
+
+// Spec is F_ewflag: read returns true iff there exists an enable event not
+// visible to any disable event (so a disable only beats the enables it has
+// seen; concurrent enables win).
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return false
+	}
+	evs := abs.Events()
+	for _, e := range evs {
+		if abs.Oper(e).Kind != Enable {
+			continue
+		}
+		matched := false
+		for _, f := range evs {
+			if abs.Oper(f).Kind == Disable && abs.Vis(e, f) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return true
+		}
+	}
+	return false
+}
+
+// Rsim relates abstract and concrete states: the enable count equals the
+// number of enable events and the flag equals the specification's read
+// value.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	var enables int64
+	for _, e := range abs.Events() {
+		if abs.Oper(e).Kind == Enable {
+			enables++
+		}
+	}
+	return s.Enables == enables && s.Flag == Spec(Op{Kind: Read}, abs)
+}
+
+// DWState is the disable-wins flag state: the dual bookkeeping (count of
+// disables).
+type DWState struct {
+	Disables int64
+	Flag     bool
+}
+
+// DWFlag is the disable-wins flag MRDT — the dual policy, where a
+// concurrent enable and disable resolve to *disabled*. It is not in the
+// paper's library; it demonstrates that the certification framework is
+// agnostic to the conflict-resolution policy: specification, simulation
+// relation and merge are all exact duals of the enable-wins versions.
+type DWFlag struct{}
+
+var _ core.MRDT[DWState, Op, Val] = DWFlag{}
+
+// Init returns the disabled initial state (disabled is also the neutral
+// state for disable-wins).
+func (DWFlag) Init() DWState { return DWState{} }
+
+// Do applies op at state s.
+func (DWFlag) Do(op Op, s DWState, _ core.Timestamp) (DWState, Val) {
+	switch op.Kind {
+	case Read:
+		return s, s.Flag
+	case Enable:
+		return DWState{Disables: s.Disables, Flag: true}, false
+	case Disable:
+		return DWState{Disables: s.Disables + 1, Flag: false}, false
+	default:
+		return s, false
+	}
+}
+
+// Merge is the dual of the enable-wins merge: the merged flag is false iff
+// either branch has a new disable it still observes as winning, or both
+// branches agree the flag is false.
+func (DWFlag) Merge(lca, a, b DWState) DWState {
+	off := (!a.Flag && !b.Flag) ||
+		(!a.Flag && a.Disables > lca.Disables) ||
+		(!b.Flag && b.Disables > lca.Disables)
+	return DWState{
+		Disables: a.Disables + b.Disables - lca.Disables,
+		Flag:     !off,
+	}
+}
+
+// DWSpec is F_dwflag: read returns false iff there exists a disable event
+// not visible to any enable event — so a disable concurrent with an enable
+// wins — or no enable has ever happened.
+func DWSpec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return false
+	}
+	evs := abs.Events()
+	anyEnable := false
+	for _, e := range evs {
+		if abs.Oper(e).Kind == Enable {
+			anyEnable = true
+			break
+		}
+	}
+	if !anyEnable {
+		return false
+	}
+	for _, d := range evs {
+		if abs.Oper(d).Kind != Disable {
+			continue
+		}
+		matched := false
+		for _, e := range evs {
+			if abs.Oper(e).Kind == Enable && abs.Vis(d, e) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// DWRsim relates abstract and concrete disable-wins states.
+func DWRsim(abs *core.AbstractState[Op, Val], s DWState) bool {
+	var disables int64
+	for _, e := range abs.Events() {
+		if abs.Oper(e).Kind == Disable {
+			disables++
+		}
+	}
+	return s.Disables == disables && s.Flag == DWSpec(Op{Kind: Read}, abs)
+}

@@ -1,0 +1,186 @@
+package ewflag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestFlagDo(t *testing.T) {
+	var impl Flag
+	s := impl.Init()
+	if s.Flag || s.Enables != 0 {
+		t.Fatal("initial state must be disabled")
+	}
+	s, _ = impl.Do(Op{Kind: Enable}, s, 1)
+	if !s.Flag || s.Enables != 1 {
+		t.Fatalf("after enable: %+v", s)
+	}
+	_, v := impl.Do(Op{Kind: Read}, s, 2)
+	if !v {
+		t.Fatal("read after enable must be true")
+	}
+	s, _ = impl.Do(Op{Kind: Disable}, s, 3)
+	if s.Flag || s.Enables != 1 {
+		t.Fatalf("after disable: %+v", s)
+	}
+}
+
+func TestMergeEnableWins(t *testing.T) {
+	var impl Flag
+	// lca enabled; a disables; b enables again: the concurrent enable wins.
+	lca := State{Enables: 1, Flag: true}
+	a := State{Enables: 1, Flag: false}
+	b := State{Enables: 2, Flag: true}
+	m := impl.Merge(lca, a, b)
+	if !m.Flag {
+		t.Fatal("concurrent enable must win against disable")
+	}
+	if m.Enables != 2 {
+		t.Fatalf("enable count = %d, want 2", m.Enables)
+	}
+}
+
+func TestMergeDisableWinsAgainstNothing(t *testing.T) {
+	var impl Flag
+	// lca enabled; a disables; b does nothing: disabled.
+	lca := State{Enables: 1, Flag: true}
+	a := State{Enables: 1, Flag: false}
+	b := lca
+	if m := impl.Merge(lca, a, b); m.Flag {
+		t.Fatal("a disable with no concurrent enable must win")
+	}
+}
+
+func TestMergeBothIdle(t *testing.T) {
+	var impl Flag
+	lca := State{Enables: 3, Flag: true}
+	if m := impl.Merge(lca, lca, lca); !m.Flag || m.Enables != 3 {
+		t.Fatalf("idle merge changed the state: %+v", m)
+	}
+	off := State{Enables: 3, Flag: false}
+	if m := impl.Merge(off, off, off); m.Flag {
+		t.Fatal("idle merge enabled a disabled flag")
+	}
+}
+
+func TestMergeEnableOnOneSide(t *testing.T) {
+	var impl Flag
+	lca := State{}
+	a := State{Enables: 1, Flag: true}
+	if m := impl.Merge(lca, a, lca); !m.Flag || m.Enables != 1 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if m := impl.Merge(lca, lca, a); !m.Flag || m.Enables != 1 {
+		t.Fatalf("merge = %+v", m)
+	}
+}
+
+func TestMergeSymmetric(t *testing.T) {
+	var impl Flag
+	f := func(ln uint8, lf bool, dan, dbn uint8, af, bf bool) bool {
+		l := State{Enables: int64(ln % 4), Flag: lf}
+		a := State{Enables: l.Enables + int64(dan%4), Flag: af}
+		b := State{Enables: l.Enables + int64(dbn%4), Flag: bf}
+		// Keep states consistent: flag true with zero enables anywhere is
+		// unreachable unless lf was true.
+		return impl.Merge(l, a, b) == impl.Merge(l, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecConcurrentEnableDisable(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	en := h.Append(Op{Kind: Enable}, false, 1, nil)
+	// Disable performed concurrently: it does not see the enable.
+	dis := h.Append(Op{Kind: Disable}, false, 2, nil)
+	abs := core.StateOf(h, []core.EventID{en, dis})
+	if !Spec(Op{Kind: Read}, abs) {
+		t.Fatal("spec: concurrent enable must win")
+	}
+	// Now a disable that saw the enable.
+	h2 := core.NewHistory[Op, Val]()
+	en2 := h2.Append(Op{Kind: Enable}, false, 1, nil)
+	dis2 := h2.Append(Op{Kind: Disable}, false, 2, []core.EventID{en2})
+	abs2 := core.StateOf(h2, []core.EventID{en2, dis2})
+	if Spec(Op{Kind: Read}, abs2) {
+		t.Fatal("spec: observed enable must lose to the disable")
+	}
+}
+
+func TestRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	en := h.Append(Op{Kind: Enable}, false, 1, nil)
+	abs := core.StateOf(h, []core.EventID{en})
+	if !Rsim(abs, State{Enables: 1, Flag: true}) {
+		t.Fatal("Rsim must accept the faithful state")
+	}
+	if Rsim(abs, State{Enables: 1, Flag: false}) {
+		t.Fatal("Rsim must reject a wrong flag")
+	}
+	if Rsim(abs, State{Enables: 2, Flag: true}) {
+		t.Fatal("Rsim must reject a wrong enable count")
+	}
+}
+
+func TestDWFlagMergeDisableWins(t *testing.T) {
+	var impl DWFlag
+	// lca enabled; a enables again; b disables concurrently: disable wins.
+	lca := DWState{Disables: 0, Flag: true}
+	a := DWState{Disables: 0, Flag: true}
+	b := DWState{Disables: 1, Flag: false}
+	if m := impl.Merge(lca, a, b); m.Flag {
+		t.Fatal("concurrent disable must win")
+	}
+	if m := impl.Merge(lca, b, a); m.Flag {
+		t.Fatal("merge must be symmetric")
+	}
+}
+
+func TestDWFlagEnableBeatsObservedDisable(t *testing.T) {
+	var impl DWFlag
+	// lca disabled (one disable); a enables after seeing it; b idle.
+	lca := DWState{Disables: 1, Flag: false}
+	a := DWState{Disables: 1, Flag: true}
+	b := lca
+	if m := impl.Merge(lca, a, b); !m.Flag {
+		t.Fatal("an enable that observed every disable must win against an idle branch")
+	}
+}
+
+func TestDWSpec(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	en := h.Append(Op{Kind: Enable}, false, 1, nil)
+	dis := h.Append(Op{Kind: Disable}, false, 2, nil) // concurrent
+	abs := core.StateOf(h, []core.EventID{en, dis})
+	if DWSpec(Op{Kind: Read}, abs) {
+		t.Fatal("concurrent disable must win in the spec")
+	}
+	// An enable that saw the disable beats it.
+	h2 := core.NewHistory[Op, Val]()
+	d2 := h2.Append(Op{Kind: Disable}, false, 1, nil)
+	e2 := h2.Append(Op{Kind: Enable}, false, 2, []core.EventID{d2})
+	abs2 := core.StateOf(h2, []core.EventID{d2, e2})
+	if !DWSpec(Op{Kind: Read}, abs2) {
+		t.Fatal("an enable observing the disable must win")
+	}
+	// No enables at all: disabled.
+	if DWSpec(Op{Kind: Read}, core.StateOf(h2, []core.EventID{d2})) {
+		t.Fatal("no enable means disabled")
+	}
+}
+
+func TestDWRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	d := h.Append(Op{Kind: Disable}, false, 1, nil)
+	abs := core.StateOf(h, []core.EventID{d})
+	if !DWRsim(abs, DWState{Disables: 1, Flag: false}) {
+		t.Fatal("DWRsim must accept the faithful state")
+	}
+	if DWRsim(abs, DWState{Disables: 1, Flag: true}) || DWRsim(abs, DWState{Disables: 0, Flag: false}) {
+		t.Fatal("DWRsim must reject wrong flag or count")
+	}
+}

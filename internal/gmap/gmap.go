@@ -1,0 +1,198 @@
+// Package gmap implements the grow-only map MRDT (§7.1): a map from string
+// keys to values in which keys are never removed and concurrent writes to
+// the same key are resolved last-writer-wins by operation timestamp — i.e.
+// a composition of a grow-only key set with per-key LWW registers.
+package gmap
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// OpKind distinguishes map operations.
+type OpKind int
+
+// Map operations.
+const (
+	Get OpKind = iota
+	Put
+	Keys
+)
+
+// Op is a map operation. K is the key (Get/Put); V the value (Put).
+type Op struct {
+	Kind OpKind
+	K    string
+	V    int64
+}
+
+// Val is an operation's return value.
+type Val struct {
+	V     int64    // Get: the bound value (0 if unbound)
+	Found bool     // Get: whether the key is bound
+	Ks    []string // Keys: the bound keys, sorted
+}
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool {
+	return a.V == b.V && a.Found == b.Found && slices.Equal(a.Ks, b.Ks)
+}
+
+// Entry is a single binding with the timestamp of the write that produced
+// it.
+type Entry struct {
+	K string
+	T core.Timestamp
+	V int64
+}
+
+// State is the concrete map state: entries sorted by key. Treat as
+// immutable.
+type State []Entry
+
+// Map is the grow-only map MRDT.
+type Map struct{}
+
+var _ core.MRDT[State, Op, Val] = Map{}
+
+// Init returns the empty map.
+func (Map) Init() State { return nil }
+
+func find(s State, k string) (int, bool) {
+	return slices.BinarySearchFunc(s, k, func(e Entry, k string) int {
+		switch {
+		case e.K < k:
+			return -1
+		case e.K > k:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// Do applies op at state s with timestamp t.
+func (Map) Do(op Op, s State, t core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Get:
+		if i, ok := find(s, op.K); ok {
+			return s, Val{V: s[i].V, Found: true}
+		}
+		return s, Val{}
+	case Keys:
+		ks := make([]string, len(s))
+		for i, e := range s {
+			ks[i] = e.K
+		}
+		return s, Val{Ks: ks}
+	case Put:
+		i, ok := find(s, op.K)
+		next := make(State, 0, len(s)+1)
+		next = append(next, s[:i]...)
+		next = append(next, Entry{K: op.K, T: t, V: op.V})
+		if ok {
+			next = append(next, s[i+1:]...)
+		} else {
+			next = append(next, s[i:]...)
+		}
+		return next, Val{}
+	default:
+		return s, Val{}
+	}
+}
+
+// Merge unions the key sets of the two branches; a key bound on both sides
+// keeps the binding with the larger write timestamp. As with the LWW
+// register, the LCA binding is dominated by both branches and needs no
+// consulting.
+func (Map) Merge(_, a, b State) State {
+	out := make(State, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].K < b[j].K:
+			out = append(out, a[i])
+			i++
+		case a[i].K > b[j].K:
+			out = append(out, b[j])
+			j++
+		default:
+			if a[i].T >= b[j].T {
+				out = append(out, a[i])
+			} else {
+				out = append(out, b[j])
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Spec is F_gmap: get(k) returns the value of the maximal-timestamp put to
+// k in the visible history; keys returns every key ever put.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	switch op.Kind {
+	case Get:
+		e, ok := latestPut(abs, op.K)
+		if !ok {
+			return Val{}
+		}
+		return Val{V: abs.Oper(e).V, Found: true}
+	case Keys:
+		seen := make(map[string]bool)
+		var ks []string
+		for _, e := range abs.Events() {
+			if o := abs.Oper(e); o.Kind == Put && !seen[o.K] {
+				seen[o.K] = true
+				ks = append(ks, o.K)
+			}
+		}
+		slices.Sort(ks)
+		return Val{Ks: ks}
+	default:
+		return Val{}
+	}
+}
+
+// Rsim relates abstract and concrete states: the concrete entries are
+// exactly, per key, the maximal-timestamp put events of the abstract
+// history.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].K >= s[i].K {
+			return false
+		}
+	}
+	want := make(map[string]Entry)
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Put {
+			if cur, ok := want[o.K]; !ok || abs.Time(e) > cur.T {
+				want[o.K] = Entry{K: o.K, T: abs.Time(e), V: o.V}
+			}
+		}
+	}
+	if len(want) != len(s) {
+		return false
+	}
+	for _, e := range s {
+		if want[e.K] != e {
+			return false
+		}
+	}
+	return true
+}
+
+func latestPut(abs *core.AbstractState[Op, Val], k string) (core.EventID, bool) {
+	var best core.EventID
+	bestT := core.Timestamp(-1)
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Put && o.K == k && abs.Time(e) > bestT {
+			best, bestT = e, abs.Time(e)
+		}
+	}
+	return best, bestT >= 0
+}

@@ -1,0 +1,100 @@
+package gmap
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMapPutGet(t *testing.T) {
+	var impl Map
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Put, K: "x", V: 1}, s, 1)
+	s, _ = impl.Do(Op{Kind: Put, K: "y", V: 2}, s, 2)
+	s, _ = impl.Do(Op{Kind: Put, K: "x", V: 3}, s, 3)
+	_, v := impl.Do(Op{Kind: Get, K: "x"}, s, 4)
+	if !v.Found || v.V != 3 {
+		t.Fatalf("get x = %+v", v)
+	}
+	_, v = impl.Do(Op{Kind: Get, K: "z"}, s, 5)
+	if v.Found {
+		t.Fatal("get of unbound key must not be found")
+	}
+	_, v = impl.Do(Op{Kind: Keys}, s, 6)
+	if !slices.Equal(v.Ks, []string{"x", "y"}) {
+		t.Fatalf("keys = %v", v.Ks)
+	}
+}
+
+func TestMapDoIsPersistent(t *testing.T) {
+	var impl Map
+	s1, _ := impl.Do(Op{Kind: Put, K: "a", V: 1}, impl.Init(), 1)
+	s2, _ := impl.Do(Op{Kind: Put, K: "a", V: 2}, s1, 2)
+	if s1[0].V != 1 || s2[0].V != 2 {
+		t.Fatal("Put must copy, not mutate")
+	}
+}
+
+func TestMergePerKeyLWW(t *testing.T) {
+	var impl Map
+	lca := State{{K: "k", T: 1, V: 10}}
+	a := State{{K: "k", T: 5, V: 50}, {K: "onlyA", T: 2, V: 1}}
+	b := State{{K: "k", T: 3, V: 30}, {K: "onlyB", T: 4, V: 2}}
+	m := impl.Merge(lca, a, b)
+	want := State{{K: "k", T: 5, V: 50}, {K: "onlyA", T: 2, V: 1}, {K: "onlyB", T: 4, V: 2}}
+	if !slices.Equal(m, want) {
+		t.Fatalf("merge = %+v, want %+v", m, want)
+	}
+	// Symmetric outcome.
+	if !slices.Equal(impl.Merge(lca, b, a), want) {
+		t.Fatal("merge must be symmetric")
+	}
+}
+
+func TestMergeKeysNeverDisappear(t *testing.T) {
+	var impl Map
+	lca := State{{K: "k", T: 1, V: 10}}
+	a := lca
+	b := lca
+	m := impl.Merge(lca, a, b)
+	if len(m) != 1 || m[0] != lca[0] {
+		t.Fatalf("idle merge = %+v", m)
+	}
+}
+
+func TestSpecAndRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	p1 := h.Append(Op{Kind: Put, K: "a", V: 1}, Val{}, 1, nil)
+	p2 := h.Append(Op{Kind: Put, K: "a", V: 2}, Val{}, 2, nil) // concurrent, later
+	p3 := h.Append(Op{Kind: Put, K: "b", V: 7}, Val{}, 3, []core.EventID{p1})
+	abs := core.StateOf(h, []core.EventID{p1, p2, p3})
+	if v := Spec(Op{Kind: Get, K: "a"}, abs); !v.Found || v.V != 2 {
+		t.Fatalf("spec get a = %+v, want 2 (LWW)", v)
+	}
+	if v := Spec(Op{Kind: Keys}, abs); !slices.Equal(v.Ks, []string{"a", "b"}) {
+		t.Fatalf("spec keys = %v", v.Ks)
+	}
+	good := State{{K: "a", T: 2, V: 2}, {K: "b", T: 3, V: 7}}
+	if !Rsim(abs, good) {
+		t.Fatal("Rsim must accept the faithful state")
+	}
+	if Rsim(abs, State{{K: "a", T: 1, V: 1}, {K: "b", T: 3, V: 7}}) {
+		t.Fatal("Rsim must reject a stale binding")
+	}
+	if Rsim(abs, State{{K: "b", T: 3, V: 7}, {K: "a", T: 2, V: 2}}) {
+		t.Fatal("Rsim must reject unsorted states")
+	}
+	if Rsim(abs, good[:1]) {
+		t.Fatal("Rsim must reject missing keys")
+	}
+}
+
+func TestValEq(t *testing.T) {
+	if !ValEq(Val{V: 1, Found: true}, Val{V: 1, Found: true}) {
+		t.Fatal("equal")
+	}
+	if ValEq(Val{Ks: []string{"a"}}, Val{Ks: []string{"b"}}) {
+		t.Fatal("different key lists")
+	}
+}

@@ -1,0 +1,140 @@
+// Package gset implements the grow-only set MRDT (§7.1). Elements can only
+// be added; merge is set union (the LCA is redundant because its elements
+// are contained in both branches).
+//
+// The state is an immutable sorted slice; operations copy on write so that
+// ancestor states retained by the store stay intact.
+package gset
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// OpKind distinguishes set operations.
+type OpKind int
+
+// Set operations.
+const (
+	Read OpKind = iota
+	Add
+	Lookup
+)
+
+// Op is a set operation. E is the element for Add/Lookup.
+type Op struct {
+	Kind OpKind
+	E    int64
+}
+
+// Val is an operation's return value.
+type Val struct {
+	Elems []int64 // Read: the contents, sorted ascending
+	Found bool    // Lookup: membership
+}
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool {
+	return a.Found == b.Found && slices.Equal(a.Elems, b.Elems)
+}
+
+// State is the concrete set state: a sorted slice without duplicates.
+// Treat as immutable.
+type State []int64
+
+// Set is the grow-only set MRDT.
+type Set struct{}
+
+var _ core.MRDT[State, Op, Val] = Set{}
+
+// Init returns the empty set.
+func (Set) Init() State { return nil }
+
+// Do applies op at state s.
+func (Set) Do(op Op, s State, _ core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Read:
+		return s, Val{Elems: slices.Clone(s)}
+	case Lookup:
+		_, ok := slices.BinarySearch(s, op.E)
+		return s, Val{Found: ok}
+	case Add:
+		i, ok := slices.BinarySearch(s, op.E)
+		if ok {
+			return s, Val{}
+		}
+		next := make(State, 0, len(s)+1)
+		next = append(next, s[:i]...)
+		next = append(next, op.E)
+		next = append(next, s[i:]...)
+		return next, Val{}
+	default:
+		return s, Val{}
+	}
+}
+
+// Merge is set union of the two branches (linear merge of sorted slices).
+func (Set) Merge(_, a, b State) State {
+	out := make(State, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Spec is F_gset: read returns every element ever added; lookup reports
+// whether the element was ever added.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	members := specMembers(abs)
+	switch op.Kind {
+	case Read:
+		return Val{Elems: members}
+	case Lookup:
+		_, ok := slices.BinarySearch(members, op.E)
+		return Val{Found: ok}
+	default:
+		return Val{}
+	}
+}
+
+// Rsim relates abstract and concrete states: the concrete slice is exactly
+// the sorted set of added elements.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	if !slices.IsSorted([]int64(s)) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return false
+		}
+	}
+	return slices.Equal(specMembers(abs), []int64(s))
+}
+
+func specMembers(abs *core.AbstractState[Op, Val]) []int64 {
+	seen := make(map[int64]bool)
+	var members []int64
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Add && !seen[o.E] {
+			seen[o.E] = true
+			members = append(members, o.E)
+		}
+	}
+	slices.Sort(members)
+	return members
+}

@@ -1,0 +1,139 @@
+package gset
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func apply(t *testing.T, s State, ops ...Op) State {
+	t.Helper()
+	var impl Set
+	for i, op := range ops {
+		s, _ = impl.Do(op, s, core.Timestamp(i+1))
+	}
+	return s
+}
+
+func TestSetAddRead(t *testing.T) {
+	var impl Set
+	s := apply(t, impl.Init(),
+		Op{Kind: Add, E: 3}, Op{Kind: Add, E: 1}, Op{Kind: Add, E: 3})
+	_, v := impl.Do(Op{Kind: Read}, s, 10)
+	if !slices.Equal(v.Elems, []int64{1, 3}) {
+		t.Fatalf("read = %v", v.Elems)
+	}
+	_, v = impl.Do(Op{Kind: Lookup, E: 3}, s, 11)
+	if !v.Found {
+		t.Fatal("lookup 3 must succeed")
+	}
+	_, v = impl.Do(Op{Kind: Lookup, E: 2}, s, 12)
+	if v.Found {
+		t.Fatal("lookup 2 must fail")
+	}
+}
+
+func TestSetDoIsPersistent(t *testing.T) {
+	var impl Set
+	s1 := apply(t, impl.Init(), Op{Kind: Add, E: 1})
+	s2, _ := impl.Do(Op{Kind: Add, E: 2}, s1, 5)
+	if len(s1) != 1 || len(s2) != 2 {
+		t.Fatal("Do must not mutate its input state")
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	var impl Set
+	a := State{1, 3, 5}
+	b := State{2, 3, 4}
+	got := impl.Merge(State{3}, a, b)
+	if !slices.Equal([]int64(got), []int64{1, 2, 3, 4, 5}) {
+		t.Fatalf("merge = %v", got)
+	}
+}
+
+func TestMergePropertiesQuick(t *testing.T) {
+	var impl Set
+	gen := func(r *rand.Rand) State {
+		n := r.Intn(10)
+		m := map[int64]bool{}
+		for i := 0; i < n; i++ {
+			m[int64(r.Intn(20))] = true
+		}
+		var s State
+		for e := range m {
+			s = append(s, e)
+		}
+		slices.Sort([]int64(s))
+		return s
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(gen(r))
+			}
+		},
+	}
+	symmetric := func(l, a, b State) bool {
+		return slices.Equal([]int64(impl.Merge(l, a, b)), []int64(impl.Merge(l, b, a)))
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Error(err)
+	}
+	idempotent := func(l, a State) bool {
+		return slices.Equal([]int64(impl.Merge(l, a, a)), []int64(a))
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Error(err)
+	}
+	sortedNoDup := func(l, a, b State) bool {
+		m := impl.Merge(l, a, b)
+		for i := 1; i < len(m); i++ {
+			if m[i-1] >= m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sortedNoDup, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecAndRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	e1 := h.Append(Op{Kind: Add, E: 5}, Val{}, 1, nil)
+	e2 := h.Append(Op{Kind: Add, E: 2}, Val{}, 2, []core.EventID{e1})
+	e3 := h.Append(Op{Kind: Add, E: 5}, Val{}, 3, nil) // concurrent duplicate
+	abs := core.StateOf(h, []core.EventID{e1, e2, e3})
+	v := Spec(Op{Kind: Read}, abs)
+	if !slices.Equal(v.Elems, []int64{2, 5}) {
+		t.Fatalf("spec read = %v", v.Elems)
+	}
+	if !Spec(Op{Kind: Lookup, E: 2}, abs).Found || Spec(Op{Kind: Lookup, E: 9}, abs).Found {
+		t.Fatal("spec lookup")
+	}
+	if !Rsim(abs, State{2, 5}) {
+		t.Fatal("Rsim must accept the faithful state")
+	}
+	if Rsim(abs, State{2}) || Rsim(abs, State{5, 2}) || Rsim(abs, State{2, 2, 5}) {
+		t.Fatal("Rsim must reject missing, unsorted, or duplicated states")
+	}
+}
+
+func TestValEq(t *testing.T) {
+	if !ValEq(Val{Elems: []int64{1}}, Val{Elems: []int64{1}}) {
+		t.Fatal("equal values must compare equal")
+	}
+	if ValEq(Val{Elems: []int64{1}}, Val{Elems: []int64{2}}) {
+		t.Fatal("different elems")
+	}
+	if ValEq(Val{Found: true}, Val{Found: false}) {
+		t.Fatal("different found")
+	}
+}

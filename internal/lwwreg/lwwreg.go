@@ -1,0 +1,94 @@
+// Package lwwreg implements the last-writer-wins register MRDT (§7.1): a
+// register whose conflicting concurrent writes are resolved in favour of
+// the write with the larger store-supplied timestamp.
+package lwwreg
+
+import "repro/internal/core"
+
+// OpKind distinguishes register operations.
+type OpKind int
+
+// Register operations.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// Op is a register operation; V is the written value (ignored for Read).
+type Op struct {
+	Kind OpKind
+	V    int64
+}
+
+// Val is the return value: the register contents for Read, 0 (⊥) for
+// Write.
+type Val = int64
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool { return a == b }
+
+// State is the register state: the last write's timestamp and value.
+// T < 0 means the register has never been written and reads return 0.
+type State struct {
+	T core.Timestamp
+	V int64
+}
+
+// Reg is the LWW register MRDT.
+type Reg struct{}
+
+var _ core.MRDT[State, Op, Val] = Reg{}
+
+// Init returns the never-written state.
+func (Reg) Init() State { return State{T: -1} }
+
+// Do applies op at state s with timestamp t.
+func (Reg) Do(op Op, s State, t core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Read:
+		return s, s.V
+	case Write:
+		return State{T: t, V: op.V}, 0
+	default:
+		return s, 0
+	}
+}
+
+// Merge keeps whichever of the two branch states carries the larger write
+// timestamp. The LCA's write (if any) is contained in both branches, so it
+// never needs to be consulted: max over the union of visible writes equals
+// max(max_a, max_b).
+func (Reg) Merge(_, a, b State) State {
+	if a.T >= b.T {
+		return a
+	}
+	return b
+}
+
+// Spec is F_lww: read returns the value of the write event with the
+// greatest timestamp in the visible history, or 0 if there is none.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return 0
+	}
+	best := State{T: -1}
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Write && abs.Time(e) > best.T {
+			best = State{T: abs.Time(e), V: o.V}
+		}
+	}
+	return best.V
+}
+
+// Rsim relates abstract and concrete states: the concrete state is exactly
+// the maximal-timestamp write of the abstract history (or the initial
+// state when no write is visible).
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	best := State{T: -1}
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Write && abs.Time(e) > best.T {
+			best = State{T: abs.Time(e), V: o.V}
+		}
+	}
+	return s == best
+}

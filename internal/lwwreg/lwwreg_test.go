@@ -1,0 +1,94 @@
+package lwwreg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestRegDo(t *testing.T) {
+	var impl Reg
+	s := impl.Init()
+	if s.T != -1 {
+		t.Fatal("initial state must be unwritten")
+	}
+	_, v := impl.Do(Op{Kind: Read}, s, 1)
+	if v != 0 {
+		t.Fatalf("read of unwritten register = %d, want 0", v)
+	}
+	s, _ = impl.Do(Op{Kind: Write, V: 42}, s, 5)
+	if s.T != 5 || s.V != 42 {
+		t.Fatalf("after write: %+v", s)
+	}
+	_, v = impl.Do(Op{Kind: Read}, s, 6)
+	if v != 42 {
+		t.Fatalf("read = %d, want 42", v)
+	}
+}
+
+func TestMergeLastWriterWins(t *testing.T) {
+	var impl Reg
+	lca := State{T: 1, V: 10}
+	a := State{T: 5, V: 50}
+	b := State{T: 3, V: 30}
+	if m := impl.Merge(lca, a, b); m != a {
+		t.Fatalf("merge = %+v, want the later write %+v", m, a)
+	}
+	if m := impl.Merge(lca, b, a); m != a {
+		t.Fatal("merge must be symmetric in outcome")
+	}
+}
+
+func TestMergeWithUntouchedBranch(t *testing.T) {
+	var impl Reg
+	lca := State{T: 2, V: 20}
+	a := State{T: 9, V: 90}
+	if m := impl.Merge(lca, a, lca); m != a {
+		t.Fatalf("merge = %+v, want %+v", m, a)
+	}
+	if m := impl.Merge(lca, lca, lca); m != lca {
+		t.Fatal("idle merge must keep the lca state")
+	}
+}
+
+func TestMergeSymmetricProperty(t *testing.T) {
+	var impl Reg
+	f := func(ta, tb uint16, va, vb int64) bool {
+		a := State{T: core.Timestamp(ta), V: va}
+		b := State{T: core.Timestamp(tb) + 1<<16, V: vb} // distinct timestamps
+		return impl.Merge(State{T: -1}, a, b) == impl.Merge(State{T: -1}, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecPicksMaxTimestamp(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	w1 := h.Append(Op{Kind: Write, V: 1}, 0, 10, nil)
+	w2 := h.Append(Op{Kind: Write, V: 2}, 0, 20, nil) // concurrent, later ts
+	abs := core.StateOf(h, []core.EventID{w1, w2})
+	if got := Spec(Op{Kind: Read}, abs); got != 2 {
+		t.Fatalf("spec read = %d, want 2", got)
+	}
+	if got := Spec(Op{Kind: Write, V: 9}, abs); got != 0 {
+		t.Fatal("writes return ⊥")
+	}
+}
+
+func TestRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	w1 := h.Append(Op{Kind: Write, V: 1}, 0, 10, nil)
+	abs := core.StateOf(h, []core.EventID{w1})
+	if !Rsim(abs, State{T: 10, V: 1}) {
+		t.Fatal("Rsim must accept the faithful state")
+	}
+	if Rsim(abs, State{T: 10, V: 2}) || Rsim(abs, State{T: 9, V: 1}) {
+		t.Fatal("Rsim must reject wrong value or timestamp")
+	}
+	empty := core.StateOf(h, nil)
+	if !Rsim(empty, State{T: -1}) {
+		t.Fatal("Rsim must accept the initial state for the empty history")
+	}
+}

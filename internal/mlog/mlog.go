@@ -1,0 +1,130 @@
+// Package mlog implements the mergeable log MRDT of §5.2 (Figure 7): an
+// append-only log that totally orders messages in reverse chronological
+// order of their operation timestamps. It is the value type the IRC-style
+// chat of §5.1 stores per channel.
+package mlog
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// OpKind distinguishes log operations.
+type OpKind int
+
+// Log operations.
+const (
+	Read OpKind = iota
+	Append
+)
+
+// Op is a log operation; Msg is the appended message (ignored for Read).
+type Op struct {
+	Kind OpKind
+	Msg  string
+}
+
+// Entry is a timestamped message.
+type Entry struct {
+	T   core.Timestamp
+	Msg string
+}
+
+// Val is an operation's return value: the log contents (newest first) for
+// Read, nil (⊥) for Append.
+type Val struct {
+	Log []Entry
+}
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool { return slices.Equal(a.Log, b.Log) }
+
+// State is the concrete log: entries in strictly descending timestamp
+// order (newest first). Treat as immutable.
+type State []Entry
+
+// Log is the mergeable log MRDT.
+type Log struct{}
+
+var _ core.MRDT[State, Op, Val] = Log{}
+
+// Init returns the empty log.
+func (Log) Init() State { return nil }
+
+// Do applies op at state s with timestamp t. Append prepends (the new
+// timestamp is larger than every timestamp already present).
+func (Log) Do(op Op, s State, t core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Read:
+		return s, Val{Log: slices.Clone(s)}
+	case Append:
+		next := make(State, 0, len(s)+1)
+		next = append(next, Entry{T: t, Msg: op.Msg})
+		next = append(next, s...)
+		return next, Val{}
+	default:
+		return s, Val{}
+	}
+}
+
+// Merge implements Figure 7: sort((a − lca) @ (b − lca)) @ lca. The two
+// diffs are the branches' new prefixes (both already newest-first), so the
+// sort is a linear two-way merge, and every new entry has a larger
+// timestamp than every LCA entry.
+func (Log) Merge(lca, a, b State) State {
+	da := a[:len(a)-len(lca)]
+	db := b[:len(b)-len(lca)]
+	out := make(State, 0, len(da)+len(db)+len(lca))
+	i, j := 0, 0
+	for i < len(da) && j < len(db) {
+		if da[i].T > db[j].T {
+			out = append(out, da[i])
+			i++
+		} else {
+			out = append(out, db[j])
+			j++
+		}
+	}
+	out = append(out, da[i:]...)
+	out = append(out, db[j:]...)
+	out = append(out, lca...)
+	return out
+}
+
+// Spec is F_log (Figure 7): read returns exactly the appended messages,
+// ordered by strictly decreasing timestamp.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Read {
+		return Val{}
+	}
+	var log []Entry
+	for _, e := range abs.Events() {
+		if o := abs.Oper(e); o.Kind == Append {
+			log = append(log, Entry{T: abs.Time(e), Msg: o.Msg})
+		}
+	}
+	slices.SortFunc(log, func(x, y Entry) int {
+		switch {
+		case x.T > y.T:
+			return -1
+		case x.T < y.T:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return Val{Log: log}
+}
+
+// Rsim is R_sim-log (Figure 7): the concrete log contains exactly the
+// append events' (timestamp, message) pairs, in reverse chronological
+// order.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].T <= s[i].T {
+			return false
+		}
+	}
+	return slices.Equal(Spec(Op{Kind: Read}, abs).Log, []Entry(s))
+}

@@ -1,0 +1,130 @@
+package mlog
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestLogAppendRead(t *testing.T) {
+	var impl Log
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Append, Msg: "first"}, s, 1)
+	s, _ = impl.Do(Op{Kind: Append, Msg: "second"}, s, 2)
+	_, v := impl.Do(Op{Kind: Read}, s, 3)
+	want := []Entry{{T: 2, Msg: "second"}, {T: 1, Msg: "first"}}
+	if !slices.Equal(v.Log, want) {
+		t.Fatalf("read = %v, want %v (newest first)", v.Log, want)
+	}
+}
+
+func TestLogDoIsPersistent(t *testing.T) {
+	var impl Log
+	s1, _ := impl.Do(Op{Kind: Append, Msg: "a"}, impl.Init(), 1)
+	s2, _ := impl.Do(Op{Kind: Append, Msg: "b"}, s1, 2)
+	if len(s1) != 1 || len(s2) != 2 || s1[0].Msg != "a" {
+		t.Fatal("Append must not mutate its input")
+	}
+}
+
+func TestMergeInterleavesByTimestamp(t *testing.T) {
+	var impl Log
+	lca := State{{T: 1, Msg: "base"}}
+	a := State{{T: 4, Msg: "a2"}, {T: 2, Msg: "a1"}, {T: 1, Msg: "base"}}
+	b := State{{T: 3, Msg: "b1"}, {T: 1, Msg: "base"}}
+	m := impl.Merge(lca, a, b)
+	want := State{{T: 4, Msg: "a2"}, {T: 3, Msg: "b1"}, {T: 2, Msg: "a1"}, {T: 1, Msg: "base"}}
+	if !slices.Equal(m, want) {
+		t.Fatalf("merge = %v, want %v", m, want)
+	}
+	if !slices.Equal(impl.Merge(lca, b, a), want) {
+		t.Fatal("merge must be symmetric")
+	}
+}
+
+func TestMergeEmptyDiffs(t *testing.T) {
+	var impl Log
+	lca := State{{T: 1, Msg: "x"}}
+	if m := impl.Merge(lca, lca, lca); !slices.Equal(m, lca) {
+		t.Fatalf("idle merge = %v", m)
+	}
+	var empty State
+	if m := impl.Merge(empty, empty, empty); len(m) != 0 {
+		t.Fatalf("empty merge = %v", m)
+	}
+}
+
+// Property: merging random divergent extensions of a random LCA yields a
+// strictly descending log containing exactly the union of entries.
+func TestMergePropertyQuick(t *testing.T) {
+	var impl Log
+	type tri struct{ lca, a, b State }
+	gen := func(r *rand.Rand) tri {
+		next := core.Timestamp(1)
+		mk := func(n int, base State) State {
+			s := base
+			for i := 0; i < n; i++ {
+				s = append(State{{T: next, Msg: "m"}}, s...)
+				next++
+			}
+			return s
+		}
+		lca := mk(r.Intn(5), nil)
+		// Interleave timestamps between the two branches.
+		a, b := lca, lca
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			if r.Intn(2) == 0 {
+				a = mk(1, a)
+			} else {
+				b = mk(1, b)
+			}
+		}
+		return tri{lca, a, b}
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(gen(r))
+		},
+	}
+	prop := func(x tri) bool {
+		m := impl.Merge(x.lca, x.a, x.b)
+		if len(m) != len(x.a)+len(x.b)-len(x.lca) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i-1].T <= m[i].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecAndRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	a1 := h.Append(Op{Kind: Append, Msg: "x"}, Val{}, 5, nil)
+	a2 := h.Append(Op{Kind: Append, Msg: "y"}, Val{}, 2, nil)
+	abs := core.StateOf(h, []core.EventID{a1, a2})
+	v := Spec(Op{Kind: Read}, abs)
+	want := []Entry{{T: 5, Msg: "x"}, {T: 2, Msg: "y"}}
+	if !slices.Equal(v.Log, want) {
+		t.Fatalf("spec read = %v", v.Log)
+	}
+	if !Rsim(abs, State(want)) {
+		t.Fatal("Rsim must accept the faithful log")
+	}
+	if Rsim(abs, State{{T: 2, Msg: "y"}, {T: 5, Msg: "x"}}) {
+		t.Fatal("Rsim must reject a mis-ordered log")
+	}
+	if Rsim(abs, State(want[:1])) {
+		t.Fatal("Rsim must reject a truncated log")
+	}
+}

@@ -1,0 +1,136 @@
+// Package orset implements the paper's three observed-removed set MRDTs:
+//
+//   - OrSet: the unoptimized OR-set of §2.1.1 — a list of (element, id)
+//     pairs that may contain duplicate elements under different ids.
+//   - OrSetSpace: the space-efficient OR-set of §2.1.2 (Figure 2) — at most
+//     one pair per element; a duplicate add refreshes the timestamp so the
+//     add still wins against a concurrent remove.
+//   - OrSetSpaceTime: the space- and time-optimized OR-set of §7.1 — the
+//     same semantics as OrSetSpace over a persistent height-balanced binary
+//     search tree, with O(log n) add/remove/lookup and a merge that
+//     produces a height-balanced tree.
+//
+// All three satisfy the same add-wins specification F_orset (§2.2.1); their
+// simulation relations (§4.2) differ.
+package orset
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// OpKind distinguishes OR-set operations.
+type OpKind int
+
+// OR-set operations.
+const (
+	Read OpKind = iota
+	Add
+	Remove
+	Lookup
+)
+
+// Op is an OR-set operation. E is the element (ignored for Read).
+type Op struct {
+	Kind OpKind
+	E    int64
+}
+
+// Val is an operation's return value.
+type Val struct {
+	Elems []int64 // Read: distinct elements, sorted ascending
+	Found bool    // Lookup: membership
+}
+
+// ValEq compares return values.
+func ValEq(a, b Val) bool {
+	return a.Found == b.Found && slices.Equal(a.Elems, b.Elems)
+}
+
+// Pair is one (element, unique id) entry; the id is the timestamp of the
+// add operation that produced it.
+type Pair struct {
+	E int64
+	T core.Timestamp
+}
+
+// pairLess orders pairs by element, then timestamp, the canonical order for
+// the sorted-slice states.
+func pairLess(a, b Pair) int {
+	switch {
+	case a.E < b.E:
+		return -1
+	case a.E > b.E:
+		return 1
+	case a.T < b.T:
+		return -1
+	case a.T > b.T:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// readElems extracts the distinct elements of a sorted pair slice.
+func readElems(s []Pair) []int64 {
+	var out []int64
+	for i, p := range s {
+		if i == 0 || p.E != s[i-1].E {
+			out = append(out, p.E)
+		}
+	}
+	return out
+}
+
+// lookupElem reports membership in a sorted pair slice.
+func lookupElem(s []Pair, e int64) bool {
+	i, _ := slices.BinarySearchFunc(s, Pair{E: e, T: -1}, pairLess)
+	return i < len(s) && s[i].E == e
+}
+
+// Spec is F_orset (§2.2.1): an element is in the set iff some add of it is
+// not visible to any remove of it — so an add concurrent with a remove
+// wins. Lookup is membership in the read result. The same specification
+// governs all three implementations.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	switch op.Kind {
+	case Read:
+		return Val{Elems: specMembers(abs)}
+	case Lookup:
+		_, ok := slices.BinarySearch(specMembers(abs), op.E)
+		return Val{Found: ok}
+	default:
+		return Val{}
+	}
+}
+
+func specMembers(abs *core.AbstractState[Op, Val]) []int64 {
+	evs := abs.Events()
+	seen := make(map[int64]bool)
+	var members []int64
+	for _, e := range evs {
+		o := abs.Oper(e)
+		if o.Kind != Add || seen[o.E] {
+			continue
+		}
+		if unmatchedAdd(abs, evs, e) {
+			seen[o.E] = true
+			members = append(members, o.E)
+		}
+	}
+	slices.Sort(members)
+	return members
+}
+
+// unmatchedAdd reports that no remove of the same element observes add
+// event e.
+func unmatchedAdd(abs *core.AbstractState[Op, Val], evs []core.EventID, e core.EventID) bool {
+	elem := abs.Oper(e).E
+	for _, f := range evs {
+		if o := abs.Oper(f); o.Kind == Remove && o.E == elem && abs.Vis(e, f) {
+			return false
+		}
+	}
+	return true
+}

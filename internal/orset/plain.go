@@ -1,0 +1,134 @@
+package orset
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// State is the unoptimized OR-set state (§2.1.1): pairs sorted by
+// (element, timestamp), possibly with several pairs per element. Treat as
+// immutable.
+type State []Pair
+
+// OrSet is the unoptimized OR-set MRDT of Figure 1.
+type OrSet struct{}
+
+var _ core.MRDT[State, Op, Val] = OrSet{}
+
+// Init returns the empty set.
+func (OrSet) Init() State { return nil }
+
+// Do applies op at state s with timestamp t.
+func (OrSet) Do(op Op, s State, t core.Timestamp) (State, Val) {
+	switch op.Kind {
+	case Read:
+		return s, Val{Elems: readElems(s)}
+	case Lookup:
+		return s, Val{Found: lookupElem(s, op.E)}
+	case Add:
+		p := Pair{E: op.E, T: t}
+		i, _ := slices.BinarySearchFunc(s, p, pairLess)
+		next := make(State, 0, len(s)+1)
+		next = append(next, s[:i]...)
+		next = append(next, p)
+		next = append(next, s[i:]...)
+		return next, Val{}
+	case Remove:
+		next := make(State, 0, len(s))
+		for _, p := range s {
+			if p.E != op.E {
+				next = append(next, p)
+			}
+		}
+		return next, Val{}
+	default:
+		return s, Val{}
+	}
+}
+
+// Merge implements Figure 1:
+// (σ_lca ∩ σ_a ∩ σ_b) ∪ (σ_a − σ_lca) ∪ (σ_b − σ_lca),
+// computed in a single linear pass over the three sorted slices.
+func (OrSet) Merge(lca, a, b State) State {
+	out := make(State, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		cmp := pairLess(a[i], b[j])
+		switch {
+		case cmp < 0:
+			if !member(lca, a[i]) { // a − lca
+				out = append(out, a[i])
+			}
+			i++
+		case cmp > 0:
+			if !member(lca, b[j]) { // b − lca
+				out = append(out, b[j])
+			}
+			j++
+		default:
+			// In both branches: either surviving LCA pair (in the triple
+			// intersection) or — impossible for distinct-timestamp adds —
+			// a duplicate; keep once.
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		if !member(lca, a[i]) {
+			out = append(out, a[i])
+		}
+	}
+	for ; j < len(b); j++ {
+		if !member(lca, b[j]) {
+			out = append(out, b[j])
+		}
+	}
+	return out
+}
+
+func member(s State, p Pair) bool {
+	i, ok := slices.BinarySearchFunc(s, p, pairLess)
+	_ = i
+	return ok
+}
+
+// Rsim is the simulation relation of §4.2 (equation 3): a pair (a, t) is in
+// the concrete state iff the abstract state has an add(a) event at time t
+// with no remove(a) event observing it.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	if !slices.IsSortedFunc([]Pair(s), pairLess) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return false
+		}
+	}
+	evs := abs.Events()
+	// Concrete → abstract.
+	for _, p := range s {
+		found := false
+		for _, e := range evs {
+			o := abs.Oper(e)
+			if o.Kind == Add && o.E == p.E && abs.Time(e) == p.T && unmatchedAdd(abs, evs, e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// Abstract → concrete.
+	for _, e := range evs {
+		o := abs.Oper(e)
+		if o.Kind == Add && unmatchedAdd(abs, evs, e) {
+			if !member(s, Pair{E: o.E, T: abs.Time(e)}) {
+				return false
+			}
+		}
+	}
+	return true
+}

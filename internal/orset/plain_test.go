@@ -1,0 +1,115 @@
+package orset
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestOrSetAddRemoveRead(t *testing.T) {
+	var impl OrSet
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Add, E: 1}, s, 1)
+	s, _ = impl.Do(Op{Kind: Add, E: 2}, s, 2)
+	s, _ = impl.Do(Op{Kind: Add, E: 1}, s, 3) // duplicate with fresh id
+	if len(s) != 3 {
+		t.Fatalf("unoptimized OR-set keeps duplicates: %v", s)
+	}
+	_, v := impl.Do(Op{Kind: Read}, s, 4)
+	if !slices.Equal(v.Elems, []int64{1, 2}) {
+		t.Fatalf("read = %v", v.Elems)
+	}
+	s, _ = impl.Do(Op{Kind: Remove, E: 1}, s, 5)
+	if len(s) != 1 || s[0].E != 2 {
+		t.Fatalf("remove must drop all pairs of the element: %v", s)
+	}
+}
+
+func TestOrSetLookup(t *testing.T) {
+	var impl OrSet
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Add, E: 10}, s, 1)
+	_, v := impl.Do(Op{Kind: Lookup, E: 10}, s, 2)
+	if !v.Found {
+		t.Fatal("lookup of present element")
+	}
+	_, v = impl.Do(Op{Kind: Lookup, E: 11}, s, 3)
+	if v.Found {
+		t.Fatal("lookup of absent element")
+	}
+}
+
+func TestOrSetMergeAddWins(t *testing.T) {
+	var impl OrSet
+	lca := State{{E: 7, T: 1}}
+	// Branch a re-adds 7 with a fresh id; branch b removes 7.
+	a := State{{E: 7, T: 1}, {E: 7, T: 5}}
+	b := State{}
+	m := impl.Merge(lca, a, b)
+	if len(m) != 1 || m[0] != (Pair{E: 7, T: 5}) {
+		t.Fatalf("merge = %v, want the fresh add to survive", m)
+	}
+}
+
+func TestOrSetMergeRemoveOldAdd(t *testing.T) {
+	var impl OrSet
+	lca := State{{E: 7, T: 1}}
+	a := lca // untouched
+	b := State{}
+	if m := impl.Merge(lca, a, b); len(m) != 0 {
+		t.Fatalf("merge = %v, remove must erase the observed add", m)
+	}
+}
+
+func TestOrSetMergeDisjointAdds(t *testing.T) {
+	var impl OrSet
+	var lca State
+	a := State{{E: 1, T: 1}}
+	b := State{{E: 2, T: 2}}
+	m := impl.Merge(lca, a, b)
+	want := State{{E: 1, T: 1}, {E: 2, T: 2}}
+	if !slices.Equal(m, want) {
+		t.Fatalf("merge = %v, want %v", m, want)
+	}
+	if !slices.Equal(impl.Merge(lca, b, a), want) {
+		t.Fatal("merge must be symmetric")
+	}
+}
+
+func TestOrSetSpecConcurrentAddRemove(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	add := h.Append(Op{Kind: Add, E: 3}, Val{}, 1, nil)
+	rem := h.Append(Op{Kind: Remove, E: 3}, Val{}, 2, nil) // concurrent
+	abs := core.StateOf(h, []core.EventID{add, rem})
+	if v := Spec(Op{Kind: Read}, abs); !slices.Equal(v.Elems, []int64{3}) {
+		t.Fatalf("spec: concurrent add must win, got %v", v.Elems)
+	}
+	// When the remove observes the add, the element is gone.
+	h2 := core.NewHistory[Op, Val]()
+	add2 := h2.Append(Op{Kind: Add, E: 3}, Val{}, 1, nil)
+	rem2 := h2.Append(Op{Kind: Remove, E: 3}, Val{}, 2, []core.EventID{add2})
+	abs2 := core.StateOf(h2, []core.EventID{add2, rem2})
+	if v := Spec(Op{Kind: Read}, abs2); len(v.Elems) != 0 {
+		t.Fatalf("spec: observed add must be removed, got %v", v.Elems)
+	}
+}
+
+func TestOrSetRsim(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	a1 := h.Append(Op{Kind: Add, E: 3}, Val{}, 1, nil)
+	a2 := h.Append(Op{Kind: Add, E: 3}, Val{}, 2, []core.EventID{a1})
+	abs := core.StateOf(h, []core.EventID{a1, a2})
+	if !Rsim(abs, State{{E: 3, T: 1}, {E: 3, T: 2}}) {
+		t.Fatal("Rsim must accept both unmatched adds")
+	}
+	if Rsim(abs, State{{E: 3, T: 2}}) {
+		t.Fatal("Rsim (plain) must reject a deduplicated state")
+	}
+	if Rsim(abs, State{{E: 3, T: 2}, {E: 3, T: 1}}) {
+		t.Fatal("Rsim must reject unsorted states")
+	}
+	if Rsim(abs, State{{E: 3, T: 1}, {E: 3, T: 1}, {E: 3, T: 2}}) {
+		t.Fatal("Rsim must reject duplicate pairs")
+	}
+}

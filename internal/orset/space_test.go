@@ -1,0 +1,164 @@
+package orset
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestOrSetSpaceNoDuplicates(t *testing.T) {
+	var impl OrSetSpace
+	s := impl.Init()
+	s, _ = impl.Do(Op{Kind: Add, E: 1}, s, 1)
+	s, _ = impl.Do(Op{Kind: Add, E: 1}, s, 2)
+	if len(s) != 1 {
+		t.Fatalf("duplicate add must refresh in place: %v", s)
+	}
+	if s[0].T != 2 {
+		t.Fatalf("timestamp must be refreshed to 2: %v", s)
+	}
+}
+
+func TestOrSetSpaceRefreshBeatsConcurrentRemove(t *testing.T) {
+	var impl OrSetSpace
+	lca := SpaceState{{E: 7, T: 1}}
+	a, _ := impl.Do(Op{Kind: Add, E: 7}, lca, 5)    // refresh on a
+	b, _ := impl.Do(Op{Kind: Remove, E: 7}, lca, 6) // remove on b
+	m := impl.Merge(lca, a, b)
+	if len(m) != 1 || m[0] != (Pair{E: 7, T: 5}) {
+		t.Fatalf("merge = %v; the refreshed add must win", m)
+	}
+}
+
+func TestOrSetSpaceRemoveBeatsObservedAdd(t *testing.T) {
+	var impl OrSetSpace
+	lca := SpaceState{{E: 7, T: 1}}
+	b, _ := impl.Do(Op{Kind: Remove, E: 7}, lca, 6)
+	if m := impl.Merge(lca, lca, b); len(m) != 0 {
+		t.Fatalf("merge = %v; unrefreshed element must be removed", m)
+	}
+}
+
+func TestOrSetSpaceConcurrentAddsKeepLatest(t *testing.T) {
+	var impl OrSetSpace
+	var lca SpaceState
+	a, _ := impl.Do(Op{Kind: Add, E: 9}, lca, 3)
+	b, _ := impl.Do(Op{Kind: Add, E: 9}, lca, 8)
+	m := impl.Merge(lca, a, b)
+	if len(m) != 1 || m[0] != (Pair{E: 9, T: 8}) {
+		t.Fatalf("merge = %v; concurrent adds keep the larger timestamp", m)
+	}
+	if m2 := impl.Merge(lca, b, a); !slices.Equal(m, m2) {
+		t.Fatal("merge must be symmetric")
+	}
+}
+
+func TestOrSetSpaceMergeTripleIntersection(t *testing.T) {
+	var impl OrSetSpace
+	lca := SpaceState{{E: 1, T: 1}, {E: 2, T: 2}}
+	if m := impl.Merge(lca, lca, lca); !slices.Equal(m, lca) {
+		t.Fatalf("idle merge = %v", m)
+	}
+}
+
+// randomSpaceExec drives an LCA plus two divergent branches with random
+// adds/removes through the real Do, returning the three states.
+func randomSpaceExec(r *rand.Rand) (lca, a, b SpaceState) {
+	var impl OrSetSpace
+	ts := core.Timestamp(1)
+	step := func(s SpaceState) SpaceState {
+		e := int64(r.Intn(6))
+		var op Op
+		if r.Intn(3) == 0 {
+			op = Op{Kind: Remove, E: e}
+		} else {
+			op = Op{Kind: Add, E: e}
+		}
+		next, _ := impl.Do(op, s, ts)
+		ts++
+		return next
+	}
+	lca = impl.Init()
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		lca = step(lca)
+	}
+	a, b = lca, lca
+	for i, n := 0, r.Intn(8); i < n; i++ {
+		if r.Intn(2) == 0 {
+			a = step(a)
+		} else {
+			b = step(b)
+		}
+	}
+	return lca, a, b
+}
+
+func TestOrSetSpaceMergePropertiesQuick(t *testing.T) {
+	var impl OrSetSpace
+	type tri struct{ l, a, b SpaceState }
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			l, a, b := randomSpaceExec(r)
+			vals[0] = reflect.ValueOf(tri{l, a, b})
+		},
+	}
+	wellFormed := func(x tri) bool {
+		m := impl.Merge(x.l, x.a, x.b)
+		for i := 1; i < len(m); i++ {
+			if m[i-1].E >= m[i].E {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(wellFormed, cfg); err != nil {
+		t.Error(err)
+	}
+	symmetric := func(x tri) bool {
+		return slices.Equal(impl.Merge(x.l, x.a, x.b), impl.Merge(x.l, x.b, x.a))
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Error(err)
+	}
+	selfIsIdentity := func(x tri) bool {
+		return slices.Equal(impl.Merge(x.a, x.a, x.a), x.a)
+	}
+	if err := quick.Check(selfIsIdentity, cfg); err != nil {
+		t.Error(err)
+	}
+	// The space-efficient merge agrees with the plain OR-set merge up to
+	// duplicate elimination: same element sets.
+	agreesWithPlain := func(x tri) bool {
+		var plain OrSet
+		m := impl.Merge(x.l, x.a, x.b)
+		p := plain.Merge(State(x.l), State(x.a), State(x.b))
+		return slices.Equal(readElems(m), readElems(p))
+	}
+	if err := quick.Check(agreesWithPlain, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRsimSpace(t *testing.T) {
+	h := core.NewHistory[Op, Val]()
+	a1 := h.Append(Op{Kind: Add, E: 3}, Val{}, 1, nil)
+	a2 := h.Append(Op{Kind: Add, E: 3}, Val{}, 2, []core.EventID{a1})
+	abs := core.StateOf(h, []core.EventID{a1, a2})
+	if !RsimSpace(abs, SpaceState{{E: 3, T: 2}}) {
+		t.Fatal("RsimSpace must pin the latest unmatched add's timestamp")
+	}
+	if RsimSpace(abs, SpaceState{{E: 3, T: 1}}) {
+		t.Fatal("RsimSpace must reject the stale timestamp")
+	}
+	if RsimSpace(abs, SpaceState{{E: 3, T: 1}, {E: 3, T: 2}}) {
+		t.Fatal("RsimSpace must reject duplicates")
+	}
+	if RsimSpace(abs, nil) {
+		t.Fatal("RsimSpace must reject a missing element")
+	}
+}

@@ -1,0 +1,207 @@
+// Package quark reimplements the merge strategy of Kaki et al. (OOPSLA
+// 2019, "Mergeable Replicated Data Types") — the paper's baseline, called
+// Quark in §7.2. Quark derives merges automatically from a relational
+// (set-based) representation of the data type: at every merge the concrete
+// states are *reified* into their characteristic relations, the relations
+// are merged set-wise with
+//
+//	merged = (R_lca ∩ R_a ∩ R_b) ∪ (R_a − R_lca) ∪ (R_b − R_lca)
+//
+// and the result is *concretized* back into the data type's representation.
+//
+// For a queue the characteristic relations are membership (unary) and
+// ordering (binary); the ordering relation of an n-element queue has n²
+// entries, which is what makes Quark's queue merge quadratic (Figure 12).
+// For an OR-set the automatic derivation cannot express "drop duplicate
+// elements, keeping the newest id", so duplicates accumulate (Figure 13).
+package quark
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/orset"
+	"repro/internal/queue"
+)
+
+// MergeQueue is Quark's queue merge: reify each version into membership
+// and ordering relations, merge the relations set-wise, and concretize by
+// topologically sorting the merged membership under the merged ordering
+// (ties — concurrent enqueues never ordered by either branch — broken by
+// timestamp). Time and space are Θ(n²) in the queue length, versus the
+// linear merge of internal/queue.
+func MergeQueue(lca, a, b []queue.Pair) []queue.Pair {
+	in := newInterner()
+	memL, ordL := reify(in, lca)
+	memA, ordA := reify(in, a)
+	memB, ordB := reify(in, b)
+
+	mem := mergeRelation(memL, memA, memB)
+	ord := mergeRelation(ordL, ordA, ordB)
+
+	return concretize(in, mem, ord)
+}
+
+// interner maps queue elements to dense ids so that relation entries are
+// single machine words.
+type interner struct {
+	ids   map[queue.Pair]int32
+	pairs []queue.Pair
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[queue.Pair]int32)}
+}
+
+func (in *interner) id(p queue.Pair) int32 {
+	if id, ok := in.ids[p]; ok {
+		return id
+	}
+	id := int32(len(in.pairs))
+	in.ids[p] = id
+	in.pairs = append(in.pairs, p)
+	return id
+}
+
+// relation is a set of entries; unary entries use the element id, binary
+// entries pack two ids.
+type relation map[int64]struct{}
+
+func pack(x, y int32) int64 { return int64(x)<<32 | int64(uint32(y)) }
+
+func unpack(e int64) (int32, int32) { return int32(e >> 32), int32(uint32(e)) }
+
+// reify computes a queue version's characteristic relations: membership
+// R_mem = {x | x ∈ q} and ordering R_ob = {(x, y) | x before y in q} — the
+// n² reification that §7.2.1 measures.
+func reify(in *interner, q []queue.Pair) (mem, ord relation) {
+	mem = make(relation, len(q))
+	ord = make(relation, len(q)*len(q)/2)
+	ids := make([]int32, len(q))
+	for i, p := range q {
+		ids[i] = in.id(p)
+		mem[int64(ids[i])] = struct{}{}
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			ord[pack(ids[i], ids[j])] = struct{}{}
+		}
+	}
+	return mem, ord
+}
+
+// mergeRelation applies Quark's set-wise merge formula.
+func mergeRelation(l, a, b relation) relation {
+	out := make(relation, len(a)+len(b))
+	for e := range a {
+		if _, inL := l[e]; !inL { // a − l
+			out[e] = struct{}{}
+			continue
+		}
+		if _, inB := b[e]; inB { // l ∩ a ∩ b
+			out[e] = struct{}{}
+		}
+	}
+	for e := range b {
+		if _, inL := l[e]; !inL { // b − l
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// concretize rebuilds a queue from the merged relations: a topological
+// sort of the members under the merged ordering, breaking ties between
+// unordered (concurrently enqueued) elements by enqueue timestamp.
+func concretize(in *interner, mem, ord relation) []queue.Pair {
+	members := make([]int32, 0, len(mem))
+	for e := range mem {
+		members = append(members, int32(e))
+	}
+	indeg := make(map[int32]int, len(members))
+	succs := make(map[int32][]int32, len(members))
+	for _, m := range members {
+		indeg[m] = 0
+	}
+	for e := range ord {
+		x, y := unpack(e)
+		if _, okX := indeg[x]; !okX {
+			continue // ordering entry about a dropped (dequeued) element
+		}
+		if _, okY := indeg[y]; !okY {
+			continue
+		}
+		succs[x] = append(succs[x], y)
+		indeg[y]++
+	}
+	// Kahn's algorithm with a timestamp-ordered frontier for determinism.
+	frontier := make([]int32, 0, len(members))
+	for _, m := range members {
+		if indeg[m] == 0 {
+			frontier = append(frontier, m)
+		}
+	}
+	out := make([]queue.Pair, 0, len(members))
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool {
+			return in.pairs[frontier[i]].T < in.pairs[frontier[j]].T
+		})
+		next := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, in.pairs[next])
+		for _, s := range succs[next] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	return out
+}
+
+// Queue is the Quark queue as an MRDT: the same two-list functional queue
+// as internal/queue (identical operations and costs), differing only in
+// the merge, which goes through relational reification.
+type Queue struct{ queue.Queue }
+
+var _ core.MRDT[queue.State, queue.Op, queue.Val] = Queue{}
+
+// Merge reifies, merges relations, and concretizes.
+func (Queue) Merge(lca, a, b queue.State) queue.State {
+	return queue.FromSlice(MergeQueue(lca.ToSlice(), a.ToSlice(), b.ToSlice()))
+}
+
+// OrSet is the Quark OR-set: because the merge is derived automatically
+// from the membership relation over (element, id) pairs, a re-added
+// element keeps accumulating pairs — the duplicates that Figure 13 counts.
+// Operationally it behaves like the unoptimized OR-set of §2.1.1, with the
+// merge routed through the relational machinery.
+type OrSet struct{ orset.OrSet }
+
+var _ core.MRDT[orset.State, orset.Op, orset.Val] = OrSet{}
+
+// Merge reifies each version into its membership relation, merges
+// set-wise, and concretizes into the sorted-pairs representation.
+func (OrSet) Merge(lca, a, b orset.State) orset.State {
+	in := newInterner()
+	memOf := func(s orset.State) relation {
+		r := make(relation, len(s))
+		for _, p := range s {
+			r[int64(in.id(queue.Pair{T: p.T, V: p.E}))] = struct{}{}
+		}
+		return r
+	}
+	merged := mergeRelation(memOf(lca), memOf(a), memOf(b))
+	out := make(orset.State, 0, len(merged))
+	for e := range merged {
+		p := in.pairs[int32(e)]
+		out = append(out, orset.Pair{E: p.V, T: p.T})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E != out[j].E {
+			return out[i].E < out[j].E
+		}
+		return out[i].T < out[j].T
+	})
+	return out
+}

@@ -1,0 +1,187 @@
+package quark_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+
+	"repro/internal/core"
+	"repro/internal/orset"
+	"repro/internal/quark"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+func pairs(ts ...int64) []queue.Pair {
+	out := make([]queue.Pair, len(ts))
+	for i, t := range ts {
+		out[i] = queue.Pair{T: core.Timestamp(t), V: t}
+	}
+	return out
+}
+
+func TestQuarkQueueMergeMatchesPaperExample(t *testing.T) {
+	// Figure 11's merge, through the relational path: LCA [1..5],
+	// A = [3,4,5] ++ [8,9] (two dequeues, enq 8, 9),
+	// B = [2,3,4,5] ++ [6,7] (one dequeue, enq 6, 7).
+	lca := pairs(1, 2, 3, 4, 5)
+	a := pairs(2, 3, 4, 5, 8, 9)
+	b := pairs(3, 4, 5, 6, 7)
+	got := quark.MergeQueue(lca, a, b)
+	want := pairs(3, 4, 5, 6, 7, 8, 9)
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestQuarkQueueMergeAgreesWithPeepul(t *testing.T) {
+	// On any divergence pattern built from the LTS, the Quark merge must
+	// produce the same queue as the Peepul linear merge — they implement
+	// the same conflict-resolution policy at wildly different cost.
+	h := &sim.Harness[queue.State, queue.Op, queue.Val]{
+		Name:  "quark-queue",
+		Impl:  quark.Queue{},
+		Spec:  queue.Spec,
+		Rsim:  queue.Rsim,
+		ValEq: queue.ValEq,
+		Ops: []queue.Op{
+			{Kind: queue.Enqueue, V: 1},
+			{Kind: queue.Enqueue, V: 2},
+			{Kind: queue.Dequeue},
+		},
+		Probes: []queue.Op{{Kind: queue.Dequeue}},
+	}
+	cfg := sim.Config{
+		MaxBranches:      2,
+		MaxSteps:         4,
+		RandomExecutions: 60,
+		RandomSteps:      14,
+		RandomBranches:   3,
+		Seed:             11,
+	}
+	if rep := h.Certify(cfg); rep.Err != nil {
+		t.Fatalf("Quark queue fails the queue obligations: %v", rep.Err)
+	}
+}
+
+func TestQuarkQueueEmptyAndDisjoint(t *testing.T) {
+	if got := quark.MergeQueue(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+	// Disjoint new suffixes with empty LCA interleave by timestamp.
+	got := quark.MergeQueue(nil, pairs(1, 4), pairs(2, 3))
+	want := pairs(1, 2, 3, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuarkOrSetKeepsDuplicates(t *testing.T) {
+	// The same element added on both branches under different ids survives
+	// twice — Quark's derived merge cannot deduplicate (§7.2.1).
+	var impl quark.OrSet
+	lca := orset.State{}
+	a, _ := impl.Do(orset.Op{Kind: orset.Add, E: 7}, lca, 1)
+	b, _ := impl.Do(orset.Op{Kind: orset.Add, E: 7}, lca, 2)
+	merged := impl.Merge(lca, a, b)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v, want two (7, ·) pairs", merged)
+	}
+	if merged[0].E != 7 || merged[1].E != 7 {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+func TestQuarkOrSetSatisfiesORSetSpec(t *testing.T) {
+	// Duplicates are wasteful, not wrong: the Quark OR-set still meets the
+	// add-wins specification with the unoptimized simulation relation.
+	h := &sim.Harness[orset.State, orset.Op, orset.Val]{
+		Name:  "quark-or-set",
+		Impl:  quark.OrSet{},
+		Spec:  orset.Spec,
+		Rsim:  orset.Rsim,
+		ValEq: orset.ValEq,
+		Ops: []orset.Op{
+			{Kind: orset.Read},
+			{Kind: orset.Add, E: 1},
+			{Kind: orset.Add, E: 2},
+			{Kind: orset.Remove, E: 1},
+		},
+		Probes: []orset.Op{{Kind: orset.Read}},
+	}
+	cfg := sim.Config{
+		MaxBranches:      2,
+		MaxSteps:         4,
+		RandomExecutions: 80,
+		RandomSteps:      16,
+		RandomBranches:   3,
+		Seed:             5,
+	}
+	if rep := h.Certify(cfg); rep.Err != nil {
+		t.Fatalf("Quark OR-set violates the OR-set spec: %v", rep.Err)
+	}
+}
+
+func TestQuarkQueueConcurrentDequeueAtLeastOnce(t *testing.T) {
+	// Both branches dequeue the same element; after the Quark merge it is
+	// gone (dequeue wins), matching the at-least-once semantics.
+	lca := pairs(1, 2, 3)
+	a := pairs(2, 3) // dequeued 1
+	b := pairs(2, 3) // dequeued 1 concurrently
+	got := quark.MergeQueue(lca, a, b)
+	want := pairs(2, 3)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+}
+
+// TestQuarkPeepulMergeEquivalenceQuick drives randomized diverging queue
+// workloads and asserts the two merge strategies — linear three-pointer vs
+// relational reification — produce identical queues: they implement the
+// same conflict-resolution policy at different costs, which is the premise
+// of Figure 12's comparison.
+func TestQuarkPeepulMergeEquivalenceQuick(t *testing.T) {
+	var peepul queue.Queue
+	var qk quark.Queue
+	for seed := int64(0); seed < 40; seed++ {
+		lca, a, b := bench.QueueWorkload(120, seed)
+		pm := peepul.Merge(lca, a, b).ToSlice()
+		qm := qk.Merge(lca, a, b).ToSlice()
+		if len(pm) != len(qm) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(pm), len(qm))
+		}
+		for i := range pm {
+			if pm[i] != qm[i] {
+				t.Fatalf("seed %d: element %d differs: %v vs %v", seed, i, pm[i], qm[i])
+			}
+		}
+	}
+}
+
+// TestQuarkOrSetMergeMatchesPlain checks the relationally derived OR-set
+// merge coincides with the hand-written unoptimized merge of Figure 1 on
+// random workloads.
+func TestQuarkOrSetMergeMatchesPlain(t *testing.T) {
+	var qk quark.OrSet
+	var plain orset.OrSet
+	for seed := int64(0); seed < 40; seed++ {
+		lca, a, b := bench.OrSetMergeWorkload[orset.State](plain, 150, 25, seed)
+		qm := qk.Merge(lca, a, b)
+		pm := plain.Merge(lca, a, b)
+		if len(qm) != len(pm) {
+			t.Fatalf("seed %d: sizes differ: %d vs %d", seed, len(qm), len(pm))
+		}
+		for i := range qm {
+			if qm[i] != pm[i] {
+				t.Fatalf("seed %d: pair %d differs: %v vs %v", seed, i, qm[i], pm[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package queue
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func enq(t *testing.T, s State, v int64, ts core.Timestamp) State {
+	t.Helper()
+	var impl Queue
+	next, val := impl.Do(Op{Kind: Enqueue, V: v}, s, ts)
+	if val.OK {
+		t.Fatal("enqueue must return ⊥")
+	}
+	return next
+}
+
+func deq(t *testing.T, s State) (State, Val) {
+	t.Helper()
+	var impl Queue
+	next, val := impl.Do(Op{Kind: Dequeue}, s, 0)
+	return next, val
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var impl Queue
+	s := impl.Init()
+	for i := int64(1); i <= 5; i++ {
+		s = enq(t, s, i*10, core.Timestamp(i))
+	}
+	for i := int64(1); i <= 5; i++ {
+		var v Val
+		s, v = deq(t, s)
+		if !v.OK || v.V != i*10 {
+			t.Fatalf("dequeue %d = %+v, want %d", i, v, i*10)
+		}
+	}
+	_, v := deq(t, s)
+	if v.OK {
+		t.Fatal("dequeue of empty queue must return EMPTY")
+	}
+}
+
+func TestQueuePersistence(t *testing.T) {
+	var impl Queue
+	s := impl.Init()
+	s = enq(t, s, 1, 1)
+	s = enq(t, s, 2, 2)
+	// Force a front/back rotation, then check the ancestor is intact.
+	s2, v := deq(t, s)
+	if v.V != 1 {
+		t.Fatalf("dequeue = %+v", v)
+	}
+	if got := s.ToSlice(); len(got) != 2 || got[0].V != 1 {
+		t.Fatalf("ancestor state mutated: %v", got)
+	}
+	if got := s2.ToSlice(); len(got) != 1 || got[0].V != 2 {
+		t.Fatalf("derived state wrong: %v", got)
+	}
+	_ = impl
+}
+
+func TestQueueToSliceFromSliceRoundTrip(t *testing.T) {
+	f := func(raw []int64) bool {
+		ps := make([]Pair, len(raw))
+		for i, v := range raw {
+			ps[i] = Pair{T: core.Timestamp(i + 1), V: v}
+		}
+		return slices.Equal(FromSlice(ps).ToSlice(), ps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	var impl Queue
+	s := impl.Init()
+	if s.Len() != 0 {
+		t.Fatal("empty queue length")
+	}
+	s = enq(t, s, 1, 1)
+	s = enq(t, s, 2, 2)
+	s, _ = deq(t, s)
+	s = enq(t, s, 3, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestFig11PaperExample reproduces Figure 11 exactly: LCA [1..5]; branch A
+// dequeues twice and enqueues 8, 9; branch B dequeues once and enqueues
+// 6, 7; the merge is [3,4,5,6,7,8,9].
+func TestFig11PaperExample(t *testing.T) {
+	var impl Queue
+	lca := impl.Init()
+	for i := int64(1); i <= 5; i++ {
+		lca = enq(t, lca, i, core.Timestamp(i))
+	}
+	a := lca
+	a, _ = deq(t, a)
+	a, _ = deq(t, a)
+	a = enq(t, a, 8, 8)
+	a = enq(t, a, 9, 9)
+	b := lca
+	b, _ = deq(t, b)
+	b = enq(t, b, 6, 6)
+	b = enq(t, b, 7, 7)
+
+	m := impl.Merge(lca, a, b)
+	var got []int64
+	for _, p := range m.ToSlice() {
+		got = append(got, p.V)
+	}
+	want := []int64{3, 4, 5, 6, 7, 8, 9}
+	if !slices.Equal(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+}
+
+func TestQueueMergeConcurrentDequeueOfSameElement(t *testing.T) {
+	var impl Queue
+	lca := impl.Init()
+	lca = enq(t, lca, 1, 1)
+	lca = enq(t, lca, 2, 2)
+	a, va := deq(t, lca)
+	b, vb := deq(t, lca)
+	if va.V != 1 || vb.V != 1 {
+		t.Fatal("both branches dequeue the same head (at-least-once)")
+	}
+	m := impl.Merge(lca, a, b)
+	got := m.ToSlice()
+	if len(got) != 1 || got[0].V != 2 {
+		t.Fatalf("merge = %v, want just element 2", got)
+	}
+}
+
+func TestQueueMergeBothEmptyDiffs(t *testing.T) {
+	var impl Queue
+	lca := impl.Init()
+	lca = enq(t, lca, 1, 1)
+	m := impl.Merge(lca, lca, lca)
+	if got := m.ToSlice(); len(got) != 1 || got[0].V != 1 {
+		t.Fatalf("idle merge = %v", got)
+	}
+	empty := impl.Init()
+	if got := impl.Merge(empty, empty, empty).ToSlice(); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}
+
+// randomQueueExec produces (lca, a, b) by running random enqueue/dequeue
+// sequences through Do, with globally increasing timestamps.
+func randomQueueExec(r *rand.Rand) (lca, a, b State) {
+	var impl Queue
+	ts := core.Timestamp(1)
+	step := func(s State) State {
+		if r.Intn(4) == 0 {
+			next, _ := impl.Do(Op{Kind: Dequeue}, s, ts)
+			ts++
+			return next
+		}
+		next, _ := impl.Do(Op{Kind: Enqueue, V: int64(ts)}, s, ts)
+		ts++
+		return next
+	}
+	lca = impl.Init()
+	for i, n := 0, r.Intn(8); i < n; i++ {
+		lca = step(lca)
+	}
+	a, b = lca, lca
+	for i, n := 0, r.Intn(10); i < n; i++ {
+		if r.Intn(2) == 0 {
+			a = step(a)
+		} else {
+			b = step(b)
+		}
+	}
+	return lca, a, b
+}
+
+func TestQueueMergePropertiesQuick(t *testing.T) {
+	var impl Queue
+	type tri struct{ l, a, b State }
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			l, a, b := randomQueueExec(r)
+			vals[0] = reflect.ValueOf(tri{l, a, b})
+		},
+	}
+	// Merged contents: sorted ascending by timestamp, no duplicates, and
+	// exactly (kept LCA survivors) ∪ (new in a) ∪ (new in b).
+	sound := func(x tri) bool {
+		m := impl.Merge(x.l, x.a, x.b).ToSlice()
+		for i := 1; i < len(m); i++ {
+			if m[i-1].T >= m[i].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sound, cfg); err != nil {
+		t.Error(err)
+	}
+	symmetric := func(x tri) bool {
+		return slices.Equal(
+			impl.Merge(x.l, x.a, x.b).ToSlice(),
+			impl.Merge(x.l, x.b, x.a).ToSlice(),
+		)
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Error(err)
+	}
+	selfMerge := func(x tri) bool {
+		return slices.Equal(impl.Merge(x.a, x.a, x.a).ToSlice(), x.a.ToSlice())
+	}
+	if err := quick.Check(selfMerge, cfg); err != nil {
+		t.Error(err)
+	}
+	// An element dequeued on either branch never reappears.
+	dequeuedGone := func(x tri) bool {
+		m := impl.Merge(x.l, x.a, x.b).ToSlice()
+		inA := toSet(x.a.ToSlice())
+		inB := toSet(x.b.ToSlice())
+		for _, p := range x.l.ToSlice() {
+			if !inA[p] || !inB[p] {
+				for _, q := range m {
+					if q == p {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(dequeuedGone, cfg); err != nil {
+		t.Error(err)
+	}
+	// No element is invented: everything in the merge came from a or b.
+	noInvention := func(x tri) bool {
+		inA := toSet(x.a.ToSlice())
+		inB := toSet(x.b.ToSlice())
+		for _, q := range impl.Merge(x.l, x.a, x.b).ToSlice() {
+			if !inA[q] && !inB[q] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(noInvention, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func toSet(ps []Pair) map[Pair]bool {
+	m := make(map[Pair]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}

@@ -1,0 +1,198 @@
+package queue
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// match_I (§6.2): dequeue event d matches enqueue event e when d returned
+// exactly e's element. Return values carry the enqueue timestamp, which is
+// unique, so matching is unambiguous.
+func matches(abs *core.AbstractState[Op, Val], e, d core.EventID) bool {
+	if abs.Oper(e).Kind != Enqueue || abs.Oper(d).Kind != Dequeue {
+		return false
+	}
+	rv := abs.Rval(d)
+	return rv.OK && rv.T == abs.Time(e) && rv.V == abs.Oper(e).V
+}
+
+// unmatched returns the (timestamp, value) pairs of enqueue events with no
+// matching dequeue in the visible history, sorted by enqueue timestamp.
+// Timestamp order is a linear extension of visibility (Ψ_ts), so this is
+// exactly the queue order the FIFO axioms induce.
+func unmatched(abs *core.AbstractState[Op, Val]) []Pair {
+	evs := abs.Events()
+	var out []Pair
+	for _, e := range evs {
+		if abs.Oper(e).Kind != Enqueue {
+			continue
+		}
+		consumed := false
+		for _, d := range evs {
+			if matches(abs, e, d) {
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			out = append(out, Pair{T: abs.Time(e), V: abs.Oper(e).V})
+		}
+	}
+	slices.SortFunc(out, func(a, b Pair) int {
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}
+
+// Spec is F_queue (§6.2): dequeue returns the oldest enqueued element whose
+// matching dequeue is not in the visible history (EMPTY — OK=false — when
+// every enqueue is matched). This is the unique return value for which
+// extending the history with the new dequeue event satisfies the queue
+// axioms AddRem, Empty, FIFO1 and FIFO2. Enqueue returns ⊥.
+func Spec(op Op, abs *core.AbstractState[Op, Val]) Val {
+	if op.Kind != Dequeue {
+		return Val{}
+	}
+	u := unmatched(abs)
+	if len(u) == 0 {
+		return Val{}
+	}
+	return Val{V: u[0].V, T: u[0].T, OK: true}
+}
+
+// Rsim is the simulation relation of Appendix B.1: the concrete queue
+// holds, oldest first, exactly the unmatched enqueues of the abstract
+// state, ordered by visibility (with timestamps breaking ties between
+// concurrent enqueues) — equivalently, ascending enqueue timestamp, since
+// timestamps linearize visibility.
+func Rsim(abs *core.AbstractState[Op, Val], s State) bool {
+	return slices.Equal(s.ToSlice(), unmatched(abs))
+}
+
+// Queue axioms of §6.2, as executable predicates over abstract states.
+// They are cross-checks on the specification: the harness asserts that
+// every abstract state the store produces satisfies them.
+
+// AxiomAddRem: every non-EMPTY dequeue has a matching enqueue.
+func AxiomAddRem(abs *core.AbstractState[Op, Val]) bool {
+	evs := abs.Events()
+	for _, d := range evs {
+		if abs.Oper(d).Kind != Dequeue || !abs.Rval(d).OK {
+			continue
+		}
+		found := false
+		for _, e := range evs {
+			if matches(abs, e, d) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// AxiomEmpty: a dequeue that returned EMPTY has no unmatched enqueue
+// visible to it — every enqueue it saw was already consumed by a dequeue it
+// saw.
+func AxiomEmpty(abs *core.AbstractState[Op, Val]) bool {
+	evs := abs.Events()
+	for _, d1 := range evs {
+		if abs.Oper(d1).Kind != Dequeue || abs.Rval(d1).OK {
+			continue
+		}
+		for _, e := range evs {
+			if abs.Oper(e).Kind != Enqueue || !abs.Vis(e, d1) {
+				continue
+			}
+			consumedBefore := false
+			for _, d3 := range evs {
+				if matches(abs, e, d3) && abs.Vis(d3, d1) {
+					consumedBefore = true
+					break
+				}
+			}
+			if !consumedBefore {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AxiomFIFO1: if enqueue e1 precedes an enqueue whose element has been
+// dequeued, then e1's element has been dequeued too (somewhere in the
+// history).
+func AxiomFIFO1(abs *core.AbstractState[Op, Val]) bool {
+	evs := abs.Events()
+	for _, e1 := range evs {
+		if abs.Oper(e1).Kind != Enqueue {
+			continue
+		}
+		for _, e2 := range evs {
+			if abs.Oper(e2).Kind != Enqueue || !abs.Vis(e1, e2) {
+				continue
+			}
+			e2Matched := false
+			for _, d := range evs {
+				if matches(abs, e2, d) {
+					e2Matched = true
+					break
+				}
+			}
+			if !e2Matched {
+				continue
+			}
+			e1Matched := false
+			for _, d := range evs {
+				if matches(abs, e1, d) {
+					e1Matched = true
+					break
+				}
+			}
+			if !e1Matched {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AxiomFIFO2: no crossing matches — it cannot be that e1 precedes e2, yet
+// e2's dequeue precedes e1's dequeue.
+func AxiomFIFO2(abs *core.AbstractState[Op, Val]) bool {
+	evs := abs.Events()
+	for _, e1 := range evs {
+		for _, e4 := range evs {
+			if !matches(abs, e1, e4) {
+				continue
+			}
+			for _, e2 := range evs {
+				for _, e3 := range evs {
+					if !matches(abs, e2, e3) {
+						continue
+					}
+					if abs.Vis(e1, e2) && abs.Vis(e3, e4) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Axioms checks all four queue axioms.
+func Axioms(abs *core.AbstractState[Op, Val]) bool {
+	return AxiomAddRem(abs) && AxiomEmpty(abs) && AxiomFIFO1(abs) && AxiomFIFO2(abs)
+}

@@ -1,0 +1,166 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildHistory constructs an abstract queue history from a script of
+// (op, preds) entries, returning the state over all events.
+type histOp struct {
+	op    Op
+	rval  Val
+	preds []int
+}
+
+func buildHistory(script []histOp) (*core.AbstractState[Op, Val], []core.EventID) {
+	h := core.NewHistory[Op, Val]()
+	ids := make([]core.EventID, 0, len(script))
+	for i, s := range script {
+		preds := make([]core.EventID, len(s.preds))
+		for j, p := range s.preds {
+			preds[j] = ids[p]
+		}
+		ids = append(ids, h.Append(s.op, s.rval, core.Timestamp(i+1), preds))
+	}
+	return core.StateOf(h, ids), ids
+}
+
+func TestSpecDequeueOldestUnmatched(t *testing.T) {
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},                                                // e0, t1
+		{op: Op{Kind: Enqueue, V: 20}, preds: []int{0}},                               // e1, t2
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0, 1}}, // consumed e0
+	})
+	got := Spec(Op{Kind: Dequeue}, abs)
+	if !got.OK || got.V != 20 || got.T != 2 {
+		t.Fatalf("spec dequeue = %+v, want element 20", got)
+	}
+}
+
+func TestSpecDequeueEmpty(t *testing.T) {
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0}},
+	})
+	if got := Spec(Op{Kind: Dequeue}, abs); got.OK {
+		t.Fatalf("spec dequeue = %+v, want EMPTY", got)
+	}
+	if got := Spec(Op{Kind: Enqueue, V: 1}, abs); got.OK {
+		t.Fatal("enqueue returns ⊥")
+	}
+}
+
+func TestSpecConcurrentEnqueuesOrderedByTimestamp(t *testing.T) {
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 100}}, // t1, concurrent with next
+		{op: Op{Kind: Enqueue, V: 200}}, // t2
+	})
+	got := Spec(Op{Kind: Dequeue}, abs)
+	if got.V != 100 {
+		t.Fatalf("spec dequeue = %+v; concurrent enqueues order by timestamp", got)
+	}
+}
+
+func TestRsimAcceptsFaithfulQueue(t *testing.T) {
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Enqueue, V: 20}, preds: []int{0}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0, 1}},
+	})
+	if !Rsim(abs, FromSlice([]Pair{{T: 2, V: 20}})) {
+		t.Fatal("Rsim must accept the faithful queue")
+	}
+	if Rsim(abs, FromSlice([]Pair{{T: 1, V: 10}, {T: 2, V: 20}})) {
+		t.Fatal("Rsim must reject a queue still holding the dequeued element")
+	}
+	if Rsim(abs, FromSlice(nil)) {
+		t.Fatal("Rsim must reject a queue missing an unmatched enqueue")
+	}
+}
+
+func TestAxiomsOnLegalHistory(t *testing.T) {
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Enqueue, V: 20}, preds: []int{0}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0, 1}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 20, T: 2, OK: true}, preds: []int{0, 1, 2}},
+		{op: Op{Kind: Dequeue}, rval: Val{}, preds: []int{0, 1, 2, 3}}, // EMPTY
+	})
+	if !Axioms(abs) {
+		t.Fatal("legal history must satisfy all queue axioms")
+	}
+}
+
+func TestAxiomAddRemViolation(t *testing.T) {
+	// A dequeue returning an element nobody enqueued.
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Dequeue}, rval: Val{V: 99, T: 42, OK: true}},
+	})
+	if AxiomAddRem(abs) {
+		t.Fatal("AddRem must reject a dequeue with no matching enqueue")
+	}
+}
+
+func TestAxiomEmptyViolation(t *testing.T) {
+	// A dequeue returns EMPTY although it saw an unconsumed enqueue.
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Dequeue}, rval: Val{}, preds: []int{0}},
+	})
+	if AxiomEmpty(abs) {
+		t.Fatal("Empty must reject EMPTY with a visible unmatched enqueue")
+	}
+}
+
+func TestAxiomEmptyAllowsConcurrentEnqueue(t *testing.T) {
+	// The enqueue was concurrent with the EMPTY dequeue — not visible — so
+	// the axiom holds.
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Dequeue}, rval: Val{}}, // no preds: concurrent
+	})
+	if !AxiomEmpty(abs) {
+		t.Fatal("Empty must allow an EMPTY dequeue concurrent with the enqueue")
+	}
+}
+
+func TestAxiomFIFO1Violation(t *testing.T) {
+	// e1 → e2 causally, e2's element consumed, e1's never: skipping the
+	// queue order.
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},                  // e0
+		{op: Op{Kind: Enqueue, V: 20}, preds: []int{0}}, // e1 sees e0
+		{op: Op{Kind: Dequeue}, rval: Val{V: 20, T: 2, OK: true}, preds: []int{0, 1}},
+	})
+	if AxiomFIFO1(abs) {
+		t.Fatal("FIFO1 must reject consuming a later enqueue while an earlier one is unmatched")
+	}
+}
+
+func TestAxiomFIFO2Violation(t *testing.T) {
+	// Crossing matches: e0 → e1 but e1's dequeue precedes e0's dequeue.
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},                                                   // e0
+		{op: Op{Kind: Enqueue, V: 20}, preds: []int{0}},                                  // e1
+		{op: Op{Kind: Dequeue}, rval: Val{V: 20, T: 2, OK: true}, preds: []int{0, 1}},    // d(e1)
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0, 1, 2}}, // d(e0) after
+	})
+	if AxiomFIFO2(abs) {
+		t.Fatal("FIFO2 must reject crossing matches")
+	}
+}
+
+func TestAtLeastOnceDequeueAllowedByAxioms(t *testing.T) {
+	// Two concurrent dequeues of the same element: allowed for the
+	// replicated queue (no injectivity axiom).
+	abs, _ := buildHistory([]histOp{
+		{op: Op{Kind: Enqueue, V: 10}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0}},
+		{op: Op{Kind: Dequeue}, rval: Val{V: 10, T: 1, OK: true}, preds: []int{0}},
+	})
+	if !Axioms(abs) {
+		t.Fatal("at-least-once dequeues must satisfy the replicated queue axioms")
+	}
+}

@@ -1,0 +1,333 @@
+// Package replica is the network replication layer: it runs an MRDT on
+// geo-distributed nodes that exchange their commit histories peer-to-peer
+// over TCP — the deployment model of the paper's system (Irmin replicas
+// synchronizing Git-style, §1, §7).
+//
+// Each node embeds a full versioned store (internal/store). A sync ships
+// the whole commit DAG of the sender's branch; the receiver imports it
+// under a tracking branch (content addressing deduplicates commits both
+// sides already share) and performs a store Pull, whose DAG-based lowest
+// common ancestor is correct even when history reached a node indirectly
+// through third parties — ring and mesh gossip topologies converge, which
+// per-pair state exchange cannot achieve. The store's Ψ_lca soundness
+// discipline applies verbatim: unsound merges are refused, fast-forwards
+// adopt commits.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Protocol constants.
+const (
+	msgSyncRequest  = byte(1)
+	msgSyncResponse = byte(2)
+	msgError        = byte(3)
+
+	// maxPayload bounds a single history transfer (64 MiB).
+	maxPayload = 64 << 20
+)
+
+// ErrProtocol is wrapped by all protocol-level failures.
+var ErrProtocol = errors.New("replica: protocol error")
+
+// Node is one replica of an MRDT object. It is safe for concurrent use.
+type Node[S, Op, Val any] struct {
+	name  string
+	store *store.Store[S, Op, Val]
+	codec wire.Codec[S]
+
+	syncMu sync.Mutex // serializes sync exchanges on this node
+
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// MaxReplicaID is the largest node id; each node reserves a block of 64
+// branch-clock replica ids so that timestamps are unique fleet-wide.
+const MaxReplicaID = 1023
+
+// NewNode creates a replica named name with fleet-unique id replicaID.
+// Node names double as branch names in the embedded store and as peer
+// identities on the wire; names and ids must be unique across the fleet.
+func NewNode[S, Op, Val any](name string, replicaID int, impl core.MRDT[S, Op, Val], codec wire.Codec[S]) (*Node[S, Op, Val], error) {
+	if replicaID < 0 || replicaID > MaxReplicaID {
+		return nil, fmt.Errorf("replica: id %d out of range [0, %d]", replicaID, MaxReplicaID)
+	}
+	return &Node[S, Op, Val]{
+		name:   name,
+		store:  store.NewAt[S, Op, Val](impl, codec, name, replicaID*64),
+		codec:  codec,
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Name returns the node's name.
+func (n *Node[S, Op, Val]) Name() string { return n.name }
+
+// Store exposes the embedded versioned store (read-mostly; the node's own
+// branch carries its state).
+func (n *Node[S, Op, Val]) Store() *store.Store[S, Op, Val] { return n.store }
+
+// Do applies an operation locally with a fresh timestamp.
+func (n *Node[S, Op, Val]) Do(op Op) (Val, error) {
+	return n.store.Apply(n.name, op)
+}
+
+// State returns the current local state.
+func (n *Node[S, Op, Val]) State() (S, error) {
+	return n.store.Head(n.name)
+}
+
+// Listen starts serving sync requests on addr ("127.0.0.1:0" picks a free
+// port). The chosen address is available from Addr.
+func (n *Node[S, Op, Val]) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.serve()
+	return nil
+}
+
+// Addr returns the listening address, or "" before Listen.
+func (n *Node[S, Op, Val]) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Close stops serving and waits for in-flight handlers.
+func (n *Node[S, Op, Val]) Close() error {
+	close(n.closed)
+	var err error
+	if n.ln != nil {
+		err = n.ln.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node[S, Op, Val]) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.handle(conn)
+		}()
+	}
+}
+
+// handle serves one sync: import the client's history, merge it into the
+// local branch, reply with the merged history.
+func (n *Node[S, Op, Val]) handle(conn net.Conn) {
+	kind, fields, err := readMsg(conn, 2)
+	if err != nil || kind != msgSyncRequest {
+		writeMsg(conn, msgError, []byte("bad request"))
+		return
+	}
+	peer := string(fields[0])
+	commits, head, err := decodeExport(fields[1])
+	if err != nil {
+		writeMsg(conn, msgError, []byte(err.Error()))
+		return
+	}
+
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	if err := n.integrate(peer, commits, head); err != nil {
+		writeMsg(conn, msgError, []byte(err.Error()))
+		return
+	}
+	reply, replyHead, err := n.store.Export(n.name)
+	if err != nil {
+		writeMsg(conn, msgError, []byte(err.Error()))
+		return
+	}
+	writeMsg(conn, msgSyncResponse, encodeExport(reply, replyHead))
+}
+
+// integrate installs a peer's history under its tracking branch and pulls
+// it into the local branch.
+func (n *Node[S, Op, Val]) integrate(peer string, commits []store.ExportedCommit, head store.Hash) error {
+	if err := n.store.Import("remote/"+peer, commits, head, n.codec); err != nil {
+		return err
+	}
+	return n.store.Pull(n.name, "remote/"+peer)
+}
+
+// SyncWith synchronizes this node with the peer listening at addr: the
+// peer merges this node's history into its branch, and this node then
+// merges the peer's reply (usually a fast-forward, since the reply already
+// contains everything local). After a successful exchange both nodes'
+// branches hold equal states.
+func (n *Node[S, Op, Val]) SyncWith(addr string) error {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+
+	commits, head, err := n.store.Export(n.name)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, msgSyncRequest, []byte(n.name), encodeExport(commits, head)); err != nil {
+		return err
+	}
+	kind, fields, err := readMsg(conn, 1)
+	if err != nil {
+		return err
+	}
+	if kind == msgError {
+		return fmt.Errorf("%w: peer: %s", ErrProtocol, string(fields[0]))
+	}
+	if kind != msgSyncResponse {
+		return fmt.Errorf("%w: unexpected message kind %d", ErrProtocol, kind)
+	}
+	peerCommits, peerHead, err := decodeExport(fields[0])
+	if err != nil {
+		return err
+	}
+	return n.integrate("peer@"+addr, peerCommits, peerHead)
+}
+
+// encodeExport frames a commit history for transfer.
+func encodeExport(commits []store.ExportedCommit, head store.Hash) []byte {
+	var w wire.Writer
+	w.PutLen(len(commits))
+	for _, c := range commits {
+		w.PutLen(len(c.Parents))
+		for _, p := range c.Parents {
+			w.PutString(string(p[:]))
+		}
+		w.PutString(string(c.State))
+		w.PutInt64(int64(c.Gen))
+		w.PutTimestamp(c.Time)
+	}
+	w.PutString(string(head[:]))
+	return w.Bytes()
+}
+
+// decodeExport parses a framed commit history.
+func decodeExport(b []byte) ([]store.ExportedCommit, store.Hash, error) {
+	r := wire.NewReader(b)
+	n := r.Len(1)
+	commits := make([]store.ExportedCommit, 0, n)
+	for i := 0; i < n; i++ {
+		np := r.Len(1)
+		parents := make([]store.Hash, 0, np)
+		for j := 0; j < np; j++ {
+			h, err := toHash(r.String())
+			if err != nil {
+				return nil, store.Hash{}, err
+			}
+			parents = append(parents, h)
+		}
+		commits = append(commits, store.ExportedCommit{
+			Parents: parents,
+			State:   []byte(r.String()),
+			Gen:     int(r.Int64()),
+			Time:    r.Timestamp(),
+		})
+	}
+	head, err := toHash(r.String())
+	if err != nil {
+		return nil, store.Hash{}, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, store.Hash{}, err
+	}
+	return commits, head, nil
+}
+
+func toHash(s string) (store.Hash, error) {
+	var h store.Hash
+	if len(s) != len(h) {
+		return h, fmt.Errorf("%w: bad hash length %d", ErrProtocol, len(s))
+	}
+	copy(h[:], s)
+	return h, nil
+}
+
+// writeMsg frames a message: kind byte, field count, then length-prefixed
+// fields.
+func writeMsg(w io.Writer, kind byte, fields ...[]byte) error {
+	var hdr []byte
+	hdr = append(hdr, kind)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(fields)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		var lp [4]byte
+		binary.BigEndian.PutUint32(lp[:], uint32(len(f)))
+		if _, err := w.Write(lp[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMsg reads one framed message, expecting exactly wantFields fields
+// for non-error kinds (error messages carry one field).
+func readMsg(r io.Reader, wantFields int) (byte, [][]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	kind := hdr[0]
+	count := int(binary.BigEndian.Uint32(hdr[1:]))
+	if kind == msgError {
+		wantFields = 1
+	}
+	if count != wantFields {
+		return 0, nil, fmt.Errorf("%w: got %d fields, want %d", ErrProtocol, count, wantFields)
+	}
+	fields := make([][]byte, count)
+	for i := range fields {
+		var lp [4]byte
+		if _, err := io.ReadFull(r, lp[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		size := binary.BigEndian.Uint32(lp[:])
+		if size > maxPayload {
+			return 0, nil, fmt.Errorf("%w: payload %d exceeds limit", ErrProtocol, size)
+		}
+		fields[i] = make([]byte, size)
+		if _, err := io.ReadFull(r, fields[i]); err != nil {
+			return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+	}
+	return kind, fields, nil
+}

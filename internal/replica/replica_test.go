@@ -1,0 +1,283 @@
+package replica_test
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/orset"
+	"repro/internal/queue"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+type counterNode = replica.Node[counter.PNState, counter.Op, counter.Val]
+
+func newCounterNode(t *testing.T, name string, id int) *counterNode {
+	t.Helper()
+	n, err := replica.NewNode[counter.PNState, counter.Op, counter.Val](name, id, counter.PNCounter{}, wire.PNCounter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func inc(t *testing.T, n *counterNode, amount int64) {
+	t.Helper()
+	if _, err := n.Do(counter.Op{Kind: counter.Inc, N: amount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(t *testing.T, n *counterNode) int64 {
+	t.Helper()
+	v, err := n.Do(counter.Op{Kind: counter.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestTwoNodesConverge(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	inc(t, a, 10)
+	inc(t, b, 5)
+	if _, err := b.Do(counter.Op{Kind: counter.Dec, N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if av, bv := read(t, a), read(t, b); av != 13 || bv != 13 {
+		t.Fatalf("a=%d b=%d, want 13", av, bv)
+	}
+}
+
+func TestRepeatedRounds(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	total := int64(0)
+	for round := 0; round < 5; round++ {
+		inc(t, a, 1)
+		inc(t, b, 2)
+		total += 3
+		if err := a.SyncWith(b.Addr()); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if av := read(t, a); av != total {
+			t.Fatalf("round %d: a=%d, want %d", round, av, total)
+		}
+		if bv := read(t, b); bv != total {
+			t.Fatalf("round %d: b=%d, want %d", round, bv, total)
+		}
+	}
+}
+
+// TestRingGossipConverges is the test that motivated shipping commit DAGs
+// instead of bare states: with per-pair merge bases, history arriving
+// indirectly (eu's updates reaching eu again via us and ap) is
+// double-counted; with the DAG, the store's LCA sees through third
+// parties and the ring converges exactly.
+func TestRingGossipConverges(t *testing.T) {
+	eu := newCounterNode(t, "eu", 1)
+	us := newCounterNode(t, "us", 2)
+	ap := newCounterNode(t, "ap", 3)
+	inc(t, eu, 1)
+	inc(t, us, 10)
+	inc(t, ap, 100)
+	for round := 0; round < 3; round++ {
+		if err := eu.SyncWith(us.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := us.SyncWith(ap.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ap.SyncWith(eu.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []*counterNode{eu, us, ap} {
+		if v := read(t, n); v != 111 {
+			t.Fatalf("%s = %d, want 111 (no double counting around the ring)", n.Name(), v)
+		}
+	}
+}
+
+func TestORSetAddWinsOverTheWire(t *testing.T) {
+	mk := func(name string, id int) *replica.Node[orset.SpaceState, orset.Op, orset.Val] {
+		n, err := replica.NewNode[orset.SpaceState, orset.Op, orset.Val](name, id, orset.OrSetSpace{}, wire.OrSetSpace{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	phone := mk("phone", 1)
+	laptop := mk("laptop", 2)
+	phone.Do(orset.Op{Kind: orset.Add, E: 7})
+	if err := phone.SyncWith(laptop.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent: laptop removes, phone re-adds.
+	laptop.Do(orset.Op{Kind: orset.Remove, E: 7})
+	phone.Do(orset.Op{Kind: orset.Add, E: 7})
+	if err := phone.SyncWith(laptop.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := phone.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
+		t.Fatal("phone: add must win")
+	}
+	if v, _ := laptop.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
+		t.Fatal("laptop: add must win")
+	}
+}
+
+func TestQueueWorkersOverTheWire(t *testing.T) {
+	mk := func(name string, id int) *replica.Node[queue.State, queue.Op, queue.Val] {
+		n, err := replica.NewNode[queue.State, queue.Op, queue.Val](name, id, queue.Queue{}, wire.Queue{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	producer := mk("producer", 1)
+	worker := mk("worker", 2)
+	for i := int64(1); i <= 4; i++ {
+		producer.Do(queue.Op{Kind: queue.Enqueue, V: i})
+	}
+	if err := worker.SyncWith(producer.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Both consume the head concurrently: at-least-once.
+	v1, _ := producer.Do(queue.Op{Kind: queue.Dequeue})
+	v2, _ := worker.Do(queue.Op{Kind: queue.Dequeue})
+	if !v1.OK || !v2.OK || v1.V != 1 || v2.V != 1 {
+		t.Fatalf("heads: %+v %+v", v1, v2)
+	}
+	if err := worker.SyncWith(producer.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := worker.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remaining []int64
+	for _, p := range st.ToSlice() {
+		remaining = append(remaining, p.V)
+	}
+	if !slices.Equal(remaining, []int64{2, 3, 4}) {
+		t.Fatalf("remaining = %v, want [2 3 4]", remaining)
+	}
+}
+
+func TestManyNodesStarTopology(t *testing.T) {
+	const spokes = 4
+	hub := newCounterNode(t, "hub", 100)
+	var nodes []*counterNode
+	for i := 0; i < spokes; i++ {
+		nodes = append(nodes, newCounterNode(t, fmt.Sprintf("spoke%d", i), i+1))
+	}
+	var want int64
+	for i, n := range nodes {
+		inc(t, n, int64(i+1))
+		want += int64(i + 1)
+	}
+	// Two gossip rounds through the hub spread everything everywhere.
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			if err := n.SyncWith(hub.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if hv := read(t, hub); hv != want {
+		t.Fatalf("hub = %d, want %d", hv, want)
+	}
+	for i, n := range nodes {
+		if v := read(t, n); v != want {
+			t.Fatalf("spoke%d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestConcurrentOpsDuringGossip(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			inc(t, a, 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			inc(t, b, 1)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if err := a.SyncWith(b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if v := read(t, a); v != 100 {
+		t.Fatalf("converged = %d, want 100", v)
+	}
+	if v := read(t, b); v != 100 {
+		t.Fatalf("converged = %d, want 100", v)
+	}
+}
+
+func TestSyncWithUnreachablePeer(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	if err := a.SyncWith("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to unreachable peer must fail")
+	}
+}
+
+func TestNewNodeValidatesID(t *testing.T) {
+	if _, err := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", -1, counter.PNCounter{}, wire.PNCounter{}); err == nil {
+		t.Fatal("negative replica id accepted")
+	}
+	if _, err := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", replica.MaxReplicaID+1, counter.PNCounter{}, wire.PNCounter{}); err == nil {
+		t.Fatal("oversized replica id accepted")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	if a.Name() != "a" {
+		t.Fatal("Name")
+	}
+	if a.Addr() == "" {
+		t.Fatal("Addr must be set after Listen")
+	}
+	if a.Store() == nil {
+		t.Fatal("Store accessor")
+	}
+	n, _ := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", 9, counter.PNCounter{}, wire.PNCounter{})
+	if n.Addr() != "" {
+		t.Fatal("Addr before Listen must be empty")
+	}
+	n.Close()
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// runner drives one certification run, accumulating counters and the
+// current action trace for failure reports.
+type runner[S, Op, Val any] struct {
+	h     *Harness[S, Op, Val]
+	rep   *Report
+	trace []string
+}
+
+func (r *runner[S, Op, Val]) fail(obligation, format string, args ...any) error {
+	trace := make([]string, len(r.trace))
+	copy(trace, r.trace)
+	return &Failure{Obligation: obligation, Trace: trace, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (r *runner[S, Op, Val]) probes() []Op {
+	if r.h.Probes != nil {
+		return r.h.Probes
+	}
+	return r.h.Ops
+}
+
+// stepDo performs Do(b, op) on the LTS, checking Φ_do and Φ_spec around it.
+func (r *runner[S, Op, Val]) stepDo(l *core.LTS[S, Op, Val], b core.BranchID, op Op) error {
+	r.trace = append(r.trace, fmt.Sprintf("do(b%d, %+v)", b, op))
+	pre, err := l.Abstract(b)
+	if err != nil {
+		return err
+	}
+	preConc, err := l.Concrete(b)
+	if err != nil {
+		return err
+	}
+	pre = pre.Clone() // snapshot: the LTS mutates nothing, but be explicit
+
+	// Premises: the inductive hypothesis R_sim(I, σ) and the store
+	// guarantee Ψ_ts(I).
+	r.rep.Obligations++
+	if !r.h.Rsim(pre, preConc) {
+		return r.fail("Rsim-pre(do)", "simulation relation does not hold before do")
+	}
+	r.rep.Obligations++
+	if !core.PsiTS(pre) {
+		return r.fail("Ψ_ts(do)", "store produced an abstract state violating Ψ_ts")
+	}
+
+	rval, _, err := l.Do(b, op)
+	if err != nil {
+		return err
+	}
+	post, _ := l.Abstract(b)
+	postConc, _ := l.Concrete(b)
+
+	// Φ_spec: the implementation's return value matches F_τ on the
+	// pre-state abstract state (Definition 3.2).
+	r.rep.Obligations++
+	if want := r.h.Spec(op, pre); !r.h.ValEq(rval, want) {
+		return r.fail("Φ_spec", "op %+v returned %+v, specification requires %+v", op, rval, want)
+	}
+	// Φ_do: R_sim is re-established on the post states.
+	r.rep.Obligations++
+	if !r.h.Rsim(post, postConc) {
+		return r.fail("Φ_do", "simulation relation broken by op %+v", op)
+	}
+	return r.checkInvariant(post)
+}
+
+// stepFork performs CreateBranch(src); the new branch copies both states,
+// so R_sim transfers — checked anyway.
+func (r *runner[S, Op, Val]) stepFork(l *core.LTS[S, Op, Val], src core.BranchID) error {
+	r.trace = append(r.trace, fmt.Sprintf("fork(b%d)", src))
+	nb, err := l.CreateBranch(src)
+	if err != nil {
+		return err
+	}
+	abs, _ := l.Abstract(nb)
+	conc, _ := l.Concrete(nb)
+	r.rep.Obligations++
+	if !r.h.Rsim(abs, conc) {
+		return r.fail("Rsim(fork)", "simulation relation broken by branch creation")
+	}
+	return nil
+}
+
+// stepMerge performs Merge(dst, src), checking the premises and conclusion
+// of Φ_merge.
+func (r *runner[S, Op, Val]) stepMerge(l *core.LTS[S, Op, Val], dst, src core.BranchID) error {
+	r.trace = append(r.trace, fmt.Sprintf("merge(b%d <- b%d)", dst, src))
+	ia, err := l.Abstract(dst)
+	if err != nil {
+		return err
+	}
+	ib, err := l.Abstract(src)
+	if err != nil {
+		return err
+	}
+	ia, ib = ia.Clone(), ib.Clone()
+	sa, _ := l.Concrete(dst)
+	sb, _ := l.Concrete(src)
+	lcaAbs, lcaConc, err := l.LCAOf(dst, src)
+	if err != nil {
+		return err
+	}
+	lcaAbs = lcaAbs.Clone()
+
+	// Premises of Φ_merge: R_sim on both branches and on the LCA, Ψ_ts of
+	// the merged abstract state, Ψ_lca of the LCA.
+	r.rep.Obligations++
+	if !r.h.Rsim(ia, sa) || !r.h.Rsim(ib, sb) {
+		return r.fail("Rsim-pre(merge)", "simulation relation does not hold on a branch before merge")
+	}
+	r.rep.Obligations++
+	if !r.h.Rsim(lcaAbs, lcaConc) {
+		return r.fail("Rsim-lca(merge)", "simulation relation does not hold on the LCA")
+	}
+	r.rep.Obligations++
+	if !lcaAbs.SameEvents(ia.LCAAbs(ib)) {
+		return r.fail("lca#", "store LCA's event set differs from lca#")
+	}
+	r.rep.Obligations++
+	if !core.PsiLCA(lcaAbs, ia, ib) {
+		return r.fail("Ψ_lca", "store produced an LCA violating Ψ_lca")
+	}
+	mergedAbs := ia.MergeAbs(ib)
+	r.rep.Obligations++
+	if !core.PsiTS(mergedAbs) {
+		return r.fail("Ψ_ts(merge)", "merged abstract state violates Ψ_ts")
+	}
+
+	if err := l.Merge(dst, src); err != nil {
+		return err
+	}
+	post, _ := l.Abstract(dst)
+	postConc, _ := l.Concrete(dst)
+
+	// Conclusion of Φ_merge.
+	r.rep.Obligations++
+	if !r.h.Rsim(post, postConc) {
+		return r.fail("Φ_merge", "simulation relation broken by merge")
+	}
+	return r.checkInvariant(post)
+}
+
+// checkCon checks Φ_con / convergence modulo observable behaviour
+// (Definition 3.5) across every pair of branches: equal abstract states
+// must yield observationally equivalent concrete states.
+func (r *runner[S, Op, Val]) checkCon(l *core.LTS[S, Op, Val]) error {
+	branches := l.Branches()
+	for i := 0; i < len(branches); i++ {
+		for j := i + 1; j < len(branches); j++ {
+			ai, _ := l.Abstract(branches[i])
+			aj, _ := l.Abstract(branches[j])
+			if !ai.SameEvents(aj) {
+				continue
+			}
+			ci, _ := l.Concrete(branches[i])
+			cj, _ := l.Concrete(branches[j])
+			r.rep.Obligations++
+			if !core.ObsEquiv(r.h.Impl, r.probes(), r.h.ValEq, ci, cj, l.Clock()) {
+				return r.fail("Φ_con", "branches b%d and b%d share an abstract state but are distinguishable", branches[i], branches[j])
+			}
+		}
+	}
+	return nil
+}
+
+// checkVirtualConvergence covers Φ_con on genuinely different merge
+// histories without mutating the LTS: for every pair of branches whose
+// merge is enabled in both directions, it computes the three-way merge
+// with both argument orders. Both results correspond to the same abstract
+// state (merge# is a set union), so they must satisfy R_sim against it and
+// be observationally equivalent — this is exactly the situation of two
+// replicas converging to the same history through different merges, the
+// paper's motivation for convergence modulo observable behaviour
+// (Definition 3.5: e.g. the two OR-set-spacetime trees may balance
+// differently yet must read identically).
+func (r *runner[S, Op, Val]) checkVirtualConvergence(l *core.LTS[S, Op, Val]) error {
+	branches := l.Branches()
+	for i := 0; i < len(branches); i++ {
+		for j := i + 1; j < len(branches); j++ {
+			x, y := branches[i], branches[j]
+			if !r.mergeEnabled(l, x, y) || !r.mergeEnabled(l, y, x) {
+				continue
+			}
+			_, lcaConc, err := l.LCAOf(x, y)
+			if err != nil {
+				continue
+			}
+			ax, _ := l.Abstract(x)
+			ay, _ := l.Abstract(y)
+			cx, _ := l.Concrete(x)
+			cy, _ := l.Concrete(y)
+			merged := ax.MergeAbs(ay)
+			m1 := l.Impl().Merge(lcaConc, cx, cy)
+			m2 := l.Impl().Merge(lcaConc, cy, cx)
+			r.rep.Obligations += 3
+			if !r.h.Rsim(merged, m1) {
+				return r.fail("Φ_merge", "simulation relation broken by virtual merge b%d<-b%d", x, y)
+			}
+			if !r.h.Rsim(merged, m2) {
+				return r.fail("Φ_merge", "simulation relation broken by virtual merge b%d<-b%d", y, x)
+			}
+			if !core.ObsEquiv(r.h.Impl, r.probes(), r.h.ValEq, m1, m2, l.Clock()) {
+				return r.fail("Φ_con", "merges of b%d and b%d in opposite orders are distinguishable", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner[S, Op, Val]) checkInvariant(abs *core.AbstractState[Op, Val]) error {
+	if r.h.Invariant == nil {
+		return nil
+	}
+	r.rep.Obligations++
+	if !r.h.Invariant(abs) {
+		return r.fail("invariant", "data-type invariant violated on abstract state")
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Certify explores the store LTS for the harness's data type and checks
+// every proof obligation at every transition. It returns a report whose
+// Err is nil iff all obligations held on all explored executions.
+//
+// Exploration stays within the paper's verified envelope: merge
+// transitions are taken only when the store property Ψ_lca holds for the
+// pair of branches, because Ψ_lca is a premise of the Φ_merge obligation
+// (Table 2). Merges outside the envelope are the store's responsibility
+// to avoid (see internal/store), not the data type's to survive.
+func (h *Harness[S, Op, Val]) Certify(cfg Config) Report {
+	start := time.Now()
+	rep := Report{Name: h.Name}
+	r := &runner[S, Op, Val]{h: h, rep: &rep}
+
+	l := core.NewLTS(h.Impl)
+	err := r.dfs(l, cfg.MaxSteps, cfg.MaxBranches)
+	if err == nil {
+		err = r.random(cfg)
+	}
+	rep.Duration = time.Since(start)
+	rep.Err = err
+	return rep
+}
+
+// action is one LTS transition choice during exploration.
+type action[Op any] struct {
+	kind   int // 0 = do, 1 = fork, 2 = merge
+	branch core.BranchID
+	src    core.BranchID
+	op     Op
+}
+
+// enabled enumerates the transitions available from the current LTS state.
+// Merges are offered only when the LCA version exists, the branches'
+// abstract states differ (a merge of identical states adds nothing), and
+// Ψ_lca holds.
+func (r *runner[S, Op, Val]) enabled(l *core.LTS[S, Op, Val], maxBranches int) []action[Op] {
+	var out []action[Op]
+	branches := l.Branches()
+	for _, b := range branches {
+		for _, op := range r.h.Ops {
+			out = append(out, action[Op]{kind: 0, branch: b, op: op})
+		}
+	}
+	if len(branches) < maxBranches {
+		for _, b := range branches {
+			out = append(out, action[Op]{kind: 1, branch: b})
+		}
+	}
+	for _, d := range branches {
+		for _, s := range branches {
+			if d == s || !r.mergeEnabled(l, d, s) {
+				continue
+			}
+			out = append(out, action[Op]{kind: 2, branch: d, src: s})
+		}
+	}
+	return out
+}
+
+func (r *runner[S, Op, Val]) mergeEnabled(l *core.LTS[S, Op, Val], dst, src core.BranchID) bool {
+	if !l.CanMerge(dst, src) || !l.PsiLCASound(dst, src) {
+		return false
+	}
+	ad, _ := l.Abstract(dst)
+	as, _ := l.Abstract(src)
+	return !ad.SameEvents(as)
+}
+
+func (r *runner[S, Op, Val]) apply(l *core.LTS[S, Op, Val], a action[Op]) error {
+	var err error
+	switch a.kind {
+	case 0:
+		err = r.stepDo(l, a.branch, a.op)
+	case 1:
+		err = r.stepFork(l, a.branch)
+	default:
+		err = r.stepMerge(l, a.branch, a.src)
+	}
+	r.rep.Transitions++
+	if err != nil {
+		return err
+	}
+	if err := r.checkCon(l); err != nil {
+		return err
+	}
+	return r.checkVirtualConvergence(l)
+}
+
+// dfs exhaustively explores every execution of at most stepsLeft further
+// transitions, cloning the LTS at each choice point.
+func (r *runner[S, Op, Val]) dfs(l *core.LTS[S, Op, Val], stepsLeft, maxBranches int) error {
+	if stepsLeft == 0 {
+		r.rep.Executions++
+		return nil
+	}
+	for _, a := range r.enabled(l, maxBranches) {
+		l2 := l.Clone()
+		depth := len(r.trace)
+		if err := r.apply(l2, a); err != nil {
+			return err
+		}
+		if err := r.dfs(l2, stepsLeft-1, maxBranches); err != nil {
+			return err
+		}
+		r.trace = r.trace[:depth]
+	}
+	return nil
+}
+
+// random runs cfg.RandomExecutions seeded random walks: operations on
+// random branches (~65% of steps), forks while below the branch bound
+// (~15%), and Ψ_lca-sound merges between divergent branches (~20%).
+// Virtual convergence checks after every step cover Φ_con on both merge
+// argument orders without growing the branch set.
+func (r *runner[S, Op, Val]) random(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for exec := 0; exec < cfg.RandomExecutions; exec++ {
+		l := core.NewLTS(r.h.Impl)
+		r.trace = r.trace[:0]
+		for step := 0; step < cfg.RandomSteps; step++ {
+			if err := r.randomStep(l, rng, cfg); err != nil {
+				return err
+			}
+		}
+		r.rep.Executions++
+	}
+	return nil
+}
+
+func (r *runner[S, Op, Val]) randomStep(l *core.LTS[S, Op, Val], rng *rand.Rand, cfg Config) error {
+	branches := l.Branches()
+	b := branches[rng.Intn(len(branches))]
+	roll := rng.Intn(100)
+	doOp := func() error {
+		op := r.h.Ops[rng.Intn(len(r.h.Ops))]
+		return r.stepDo(l, b, op)
+	}
+	var err error
+	switch {
+	case roll < 65:
+		err = doOp()
+	case roll < 80 && len(branches) < cfg.RandomBranches:
+		err = r.stepFork(l, b)
+	case len(branches) > 1:
+		d := branches[rng.Intn(len(branches))]
+		if d != b && r.mergeEnabled(l, d, b) {
+			err = r.stepMerge(l, d, b)
+		} else {
+			err = doOp()
+		}
+	default:
+		err = doOp()
+	}
+	r.rep.Transitions++
+	if err != nil {
+		return err
+	}
+	if err := r.checkCon(l); err != nil {
+		return err
+	}
+	return r.checkVirtualConvergence(l)
+}

@@ -1,0 +1,231 @@
+package sim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/ewflag"
+	"repro/internal/orset"
+	"repro/internal/sim"
+)
+
+// A certification harness that never rejects anything is worthless, so
+// these tests plant known-incorrect implementations and require the
+// harness to flag them with the right obligation.
+
+func smallCfg() sim.Config {
+	return sim.Config{
+		MaxBranches:      2,
+		MaxSteps:         4,
+		RandomExecutions: 100,
+		RandomSteps:      20,
+		RandomBranches:   3,
+		Seed:             3,
+	}
+}
+
+func mustFail(t *testing.T, rep sim.Report, obligation string) {
+	t.Helper()
+	if rep.Err == nil {
+		t.Fatalf("%s: harness accepted a buggy implementation", rep.Name)
+	}
+	var f *sim.Failure
+	if !errors.As(rep.Err, &f) {
+		t.Fatalf("%s: unexpected error type: %v", rep.Name, rep.Err)
+	}
+	if !strings.Contains(f.Obligation, obligation) {
+		t.Fatalf("%s: violated %q, expected %q (detail: %s)", rep.Name, f.Obligation, obligation, f.Detail)
+	}
+}
+
+// doubleCountingCounter merges with a + b, forgetting to subtract the LCA:
+// increments before the fork are counted twice.
+type doubleCountingCounter struct{ counter.IncCounter }
+
+func (doubleCountingCounter) Merge(_, a, b int64) int64 { return a + b }
+
+func TestHarnessCatchesDoubleCountingMerge(t *testing.T) {
+	h := &sim.Harness[int64, counter.Op, counter.Val]{
+		Name:  "buggy-counter",
+		Impl:  doubleCountingCounter{},
+		Spec:  counter.IncSpec,
+		Rsim:  counter.IncRsim,
+		ValEq: counter.ValEq,
+		Ops:   []counter.Op{{Kind: counter.Read}, {Kind: counter.Inc, N: 1}},
+	}
+	mustFail(t, h.Certify(smallCfg()), "Φ_merge")
+}
+
+// offByOneCounter returns s+1 from reads.
+type offByOneCounter struct{ counter.IncCounter }
+
+func (offByOneCounter) Do(op counter.Op, s int64, t core.Timestamp) (int64, counter.Val) {
+	next, v := (counter.IncCounter{}).Do(op, s, t)
+	if op.Kind == counter.Read {
+		return next, v + 1
+	}
+	return next, v
+}
+
+func TestHarnessCatchesWrongReturnValue(t *testing.T) {
+	h := &sim.Harness[int64, counter.Op, counter.Val]{
+		Name:  "off-by-one-counter",
+		Impl:  offByOneCounter{},
+		Spec:  counter.IncSpec,
+		Rsim:  counter.IncRsim,
+		ValEq: counter.ValEq,
+		Ops:   []counter.Op{{Kind: counter.Read}, {Kind: counter.Inc, N: 1}},
+	}
+	mustFail(t, h.Certify(smallCfg()), "Φ_spec")
+}
+
+// removeWinsSet merges like the OR-set but lets a remove win against a
+// concurrent add: it drops any element of a branch diff that the other
+// branch does not also carry — violating the add-wins specification.
+type removeWinsSet struct{ orset.OrSet }
+
+func (removeWinsSet) Merge(lca, a, b orset.State) orset.State {
+	var out orset.State
+	for _, p := range a {
+		inB := false
+		for _, q := range b {
+			if p == q {
+				inB = true
+				break
+			}
+		}
+		if inB {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestHarnessCatchesRemoveWinsMerge(t *testing.T) {
+	h := &sim.Harness[orset.State, orset.Op, orset.Val]{
+		Name:  "remove-wins-set",
+		Impl:  removeWinsSet{},
+		Spec:  orset.Spec,
+		Rsim:  orset.Rsim,
+		ValEq: orset.ValEq,
+		Ops: []orset.Op{
+			{Kind: orset.Read},
+			{Kind: orset.Add, E: 1},
+			{Kind: orset.Remove, E: 1},
+		},
+	}
+	mustFail(t, h.Certify(smallCfg()), "Φ_merge")
+}
+
+// disableWinsFlag resolves concurrent enable/disable to disabled.
+type disableWinsFlag struct{ ewflag.Flag }
+
+func (disableWinsFlag) Merge(lca, a, b ewflag.State) ewflag.State {
+	return ewflag.State{
+		Enables: a.Enables + b.Enables - lca.Enables,
+		Flag:    a.Flag && b.Flag,
+	}
+}
+
+func TestHarnessCatchesDisableWinsMerge(t *testing.T) {
+	h := &sim.Harness[ewflag.State, ewflag.Op, ewflag.Val]{
+		Name:  "disable-wins-flag",
+		Impl:  disableWinsFlag{},
+		Spec:  ewflag.Spec,
+		Rsim:  ewflag.Rsim,
+		ValEq: ewflag.ValEq,
+		Ops: []ewflag.Op{
+			{Kind: ewflag.Read},
+			{Kind: ewflag.Enable},
+			{Kind: ewflag.Disable},
+		},
+	}
+	mustFail(t, h.Certify(smallCfg()), "Φ_merge")
+}
+
+// divergentReadCounter is convergent in state but its read depends on a
+// timestamp parity, breaking observational determinism — Φ_con must not
+// fire (states equal ⇒ reads equal given same probe timestamp), but Φ_spec
+// must.
+type divergentReadCounter struct{ counter.IncCounter }
+
+func (divergentReadCounter) Do(op counter.Op, s int64, t core.Timestamp) (int64, counter.Val) {
+	if op.Kind == counter.Read && t%2 == 1 {
+		return s, s + 100
+	}
+	return (counter.IncCounter{}).Do(op, s, t)
+}
+
+func TestHarnessCatchesTimestampDependentRead(t *testing.T) {
+	h := &sim.Harness[int64, counter.Op, counter.Val]{
+		Name:  "parity-counter",
+		Impl:  divergentReadCounter{},
+		Spec:  counter.IncSpec,
+		Rsim:  counter.IncRsim,
+		ValEq: counter.ValEq,
+		Ops:   []counter.Op{{Kind: counter.Read}, {Kind: counter.Inc, N: 1}},
+	}
+	rep := h.Certify(smallCfg())
+	if rep.Err == nil {
+		t.Fatal("harness accepted a read that depends on the timestamp")
+	}
+}
+
+// nonConvergentSet stores branch-private garbage that reads expose:
+// concrete states with equal abstract states differ observably.
+type nonConvergentSet struct{ orset.OrSet }
+
+func (nonConvergentSet) Merge(lca, a, b orset.State) orset.State {
+	merged := (orset.OrSet{}).Merge(lca, a, b)
+	// Inject a bogus element keyed off the receiving branch's state size,
+	// so the two sides of a mutual merge disagree.
+	bogus := orset.Pair{E: int64(9000 + len(a)), T: -1}
+	return append(merged, bogus)
+}
+
+func TestHarnessCatchesNonConvergence(t *testing.T) {
+	h := &sim.Harness[orset.State, orset.Op, orset.Val]{
+		Name:  "non-convergent-set",
+		Impl:  nonConvergentSet{},
+		Spec:  orset.Spec,
+		Rsim:  func(_ *core.AbstractState[orset.Op, orset.Val], _ orset.State) bool { return true },
+		ValEq: orset.ValEq,
+		Ops: []orset.Op{
+			{Kind: orset.Read},
+			{Kind: orset.Add, E: 1},
+			{Kind: orset.Add, E: 2},
+		},
+		Probes: []orset.Op{{Kind: orset.Read}},
+	}
+	// Rsim is rigged to true so only Φ_con can catch the bug.
+	mustFail(t, h.Certify(smallCfg()), "Φ_con")
+}
+
+// TestReportCounters sanity-checks the report bookkeeping.
+func TestReportCounters(t *testing.T) {
+	h := &sim.Harness[int64, counter.Op, counter.Val]{
+		Name:  "inc-counter",
+		Impl:  counter.IncCounter{},
+		Spec:  counter.IncSpec,
+		Rsim:  counter.IncRsim,
+		ValEq: counter.ValEq,
+		Ops:   []counter.Op{{Kind: counter.Read}, {Kind: counter.Inc, N: 1}},
+	}
+	cfg := sim.Config{MaxBranches: 2, MaxSteps: 2, RandomExecutions: 5, RandomSteps: 5, RandomBranches: 2, Seed: 1}
+	rep := h.Certify(cfg)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Executions <= 5 {
+		t.Fatalf("expected exhaustive executions on top of the 5 random ones, got %d", rep.Executions)
+	}
+	if rep.Obligations < rep.Transitions {
+		t.Fatalf("each transition checks several obligations: %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Fatal("duration must be positive")
+	}
+}

@@ -1,0 +1,30 @@
+package store
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// FuncCodec adapts a plain function to the Codec interface.
+type FuncCodec[S any] func(S) []byte
+
+// Encode invokes the function.
+func (f FuncCodec[S]) Encode(s S) []byte { return f(s) }
+
+// AppendInt64 appends v to buf in big-endian order; a helper for writing
+// compact codecs.
+func AppendInt64(buf []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(v))
+}
+
+// AppendTimestamp appends a timestamp to buf.
+func AppendTimestamp(buf []byte, t core.Timestamp) []byte {
+	return AppendInt64(buf, int64(t))
+}
+
+// AppendString appends a length-prefixed string to buf.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}

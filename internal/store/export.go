@@ -1,0 +1,122 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// ExportedCommit is one commit prepared for transfer to another store:
+// the commit metadata plus the encoded state it pins. Hashes are
+// recomputed on import, so a corrupted transfer cannot forge history.
+type ExportedCommit struct {
+	Parents []Hash
+	State   []byte
+	Gen     int
+	Time    core.Timestamp
+}
+
+// ErrBadImport is wrapped by Import failures.
+var ErrBadImport = errors.New("store: bad import")
+
+// Decoder deserializes transferred states (the write half lives in Codec).
+type Decoder[S any] interface {
+	Decode([]byte) (S, error)
+}
+
+// Export returns branch b's full history — every ancestor commit of its
+// head in parents-before-children order — together with the head hash.
+// Feeding the result to another store's Import reproduces the history
+// bit-for-bit (content addressing makes re-imported commits identical).
+func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, ok := s.heads[b]
+	if !ok {
+		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	order := s.topoOrder(head)
+	out := make([]ExportedCommit, 0, len(order))
+	for _, h := range order {
+		c := s.commits[h]
+		out = append(out, ExportedCommit{
+			Parents: c.Parents,
+			State:   s.objects[c.State],
+			Gen:     c.Gen,
+			Time:    c.Time,
+		})
+	}
+	return out, head, nil
+}
+
+// topoOrder returns the ancestors of head (inclusive) with every commit
+// after its parents.
+func (s *Store[S, Op, Val]) topoOrder(head Hash) []Hash {
+	var order []Hash
+	state := make(map[Hash]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(h Hash)
+	visit = func(h Hash) {
+		if state[h] != 0 {
+			return
+		}
+		state[h] = 1
+		for _, p := range s.commits[h].Parents {
+			visit(p)
+		}
+		state[h] = 2
+		order = append(order, h)
+	}
+	visit(head)
+	return order
+}
+
+// Import installs a transferred history and points branch name at its
+// head. The branch is created if needed (tracking branches for remote
+// peers); an existing branch is moved only if the new head's history
+// includes every commit the import carries consistently — the caller is
+// expected to merge via Pull afterwards. Commit hashes are recomputed
+// locally; a commit referencing an unknown parent fails the import.
+func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash, dec Decoder[S]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ec := range commits {
+		for _, p := range ec.Parents {
+			if _, known := s.commits[p]; !known {
+				return fmt.Errorf("%w: commit %d references unknown parent %v", ErrBadImport, i, p)
+			}
+		}
+		state, err := dec.Decode(ec.State)
+		if err != nil {
+			return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
+		}
+		st := s.putState(state)
+		s.putCommit(Commit{Parents: ec.Parents, State: st, Gen: ec.Gen, Time: ec.Time})
+	}
+	if _, ok := s.commits[head]; !ok {
+		return fmt.Errorf("%w: advertised head %v not present after import", ErrBadImport, head)
+	}
+	if _, ok := s.heads[name]; !ok {
+		if s.nextID > clock.MaxReplica {
+			return fmt.Errorf("store: replica id space exhausted")
+		}
+		c, err := clock.New(s.nextID)
+		if err != nil {
+			return err
+		}
+		s.nextID++
+		s.clocks[name] = c
+	}
+	// Tracking branches never Apply; their clock only needs to dominate
+	// the imported history so merges hand out later timestamps.
+	maxT := core.Timestamp(0)
+	for _, ec := range commits {
+		if ec.Time > maxT {
+			maxT = ec.Time
+		}
+	}
+	s.clocks[name].Observe(maxT)
+	s.heads[name] = head
+	return nil
+}

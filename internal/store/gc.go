@@ -1,0 +1,63 @@
+package store
+
+// GC discards history that no future merge can need, the role the paper
+// assigns to the MRDT middleware ("the MRDT middleware garbage collects
+// the causal histories when appropriate", §1.1). A commit must be retained
+// if it is reachable from a branch head or can still serve as (part of) a
+// merge base for some pair of branches — conservatively, everything
+// reachable from any head. Unreachable commits, their states and encoded
+// objects are dropped.
+//
+// It returns the number of commits collected.
+func (s *Store[S, Op, Val]) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	live := make(map[Hash]bool)
+	for _, head := range s.heads {
+		for h := range s.ancestors(head) {
+			live[h] = true
+		}
+	}
+
+	collected := 0
+	liveStates := make(map[Hash]bool, len(live))
+	for h, c := range s.commits {
+		if live[h] {
+			liveStates[c.State] = true
+			continue
+		}
+		delete(s.commits, h)
+		collected++
+	}
+	for h := range s.states {
+		if !liveStates[h] {
+			delete(s.states, h)
+			delete(s.objects, h)
+		}
+	}
+	return collected
+}
+
+// NumCommits returns the number of commits currently retained.
+func (s *Store[S, Op, Val]) NumCommits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.commits)
+}
+
+// DeleteBranch removes a branch head (its commits become collectable once
+// no other branch reaches them). The last branch cannot be deleted.
+func (s *Store[S, Op, Val]) DeleteBranch(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.heads[name]; !ok {
+		return ErrNoBranch
+	}
+	if len(s.heads) == 1 {
+		return ErrLastBranch
+	}
+	delete(s.heads, name)
+	delete(s.clocks, name)
+	return nil
+}

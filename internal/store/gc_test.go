@@ -1,0 +1,97 @@
+package store_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/store"
+)
+
+func TestGCKeepsReachableHistory(t *testing.T) {
+	s := counterStore()
+	for i := 0; i < 10; i++ {
+		inc(t, s, "main", 1)
+	}
+	before := s.NumCommits()
+	if got := s.GC(); got != 0 {
+		t.Fatalf("GC collected %d commits while all are reachable", got)
+	}
+	if s.NumCommits() != before {
+		t.Fatal("GC changed the live commit count")
+	}
+	v, _ := s.Head("main")
+	if v != 10 {
+		t.Fatalf("state after GC = %d", v)
+	}
+}
+
+func TestGCCollectsDeletedBranchHistory(t *testing.T) {
+	s := counterStore()
+	inc(t, s, "main", 1)
+	if err := s.Fork("main", "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		inc(t, s, "scratch", 1)
+	}
+	if err := s.DeleteBranch("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	collected := s.GC()
+	if collected != 20 {
+		t.Fatalf("GC collected %d commits, want scratch's 20", collected)
+	}
+	// main still works, including new merges.
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 1)
+	inc(t, s, "dev", 1)
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Head("main")
+	if v != 3 {
+		t.Fatalf("post-GC merge = %d, want 3", v)
+	}
+}
+
+func TestGCPreservesMergeBases(t *testing.T) {
+	// Diverged branches must keep their future merge base across a GC.
+	s := counterStore()
+	inc(t, s, "main", 1)
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 2)
+	inc(t, s, "dev", 4)
+	s.GC()
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatalf("merge after GC: %v", err)
+	}
+	v, _ := s.Head("main")
+	if v != 7 {
+		t.Fatalf("merge after GC = %d, want 7", v)
+	}
+}
+
+func TestDeleteBranchErrors(t *testing.T) {
+	s := counterStore()
+	if err := s.DeleteBranch("ghost"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("DeleteBranch ghost: %v", err)
+	}
+	if err := s.DeleteBranch("main"); !errors.Is(err, store.ErrLastBranch) {
+		t.Fatalf("DeleteBranch last: %v", err)
+	}
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteBranch("dev"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Head("dev"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatal("deleted branch still resolves")
+	}
+	_ = counter.Op{}
+}

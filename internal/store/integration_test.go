@@ -1,0 +1,273 @@
+package store_test
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/chat"
+	"repro/internal/counter"
+	"repro/internal/ewflag"
+	"repro/internal/gset"
+	"repro/internal/lwwreg"
+	"repro/internal/mlog"
+	"repro/internal/orset"
+	"repro/internal/queue"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// The integration suite runs every MRDT through the production store in
+// randomized fork-join rounds (the topology the certification envelope
+// covers): several replicas apply random operations, then all synchronize
+// through a hub and must converge to observationally equal states.
+
+type integration[S, Op, Val any] struct {
+	name    string
+	store   *store.Store[S, Op, Val]
+	randOp  func(r *rand.Rand) Op
+	probeEq func(t *testing.T, a, b S)
+}
+
+func runFJ[S, Op, Val any](t *testing.T, it integration[S, Op, Val], seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	replicas := []string{"main", "r1", "r2"}
+	for _, name := range replicas[1:] {
+		if err := it.store.Fork("main", name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for _, rep := range replicas {
+			for k, n := 0, r.Intn(5); k < n; k++ {
+				if _, err := it.store.Apply(rep, it.randOp(r)); err != nil {
+					t.Fatalf("%s apply: %v", it.name, err)
+				}
+			}
+		}
+		// Fork-join: everyone joins through main, then main's result is
+		// fanned back out (each sync is a diamond or a fast-forward).
+		for _, rep := range replicas[1:] {
+			if err := it.store.Sync("main", rep); err != nil {
+				t.Fatalf("%s sync round %d: %v", it.name, round, err)
+			}
+		}
+		for _, rep := range replicas[1:] {
+			if err := it.store.Sync("main", rep); err != nil {
+				t.Fatalf("%s re-sync round %d: %v", it.name, round, err)
+			}
+		}
+		h0, _ := it.store.Head("main")
+		for _, rep := range replicas[1:] {
+			h, _ := it.store.Head(rep)
+			it.probeEq(t, h0, h)
+		}
+	}
+}
+
+func TestStoreIntegrationCounter(t *testing.T) {
+	codec := store.FuncCodec[counter.PNState](func(s counter.PNState) []byte {
+		return wire.PNCounter{}.Encode(s)
+	})
+	st := store.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{}, codec, "main")
+	runFJ(t, integration[counter.PNState, counter.Op, counter.Val]{
+		name:  "pn-counter",
+		store: st,
+		randOp: func(r *rand.Rand) counter.Op {
+			if r.Intn(2) == 0 {
+				return counter.Op{Kind: counter.Inc, N: int64(r.Intn(5) + 1)}
+			}
+			return counter.Op{Kind: counter.Dec, N: int64(r.Intn(3) + 1)}
+		},
+		probeEq: func(t *testing.T, a, b counter.PNState) {
+			if a != b {
+				t.Fatalf("counter replicas diverged: %+v vs %+v", a, b)
+			}
+		},
+	}, 1)
+}
+
+func TestStoreIntegrationEWFlag(t *testing.T) {
+	codec := store.FuncCodec[ewflag.State](func(s ewflag.State) []byte {
+		return wire.EWFlag{}.Encode(s)
+	})
+	st := store.New[ewflag.State, ewflag.Op, ewflag.Val](ewflag.Flag{}, codec, "main")
+	runFJ(t, integration[ewflag.State, ewflag.Op, ewflag.Val]{
+		name:  "ew-flag",
+		store: st,
+		randOp: func(r *rand.Rand) ewflag.Op {
+			if r.Intn(2) == 0 {
+				return ewflag.Op{Kind: ewflag.Enable}
+			}
+			return ewflag.Op{Kind: ewflag.Disable}
+		},
+		probeEq: func(t *testing.T, a, b ewflag.State) {
+			if a != b {
+				t.Fatalf("flag replicas diverged: %+v vs %+v", a, b)
+			}
+		},
+	}, 2)
+}
+
+func TestStoreIntegrationLWWAndGSet(t *testing.T) {
+	lcodec := store.FuncCodec[lwwreg.State](func(s lwwreg.State) []byte {
+		return wire.LWWReg{}.Encode(s)
+	})
+	lst := store.New[lwwreg.State, lwwreg.Op, lwwreg.Val](lwwreg.Reg{}, lcodec, "main")
+	runFJ(t, integration[lwwreg.State, lwwreg.Op, lwwreg.Val]{
+		name:  "lww",
+		store: lst,
+		randOp: func(r *rand.Rand) lwwreg.Op {
+			return lwwreg.Op{Kind: lwwreg.Write, V: int64(r.Intn(100))}
+		},
+		probeEq: func(t *testing.T, a, b lwwreg.State) {
+			if a != b {
+				t.Fatalf("register replicas diverged: %+v vs %+v", a, b)
+			}
+		},
+	}, 3)
+
+	gcodec := store.FuncCodec[gset.State](func(s gset.State) []byte {
+		return wire.GSet{}.Encode(s)
+	})
+	gst := store.New[gset.State, gset.Op, gset.Val](gset.Set{}, gcodec, "main")
+	runFJ(t, integration[gset.State, gset.Op, gset.Val]{
+		name:  "g-set",
+		store: gst,
+		randOp: func(r *rand.Rand) gset.Op {
+			return gset.Op{Kind: gset.Add, E: int64(r.Intn(40))}
+		},
+		probeEq: func(t *testing.T, a, b gset.State) {
+			if !slices.Equal(a, b) {
+				t.Fatalf("g-set replicas diverged: %v vs %v", a, b)
+			}
+		},
+	}, 4)
+}
+
+func TestStoreIntegrationORSets(t *testing.T) {
+	scodec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
+		return wire.OrSetSpace{}.Encode(s)
+	})
+	sst := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, scodec, "main")
+	randOp := func(r *rand.Rand) orset.Op {
+		e := int64(r.Intn(20))
+		if r.Intn(3) == 0 {
+			return orset.Op{Kind: orset.Remove, E: e}
+		}
+		return orset.Op{Kind: orset.Add, E: e}
+	}
+	runFJ(t, integration[orset.SpaceState, orset.Op, orset.Val]{
+		name:   "or-set-space",
+		store:  sst,
+		randOp: randOp,
+		probeEq: func(t *testing.T, a, b orset.SpaceState) {
+			if !slices.Equal(a, b) {
+				t.Fatalf("or-set-space replicas diverged: %v vs %v", a, b)
+			}
+		},
+	}, 5)
+
+	tcodec := store.FuncCodec[orset.TreeState](func(s orset.TreeState) []byte {
+		return wire.OrSetSpaceTime{}.Encode(s)
+	})
+	tst := store.New[orset.TreeState, orset.Op, orset.Val](orset.OrSetSpaceTime{}, tcodec, "main")
+	runFJ(t, integration[orset.TreeState, orset.Op, orset.Val]{
+		name:   "or-set-spacetime",
+		store:  tst,
+		randOp: randOp,
+		probeEq: func(t *testing.T, a, b orset.TreeState) {
+			// Convergence modulo observable behaviour: tree shapes may
+			// differ, the contents may not.
+			if !slices.Equal(orset.Flatten(a), orset.Flatten(b)) {
+				t.Fatalf("or-set-spacetime replicas diverged: %v vs %v", orset.Flatten(a), orset.Flatten(b))
+			}
+			if !orset.ValidAVL(a) || !orset.ValidAVL(b) {
+				t.Fatal("replica holds an unbalanced tree")
+			}
+		},
+	}, 6)
+}
+
+func TestStoreIntegrationQueue(t *testing.T) {
+	codec := store.FuncCodec[queue.State](func(s queue.State) []byte {
+		return wire.Queue{}.Encode(s)
+	})
+	st := store.New[queue.State, queue.Op, queue.Val](queue.Queue{}, codec, "main")
+	next := int64(0)
+	runFJ(t, integration[queue.State, queue.Op, queue.Val]{
+		name:  "queue",
+		store: st,
+		randOp: func(r *rand.Rand) queue.Op {
+			if r.Intn(3) == 0 {
+				return queue.Op{Kind: queue.Dequeue}
+			}
+			next++
+			return queue.Op{Kind: queue.Enqueue, V: next}
+		},
+		probeEq: func(t *testing.T, a, b queue.State) {
+			as, bs := a.ToSlice(), b.ToSlice()
+			if !slices.Equal(as, bs) {
+				t.Fatalf("queue replicas diverged: %v vs %v", as, bs)
+			}
+			for i := 1; i < len(as); i++ {
+				if as[i-1].T >= as[i].T {
+					t.Fatal("queue not sorted by enqueue timestamp")
+				}
+			}
+		},
+	}, 7)
+}
+
+func TestStoreIntegrationMLogAndChat(t *testing.T) {
+	mcodec := store.FuncCodec[mlog.State](func(s mlog.State) []byte {
+		return wire.MLog{}.Encode(s)
+	})
+	mst := store.New[mlog.State, mlog.Op, mlog.Val](mlog.Log{}, mcodec, "main")
+	n := 0
+	runFJ(t, integration[mlog.State, mlog.Op, mlog.Val]{
+		name:  "mlog",
+		store: mst,
+		randOp: func(r *rand.Rand) mlog.Op {
+			n++
+			return mlog.Op{Kind: mlog.Append, Msg: fmt.Sprintf("m%d", n)}
+		},
+		probeEq: func(t *testing.T, a, b mlog.State) {
+			if !slices.Equal(a, b) {
+				t.Fatalf("log replicas diverged:\n%v\n%v", a, b)
+			}
+			for i := 1; i < len(a); i++ {
+				if a[i-1].T <= a[i].T {
+					t.Fatal("log not reverse chronological")
+				}
+			}
+		},
+	}, 8)
+
+	ccodec := store.FuncCodec[chat.State](func(s chat.State) []byte {
+		return wire.Chat{}.Encode(s)
+	})
+	cst := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, ccodec, "main")
+	m := 0
+	channels := []string{"#a", "#b", "#c"}
+	runFJ(t, integration[chat.State, chat.Op, chat.Val]{
+		name:  "chat",
+		store: cst,
+		randOp: func(r *rand.Rand) chat.Op {
+			m++
+			return chat.Op{Kind: chat.Send, Ch: channels[r.Intn(len(channels))], Msg: fmt.Sprintf("msg%d", m)}
+		},
+		probeEq: func(t *testing.T, a, b chat.State) {
+			if len(a) != len(b) {
+				t.Fatalf("chat replicas diverged: %d vs %d channels", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].K != b[i].K || !slices.Equal(a[i].V, b[i].V) {
+					t.Fatalf("chat channel %s diverged", a[i].K)
+				}
+			}
+		},
+	}, 9)
+}

@@ -1,0 +1,151 @@
+package store
+
+import "errors"
+
+// ErrNoCommonAncestor is returned when two commits share no ancestor; it
+// cannot happen for commits created through the store's API (every branch
+// descends from the root), and indicates corruption.
+var ErrNoCommonAncestor = errors.New("store: no common ancestor")
+
+// lca returns the merge base for two commits: the unique maximal common
+// ancestor when there is one, or — in criss-cross histories with several
+// maximal common ancestors — a virtual commit produced by recursively
+// merging the candidates, as in Git's recursive merge strategy. The
+// virtual commit is recorded in the DAG (but on no branch), so nested
+// criss-crosses terminate.
+func (s *Store[S, Op, Val]) lca(a, b Hash) (Hash, error) {
+	cands := s.maximalCommonAncestors(a, b)
+	switch len(cands) {
+	case 0:
+		return Hash{}, ErrNoCommonAncestor
+	case 1:
+		return cands[0], nil
+	}
+	// Recursive strategy: fold the candidates into one virtual base.
+	base := cands[0]
+	for _, next := range cands[1:] {
+		vbase, err := s.lca(base, next)
+		if err != nil {
+			return Hash{}, err
+		}
+		merged := s.impl.Merge(
+			s.states[s.commits[vbase].State],
+			s.states[s.commits[base].State],
+			s.states[s.commits[next].State],
+		)
+		gen := s.commits[base].Gen
+		if g := s.commits[next].Gen; g > gen {
+			gen = g
+		}
+		st := s.putState(merged)
+		base = s.putCommit(Commit{
+			Parents: []Hash{base, next},
+			State:   st,
+			Gen:     gen + 1,
+		})
+	}
+	return base, nil
+}
+
+// maximalCommonAncestors returns the common ancestors of a and b that are
+// not ancestors of another common ancestor. Commits count as their own
+// ancestors, so a fast-forward situation (a an ancestor of b) yields a.
+func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
+	aAnc := s.ancestors(a)
+	bAnc := s.ancestors(b)
+	var common []Hash
+	for h := range aAnc {
+		if bAnc[h] {
+			common = append(common, h)
+		}
+	}
+	// A common ancestor is maximal if no *other* common ancestor descends
+	// from it. Sort candidates by generation descending and sweep: anything
+	// reachable from an already-kept candidate is dominated.
+	inCommon := make(map[Hash]bool, len(common))
+	for _, h := range common {
+		inCommon[h] = true
+	}
+	var maximal []Hash
+	dominated := make(map[Hash]bool)
+	// Process highest generation first.
+	for len(common) > 1 {
+		best := -1
+		var bestH Hash
+		for _, h := range common {
+			if g := s.commits[h].Gen; g > best {
+				best, bestH = g, h
+			}
+		}
+		next := common[:0]
+		for _, h := range common {
+			if h != bestH {
+				next = append(next, h)
+			}
+		}
+		common = next
+		if dominated[bestH] {
+			continue
+		}
+		maximal = append(maximal, bestH)
+		for h := range s.ancestors(bestH) {
+			if h != bestH && inCommon[h] {
+				dominated[h] = true
+			}
+		}
+	}
+	for _, h := range common {
+		if !dominated[h] {
+			maximal = append(maximal, h)
+		}
+	}
+	return maximal
+}
+
+// soundBase reports whether the three-way merge of heads a and b over
+// base satisfies Ψ_lca on the commit DAG: every operation commit reachable
+// from either head but not from the base must descend from the base.
+// Operation commits are the only event creators, so this is exactly "every
+// event outside the LCA observed every event in the LCA".
+func (s *Store[S, Op, Val]) soundBase(base, a, b Hash) bool {
+	baseAnc := s.ancestors(base)
+	for h := range s.ancestors(a) {
+		if !s.opDescendsFromBase(h, base, baseAnc) {
+			return false
+		}
+	}
+	for h := range s.ancestors(b) {
+		if !s.opDescendsFromBase(h, base, baseAnc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store[S, Op, Val]) opDescendsFromBase(h, base Hash, baseAnc map[Hash]bool) bool {
+	if baseAnc[h] {
+		return true // inside the base's history
+	}
+	c := s.commits[h]
+	if len(c.Parents) != 1 {
+		return true // root or merge commit: creates no event
+	}
+	return s.ancestors(h)[base]
+}
+
+// ancestors returns the set of commits reachable from h, including h.
+func (s *Store[S, Op, Val]) ancestors(h Hash) map[Hash]bool {
+	seen := map[Hash]bool{h: true}
+	stack := []Hash{h}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range s.commits[cur].Parents {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}

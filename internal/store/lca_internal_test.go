@@ -1,0 +1,149 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+)
+
+// White-box tests of the merge-base machinery: the public API's soundness
+// discipline makes some DAG shapes (criss-cross with merge commits on both
+// sides) unreachable, so the recursive virtual-base path is exercised here
+// by constructing commits directly.
+
+func newInternalCounterStore() *Store[int64, counter.Op, counter.Val] {
+	codec := FuncCodec[int64](func(s int64) []byte {
+		return AppendInt64(nil, s)
+	})
+	return New[int64, counter.Op, counter.Val](counter.IncCounter{}, codec, "main")
+}
+
+// nextTime distinguishes synthetic commits: the store is content
+// addressed, so two chains built from the same parent with the same states
+// would otherwise collapse into one.
+var nextTime int64
+
+// commitChain appends n operation commits on top of parent, returning the
+// final hash. Each commit's state adds one.
+func commitChain(s *Store[int64, counter.Op, counter.Val], parent Hash, n int) Hash {
+	h := parent
+	for i := 0; i < n; i++ {
+		c := s.commits[h]
+		state := s.states[c.State] + 1
+		st := s.putState(state)
+		nextTime++
+		h = s.putCommit(Commit{Parents: []Hash{h}, State: st, Gen: c.Gen + 1, Time: core.Timestamp(nextTime)})
+	}
+	return h
+}
+
+func mergeCommit(s *Store[int64, counter.Op, counter.Val], a, b Hash, state int64) Hash {
+	gen := s.commits[a].Gen
+	if g := s.commits[b].Gen; g > gen {
+		gen = g
+	}
+	st := s.putState(state)
+	return s.putCommit(Commit{Parents: []Hash{a, b}, State: st, Gen: gen + 1})
+}
+
+func TestLCASimpleFork(t *testing.T) {
+	s := newInternalCounterStore()
+	root := s.heads["main"]
+	base := commitChain(s, root, 2)
+	a := commitChain(s, base, 3)
+	b := commitChain(s, base, 1)
+	got, err := s.lca(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("lca = %v, want the fork point %v", got, base)
+	}
+}
+
+func TestLCAAncestorCases(t *testing.T) {
+	s := newInternalCounterStore()
+	root := s.heads["main"]
+	mid := commitChain(s, root, 2)
+	tip := commitChain(s, mid, 2)
+	if got, _ := s.lca(mid, tip); got != mid {
+		t.Fatal("lca(ancestor, descendant) must be the ancestor")
+	}
+	if got, _ := s.lca(tip, tip); got != tip {
+		t.Fatal("lca(x, x) must be x")
+	}
+}
+
+func TestLCACrissCrossVirtualBase(t *testing.T) {
+	// Classic criss-cross: fork at base into a1 and b1; create merge
+	// commits ma = merge(a1, b1) and mb = merge(b1, a1); extend both.
+	// a1 and b1 are then both maximal common ancestors, and the merge
+	// base must be their recursive (virtual) merge.
+	s := newInternalCounterStore()
+	root := s.heads["main"]
+	base := commitChain(s, root, 1) // state 1
+	a1 := commitChain(s, base, 1)   // state 2
+	b1 := commitChain(s, base, 2)   // state 3
+	// Correct three-way merges by hand: a1+b1-base = 2+3-1 = 4.
+	ma := mergeCommit(s, a1, b1, 4)
+	mb := mergeCommit(s, b1, a1, 4)
+	a2 := commitChain(s, ma, 1) // state 5
+	b2 := commitChain(s, mb, 2) // state 6
+
+	maximal := s.maximalCommonAncestors(a2, b2)
+	if len(maximal) != 2 {
+		t.Fatalf("expected 2 maximal common ancestors, got %d", len(maximal))
+	}
+	vbase, err := s.lca(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.commits[vbase]
+	if len(c.Parents) != 2 {
+		t.Fatalf("virtual base must be a merge commit, got %+v", c)
+	}
+	// The virtual base's state is merge(base, a1, b1) = 4, so a final
+	// three-way merge yields 5 + 6 − 4 = 7 — each increment counted once.
+	if got := s.states[c.State]; got != 4 {
+		t.Fatalf("virtual base state = %d, want 4", got)
+	}
+	merged := s.impl.Merge(s.states[c.State], s.states[s.commits[a2].State], s.states[s.commits[b2].State])
+	if merged != 7 {
+		t.Fatalf("merge over virtual base = %d, want 7", merged)
+	}
+}
+
+func TestSoundBaseDetectsForeignOps(t *testing.T) {
+	s := newInternalCounterStore()
+	root := s.heads["main"]
+	base := commitChain(s, root, 1)
+	a := commitChain(s, base, 1)
+	b := commitChain(s, root, 1) // forked before base: concurrent with it
+	m := mergeCommit(s, a, b, 0)
+	// Merging m with a descendant of base over base: b's op commit does
+	// not descend from base.
+	if s.soundBase(base, m, commitChain(s, base, 1)) {
+		t.Fatal("soundBase must reject ops concurrent with the base")
+	}
+	// A clean diamond is sound.
+	x := commitChain(s, base, 2)
+	y := commitChain(s, base, 3)
+	if !s.soundBase(base, x, y) {
+		t.Fatal("soundBase must accept a clean diamond")
+	}
+}
+
+func TestMaximalCommonAncestorsDominated(t *testing.T) {
+	// A chain: every common ancestor of two descendants is dominated by
+	// the deepest one; only one maximal ancestor must be reported.
+	s := newInternalCounterStore()
+	root := s.heads["main"]
+	deep := commitChain(s, root, 5)
+	a := commitChain(s, deep, 1)
+	b := commitChain(s, deep, 2)
+	maximal := s.maximalCommonAncestors(a, b)
+	if len(maximal) != 1 || maximal[0] != deep {
+		t.Fatalf("maximal = %v, want just the deepest fork point", maximal)
+	}
+}

@@ -1,0 +1,328 @@
+// Package store is the Git-like replicated datastore the MRDTs run on —
+// the reproduction's substitute for Irmin (§7.1). It keeps versioned,
+// content-addressed states in a commit DAG with named branches; operations
+// commit new versions, and a branch pulls from another via an MRDT
+// three-way merge whose base is the branches' lowest common ancestor.
+//
+// The store provides exactly the guarantees the paper's semantics assume:
+// unique, happens-before-respecting timestamps (Ψ_ts, from internal/clock)
+// and a well-defined LCA for every pair of branches (Ψ_lca). Criss-cross
+// merge patterns, where the DAG has several maximal common ancestors, are
+// handled the way Git's recursive strategy handles them: the candidate
+// ancestors are merged into a virtual base commit, which restores the
+// "intersection of histories" reading of the LCA.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Hash is a content address: the SHA-256 of an encoded object.
+type Hash [sha256.Size]byte
+
+// String renders the short form of the hash.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:6]) }
+
+// Codec serializes concrete states for content addressing and for the
+// space-accounting used by the benchmarks.
+type Codec[S any] interface {
+	Encode(S) []byte
+}
+
+// Commit is one version in the DAG.
+type Commit struct {
+	// Parents are the commit's parents: none for the root, one for an
+	// operation commit, two for a merge commit.
+	Parents []Hash
+	// State addresses the encoded state this commit pins.
+	State Hash
+	// Gen is the commit's generation number: 1 + max parent generation.
+	Gen int
+	// Time is the timestamp of the operation that created the commit (the
+	// merge point's clock for merge commits).
+	Time core.Timestamp
+}
+
+// Errors returned by the store.
+var (
+	ErrNoBranch     = errors.New("store: unknown branch")
+	ErrBranchExists = errors.New("store: branch already exists")
+
+	// ErrLastBranch is returned by DeleteBranch when asked to remove the
+	// only remaining branch.
+	ErrLastBranch = errors.New("store: cannot delete the last branch")
+
+	// ErrUnsoundMerge is returned by Pull when the requested three-way
+	// merge violates the store property Ψ_lca that the paper's
+	// correctness theorem assumes: some operation in the merge region
+	// does not causally descend from the merge base (it entered a branch
+	// through an earlier merge with a third party, or through asymmetric
+	// ping-pong pulls with interleaved local operations). Data type
+	// merges are verified only under Ψ_lca — e.g. the mergeable log's
+	// merge diffs by timestamp suffix, which is sound exactly when new
+	// events carry larger timestamps than every LCA event — so the store
+	// refuses the merge instead of silently corrupting state. Replicas
+	// converge soundly by synchronizing pairwise with no interleaved
+	// operations (Sync), which reduces every pull to a diamond-shaped
+	// merge or a fast-forward.
+	ErrUnsoundMerge = errors.New("store: merge base does not causally dominate the merge region (Ψ_lca)")
+)
+
+// Store is a single-object replicated datastore for one MRDT. It is safe
+// for concurrent use; each branch carries its own Lamport clock, modelling
+// one replica per branch.
+type Store[S, Op, Val any] struct {
+	mu      sync.Mutex
+	impl    core.MRDT[S, Op, Val]
+	codec   Codec[S]
+	objects map[Hash][]byte
+	states  map[Hash]S
+	commits map[Hash]Commit
+	heads   map[string]Hash
+	clocks  map[string]*clock.Clock
+	nextID  int
+}
+
+// New creates a store for impl with a single branch named main, holding
+// the initial state. Branch clocks draw replica ids starting at 0; a
+// process running several stores of the same object (e.g. one per network
+// replica) must give each store a distinct id range via NewAt so that
+// timestamps stay globally unique.
+func New[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string) *Store[S, Op, Val] {
+	return NewAt(impl, codec, main, 0)
+}
+
+// NewAt is New with an explicit replica-id base for the store's branch
+// clocks: branch k created in this store uses replica id replicaBase+k.
+func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int) *Store[S, Op, Val] {
+	s := &Store[S, Op, Val]{
+		impl:    impl,
+		codec:   codec,
+		objects: make(map[Hash][]byte),
+		states:  make(map[Hash]S),
+		commits: make(map[Hash]Commit),
+		heads:   make(map[string]Hash),
+		clocks:  make(map[string]*clock.Clock),
+	}
+	s.nextID = replicaBase
+	init := impl.Init()
+	st := s.putState(init)
+	root := s.putCommit(Commit{State: st, Gen: 1})
+	s.heads[main] = root
+	s.clocks[main], _ = clock.New(s.nextID)
+	s.nextID++
+	return s
+}
+
+// Branches returns the branch names, sorted.
+func (s *Store[S, Op, Val]) Branches() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.heads))
+	for b := range s.heads {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fork creates branch name from the current head of src (the
+// CREATEBRANCH rule).
+func (s *Store[S, Op, Val]) Fork(src, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.heads[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBranch, src)
+	}
+	if _, dup := s.heads[name]; dup {
+		return fmt.Errorf("%w: %s", ErrBranchExists, name)
+	}
+	if s.nextID > clock.MaxReplica {
+		return fmt.Errorf("store: replica id space exhausted")
+	}
+	s.heads[name] = h
+	c, err := clock.New(s.nextID)
+	if err != nil {
+		return err
+	}
+	// The new replica's clock must dominate everything it has seen.
+	c.Observe(clock.Pack(s.clocks[src].Now(), 0))
+	s.clocks[name] = c
+	s.nextID++
+	return nil
+}
+
+// Apply performs op on branch b (the DO rule) and commits the resulting
+// state. It returns the operation's value.
+func (s *Store[S, Op, Val]) Apply(b string, op Op) (Val, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero Val
+	head, ok := s.heads[b]
+	if !ok {
+		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	t := s.clocks[b].Tick()
+	cur := s.states[s.commits[head].State]
+	next, val := s.impl.Do(op, cur, t)
+	st := s.putState(next)
+	s.heads[b] = s.putCommit(Commit{
+		Parents: []Hash{head},
+		State:   st,
+		Gen:     s.commits[head].Gen + 1,
+		Time:    t,
+	})
+	return val, nil
+}
+
+// Head returns the current state of branch b.
+func (s *Store[S, Op, Val]) Head(b string) (S, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero S
+	head, ok := s.heads[b]
+	if !ok {
+		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	return s.states[s.commits[head].State], nil
+}
+
+// HeadHash returns the commit hash at the head of branch b.
+func (s *Store[S, Op, Val]) HeadHash(b string) (Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, ok := s.heads[b]
+	if !ok {
+		return Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	return head, nil
+}
+
+// Size returns the encoded size in bytes of branch b's state — the space
+// metric reported by Figure 15.
+func (s *Store[S, Op, Val]) Size(b string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, ok := s.heads[b]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	return len(s.objects[s.commits[head].State]), nil
+}
+
+// Pull merges branch src into branch dst (the MERGE rule). Degenerate
+// cases avoid the data type merge entirely: if the LCA is src's head the
+// pull is a no-op, and if it is dst's head the pull fast-forwards by
+// adopting src's head commit. Otherwise a three-way merge of the two heads
+// over their lowest common ancestor is committed with both heads as
+// parents — but only if the merge region causally descends from the base
+// (Ψ_lca); see ErrUnsoundMerge. dst's clock observes src's so that later
+// operations on dst carry larger timestamps than everything merged in.
+func (s *Store[S, Op, Val]) Pull(dst, src string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pullLocked(dst, src)
+}
+
+func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
+	hd, ok := s.heads[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBranch, dst)
+	}
+	hs, ok := s.heads[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBranch, src)
+	}
+	if hd == hs {
+		return nil // already identical
+	}
+	base, err := s.lca(hd, hs)
+	if err != nil {
+		return err
+	}
+	if base == hs {
+		return nil // src is behind dst: nothing to pull
+	}
+	s.clocks[dst].Observe(clock.Pack(s.clocks[src].Now(), 0))
+	if base == hd {
+		// Fast-forward: dst has no exclusive history; adopting src's head
+		// commit is exact and keeps the DAG transparent for future LCAs.
+		s.heads[dst] = hs
+		return nil
+	}
+	if !s.soundBase(base, hd, hs) {
+		return fmt.Errorf("%w: pull %s <- %s", ErrUnsoundMerge, dst, src)
+	}
+	merged := s.impl.Merge(
+		s.states[s.commits[base].State],
+		s.states[s.commits[hd].State],
+		s.states[s.commits[hs].State],
+	)
+	t := s.clocks[dst].Tick()
+	gen := s.commits[hd].Gen
+	if g := s.commits[hs].Gen; g > gen {
+		gen = g
+	}
+	st := s.putState(merged)
+	s.heads[dst] = s.putCommit(Commit{
+		Parents: []Hash{hd, hs},
+		State:   st,
+		Gen:     gen + 1,
+		Time:    t,
+	})
+	return nil
+}
+
+// Sync converges two branches atomically: a pulls b (a diamond-shaped
+// three-way merge over their last common point), then b fast-forwards to
+// the merge commit. No operation can interleave between the two pulls, so
+// repeated Sync rounds keep every merge inside the Ψ_lca envelope for the
+// synchronizing pair. After Sync the two branches hold equal states.
+func (s *Store[S, Op, Val]) Sync(a, b string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pullLocked(a, b); err != nil {
+		return err
+	}
+	return s.pullLocked(b, a)
+}
+
+// Commit returns the commit object at hash h.
+func (s *Store[S, Op, Val]) Commit(h Hash) (Commit, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.commits[h]
+	return c, ok
+}
+
+func (s *Store[S, Op, Val]) putState(state S) Hash {
+	enc := s.codec.Encode(state)
+	h := sha256.Sum256(enc)
+	if _, ok := s.objects[h]; !ok {
+		s.objects[h] = enc
+		s.states[h] = state
+	}
+	return h
+}
+
+func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
+	var buf []byte
+	for _, p := range c.Parents {
+		buf = append(buf, p[:]...)
+	}
+	buf = append(buf, c.State[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Gen))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Time))
+	h := sha256.Sum256(buf)
+	s.commits[h] = c
+	return h
+}

@@ -1,0 +1,355 @@
+package store_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/orset"
+	"repro/internal/store"
+)
+
+func counterStore() *store.Store[int64, counter.Op, counter.Val] {
+	codec := store.FuncCodec[int64](func(s int64) []byte {
+		return store.AppendInt64(nil, s)
+	})
+	return store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, codec, "main")
+}
+
+func orsetStore() *store.Store[orset.SpaceState, orset.Op, orset.Val] {
+	codec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
+		var buf []byte
+		for _, p := range s {
+			buf = store.AppendInt64(buf, p.E)
+			buf = store.AppendTimestamp(buf, p.T)
+		}
+		return buf
+	})
+	return store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, codec, "main")
+}
+
+func inc(t *testing.T, s *store.Store[int64, counter.Op, counter.Val], b string, n int64) {
+	t.Helper()
+	if _, err := s.Apply(b, counter.Op{Kind: counter.Inc, N: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreApplyAndHead(t *testing.T) {
+	s := counterStore()
+	inc(t, s, "main", 5)
+	inc(t, s, "main", 2)
+	v, err := s.Head("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("head = %d, want 7", v)
+	}
+}
+
+func TestStoreForkAndDiverge(t *testing.T) {
+	s := counterStore()
+	inc(t, s, "main", 1)
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 10)
+	inc(t, s, "dev", 100)
+	m, _ := s.Head("main")
+	d, _ := s.Head("dev")
+	if m != 11 || d != 101 {
+		t.Fatalf("main=%d dev=%d", m, d)
+	}
+}
+
+func TestStorePullThreeWay(t *testing.T) {
+	s := counterStore()
+	inc(t, s, "main", 1)
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 10)
+	inc(t, s, "dev", 100)
+	if err := s.Pull("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	if m != 111 { // 11 + 101 - 1
+		t.Fatalf("merged = %d, want 111", m)
+	}
+}
+
+func TestStoreSyncConverges(t *testing.T) {
+	s := counterStore()
+	s.Fork("main", "dev")
+	inc(t, s, "main", 3)
+	inc(t, s, "dev", 4)
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	d, _ := s.Head("dev")
+	if m != d || m != 7 {
+		t.Fatalf("after sync main=%d dev=%d, want 7", m, d)
+	}
+}
+
+func TestStoreRepeatedSyncRounds(t *testing.T) {
+	// Diverge, sync, rediverge, sync: the second round's pulls use the
+	// first round's sync point as the base (the back-pull of each Sync is
+	// a fast-forward that adopts the merge commit), so every three-way
+	// merge is a clean diamond and a+b−lca counts each increment once.
+	s := counterStore()
+	inc(t, s, "main", 1) // shared prefix: 1
+	s.Fork("main", "dev")
+	inc(t, s, "main", 2) // main: 3
+	inc(t, s, "dev", 4)  // dev: 5
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err) // both: 7
+	}
+	inc(t, s, "main", 8) // main: 15
+	inc(t, s, "dev", 16) // dev: 23
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	d, _ := s.Head("dev")
+	if m != 31 || d != 31 { // 1+2+4+8+16
+		t.Fatalf("after two sync rounds main=%d dev=%d, want 31", m, d)
+	}
+}
+
+func TestStoreUnsoundMergeDetected(t *testing.T) {
+	// Asymmetric ping-pong with an interleaved local operation: main pulls
+	// dev, then dev — which performed an operation concurrently with
+	// main's — pulls main back. The base of that pull (dev's pre-op head)
+	// does not causally dominate main's exclusive operation, so Ψ_lca is
+	// violated and the store must refuse rather than hand the data type a
+	// merge outside its verified envelope.
+	s := counterStore()
+	inc(t, s, "main", 1)
+	s.Fork("main", "dev")
+	inc(t, s, "main", 2)
+	inc(t, s, "dev", 4)
+	if err := s.Pull("main", "dev"); err != nil {
+		t.Fatal(err) // diamond: sound
+	}
+	inc(t, s, "dev", 8) // interleaved local op on dev
+	err := s.Pull("dev", "main")
+	if !errors.Is(err, store.ErrUnsoundMerge) {
+		t.Fatalf("Pull = %v, want ErrUnsoundMerge", err)
+	}
+	// The exclusion is permanent for this pair: dev's new operation did
+	// not observe main's exclusive operation and vice versa, so no merge
+	// base can causally dominate the region in either direction. The
+	// verified envelope requires converging via Sync *before* adding local
+	// operations on the pulled-from side (see TestStoreSyncDiscipline).
+	if err := s.Pull("main", "dev"); !errors.Is(err, store.ErrUnsoundMerge) {
+		t.Fatalf("reverse Pull = %v, want ErrUnsoundMerge", err)
+	}
+}
+
+func TestStoreSyncDiscipline(t *testing.T) {
+	// The same workload as TestStoreUnsoundMergeDetected, but converging
+	// with atomic Sync at each exchange: every merge stays inside the
+	// Ψ_lca envelope and the replicas converge exactly.
+	s := counterStore()
+	inc(t, s, "main", 1)
+	s.Fork("main", "dev")
+	inc(t, s, "main", 2)
+	inc(t, s, "dev", 4)
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "dev", 8)
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	d, _ := s.Head("dev")
+	if m != 15 || d != 15 {
+		t.Fatalf("converged main=%d dev=%d, want 15", m, d)
+	}
+}
+
+func TestStoreFastForwardAdoptsCommit(t *testing.T) {
+	// A fast-forward pull must adopt the source's head commit rather than
+	// create a new one, keeping the DAG transparent for later LCAs.
+	s := counterStore()
+	s.Fork("main", "dev")
+	inc(t, s, "main", 3)
+	if err := s.Pull("dev", "main"); err != nil {
+		t.Fatal(err)
+	}
+	hm, _ := s.HeadHash("main")
+	hd, _ := s.HeadHash("dev")
+	if hm != hd {
+		t.Fatal("fast-forward must adopt the source head commit")
+	}
+}
+
+func TestStoreFastForwardLCA(t *testing.T) {
+	// dev is strictly behind main: LCA is dev's own head, and pulling from
+	// an identical or ancestor branch must not change anything incorrectly.
+	s := counterStore()
+	inc(t, s, "main", 1)
+	s.Fork("main", "dev")
+	inc(t, s, "main", 2)
+	if err := s.Pull("dev", "main"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Head("dev")
+	if d != 3 {
+		t.Fatalf("fast-forward pull = %d, want 3", d)
+	}
+	// Pull with no divergence is a no-op.
+	before, _ := s.HeadHash("main")
+	if err := s.Pull("main", "main"); err == nil {
+		// merging a branch into itself: heads equal, no-op
+		after, _ := s.HeadHash("main")
+		if before != after {
+			t.Fatal("self-pull must be a no-op")
+		}
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := counterStore()
+	if _, err := s.Apply("ghost", counter.Op{Kind: counter.Inc, N: 1}); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := s.Fork("ghost", "x"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("Fork src: %v", err)
+	}
+	if err := s.Fork("main", "main"); !errors.Is(err, store.ErrBranchExists) {
+		t.Fatalf("Fork dup: %v", err)
+	}
+	if _, err := s.Head("ghost"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("Head: %v", err)
+	}
+	if err := s.Pull("main", "ghost"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("Pull: %v", err)
+	}
+	if _, err := s.Size("ghost"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("Size: %v", err)
+	}
+	if _, err := s.HeadHash("ghost"); !errors.Is(err, store.ErrNoBranch) {
+		t.Fatalf("HeadHash: %v", err)
+	}
+}
+
+func TestStoreBranchesSorted(t *testing.T) {
+	s := counterStore()
+	s.Fork("main", "zeta")
+	s.Fork("main", "alpha")
+	got := s.Branches()
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "main" || got[2] != "zeta" {
+		t.Fatalf("Branches = %v", got)
+	}
+}
+
+func TestStoreORSetAddWinsAcrossBranches(t *testing.T) {
+	s := orsetStore()
+	if _, err := s.Apply("main", orset.Op{Kind: orset.Add, E: 7}); err != nil {
+		t.Fatal(err)
+	}
+	s.Fork("main", "dev")
+	// main re-adds 7 (refreshing its timestamp); dev removes it.
+	s.Apply("main", orset.Op{Kind: orset.Add, E: 7})
+	s.Apply("dev", orset.Op{Kind: orset.Remove, E: 7})
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Apply("main", orset.Op{Kind: orset.Lookup, E: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Found {
+		t.Fatal("concurrent add must win against remove")
+	}
+	d, _ := s.Apply("dev", orset.Op{Kind: orset.Lookup, E: 7})
+	if !d.Found {
+		t.Fatal("both replicas must converge to the add-wins outcome")
+	}
+}
+
+func TestStoreTimestampsRespectMergeOrder(t *testing.T) {
+	// After a pull, new operations on the destination must carry larger
+	// timestamps than everything merged in (Ψ_ts across replicas).
+	s := orsetStore()
+	s.Fork("main", "dev")
+	for i := 0; i < 20; i++ {
+		s.Apply("dev", orset.Op{Kind: orset.Add, E: int64(i)})
+	}
+	if err := s.Pull("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	s.Apply("main", orset.Op{Kind: orset.Add, E: 99})
+	head, _ := s.Head("main")
+	var tsOf99, maxOther core.Timestamp
+	for _, p := range head {
+		if p.E == 99 {
+			tsOf99 = p.T
+		} else if p.T > maxOther {
+			maxOther = p.T
+		}
+	}
+	if tsOf99 <= maxOther {
+		t.Fatalf("post-merge op timestamp %d must exceed merged-in max %d", tsOf99, maxOther)
+	}
+}
+
+func TestStoreConcurrentApplies(t *testing.T) {
+	s := counterStore()
+	s.Fork("main", "dev")
+	var wg sync.WaitGroup
+	for _, b := range []string{"main", "dev"} {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := s.Apply(b, counter.Op{Kind: counter.Inc, N: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	if m != 400 {
+		t.Fatalf("converged counter = %d, want 400", m)
+	}
+}
+
+func TestStoreCommitDAGShape(t *testing.T) {
+	s := counterStore()
+	inc(t, s, "main", 1)
+	h, _ := s.HeadHash("main")
+	c, ok := s.Commit(h)
+	if !ok {
+		t.Fatal("head commit missing")
+	}
+	if len(c.Parents) != 1 || c.Gen != 2 {
+		t.Fatalf("op commit shape: %+v", c)
+	}
+	s.Fork("main", "dev")
+	inc(t, s, "main", 1)
+	inc(t, s, "dev", 1)
+	s.Pull("main", "dev")
+	h, _ = s.HeadHash("main")
+	c, _ = s.Commit(h)
+	if len(c.Parents) != 2 {
+		t.Fatalf("merge commit must have two parents: %+v", c)
+	}
+	if _, ok := s.Commit(store.Hash{}); ok {
+		t.Fatal("zero hash must not resolve")
+	}
+}

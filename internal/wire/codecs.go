@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"repro/internal/alphamap"
+	"repro/internal/chat"
+	"repro/internal/counter"
+	"repro/internal/ewflag"
+	"repro/internal/gmap"
+	"repro/internal/gset"
+	"repro/internal/lwwreg"
+	"repro/internal/mlog"
+	"repro/internal/orset"
+	"repro/internal/queue"
+)
+
+// IncCounter is the codec for the increment-only counter.
+type IncCounter struct{}
+
+// Encode serializes the counter.
+func (IncCounter) Encode(s int64) []byte {
+	var w Writer
+	w.PutInt64(s)
+	return w.Bytes()
+}
+
+// Decode deserializes the counter.
+func (IncCounter) Decode(b []byte) (int64, error) {
+	r := NewReader(b)
+	v := r.Int64()
+	return v, r.Close()
+}
+
+// PNCounter is the codec for the PN-counter.
+type PNCounter struct{}
+
+// Encode serializes the PN-counter.
+func (PNCounter) Encode(s counter.PNState) []byte {
+	var w Writer
+	w.PutInt64(s.P)
+	w.PutInt64(s.N)
+	return w.Bytes()
+}
+
+// Decode deserializes the PN-counter.
+func (PNCounter) Decode(b []byte) (counter.PNState, error) {
+	r := NewReader(b)
+	s := counter.PNState{P: r.Int64(), N: r.Int64()}
+	return s, r.Close()
+}
+
+// EWFlag is the codec for the enable-wins flag.
+type EWFlag struct{}
+
+// Encode serializes the flag.
+func (EWFlag) Encode(s ewflag.State) []byte {
+	var w Writer
+	w.PutInt64(s.Enables)
+	w.PutBool(s.Flag)
+	return w.Bytes()
+}
+
+// Decode deserializes the flag.
+func (EWFlag) Decode(b []byte) (ewflag.State, error) {
+	r := NewReader(b)
+	s := ewflag.State{Enables: r.Int64(), Flag: r.Bool()}
+	return s, r.Close()
+}
+
+// LWWReg is the codec for the last-writer-wins register.
+type LWWReg struct{}
+
+// Encode serializes the register.
+func (LWWReg) Encode(s lwwreg.State) []byte {
+	var w Writer
+	w.PutTimestamp(s.T)
+	w.PutInt64(s.V)
+	return w.Bytes()
+}
+
+// Decode deserializes the register.
+func (LWWReg) Decode(b []byte) (lwwreg.State, error) {
+	r := NewReader(b)
+	s := lwwreg.State{T: r.Timestamp(), V: r.Int64()}
+	return s, r.Close()
+}
+
+// GSet is the codec for the grow-only set.
+type GSet struct{}
+
+// Encode serializes the set.
+func (GSet) Encode(s gset.State) []byte {
+	var w Writer
+	w.PutLen(len(s))
+	for _, e := range s {
+		w.PutInt64(e)
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the set.
+func (GSet) Decode(b []byte) (gset.State, error) {
+	r := NewReader(b)
+	n := r.Len(8)
+	s := make(gset.State, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, r.Int64())
+	}
+	return s, r.Close()
+}
+
+// GMap is the codec for the grow-only map.
+type GMap struct{}
+
+// Encode serializes the map.
+func (GMap) Encode(s gmap.State) []byte {
+	var w Writer
+	w.PutLen(len(s))
+	for _, e := range s {
+		w.PutString(e.K)
+		w.PutTimestamp(e.T)
+		w.PutInt64(e.V)
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the map.
+func (GMap) Decode(b []byte) (gmap.State, error) {
+	r := NewReader(b)
+	n := r.Len(20)
+	s := make(gmap.State, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, gmap.Entry{K: r.String(), T: r.Timestamp(), V: r.Int64()})
+	}
+	return s, r.Close()
+}
+
+// MLog is the codec for the mergeable log.
+type MLog struct{}
+
+// Encode serializes the log.
+func (MLog) Encode(s mlog.State) []byte {
+	var w Writer
+	w.PutLen(len(s))
+	for _, e := range s {
+		w.PutTimestamp(e.T)
+		w.PutString(e.Msg)
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the log.
+func (MLog) Decode(b []byte) (mlog.State, error) {
+	r := NewReader(b)
+	n := r.Len(12)
+	s := make(mlog.State, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, mlog.Entry{T: r.Timestamp(), Msg: r.String()})
+	}
+	return s, r.Close()
+}
+
+func encodePairs(w *Writer, ps []orset.Pair) {
+	w.PutLen(len(ps))
+	for _, p := range ps {
+		w.PutInt64(p.E)
+		w.PutTimestamp(p.T)
+	}
+}
+
+func decodePairs(r *Reader) []orset.Pair {
+	n := r.Len(16)
+	ps := make([]orset.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, orset.Pair{E: r.Int64(), T: r.Timestamp()})
+	}
+	return ps
+}
+
+// OrSet is the codec for the unoptimized OR-set.
+type OrSet struct{}
+
+// Encode serializes the set.
+func (OrSet) Encode(s orset.State) []byte {
+	var w Writer
+	encodePairs(&w, s)
+	return w.Bytes()
+}
+
+// Decode deserializes the set.
+func (OrSet) Decode(b []byte) (orset.State, error) {
+	r := NewReader(b)
+	ps := decodePairs(r)
+	return orset.State(ps), r.Close()
+}
+
+// OrSetSpace is the codec for the space-efficient OR-set.
+type OrSetSpace struct{}
+
+// Encode serializes the set.
+func (OrSetSpace) Encode(s orset.SpaceState) []byte {
+	var w Writer
+	encodePairs(&w, s)
+	return w.Bytes()
+}
+
+// Decode deserializes the set.
+func (OrSetSpace) Decode(b []byte) (orset.SpaceState, error) {
+	r := NewReader(b)
+	ps := decodePairs(r)
+	return orset.SpaceState(ps), r.Close()
+}
+
+// OrSetSpaceTime is the codec for the tree-backed OR-set. The tree is
+// serialized as its in-order pair sequence and rebuilt perfectly balanced,
+// which preserves observable behaviour (the paper's convergence modulo
+// observable behaviour makes tree shape unobservable).
+type OrSetSpaceTime struct{}
+
+// Encode serializes the set.
+func (OrSetSpaceTime) Encode(s orset.TreeState) []byte {
+	var w Writer
+	encodePairs(&w, orset.Flatten(s))
+	return w.Bytes()
+}
+
+// Decode deserializes the set.
+func (OrSetSpaceTime) Decode(b []byte) (orset.TreeState, error) {
+	r := NewReader(b)
+	ps := decodePairs(r)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return orset.BuildBalanced(orset.SpaceState(ps)), nil
+}
+
+// Queue is the codec for the replicated functional queue. The queue is
+// serialized oldest-first; decoding rebuilds the two-list representation
+// with everything in the front list, an observationally equivalent state.
+type Queue struct{}
+
+// Encode serializes the queue.
+func (Queue) Encode(s queue.State) []byte {
+	var w Writer
+	ps := s.ToSlice()
+	w.PutLen(len(ps))
+	for _, p := range ps {
+		w.PutTimestamp(p.T)
+		w.PutInt64(p.V)
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the queue.
+func (Queue) Decode(b []byte) (queue.State, error) {
+	r := NewReader(b)
+	n := r.Len(16)
+	ps := make([]queue.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, queue.Pair{T: r.Timestamp(), V: r.Int64()})
+	}
+	if err := r.Close(); err != nil {
+		return queue.State{}, err
+	}
+	return queue.FromSlice(ps), nil
+}
+
+// Chat is the codec for the IRC-style chat (an α-map of mergeable logs).
+type Chat struct{}
+
+// Encode serializes the chat state.
+func (Chat) Encode(s chat.State) []byte {
+	var w Writer
+	w.PutLen(len(s))
+	var ml MLog
+	for _, e := range s {
+		w.PutString(e.K)
+		payload := ml.Encode(e.V)
+		w.PutLen(len(payload))
+		w.buf = append(w.buf, payload...)
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the chat state.
+func (Chat) Decode(b []byte) (chat.State, error) {
+	r := NewReader(b)
+	n := r.Len(8)
+	var ml MLog
+	s := make(chat.State, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		payloadLen := r.Len(1)
+		if r.err != nil || !r.need(payloadLen) {
+			break
+		}
+		inner, err := ml.Decode(r.buf[r.off : r.off+payloadLen])
+		if err != nil {
+			return nil, err
+		}
+		r.off += payloadLen
+		s = append(s, alphamap.Entry[mlog.State]{K: k, V: inner})
+	}
+	return s, r.Close()
+}

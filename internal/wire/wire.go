@@ -1,0 +1,153 @@
+// Package wire provides compact binary codecs for every MRDT state in the
+// library. The versioned store uses encoding for content addressing and
+// space accounting; the network replication layer (internal/replica)
+// additionally needs decoding to ship states between geo-distributed
+// replicas, which is how the paper's system model deploys MRDTs (replicas
+// exchange branch states, not operations).
+//
+// The format is deliberately simple: fixed-width big-endian integers and
+// length-prefixed strings, concatenated in state order. Every Decode
+// validates lengths and returns an error on truncated or trailing input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrMalformed is wrapped by all decoding errors.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// Codec serializes and deserializes states of type S.
+type Codec[S any] interface {
+	Encode(S) []byte
+	Decode([]byte) (S, error)
+}
+
+// Writer accumulates a payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// PutInt64 appends a fixed-width integer.
+func (w *Writer) PutInt64(v int64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+}
+
+// PutTimestamp appends a timestamp.
+func (w *Writer) PutTimestamp(t core.Timestamp) { w.PutInt64(int64(t)) }
+
+// PutBool appends a boolean.
+func (w *Writer) PutBool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// PutString appends a length-prefixed string.
+func (w *Writer) PutString(s string) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// PutLen appends a collection length.
+func (w *Writer) PutLen(n int) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(n))
+}
+
+// Reader consumes a payload.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrMalformed, n, r.off, len(r.buf))
+		return false
+	}
+	return true
+}
+
+// Int64 consumes a fixed-width integer.
+func (r *Reader) Int64() int64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := int64(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Timestamp consumes a timestamp.
+func (r *Reader) Timestamp() core.Timestamp { return core.Timestamp(r.Int64()) }
+
+// Bool consumes a boolean.
+func (r *Reader) Bool() bool {
+	if !r.need(1) {
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	if v > 1 {
+		r.err = fmt.Errorf("%w: bad bool byte %d", ErrMalformed, v)
+		return false
+	}
+	return v == 1
+}
+
+// Len consumes a collection length, bounding it by the remaining payload
+// so corrupt lengths cannot trigger huge allocations.
+func (r *Reader) Len(elemMin int) int {
+	if !r.need(4) {
+		return 0
+	}
+	n := int(binary.BigEndian.Uint32(r.buf[r.off:]))
+	r.off += 4
+	if elemMin > 0 && n > (len(r.buf)-r.off)/elemMin {
+		r.err = fmt.Errorf("%w: length %d exceeds remaining payload", ErrMalformed, n)
+		return 0
+	}
+	return n
+}
+
+// String consumes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	if r.err != nil || !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Close verifies the payload was fully consumed and returns the first
+// error.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
+	}
+	return nil
+}
