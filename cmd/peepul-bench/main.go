@@ -3,6 +3,7 @@
 //
 //	peepul-bench                 # everything, paper-scale sweeps
 //	peepul-bench -fig 12         # one figure
+//	peepul-bench -fig sync       # sync cost: delta vs full-history replication
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //
@@ -20,17 +21,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
 	flag.Parse()
 
-	fig12Ns, fig13Ns, fig14Ns := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns
+	fig12Ns, fig13Ns, fig14Ns, syncNs := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns, bench.SyncNs
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
 		fig14Ns = []int{2000, 5000, 10000}
+		syncNs = []int{32, 128}
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -47,9 +49,10 @@ func main() {
 	run("14", func() { bench.PrintFig14(os.Stdout, bench.Fig14(fig14Ns, *seed)) })
 	run("15", func() { bench.PrintFig15(os.Stdout, bench.Fig15(fig14Ns, *seed)) })
 	run("table3", func() { bench.PrintTable3(os.Stdout, bench.Table3(*scale)) })
+	run("sync", func() { bench.PrintSyncCost(os.Stdout, bench.SyncCost(syncNs, *seed)) })
 
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3":
+	case "all", "12", "13", "14", "15", "table3", "sync":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

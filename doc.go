@@ -5,8 +5,8 @@
 // replication-aware simulation machinery recast as an executable
 // certification harness.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for the paper-versus-measured
-// record of every figure and table. The root package carries the
-// benchmark suite (bench_test.go) that regenerates the evaluation.
+// See README.md for the tour and DESIGN.md for the system inventory,
+// the sync protocol specification, and the experiment index. The root
+// package carries the benchmark suite (bench_test.go) that regenerates
+// the evaluation.
 package repro

@@ -1,9 +1,11 @@
 // Queue workers: the replicated functional queue (§6) as a distributed
 // task queue with at-least-once delivery — the semantics of Amazon SQS or
-// RabbitMQ that the paper cites. A producer enqueues jobs; two workers on
-// different branches dequeue concurrently; merging reconciles: a job
-// dequeued anywhere disappears everywhere, so a job may run twice (both
-// workers grabbed it before syncing) but is never lost.
+// RabbitMQ that the paper cites. A producer and two workers run as real
+// replicas on loopback TCP; the workers dequeue concurrently and gossip
+// reconciles: a job dequeued anywhere disappears everywhere, so a job may
+// run twice (both workers grabbed it before syncing) but is never lost.
+// Every sync is an incremental delta exchange — only the missing commits
+// cross the wire.
 //
 // The example also replays Figure 11's worked merge exactly.
 //
@@ -15,7 +17,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queue"
-	"repro/internal/store"
+	"repro/internal/replica"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -53,58 +56,65 @@ func figure11() {
 	fmt.Println("]  (paper: [3,4,5,6,7,8,9])")
 }
 
+type qnode = replica.Node[queue.State, queue.Op, queue.Val]
+
 func workers() {
-	codec := store.FuncCodec[queue.State](func(s queue.State) []byte {
-		var buf []byte
-		for _, p := range s.ToSlice() {
-			buf = store.AppendTimestamp(buf, p.T)
-			buf = store.AppendInt64(buf, p.V)
-		}
-		return buf
-	})
-	st := store.New[queue.State, queue.Op, queue.Val](queue.Queue{}, codec, "producer")
-	must(st.Fork("producer", "worker-1"))
-	must(st.Fork("producer", "worker-2"))
+	mk := func(name string, id int) *qnode {
+		n, err := replica.NewNode[queue.State, queue.Op, queue.Val](name, id, queue.Queue{}, wire.Queue{})
+		must(err)
+		must(n.Listen("127.0.0.1:0"))
+		return n
+	}
+	producer := mk("producer", 1)
+	w1 := mk("worker-1", 2)
+	w2 := mk("worker-2", 3)
+	defer producer.Close()
+	defer w1.Close()
+	defer w2.Close()
 
 	// The producer enqueues six jobs and the workers sync to see them.
 	for job := int64(1); job <= 6; job++ {
-		st.Apply("producer", queue.Op{Kind: queue.Enqueue, V: job})
+		producer.Do(queue.Op{Kind: queue.Enqueue, V: job})
 	}
-	must(st.Sync("producer", "worker-1"))
-	must(st.Sync("producer", "worker-2"))
+	must(w1.SyncWith(producer.Addr()))
+	must(w2.SyncWith(producer.Addr()))
 
 	// Each worker processes two jobs offline. Both grab the queue head, so
-	// job 1 runs on both workers — at-least-once, never lost.
+	// jobs 1 and 2 run on both workers — at-least-once, never lost.
 	processed := map[string][]int64{}
-	for _, w := range []string{"worker-1", "worker-2"} {
+	for _, w := range []*qnode{w1, w2} {
 		for i := 0; i < 2; i++ {
-			v, _ := st.Apply(w, queue.Op{Kind: queue.Dequeue})
+			v, _ := w.Do(queue.Op{Kind: queue.Dequeue})
 			if v.OK {
-				processed[w] = append(processed[w], v.V)
+				processed[w.Name()] = append(processed[w.Name()], v.V)
 			}
 		}
 	}
-	for _, w := range []string{"worker-1", "worker-2"} {
-		fmt.Printf("%s processed jobs %v\n", w, processed[w])
+	for _, w := range []*qnode{w1, w2} {
+		fmt.Printf("%s processed jobs %v\n", w.Name(), processed[w.Name()])
 	}
 
-	// Gossip the dequeues back through the producer.
-	must(st.Sync("producer", "worker-1"))
-	must(st.Sync("producer", "worker-2"))
-	must(st.Sync("producer", "worker-1"))
+	// Gossip the dequeues back through the producer; each exchange ships
+	// only the commits the other side is missing.
+	must(w1.SyncWith(producer.Addr()))
+	must(w2.SyncWith(producer.Addr()))
+	must(w1.SyncWith(producer.Addr()))
 
 	var remaining []int64
-	head, _ := st.Head("producer")
+	head, err := producer.State()
+	must(err)
 	for _, p := range head.ToSlice() {
 		remaining = append(remaining, p.V)
 	}
 	fmt.Printf("jobs still queued after reconciliation: %v\n", remaining)
-	// Jobs 1 and 2 ran on worker-1; 1 and 2 also ran on worker-2 (same
-	// heads). After merging, every dequeued job is gone exactly once from
-	// the queue: 3..6 remain.
+	// After merging, every dequeued job is gone exactly once from the
+	// queue: 3..6 remain.
 	if len(remaining) != 4 || remaining[0] != 3 {
 		panic(fmt.Sprintf("unexpected queue state: %v", remaining))
 	}
+	st := producer.Stats()
+	fmt.Printf("producer wire: %d B sent, %d B recv, %d delta syncs, %d fallbacks\n",
+		st.BytesSent, st.BytesRecv, st.DeltaSyncs, st.Fallbacks)
 }
 
 func must(err error) {

@@ -48,6 +48,19 @@ func PrintFig15(w io.Writer, rows []Fig15Row) {
 	}
 }
 
+// PrintSyncCost renders the sync-cost table: wire bytes and wall time of
+// one exchange (pair) or one gossip round (ring) against history length,
+// legacy full-history protocol versus incremental delta protocol.
+func PrintSyncCost(w io.Writer, rows []SyncCostRow) {
+	fmt.Fprintln(w, "Sync cost: wire bytes per exchange, full-history vs incremental delta")
+	fmt.Fprintf(w, "%10s %8s %8s %10s %12s %10s %12s\n",
+		"#history", "topo", "phase", "proto", "bytes", "commits", "time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %8s %8s %10s %12d %10d %12s\n",
+			r.History, r.Topology, r.Phase, r.Proto, r.Bytes, r.Commits, fmtDur(r.Elapsed))
+	}
+}
+
 // Table3 runs the certification harness for every MRDT and returns the
 // reports — the reproduction's analogue of the paper's Table 3.
 func Table3(scale float64) []sim.Report {

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+// Sync-cost benchmark: wire bytes and wall time of a replica sync as a
+// function of history length, for the legacy full-history protocol and
+// the incremental delta protocol, over pair and ring topologies. The
+// full protocol's cost grows with the whole history on every exchange;
+// the delta protocol pays O(frontier) once a pair has converged and
+// O(gap) when it has not — the difference this table measures.
+
+// SyncCostRow is one measured sync exchange (or ring round).
+type SyncCostRow struct {
+	// History is the number of operations committed before measuring.
+	History int
+	// Topology is "pair" (one exchange) or "ring" (a 3-node round).
+	Topology string
+	// Proto is "full" (legacy one-shot) or "delta" (frontier-negotiated).
+	Proto string
+	// Phase is "resync" (already converged) or "fresh-op" (one operation
+	// behind).
+	Phase string
+	// Bytes counts wire traffic in both directions, client side.
+	Bytes int64
+	// Commits counts commits shipped in either direction.
+	Commits int64
+	// Elapsed is the wall time of the exchange.
+	Elapsed time.Duration
+}
+
+// SyncNs is the history-length sweep of the sync-cost benchmark.
+var SyncNs = []int{64, 256, 1024}
+
+type syncNode = replica.Node[counter.PNState, counter.Op, counter.Val]
+
+func newSyncNode(name string, id int) *syncNode {
+	n, err := replica.NewNode[counter.PNState, counter.Op, counter.Val](
+		name, id, counter.PNCounter{}, wire.PNCounter{})
+	if err != nil {
+		panic(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func syncInc(n *syncNode) {
+	if _, err := n.Do(counter.Op{Kind: counter.Inc, N: 1}); err != nil {
+		panic(err)
+	}
+}
+
+// measureSync runs one client→server exchange under the given protocol
+// and returns its wire cost from the stats deltas of both nodes.
+func measureSync(client, server *syncNode, proto string) (int64, int64, time.Duration) {
+	if proto == "full" {
+		client.SetFullSyncOnly(true)
+		defer client.SetFullSyncOnly(false)
+	}
+	cb, sb := client.Stats(), server.Stats()
+	start := time.Now()
+	if err := client.SyncWith(server.Addr()); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	ca, sa := client.Stats(), server.Stats()
+	bytes := (ca.BytesSent - cb.BytesSent) + (ca.BytesRecv - cb.BytesRecv)
+	commits := (ca.CommitsSent - cb.CommitsSent) + (sa.CommitsSent - sb.CommitsSent)
+	return bytes, commits, elapsed
+}
+
+// SyncCost measures sync cost across the history sweep. Histories are
+// built with seeded random op placement and periodic delta syncs, then
+// fully converged before measuring.
+func SyncCost(ns []int, seed int64) []SyncCostRow {
+	var rows []SyncCostRow
+	for _, n := range ns {
+		rows = append(rows, pairSyncCost(n, seed)...)
+		rows = append(rows, ringSyncCost(n, seed)...)
+	}
+	return rows
+}
+
+func pairSyncCost(history int, seed int64) []SyncCostRow {
+	a := newSyncNode("a", 1)
+	defer a.Close()
+	b := newSyncNode("b", 2)
+	defer b.Close()
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < history; i++ {
+		if r.Intn(2) == 0 {
+			syncInc(a)
+		} else {
+			syncInc(b)
+		}
+		if i%16 == 15 {
+			measureSync(a, b, "delta")
+		}
+	}
+	measureSync(a, b, "delta")
+	measureSync(a, b, "delta") // fully converged
+
+	var rows []SyncCostRow
+	for _, proto := range []string{"full", "delta"} {
+		by, cm, el := measureSync(a, b, proto)
+		rows = append(rows, SyncCostRow{
+			History: history, Topology: "pair", Proto: proto, Phase: "resync",
+			Bytes: by, Commits: cm, Elapsed: el,
+		})
+	}
+	for _, proto := range []string{"full", "delta"} {
+		syncInc(a)
+		by, cm, el := measureSync(a, b, proto)
+		rows = append(rows, SyncCostRow{
+			History: history, Topology: "pair", Proto: proto, Phase: "fresh-op",
+			Bytes: by, Commits: cm, Elapsed: el,
+		})
+	}
+	return rows
+}
+
+func ringSyncCost(history int, seed int64) []SyncCostRow {
+	nodes := []*syncNode{newSyncNode("eu", 4), newSyncNode("us", 5), newSyncNode("ap", 6)}
+	for _, n := range nodes {
+		defer n.Close()
+	}
+	ringRound := func(proto string) (int64, int64, time.Duration) {
+		var bytes, commits int64
+		var elapsed time.Duration
+		for i := range nodes {
+			by, cm, el := measureSync(nodes[i], nodes[(i+1)%len(nodes)], proto)
+			bytes += by
+			commits += cm
+			elapsed += el
+		}
+		return bytes, commits, elapsed
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < history; i++ {
+		syncInc(nodes[r.Intn(len(nodes))])
+		if i%24 == 23 {
+			ringRound("delta")
+		}
+	}
+	ringRound("delta")
+	ringRound("delta") // fully converged
+
+	var rows []SyncCostRow
+	for _, proto := range []string{"full", "delta"} {
+		by, cm, el := ringRound(proto)
+		rows = append(rows, SyncCostRow{
+			History: history, Topology: "ring", Proto: proto, Phase: "resync",
+			Bytes: by, Commits: cm, Elapsed: el,
+		})
+	}
+	return rows
+}

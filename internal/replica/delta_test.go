@@ -1,0 +1,357 @@
+package replica_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// commitsMoved sums the commits shipped in both directions between two
+// stats snapshots of the same node.
+func commitsMoved(before, after replica.SyncStats) int64 {
+	return (after.CommitsSent - before.CommitsSent) + (after.CommitsRecv - before.CommitsRecv)
+}
+
+func bytesMoved(before, after replica.SyncStats) int64 {
+	return (after.BytesSent - before.BytesSent) + (after.BytesRecv - before.BytesRecv)
+}
+
+// peek reads a counter node's value without committing an operation (Do
+// with a Read op would append a commit and de-converge the fleet).
+func peek(t *testing.T, n *counterNode) int64 {
+	t.Helper()
+	s, err := n.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.P - s.N
+}
+
+// TestDeltaResyncTransfersNothing is the heart of the refactor: once a
+// pair has converged, another sync ships zero commits and O(frontier)
+// bytes, independent of how long the shared history is.
+func TestDeltaResyncTransfersNothing(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	const history = 300
+	for i := 0; i < history; i++ {
+		if i%2 == 0 {
+			inc(t, a, 1)
+		} else {
+			inc(t, b, 1)
+		}
+		if i%32 == 31 {
+			if err := a.SyncWith(b.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	before := a.Stats()
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if moved := commitsMoved(before, after); moved != 0 {
+		t.Fatalf("re-sync of a converged pair moved %d commits, want 0", moved)
+	}
+	// One hello each way plus two empty deltas: a few KiB of frontier,
+	// however long the history. 300+ commits of full export would be far
+	// larger (each commit alone carries a 32-byte parent hash + state).
+	if by := bytesMoved(before, after); by > 16<<10 {
+		t.Fatalf("re-sync cost %d bytes, want O(frontier)", by)
+	}
+	if after.Fallbacks != before.Fallbacks {
+		t.Fatal("converged re-sync must not fall back to full export")
+	}
+
+	// The same re-sync through the legacy protocol moves the whole
+	// history — the contrast the delta engine exists to eliminate.
+	a.SetFullSyncOnly(true)
+	defer a.SetFullSyncOnly(false)
+	before = a.Stats()
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	after = a.Stats()
+	if moved := commitsMoved(before, after); moved < int64(history) {
+		t.Fatalf("full re-sync moved %d commits, expected at least the %d-op history", moved, history)
+	}
+}
+
+// TestDeltaCrissCrossConverges drives alternating-direction syncs with
+// operations interleaved on both sides, producing criss-cross merge
+// patterns in the DAG; the delta path must converge exactly like the
+// full path, with the store's virtual merge bases doing their job.
+func TestDeltaCrissCrossConverges(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	var want int64
+	for round := 0; round < 6; round++ {
+		inc(t, a, 1)
+		inc(t, b, 10)
+		want += 11
+		var err error
+		if round%2 == 0 {
+			err = a.SyncWith(b.Addr())
+		} else {
+			err = b.SyncWith(a.Addr())
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if av, bv := read(t, a), read(t, b); av != want || bv != want {
+			t.Fatalf("round %d: a=%d b=%d, want %d", round, av, bv, want)
+		}
+	}
+	if st := a.Stats(); st.DeltaSyncs == 0 || st.Fallbacks != 0 {
+		t.Fatalf("criss-cross must run on the delta path: %+v", st)
+	}
+}
+
+// TestDeltaRingGossip replays the third-party-gossip scenario on the
+// delta path: history reaches a node indirectly around the ring, the
+// store's LCA sees through it, and once the ring has converged a further
+// gossip round moves zero commits.
+func TestDeltaRingGossip(t *testing.T) {
+	eu := newCounterNode(t, "eu", 1)
+	us := newCounterNode(t, "us", 2)
+	ap := newCounterNode(t, "ap", 3)
+	ring := []*counterNode{eu, us, ap}
+	inc(t, eu, 1)
+	inc(t, us, 10)
+	inc(t, ap, 100)
+	ringRound := func() {
+		t.Helper()
+		if err := eu.SyncWith(us.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := us.SyncWith(ap.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ap.SyncWith(eu.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		ringRound()
+	}
+	for _, n := range ring {
+		if v := peek(t, n); v != 111 {
+			t.Fatalf("%s = %d, want 111 (no double counting around the ring)", n.Name(), v)
+		}
+	}
+	// Converged ring: one more full round is all frontier, no commits.
+	var before [3]replica.SyncStats
+	for i, n := range ring {
+		before[i] = n.Stats()
+	}
+	ringRound()
+	var moved int64
+	for i, n := range ring {
+		after := n.Stats()
+		moved += after.CommitsSent - before[i].CommitsSent
+		if after.Fallbacks != before[i].Fallbacks {
+			t.Fatalf("%s fell back to full export on a converged ring", n.Name())
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("converged ring round shipped %d commits, want 0", moved)
+	}
+}
+
+// TestDeltaMeshGossip interleaves operations with syncs across every pair
+// of a four-node mesh, then checks convergence and that a final sweep
+// over all pairs ships zero commits.
+func TestDeltaMeshGossip(t *testing.T) {
+	const nodes = 4
+	var mesh []*counterNode
+	var want int64
+	for i := 0; i < nodes; i++ {
+		mesh = append(mesh, newCounterNode(t, fmt.Sprintf("m%d", i), i+1))
+	}
+	sweep := func() {
+		t.Helper()
+		for i := range mesh {
+			for j := range mesh {
+				if i == j {
+					continue
+				}
+				if err := mesh[i].SyncWith(mesh[j].Addr()); err != nil {
+					t.Fatalf("sync m%d -> m%d: %v", i, j, err)
+				}
+			}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i, n := range mesh {
+			amt := int64(i + 1)
+			inc(t, n, amt)
+			want += amt
+		}
+		sweep()
+	}
+	for i, n := range mesh {
+		if v := peek(t, n); v != want {
+			t.Fatalf("m%d = %d, want %d", i, v, want)
+		}
+	}
+	var before []replica.SyncStats
+	for _, n := range mesh {
+		before = append(before, n.Stats())
+	}
+	sweep()
+	var moved int64
+	for i, n := range mesh {
+		moved += n.Stats().CommitsSent - before[i].CommitsSent
+	}
+	if moved != 0 {
+		t.Fatalf("converged mesh sweep shipped %d commits, want 0", moved)
+	}
+}
+
+// legacyV1Server is a minimal peer speaking only the legacy one-shot
+// protocol: any v2 hello is answered with an error, exactly like a
+// pre-delta node. It drives the client's fallback path.
+func legacyV1Server(t *testing.T) (addr string, st *store.Store[counter.PNState, counter.Op, counter.Val]) {
+	t.Helper()
+	st = store.NewAt[counter.PNState, counter.Op, counter.Val](
+		counter.PNCounter{}, wire.PNCounter{}, "legacy", 900*64)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				kind, fields, err := wire.ReadMsg(conn)
+				if err != nil || kind != wire.FrameSyncRequest || len(fields) != 2 {
+					wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+					return
+				}
+				commits, head, err := wire.DecodeCommitList(fields[1])
+				if err != nil {
+					wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+					return
+				}
+				track := "remote/" + string(fields[0])
+				if err := st.Import(track, commits, head, wire.PNCounter{}); err != nil {
+					wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+					return
+				}
+				if err := st.Pull("legacy", track); err != nil {
+					wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+					return
+				}
+				reply, replyHead, err := st.Export("legacy")
+				if err != nil {
+					wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+					return
+				}
+				wire.WriteMsg(conn, wire.FrameSyncResponse, wire.EncodeCommitList(reply, replyHead))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), st
+}
+
+func TestFallbackToLegacyPeer(t *testing.T) {
+	addr, legacy := legacyV1Server(t)
+	if _, err := legacy.Apply("legacy", counter.Op{Kind: counter.Inc, N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	a := newCounterNode(t, "a", 1)
+	inc(t, a, 2)
+	if err := a.SyncWith(addr); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Fallbacks != 1 || st.FullSyncs != 1 || st.DeltaSyncs != 0 {
+		t.Fatalf("expected one fallback to one full sync, got %+v", st)
+	}
+	if v := read(t, a); v != 7 {
+		t.Fatalf("a = %d, want 7 after merging the legacy peer", v)
+	}
+	lv, err := legacy.Head("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lv.P - lv.N; got != 7 {
+		t.Fatalf("legacy = %d, want 7", got)
+	}
+}
+
+func TestSetFullSyncOnly(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	a.SetFullSyncOnly(true)
+	inc(t, a, 3)
+	inc(t, b, 4)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.FullSyncs != 1 || st.DeltaSyncs != 0 || st.Fallbacks != 0 {
+		t.Fatalf("forced full sync stats: %+v", st)
+	}
+	if av, bv := read(t, a), read(t, b); av != 7 || bv != 7 {
+		t.Fatalf("a=%d b=%d, want 7", av, bv)
+	}
+	// The server side of that exchange ran the v1 handler.
+	if st := b.Stats(); st.FullSyncs != 1 {
+		t.Fatalf("server should count a full sync: %+v", st)
+	}
+}
+
+// TestDeltaShipsOnlyTheGap checks the proportionality claim directly: a
+// node that falls k commits behind receives O(k) commits, not the whole
+// history.
+func TestDeltaShipsOnlyTheGap(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	for i := 0; i < 100; i++ {
+		inc(t, a, 1)
+	}
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	const gap = 5
+	for i := 0; i < gap; i++ {
+		inc(t, a, 1)
+	}
+	before := a.Stats()
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	// a ships its gap commits; b's reply adds at most a couple of merge
+	// commits on top.
+	if moved := commitsMoved(before, after); moved > gap+3 {
+		t.Fatalf("gap of %d commits moved %d, want O(gap)", gap, moved)
+	}
+	if av, bv := read(t, a), read(t, b); av != bv {
+		t.Fatalf("diverged: a=%d b=%d", av, bv)
+	}
+	var pe *wire.PeerError
+	if errors.As(errors.New("x"), &pe) {
+		t.Fatal("sanity")
+	}
+}

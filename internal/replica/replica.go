@@ -3,42 +3,107 @@
 // over TCP — the deployment model of the paper's system (Irmin replicas
 // synchronizing Git-style, §1, §7).
 //
-// Each node embeds a full versioned store (internal/store). A sync ships
-// the whole commit DAG of the sender's branch; the receiver imports it
-// under a tracking branch (content addressing deduplicates commits both
-// sides already share) and performs a store Pull, whose DAG-based lowest
-// common ancestor is correct even when history reached a node indirectly
-// through third parties — ring and mesh gossip topologies converge, which
-// per-pair state exchange cannot achieve. The store's Ψ_lca soundness
-// discipline applies verbatim: unsound merges are refused, fast-forwards
-// adopt commits.
+// Each node embeds a full versioned store (internal/store). A sync is an
+// incremental delta exchange (protocol v2): the client opens with a hello
+// carrying its branch frontier — head hash plus a sampled have-set — the
+// server answers with its own frontier, and then each side streams only
+// the commits the other's frontier does not dominate. The receiver grafts
+// the partial DAG onto the commits it already holds (content addressing
+// deduplicates anything shipped twice) and performs a store Pull, whose
+// DAG-based lowest common ancestor is correct even when history reached a
+// node indirectly through third parties — ring and mesh gossip topologies
+// converge, which per-pair state exchange cannot achieve. A re-sync of an
+// already-converged pair therefore costs O(frontier) bytes, not
+// O(history). Peers that do not speak the frontier negotiation (or fail
+// it) are handled by falling back to the legacy v1 one-shot full-history
+// exchange. The store's Ψ_lca soundness discipline applies verbatim:
+// unsound merges are refused, fast-forwards adopt commits.
 package replica
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
 
-// Protocol constants.
-const (
-	msgSyncRequest  = byte(1)
-	msgSyncResponse = byte(2)
-	msgError        = byte(3)
-
-	// maxPayload bounds a single history transfer (64 MiB).
-	maxPayload = 64 << 20
-)
-
 // ErrProtocol is wrapped by all protocol-level failures.
 var ErrProtocol = errors.New("replica: protocol error")
+
+// errFallback marks a failed v2 negotiation; SyncWith retries with the
+// legacy full-history protocol.
+var errFallback = errors.New("replica: delta negotiation unavailable")
+
+// SyncStats counts a node's sync traffic across both client and server
+// roles. Byte counts cover both directions of every connection the node
+// took part in; commit counts are commits shipped, before content-address
+// deduplication on the receiving side.
+type SyncStats struct {
+	BytesSent   int64
+	BytesRecv   int64
+	CommitsSent int64
+	CommitsRecv int64
+	// DeltaSyncs and FullSyncs count completed exchanges by protocol, one
+	// per role (a two-node delta exchange increments each node once).
+	DeltaSyncs int64
+	FullSyncs  int64
+	// Fallbacks counts delta negotiations abandoned for the full path.
+	Fallbacks int64
+}
+
+type syncStats struct {
+	bytesSent, bytesRecv     atomic.Int64
+	commitsSent, commitsRecv atomic.Int64
+	deltaSyncs, fullSyncs    atomic.Int64
+	fallbacks                atomic.Int64
+}
+
+func (s *syncStats) snapshot() SyncStats {
+	return SyncStats{
+		BytesSent:   s.bytesSent.Load(),
+		BytesRecv:   s.bytesRecv.Load(),
+		CommitsSent: s.commitsSent.Load(),
+		CommitsRecv: s.commitsRecv.Load(),
+		DeltaSyncs:  s.deltaSyncs.Load(),
+		FullSyncs:   s.fullSyncs.Load(),
+		Fallbacks:   s.fallbacks.Load(),
+	}
+}
+
+// syncIdleTimeout bounds how long one read or write of a sync exchange
+// may stall. A peer that keeps making progress can transfer arbitrarily
+// much; one that goes silent errors out instead of wedging the node
+// (handlers and SyncWith serialize on syncMu, so an unbounded stall
+// would block every later sync on the node).
+const syncIdleTimeout = 30 * time.Second
+
+// countedConn counts the bytes crossing a connection into a node's stats
+// and refreshes the idle deadline on every read and write.
+type countedConn struct {
+	net.Conn
+	stats *syncStats
+}
+
+func (c countedConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(syncIdleTimeout))
+	n, err := c.Conn.Read(p)
+	c.stats.bytesRecv.Add(int64(n))
+	return n, err
+}
+
+func (c countedConn) Write(p []byte) (int, error) {
+	c.Conn.SetWriteDeadline(time.Now().Add(syncIdleTimeout))
+	n, err := c.Conn.Write(p)
+	c.stats.bytesSent.Add(int64(n))
+	return n, err
+}
 
 // Node is one replica of an MRDT object. It is safe for concurrent use.
 type Node[S, Op, Val any] struct {
@@ -47,6 +112,9 @@ type Node[S, Op, Val any] struct {
 	codec wire.Codec[S]
 
 	syncMu sync.Mutex // serializes sync exchanges on this node
+
+	stats    syncStats
+	fullOnly atomic.Bool
 
 	ln     net.Listener
 	closed chan struct{}
@@ -88,6 +156,14 @@ func (n *Node[S, Op, Val]) Do(op Op) (Val, error) {
 func (n *Node[S, Op, Val]) State() (S, error) {
 	return n.store.Head(n.name)
 }
+
+// Stats returns a snapshot of the node's sync counters.
+func (n *Node[S, Op, Val]) Stats() SyncStats { return n.stats.snapshot() }
+
+// SetFullSyncOnly forces outgoing syncs onto the legacy v1 full-history
+// protocol (the serving side always speaks both). Benchmarks use it to
+// compare protocols; tests use it to pin down the fallback path.
+func (n *Node[S, Op, Val]) SetFullSyncOnly(v bool) { n.fullOnly.Store(v) }
 
 // Listen starts serving sync requests on addr ("127.0.0.1:0" picks a free
 // port). The chosen address is available from Addr.
@@ -137,197 +213,245 @@ func (n *Node[S, Op, Val]) serve() {
 		go func() {
 			defer n.wg.Done()
 			defer conn.Close()
-			n.handle(conn)
+			n.handle(countedConn{Conn: conn, stats: &n.stats})
 		}()
 	}
 }
 
-// handle serves one sync: import the client's history, merge it into the
-// local branch, reply with the merged history.
-func (n *Node[S, Op, Val]) handle(conn net.Conn) {
-	kind, fields, err := readMsg(conn, 2)
-	if err != nil || kind != msgSyncRequest {
-		writeMsg(conn, msgError, []byte("bad request"))
+// handle dispatches one inbound sync by its opening frame: a v2 hello
+// starts the delta negotiation, a v1 request gets the one-shot exchange.
+func (n *Node[S, Op, Val]) handle(conn io.ReadWriter) {
+	kind, fields, err := wire.ReadMsg(conn)
+	if err != nil {
+		wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+		return
+	}
+	switch kind {
+	case wire.FrameHello:
+		n.handleHello(conn, fields)
+	case wire.FrameSyncRequest:
+		n.handleFull(conn, fields)
+	default:
+		wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+	}
+}
+
+// handleHello serves the v2 exchange: answer with the local frontier,
+// read the client's missing-commit delta, merge it, and stream back the
+// commits the client's frontier does not dominate.
+func (n *Node[S, Op, Val]) handleHello(conn io.ReadWriter, fields [][]byte) {
+	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	if len(fields) != 1 {
+		fail("bad hello")
+		return
+	}
+	peer, theirs, err := wire.DecodeHello(fields[0])
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	// The network round-trips happen outside syncMu: a stalled or
+	// malicious client must only tie up its own handler, never the
+	// node's sync path. The frontier needs no lock — it advertises
+	// commits we have, which stays true however concurrent exchanges
+	// advance the branch.
+	mine, err := n.store.Frontier(n.name)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if err := wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(n.name, mine)); err != nil {
+		return
+	}
+	commits, head, err := wire.ReadDelta(conn)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	n.syncMu.Lock()
+	err = n.integrate("remote/"+peer, commits, head)
+	var reply []store.ExportedCommit
+	var replyHead store.Hash
+	if err == nil {
+		reply, replyHead, err = n.store.ExportSince(n.name, theirs.HaveSet())
+	}
+	n.syncMu.Unlock()
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	// Commits are immutable, so the materialized reply stays valid even
+	// if another exchange advances the branch while it streams out.
+	if err := wire.WriteDelta(conn, reply, replyHead); err != nil {
+		return
+	}
+	n.stats.deltaSyncs.Add(1)
+	n.stats.commitsRecv.Add(int64(len(commits)))
+	n.stats.commitsSent.Add(int64(len(reply)))
+}
+
+// handleFull serves the legacy v1 exchange: import the client's whole
+// history, merge it, reply with the merged whole history.
+func (n *Node[S, Op, Val]) handleFull(conn io.ReadWriter, fields [][]byte) {
+	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	if len(fields) != 2 {
+		fail("bad request")
 		return
 	}
 	peer := string(fields[0])
-	commits, head, err := decodeExport(fields[1])
+	commits, head, err := wire.DecodeCommitList(fields[1])
 	if err != nil {
-		writeMsg(conn, msgError, []byte(err.Error()))
+		fail(err.Error())
 		return
 	}
 
 	n.syncMu.Lock()
-	defer n.syncMu.Unlock()
-	if err := n.integrate(peer, commits, head); err != nil {
-		writeMsg(conn, msgError, []byte(err.Error()))
-		return
+	err = n.integrate("remote/"+peer, commits, head)
+	var reply []store.ExportedCommit
+	var replyHead store.Hash
+	if err == nil {
+		reply, replyHead, err = n.store.Export(n.name)
 	}
-	reply, replyHead, err := n.store.Export(n.name)
+	n.syncMu.Unlock()
 	if err != nil {
-		writeMsg(conn, msgError, []byte(err.Error()))
+		fail(err.Error())
 		return
 	}
-	writeMsg(conn, msgSyncResponse, encodeExport(reply, replyHead))
+	if err := wire.WriteMsg(conn, wire.FrameSyncResponse, wire.EncodeCommitList(reply, replyHead)); err != nil {
+		return
+	}
+	n.stats.fullSyncs.Add(1)
+	n.stats.commitsRecv.Add(int64(len(commits)))
+	n.stats.commitsSent.Add(int64(len(reply)))
 }
 
-// integrate installs a peer's history under its tracking branch and pulls
-// it into the local branch.
-func (n *Node[S, Op, Val]) integrate(peer string, commits []store.ExportedCommit, head store.Hash) error {
-	if err := n.store.Import("remote/"+peer, commits, head, n.codec); err != nil {
+// integrate installs a peer's (possibly partial) history under a tracking
+// branch and pulls it into the local branch.
+func (n *Node[S, Op, Val]) integrate(track string, commits []store.ExportedCommit, head store.Hash) error {
+	if err := n.store.Import(track, commits, head, n.codec); err != nil {
 		return err
 	}
-	return n.store.Pull(n.name, "remote/"+peer)
+	return n.store.Pull(n.name, track)
 }
 
 // SyncWith synchronizes this node with the peer listening at addr: the
-// peer merges this node's history into its branch, and this node then
-// merges the peer's reply (usually a fast-forward, since the reply already
-// contains everything local). After a successful exchange both nodes'
-// branches hold equal states.
+// peer merges this node's missing commits into its branch, and this node
+// then merges the peer's reply delta (usually a fast-forward, since the
+// reply is computed after the peer merged). After a successful exchange
+// both nodes' branches hold equal states. The delta protocol is tried
+// first; if the peer does not speak it or the negotiation fails, the
+// exchange falls back to the legacy full-history protocol.
 func (n *Node[S, Op, Val]) SyncWith(addr string) error {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
+	if !n.fullOnly.Load() {
+		err := n.syncDelta(addr)
+		if err == nil || !errors.Is(err, errFallback) {
+			return err
+		}
+		n.stats.fallbacks.Add(1)
+	}
+	return n.syncFull(addr)
+}
 
-	commits, head, err := n.store.Export(n.name)
+// syncDelta runs the client side of the v2 exchange. Failures before the
+// negotiation completes are reported as errFallback; failures after it
+// are real errors.
+func (n *Node[S, Op, Val]) syncDelta(addr string) error {
+	mine, err := n.store.Frontier(n.name)
 	if err != nil {
 		return err
 	}
-
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if err := writeMsg(conn, msgSyncRequest, []byte(n.name), encodeExport(commits, head)); err != nil {
+	c := countedConn{Conn: conn, stats: &n.stats}
+
+	if err := wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(n.name, mine)); err != nil {
 		return err
 	}
-	kind, fields, err := readMsg(conn, 1)
+	kind, fields, err := wire.ReadMsg(c)
+	switch {
+	case err != nil:
+		return fmt.Errorf("%w: %v", errFallback, err)
+	case kind == wire.FrameErr:
+		return fmt.Errorf("%w: peer refused hello", errFallback)
+	case kind != wire.FrameHelloAck || len(fields) != 1:
+		return fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
+	}
+	peer, theirs, err := wire.DecodeHello(fields[0])
+	if err != nil {
+		return fmt.Errorf("%w: %v", errFallback, err)
+	}
+
+	commits, head, err := n.store.ExportSince(n.name, theirs.HaveSet())
 	if err != nil {
 		return err
 	}
-	if kind == msgError {
-		return fmt.Errorf("%w: peer: %s", ErrProtocol, string(fields[0]))
-	}
-	if kind != msgSyncResponse {
-		return fmt.Errorf("%w: unexpected message kind %d", ErrProtocol, kind)
-	}
-	peerCommits, peerHead, err := decodeExport(fields[0])
-	if err != nil {
+	if err := wire.WriteDelta(c, commits, head); err != nil {
 		return err
 	}
-	return n.integrate("peer@"+addr, peerCommits, peerHead)
-}
-
-// encodeExport frames a commit history for transfer.
-func encodeExport(commits []store.ExportedCommit, head store.Hash) []byte {
-	var w wire.Writer
-	w.PutLen(len(commits))
-	for _, c := range commits {
-		w.PutLen(len(c.Parents))
-		for _, p := range c.Parents {
-			w.PutString(string(p[:]))
-		}
-		w.PutString(string(c.State))
-		w.PutInt64(int64(c.Gen))
-		w.PutTimestamp(c.Time)
-	}
-	w.PutString(string(head[:]))
-	return w.Bytes()
-}
-
-// decodeExport parses a framed commit history.
-func decodeExport(b []byte) ([]store.ExportedCommit, store.Hash, error) {
-	r := wire.NewReader(b)
-	n := r.Len(1)
-	commits := make([]store.ExportedCommit, 0, n)
-	for i := 0; i < n; i++ {
-		np := r.Len(1)
-		parents := make([]store.Hash, 0, np)
-		for j := 0; j < np; j++ {
-			h, err := toHash(r.String())
-			if err != nil {
-				return nil, store.Hash{}, err
-			}
-			parents = append(parents, h)
-		}
-		commits = append(commits, store.ExportedCommit{
-			Parents: parents,
-			State:   []byte(r.String()),
-			Gen:     int(r.Int64()),
-			Time:    r.Timestamp(),
-		})
-	}
-	head, err := toHash(r.String())
+	reply, replyHead, err := wire.ReadDelta(c)
 	if err != nil {
-		return nil, store.Hash{}, err
-	}
-	if err := r.Close(); err != nil {
-		return nil, store.Hash{}, err
-	}
-	return commits, head, nil
-}
-
-func toHash(s string) (store.Hash, error) {
-	var h store.Hash
-	if len(s) != len(h) {
-		return h, fmt.Errorf("%w: bad hash length %d", ErrProtocol, len(s))
-	}
-	copy(h[:], s)
-	return h, nil
-}
-
-// writeMsg frames a message: kind byte, field count, then length-prefixed
-// fields.
-func writeMsg(w io.Writer, kind byte, fields ...[]byte) error {
-	var hdr []byte
-	hdr = append(hdr, kind)
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(fields)))
-	if _, err := w.Write(hdr); err != nil {
+		var pe *wire.PeerError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%w: peer: %s", ErrProtocol, pe.Msg)
+		}
 		return err
 	}
-	for _, f := range fields {
-		var lp [4]byte
-		binary.BigEndian.PutUint32(lp[:], uint32(len(f)))
-		if _, err := w.Write(lp[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(f); err != nil {
-			return err
-		}
+	if err := n.integrate("remote/"+peer, reply, replyHead); err != nil {
+		return err
 	}
+	n.stats.deltaSyncs.Add(1)
+	n.stats.commitsSent.Add(int64(len(commits)))
+	n.stats.commitsRecv.Add(int64(len(reply)))
 	return nil
 }
 
-// readMsg reads one framed message, expecting exactly wantFields fields
-// for non-error kinds (error messages carry one field).
-func readMsg(r io.Reader, wantFields int) (byte, [][]byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+// syncFull runs the client side of the legacy v1 exchange: ship the whole
+// branch history, merge the peer's whole merged history from the reply.
+func (n *Node[S, Op, Val]) syncFull(addr string) error {
+	commits, head, err := n.store.Export(n.name)
+	if err != nil {
+		return err
 	}
-	kind := hdr[0]
-	count := int(binary.BigEndian.Uint32(hdr[1:]))
-	if kind == msgError {
-		wantFields = 1
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
 	}
-	if count != wantFields {
-		return 0, nil, fmt.Errorf("%w: got %d fields, want %d", ErrProtocol, count, wantFields)
+	defer conn.Close()
+	c := countedConn{Conn: conn, stats: &n.stats}
+
+	if err := wire.WriteMsg(c, wire.FrameSyncRequest, []byte(n.name), wire.EncodeCommitList(commits, head)); err != nil {
+		return err
 	}
-	fields := make([][]byte, count)
-	for i := range fields {
-		var lp [4]byte
-		if _, err := io.ReadFull(r, lp[:]); err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	kind, fields, err := wire.ReadMsg(c)
+	if err != nil {
+		return err
+	}
+	if kind == wire.FrameErr {
+		msg := "unspecified"
+		if len(fields) > 0 {
+			msg = string(fields[0])
 		}
-		size := binary.BigEndian.Uint32(lp[:])
-		if size > maxPayload {
-			return 0, nil, fmt.Errorf("%w: payload %d exceeds limit", ErrProtocol, size)
-		}
-		fields[i] = make([]byte, size)
-		if _, err := io.ReadFull(r, fields[i]); err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
-		}
+		return fmt.Errorf("%w: peer: %s", ErrProtocol, msg)
 	}
-	return kind, fields, nil
+	if kind != wire.FrameSyncResponse || len(fields) != 1 {
+		return fmt.Errorf("%w: unexpected message kind %d", ErrProtocol, kind)
+	}
+	peerCommits, peerHead, err := wire.DecodeCommitList(fields[0])
+	if err != nil {
+		return err
+	}
+	if err := n.integrate("remote/peer@"+addr, peerCommits, peerHead); err != nil {
+		return err
+	}
+	n.stats.fullSyncs.Add(1)
+	n.stats.commitsSent.Add(int64(len(commits)))
+	n.stats.commitsRecv.Add(int64(len(peerCommits)))
+	return nil
 }

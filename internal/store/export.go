@@ -51,33 +51,86 @@ func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
 	return out, head, nil
 }
 
+// ExportSince returns the part of branch b's history a peer is missing:
+// every ancestor of the head not dominated by the have-set, a set of
+// commit hashes the peer is known to possess (possession of a commit
+// implies possession of all its ancestors, so the walk cuts there).
+// Commits come parents-before-children; any parent outside the returned
+// slice is a member of the have-set, so the peer's Import grafts the
+// partial DAG onto commits it already holds. Have hashes unknown locally
+// are harmless: they cannot lie on any walked path. An empty have-set
+// degenerates to Export.
+func (s *Store[S, Op, Val]) ExportSince(b string, have []Hash) ([]ExportedCommit, Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, ok := s.heads[b]
+	if !ok {
+		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	cut := make(map[Hash]bool, len(have))
+	for _, h := range have {
+		cut[h] = true
+	}
+	order := s.topoOrderSince(head, cut)
+	out := make([]ExportedCommit, 0, len(order))
+	for _, h := range order {
+		c := s.commits[h]
+		out = append(out, ExportedCommit{
+			Parents: c.Parents,
+			State:   s.objects[c.State],
+			Gen:     c.Gen,
+			Time:    c.Time,
+		})
+	}
+	return out, head, nil
+}
+
 // topoOrder returns the ancestors of head (inclusive) with every commit
 // after its parents.
 func (s *Store[S, Op, Val]) topoOrder(head Hash) []Hash {
+	return s.topoOrderSince(head, nil)
+}
+
+// topoOrderSince is topoOrder with a cut: members of cut are neither
+// emitted nor walked through, so the result is exactly the commits above
+// the cut. The walk is iterative; history depth does not grow the stack.
+func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash {
+	if cut[head] {
+		return nil
+	}
 	var order []Hash
 	state := make(map[Hash]int) // 0 unseen, 1 visiting, 2 done
-	var visit func(h Hash)
-	visit = func(h Hash) {
-		if state[h] != 0 {
-			return
+	stack := []Hash{head}
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		switch state[h] {
+		case 0:
+			state[h] = 1
+			for _, p := range s.commits[h].Parents {
+				if state[p] == 0 && !cut[p] {
+					stack = append(stack, p)
+				}
+			}
+		case 1:
+			state[h] = 2
+			order = append(order, h)
+			stack = stack[:len(stack)-1]
+		default:
+			stack = stack[:len(stack)-1] // finished via another path
 		}
-		state[h] = 1
-		for _, p := range s.commits[h].Parents {
-			visit(p)
-		}
-		state[h] = 2
-		order = append(order, h)
 	}
-	visit(head)
 	return order
 }
 
-// Import installs a transferred history and points branch name at its
-// head. The branch is created if needed (tracking branches for remote
-// peers); an existing branch is moved only if the new head's history
-// includes every commit the import carries consistently — the caller is
-// expected to merge via Pull afterwards. Commit hashes are recomputed
-// locally; a commit referencing an unknown parent fails the import.
+// Import installs a transferred history — full or partial — and points
+// branch name at its head. The branch is created if needed (tracking
+// branches for remote peers); the caller is expected to merge via Pull
+// afterwards. A partial history (from ExportSince) grafts onto the local
+// DAG: every parent must resolve either earlier in the batch or among
+// commits already present, so a dangling parent fails the import. Commit
+// hashes are recomputed locally; a corrupted transfer cannot forge
+// history. An empty batch is a valid delta as long as the advertised
+// head is already known.
 func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash, dec Decoder[S]) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -109,8 +162,12 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		s.clocks[name] = c
 	}
 	// Tracking branches never Apply; their clock only needs to dominate
-	// the imported history so merges hand out later timestamps.
-	maxT := core.Timestamp(0)
+	// the imported history so merges hand out later timestamps. A delta
+	// batch alone may not witness the maximum (an empty delta moves the
+	// branch to an already-known head), but head commits always carry the
+	// largest timestamp of their history, so observing the head covers
+	// whatever arrived through other tracking branches.
+	maxT := s.commits[head].Time
 	for _, ec := range commits {
 		if ec.Time > maxT {
 			maxT = ec.Time

@@ -1,0 +1,76 @@
+package store
+
+import "fmt"
+
+// Frontier is a compact summary of a branch's history used to negotiate
+// incremental syncs: the head hash and generation plus a sample of
+// ancestor hashes — dense over the most recent commits, exponentially
+// sparse further back (the spacing trick of Git's commit negotiation).
+// A peer subtracts everything dominated by the frontier's hashes from
+// what it ships, so re-syncing an already-converged pair transfers
+// O(frontier) bytes instead of O(history).
+type Frontier struct {
+	// Head is the branch's current head commit.
+	Head Hash
+	// Have samples ancestors of Head (Head itself excluded): every commit
+	// within frontierDense generations, then power-of-two distances.
+	Have []Hash
+}
+
+const (
+	// frontierDense is the generation window below the head inside which
+	// every ancestor joins the sample, so short divergences cut exactly.
+	frontierDense = 16
+	// frontierMaxHave caps the sample size: a frontier stays O(1) on the
+	// wire no matter how long the history grows.
+	frontierMaxHave = 128
+	// frontierWalkBudget caps the commits visited while sampling, bounding
+	// the local cost of frontier construction on huge DAGs. Beyond the
+	// budget the sample is merely sparser; correctness is unaffected.
+	frontierWalkBudget = 4096
+)
+
+// HaveSet returns the frontier's hashes — head and sample — as the
+// have-set understood by ExportSince.
+func (f Frontier) HaveSet() []Hash {
+	out := make([]Hash, 0, len(f.Have)+1)
+	out = append(out, f.Head)
+	return append(out, f.Have...)
+}
+
+// Frontier summarizes branch b for sync negotiation.
+func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, ok := s.heads[b]
+	if !ok {
+		return Frontier{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
+	}
+	headGen := s.commits[head].Gen
+	f := Frontier{Head: head}
+	seen := map[Hash]bool{head: true}
+	queue := []Hash{head}
+	for visited := 0; len(queue) > 0 && visited < frontierWalkBudget && len(f.Have) < frontierMaxHave; visited++ {
+		h := queue[0]
+		queue = queue[1:]
+		if h != head && sampled(headGen-s.commits[h].Gen) {
+			f.Have = append(f.Have, h)
+		}
+		for _, p := range s.commits[h].Parents {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return f, nil
+}
+
+// sampled reports whether an ancestor at generation distance d below the
+// head belongs in the frontier sample.
+func sampled(d int) bool {
+	if d <= frontierDense {
+		return true
+	}
+	return d&(d-1) == 0 // power of two
+}

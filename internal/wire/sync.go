@@ -1,0 +1,341 @@
+// Sync codec: the framing and commit/frontier encodings of the replica
+// sync protocol. Messages are kind-tagged with length-prefixed fields;
+// commit deltas stream as bounded chunks so a sync never materializes one
+// history-sized buffer. Every count or length read off the wire is
+// validated against a hard cap before it sizes an allocation.
+
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// FrameKind tags one protocol message.
+type FrameKind byte
+
+// Protocol frames. The first three are the legacy v1 one-shot protocol
+// (whole history in a single field); the rest implement the v2
+// negotiate-and-ship-missing exchange. A v1 peer answers any v2 frame
+// with FrameErr, which v2 clients treat as "fall back to full export".
+const (
+	FrameSyncRequest  FrameKind = 1 // v1: name + full commit list
+	FrameSyncResponse FrameKind = 2 // v1: full commit list
+	FrameErr          FrameKind = 3 // error text (any phase, either protocol)
+	FrameHello        FrameKind = 4 // v2: name + frontier
+	FrameHelloAck     FrameKind = 5 // v2: responder name + frontier
+	FrameDeltaHeader  FrameKind = 6 // v2: head hash + announced commit count
+	FrameCommits      FrameKind = 7 // v2: one chunk of commits
+	FrameDeltaEnd     FrameKind = 8 // v2: end of commit stream
+)
+
+// Wire limits. Chunk constants shape writes; Max* constants are enforced
+// on reads.
+const (
+	// MaxFieldBytes bounds one message field (the ceiling for a legacy
+	// one-shot history transfer).
+	MaxFieldBytes = 64 << 20
+	// maxFields bounds the field count of one message.
+	maxFields = 4
+	// commitChunkBytes is the target payload size of one FrameCommits
+	// chunk; WriteDelta flushes a chunk once it crosses this size.
+	commitChunkBytes = 256 << 10
+	// commitChunkMax bounds commits per chunk even when states are tiny.
+	commitChunkMax = 512
+	// MaxDeltaCommits bounds the commit count a delta may announce.
+	MaxDeltaCommits = 1 << 20
+	// MaxDeltaBytes bounds the cumulative chunk payload of one delta.
+	MaxDeltaBytes = 256 << 20
+	// maxCommitPrealloc caps slice preallocation sized from a
+	// wire-supplied commit count.
+	maxCommitPrealloc = 4096
+	// maxHashPrealloc caps slice preallocation sized from a wire-supplied
+	// hash count.
+	maxHashPrealloc = 1024
+)
+
+// ErrFraming is wrapped by message-framing failures.
+var ErrFraming = errors.New("wire: framing error")
+
+// PeerError is an error the remote side reported over the wire.
+type PeerError struct{ Msg string }
+
+// Error renders the peer's message.
+func (e *PeerError) Error() string { return "wire: peer error: " + e.Msg }
+
+// WriteMsg frames a message: kind byte, field count, then length-prefixed
+// fields.
+func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
+	var hdr []byte
+	hdr = append(hdr, byte(kind))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(fields)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		var lp [4]byte
+		binary.BigEndian.PutUint32(lp[:], uint32(len(f)))
+		if _, err := w.Write(lp[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMsg reads one framed message, capping the field count and each
+// field's size. Field-count validation per kind is the caller's job.
+func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+	}
+	kind := FrameKind(hdr[0])
+	count := int(binary.BigEndian.Uint32(hdr[1:]))
+	if count > maxFields {
+		return 0, nil, fmt.Errorf("%w: %d fields exceeds limit", ErrFraming, count)
+	}
+	fields := make([][]byte, count)
+	for i := range fields {
+		var lp [4]byte
+		if _, err := io.ReadFull(r, lp[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+		}
+		size := binary.BigEndian.Uint32(lp[:])
+		if size > MaxFieldBytes {
+			return 0, nil, fmt.Errorf("%w: field of %d bytes exceeds limit", ErrFraming, size)
+		}
+		fields[i] = make([]byte, size)
+		if _, err := io.ReadFull(r, fields[i]); err != nil {
+			return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+		}
+	}
+	return kind, fields, nil
+}
+
+// PutHash appends a fixed-width commit hash.
+func (w *Writer) PutHash(h store.Hash) { w.buf = append(w.buf, h[:]...) }
+
+// Hash consumes a fixed-width commit hash.
+func (r *Reader) Hash() store.Hash {
+	var h store.Hash
+	if !r.need(len(h)) {
+		return h
+	}
+	copy(h[:], r.buf[r.off:])
+	r.off += len(h)
+	return h
+}
+
+// PutBytes appends a length-prefixed byte field.
+func (w *Writer) PutBytes(b []byte) {
+	w.PutLen(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// Bytes consumes a length-prefixed byte field.
+func (r *Reader) Bytes() []byte {
+	n := r.Len(1)
+	if r.err != nil || !r.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+// Remaining reports the unconsumed payload bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// EncodeHello serializes a peer name and branch frontier for the v2
+// negotiation (FrameHello / FrameHelloAck payload).
+func EncodeHello(name string, f store.Frontier) []byte {
+	var w Writer
+	w.PutString(name)
+	w.PutHash(f.Head)
+	w.PutLen(len(f.Have))
+	for _, h := range f.Have {
+		w.PutHash(h)
+	}
+	return w.Bytes()
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(b []byte) (string, store.Frontier, error) {
+	r := NewReader(b)
+	name := r.String()
+	var f store.Frontier
+	f.Head = r.Hash()
+	n := r.Len(len(store.Hash{}))
+	f.Have = make([]store.Hash, 0, min(n, maxHashPrealloc))
+	for i := 0; i < n; i++ {
+		f.Have = append(f.Have, r.Hash())
+	}
+	if err := r.Close(); err != nil {
+		return "", store.Frontier{}, err
+	}
+	return name, f, nil
+}
+
+// appendCommit serializes one commit: parent hashes, pinned state, then
+// generation and timestamp.
+func appendCommit(w *Writer, c store.ExportedCommit) {
+	w.PutLen(len(c.Parents))
+	for _, p := range c.Parents {
+		w.PutHash(p)
+	}
+	w.PutBytes(c.State)
+	w.PutInt64(int64(c.Gen))
+	w.PutTimestamp(c.Time)
+}
+
+// readCommit deserializes one commit; errors surface through the reader.
+func readCommit(r *Reader) store.ExportedCommit {
+	var c store.ExportedCommit
+	np := r.Len(len(store.Hash{}))
+	if np > 0 {
+		c.Parents = make([]store.Hash, 0, min(np, 4))
+		for i := 0; i < np; i++ {
+			c.Parents = append(c.Parents, r.Hash())
+		}
+	}
+	c.State = r.Bytes()
+	c.Gen = int(r.Int64())
+	c.Time = r.Timestamp()
+	return c
+}
+
+// EncodeCommitList serializes a whole history plus head in one buffer —
+// the legacy v1 one-shot payload.
+func EncodeCommitList(commits []store.ExportedCommit, head store.Hash) []byte {
+	var w Writer
+	w.PutLen(len(commits))
+	for i := range commits {
+		appendCommit(&w, commits[i])
+	}
+	w.PutHash(head)
+	return w.Bytes()
+}
+
+// DecodeCommitList parses a legacy one-shot payload. Preallocation is
+// capped, so a forged count cannot force a huge allocation.
+func DecodeCommitList(b []byte) ([]store.ExportedCommit, store.Hash, error) {
+	r := NewReader(b)
+	n := r.Len(1)
+	commits := make([]store.ExportedCommit, 0, min(n, maxCommitPrealloc))
+	for i := 0; i < n; i++ {
+		c := readCommit(r)
+		if r.Err() != nil {
+			return nil, store.Hash{}, r.Err()
+		}
+		commits = append(commits, c)
+	}
+	head := r.Hash()
+	if err := r.Close(); err != nil {
+		return nil, store.Hash{}, err
+	}
+	return commits, head, nil
+}
+
+// WriteDelta streams a commit delta: a header frame announcing the head
+// and commit count, then commit chunks of bounded size, then an end
+// frame. The caller's slice is never re-buffered whole.
+func WriteDelta(w io.Writer, commits []store.ExportedCommit, head store.Hash) error {
+	var hdr Writer
+	hdr.PutHash(head)
+	hdr.PutLen(len(commits))
+	if err := WriteMsg(w, FrameDeltaHeader, hdr.Bytes()); err != nil {
+		return err
+	}
+	for start := 0; start < len(commits); {
+		var chunk Writer
+		n := 0
+		for start+n < len(commits) && n < commitChunkMax && len(chunk.buf) < commitChunkBytes {
+			appendCommit(&chunk, commits[start+n])
+			n++
+		}
+		if err := WriteMsg(w, FrameCommits, chunk.Bytes()); err != nil {
+			return err
+		}
+		start += n
+	}
+	return WriteMsg(w, FrameDeltaEnd)
+}
+
+// ReadDelta consumes one delta stream and returns the commits and head.
+// The announced count, cumulative chunk bytes, and per-chunk contents are
+// all length-checked; a FrameErr from the peer surfaces as *PeerError.
+func ReadDelta(r io.Reader) ([]store.ExportedCommit, store.Hash, error) {
+	kind, fields, err := ReadMsg(r)
+	if err != nil {
+		return nil, store.Hash{}, err
+	}
+	if kind == FrameErr {
+		return nil, store.Hash{}, peerErr(fields)
+	}
+	if kind != FrameDeltaHeader || len(fields) != 1 {
+		return nil, store.Hash{}, fmt.Errorf("%w: expected delta header, got kind %d", ErrFraming, kind)
+	}
+	hr := NewReader(fields[0])
+	head := hr.Hash()
+	total := hr.Len(0)
+	if err := hr.Close(); err != nil {
+		return nil, store.Hash{}, err
+	}
+	if total > MaxDeltaCommits {
+		return nil, store.Hash{}, fmt.Errorf("%w: delta announces %d commits, limit %d", ErrFraming, total, MaxDeltaCommits)
+	}
+	commits := make([]store.ExportedCommit, 0, min(total, maxCommitPrealloc))
+	bytesRead := 0
+	for {
+		kind, fields, err := ReadMsg(r)
+		if err != nil {
+			return nil, store.Hash{}, err
+		}
+		switch kind {
+		case FrameCommits:
+			if len(fields) != 1 {
+				return nil, store.Hash{}, fmt.Errorf("%w: commit chunk wants 1 field, got %d", ErrFraming, len(fields))
+			}
+			bytesRead += len(fields[0])
+			if bytesRead > MaxDeltaBytes {
+				return nil, store.Hash{}, fmt.Errorf("%w: delta exceeds %d bytes", ErrFraming, MaxDeltaBytes)
+			}
+			cr := NewReader(fields[0])
+			for cr.Remaining() > 0 {
+				c := readCommit(cr)
+				if err := cr.Err(); err != nil {
+					return nil, store.Hash{}, err
+				}
+				if len(commits) >= total {
+					return nil, store.Hash{}, fmt.Errorf("%w: more commits than the %d announced", ErrFraming, total)
+				}
+				commits = append(commits, c)
+			}
+		case FrameDeltaEnd:
+			if len(commits) != total {
+				return nil, store.Hash{}, fmt.Errorf("%w: got %d commits, %d announced", ErrFraming, len(commits), total)
+			}
+			return commits, head, nil
+		case FrameErr:
+			return nil, store.Hash{}, peerErr(fields)
+		default:
+			return nil, store.Hash{}, fmt.Errorf("%w: unexpected kind %d in delta stream", ErrFraming, kind)
+		}
+	}
+}
+
+func peerErr(fields [][]byte) error {
+	msg := "unspecified"
+	if len(fields) > 0 {
+		msg = string(fields[0])
+	}
+	return &PeerError{Msg: msg}
+}

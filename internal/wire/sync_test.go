@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func testCommits(n, stateBytes int) []store.ExportedCommit {
+	var prev store.Hash
+	commits := make([]store.ExportedCommit, 0, n)
+	for i := 0; i < n; i++ {
+		state := bytes.Repeat([]byte{byte(i)}, stateBytes)
+		c := store.ExportedCommit{
+			State: state,
+			Gen:   i + 1,
+			Time:  core.Timestamp(i * 7),
+		}
+		if i > 0 {
+			c.Parents = []store.Hash{prev}
+		}
+		prev = store.Hash{byte(i), byte(i >> 8)}
+		commits = append(commits, c)
+	}
+	return commits
+}
+
+func sameCommits(a, b []store.ExportedCommit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Parents) != len(b[i].Parents) || !bytes.Equal(a[i].State, b[i].State) ||
+			a[i].Gen != b[i].Gen || a[i].Time != b[i].Time {
+			return false
+		}
+		for j := range a[i].Parents {
+			if a[i].Parents[j] != b[i].Parents[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, FrameHello, []byte("a"), []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	kind, fields, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameHello || len(fields) != 2 || string(fields[0]) != "a" || string(fields[1]) != "bb" {
+		t.Fatalf("round trip mismatch: kind=%d fields=%q", kind, fields)
+	}
+}
+
+func TestReadMsgCapsFieldSize(t *testing.T) {
+	var raw []byte
+	raw = append(raw, byte(FrameCommits))
+	raw = binary.BigEndian.AppendUint32(raw, 1)
+	raw = binary.BigEndian.AppendUint32(raw, MaxFieldBytes+1)
+	if _, _, err := ReadMsg(bytes.NewReader(raw)); !errors.Is(err, ErrFraming) {
+		t.Fatalf("oversized field must be rejected, got %v", err)
+	}
+}
+
+func TestReadMsgCapsFieldCount(t *testing.T) {
+	var raw []byte
+	raw = append(raw, byte(FrameHello))
+	raw = binary.BigEndian.AppendUint32(raw, maxFields+1)
+	if _, _, err := ReadMsg(bytes.NewReader(raw)); !errors.Is(err, ErrFraming) {
+		t.Fatalf("oversized field count must be rejected, got %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	f := store.Frontier{
+		Head: store.Hash{1, 2, 3},
+		Have: []store.Hash{{4}, {5}, {6}},
+	}
+	name, got, err := DecodeHello(EncodeHello("node-7", f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "node-7" || got.Head != f.Head || len(got.Have) != 3 || got.Have[2] != f.Have[2] {
+		t.Fatalf("hello mismatch: %q %+v", name, got)
+	}
+}
+
+func TestDecodeHelloForgedCountFails(t *testing.T) {
+	var w Writer
+	w.PutString("x")
+	w.PutHash(store.Hash{})
+	w.PutLen(1 << 30) // claims a billion hashes with no payload behind it
+	if _, _, err := DecodeHello(w.Bytes()); err == nil {
+		t.Fatal("forged have count must fail")
+	}
+}
+
+func TestCommitListRoundTrip(t *testing.T) {
+	commits := testCommits(17, 9)
+	head := store.Hash{9, 9}
+	got, gotHead, err := DecodeCommitList(EncodeCommitList(commits, head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHead != head || !sameCommits(commits, got) {
+		t.Fatal("commit list round trip mismatch")
+	}
+}
+
+func TestDecodeCommitListRejectsTrailing(t *testing.T) {
+	b := EncodeCommitList(testCommits(2, 4), store.Hash{})
+	if _, _, err := DecodeCommitList(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	if _, _, err := DecodeCommitList(b[:len(b)-1]); err == nil {
+		t.Fatal("truncation must fail")
+	}
+}
+
+func TestDeltaRoundTripChunked(t *testing.T) {
+	// 2000 commits with 1 KiB states: forces several chunks by both the
+	// commit-count bound and the byte bound.
+	commits := testCommits(2000, 1024)
+	head := store.Hash{7}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, commits, head); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must be made of bounded frames, not one big buffer.
+	frames := 0
+	rd := bytes.NewReader(buf.Bytes())
+	for {
+		kind, fields, err := ReadMsg(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameCommits {
+			frames++
+			if len(fields[0]) > commitChunkBytes+64<<10 {
+				t.Fatalf("chunk of %d bytes exceeds bound", len(fields[0]))
+			}
+		}
+		if kind == FrameDeltaEnd {
+			break
+		}
+	}
+	if frames < 4 {
+		t.Fatalf("expected several chunks, got %d", frames)
+	}
+	got, gotHead, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHead != head || !sameCommits(commits, got) {
+		t.Fatal("delta round trip mismatch")
+	}
+}
+
+func TestDeltaEmpty(t *testing.T) {
+	head := store.Hash{1}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, nil, head); err != nil {
+		t.Fatal(err)
+	}
+	got, gotHead, err := ReadDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || gotHead != head {
+		t.Fatalf("empty delta mismatch: %d commits", len(got))
+	}
+}
+
+func TestReadDeltaCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr Writer
+	hdr.PutHash(store.Hash{})
+	hdr.PutLen(5) // announce five, deliver none
+	if err := WriteMsg(&buf, FrameDeltaHeader, hdr.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(&buf, FrameDeltaEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDelta(&buf); !errors.Is(err, ErrFraming) {
+		t.Fatalf("count mismatch must fail, got %v", err)
+	}
+}
+
+func TestReadDeltaHugeAnnouncementFails(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr Writer
+	hdr.PutHash(store.Hash{})
+	hdr.PutLen(MaxDeltaCommits + 1)
+	if err := WriteMsg(&buf, FrameDeltaHeader, hdr.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDelta(&buf); !errors.Is(err, ErrFraming) {
+		t.Fatalf("oversized announcement must fail, got %v", err)
+	}
+}
+
+func TestReadDeltaSurfacesPeerError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, FrameErr, []byte("merge refused")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadDelta(&buf)
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Msg != "merge refused" {
+		t.Fatalf("want PeerError, got %v", err)
+	}
+}
+
+func TestReadDeltaExtraCommitsFail(t *testing.T) {
+	commits := testCommits(3, 8)
+	var buf bytes.Buffer
+	var hdr Writer
+	hdr.PutHash(store.Hash{})
+	hdr.PutLen(2) // announce fewer than shipped
+	if err := WriteMsg(&buf, FrameDeltaHeader, hdr.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var chunk Writer
+	for i := range commits {
+		appendCommit(&chunk, commits[i])
+	}
+	if err := WriteMsg(&buf, FrameCommits, chunk.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDelta(&buf); !errors.Is(err, ErrFraming) {
+		t.Fatalf("overdelivery must fail, got %v", err)
+	}
+}
+
+func TestPeerErrorMessage(t *testing.T) {
+	err := peerErr(nil)
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Msg != "unspecified" {
+		t.Fatalf("empty peer error: %v", err)
+	}
+	if fmt.Sprint(peerErr([][]byte{[]byte("x")})) != "wire: peer error: x" {
+		t.Fatal("peer error rendering")
+	}
+}
