@@ -19,11 +19,12 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/counter"
-	"repro/internal/harness"
 	"repro/internal/orset"
 	"repro/internal/quark"
 	"repro/internal/queue"
 	"repro/internal/store"
+	"repro/internal/wire"
+	"repro/peepul"
 )
 
 const benchSeed = 1
@@ -148,7 +149,11 @@ func BenchmarkFig15Footprint(b *testing.B) {
 
 // --- Table 3′: certification cost per data type ---
 
-func benchmarkCertify(b *testing.B, r harness.Runner) {
+func benchmarkCertify(b *testing.B, name string) {
+	r, ok := peepul.Lookup(name)
+	if !ok {
+		b.Fatalf("datatype %q not registered", name)
+	}
 	cfg := r.Config()
 	cfg.RandomExecutions = 25
 	b.ResetTimer()
@@ -159,11 +164,11 @@ func benchmarkCertify(b *testing.B, r harness.Runner) {
 	}
 }
 
-func BenchmarkTable3CertifyCounter(b *testing.B) { benchmarkCertify(b, harness.Counter()) }
+func BenchmarkTable3CertifyCounter(b *testing.B) { benchmarkCertify(b, "inc-counter") }
 
-func BenchmarkTable3CertifyORSetSpace(b *testing.B) { benchmarkCertify(b, harness.OrSetSpace()) }
+func BenchmarkTable3CertifyORSetSpace(b *testing.B) { benchmarkCertify(b, "or-set-space") }
 
-func BenchmarkTable3CertifyQueue(b *testing.B) { benchmarkCertify(b, harness.Queue()) }
+func BenchmarkTable3CertifyQueue(b *testing.B) { benchmarkCertify(b, "functional-queue") }
 
 // --- Ablations (design choices called out in DESIGN.md) ---
 
@@ -241,10 +246,7 @@ func BenchmarkAblationLookup(b *testing.B) {
 func BenchmarkAblationStoreLCA(b *testing.B) {
 	for _, depth := range []int{100, 1000, 5000} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			codec := store.FuncCodec[int64](func(s int64) []byte {
-				return store.AppendInt64(nil, s)
-			})
-			st := store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, codec, "main")
+			st := store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, wire.IncCounter{}, "main")
 			if err := st.Fork("main", "dev"); err != nil {
 				b.Fatal(err)
 			}
@@ -267,15 +269,7 @@ func BenchmarkAblationStoreLCA(b *testing.B) {
 // BenchmarkStoreApply measures the end-to-end cost of one operation commit
 // through the content-addressed store.
 func BenchmarkStoreApply(b *testing.B) {
-	codec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
-		var buf []byte
-		for _, p := range s {
-			buf = store.AppendInt64(buf, p.E)
-			buf = store.AppendTimestamp(buf, p.T)
-		}
-		return buf
-	})
-	st := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, codec, "main")
+	st := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, wire.OrSetSpace{}, "main")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Apply("main", orset.Op{Kind: orset.Add, E: int64(i % 1000)}); err != nil {

@@ -1,34 +1,30 @@
 // Command chat-demo runs the decentralised IRC-style chat of §5.1 on the
-// Git-like store with three replicas that post concurrently, gossip
-// peer-to-peer, and converge to identical channel logs — no central server
-// involved.
+// Git-like store with three replica branches that post concurrently,
+// gossip peer-to-peer, and converge to identical channel logs — no
+// central server involved. Built entirely on the public peepul API.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/chat"
-	"repro/internal/store"
+	"repro/peepul"
 )
 
 func main() {
-	codec := store.FuncCodec[chat.State](func(s chat.State) []byte {
-		var buf []byte
-		for _, e := range s {
-			buf = store.AppendString(buf, e.K)
-			for _, m := range e.V {
-				buf = store.AppendTimestamp(buf, m.T)
-				buf = store.AppendString(buf, m.Msg)
-			}
-		}
-		return buf
-	})
-	st := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, codec, "alice")
-	must(st.Fork("alice", "bob"))
-	must(st.Fork("alice", "carol"))
+	node, err := peepul.NewNode("alice", 1)
+	if err != nil {
+		panic(err)
+	}
+	defer node.Close()
+	room, err := peepul.Open(node, peepul.Chat, "conference")
+	if err != nil {
+		panic(err)
+	}
+	must(room.Fork("bob"))
+	must(room.Fork("carol"))
 
 	post := func(who, ch, msg string) {
-		if _, err := st.Apply(who, chat.Op{Kind: chat.Send, Ch: ch, Msg: who + ": " + msg}); err != nil {
+		if _, err := room.DoOn(who, peepul.ChatOp{Kind: peepul.ChatSend, Ch: ch, Msg: who + ": " + msg}); err != nil {
 			panic(err)
 		}
 		fmt.Printf("[%s posts to %s] %s\n", who, ch, msg)
@@ -40,15 +36,15 @@ func main() {
 	post("bob", "#types", "they compose through the alpha-map!")
 
 	fmt.Println("\n--- gossip: alice<->bob, bob<->carol, alice<->carol ---")
-	must(st.Sync("alice", "bob"))
-	must(st.Sync("bob", "carol"))
-	must(st.Sync("alice", "carol"))
-	must(st.Sync("alice", "bob")) // one more round so alice sees carol's view
+	must(room.Sync("alice", "bob"))
+	must(room.Sync("bob", "carol"))
+	must(room.Sync("alice", "carol"))
+	must(room.Sync("alice", "bob")) // one more round so alice sees carol's view
 
 	for _, replica := range []string{"alice", "bob", "carol"} {
 		fmt.Printf("\n=== %s's view ===\n", replica)
 		for _, ch := range []string{"#pldi", "#types"} {
-			v, err := st.Apply(replica, chat.Op{Kind: chat.Read, Ch: ch})
+			v, err := room.DoOn(replica, peepul.ChatOp{Kind: peepul.ChatRead, Ch: ch})
 			if err != nil {
 				panic(err)
 			}

@@ -6,10 +6,12 @@
 //	peepul-bench -fig sync       # sync cost: delta vs full-history replication
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
+//	peepul-bench -fig table3 -type queue   # certification effort, one type
 //
 // Output is row-oriented, one row per plotted point, matching the series
 // of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
-// analogue).
+// analogue). The -type filter takes a registry name (exact or substring,
+// see `peepul-verify -list`) and narrows Table 3′ to matching datatypes.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/peepul"
 )
 
 func main() {
@@ -25,7 +28,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
+	typ := flag.String("type", "", "registry name (exact or substring) filter for Table 3'; empty = all")
 	flag.Parse()
+
+	if *typ != "" {
+		matches := 0
+		for _, name := range peepul.Names() {
+			if bench.MatchType(name, *typ) {
+				matches++
+			}
+		}
+		if matches == 0 {
+			fmt.Fprintf(os.Stderr, "no data type matches %q; registered:\n", *typ)
+			for _, name := range peepul.Names() {
+				fmt.Fprintf(os.Stderr, "  %s\n", name)
+			}
+			os.Exit(2)
+		}
+	}
 
 	fig12Ns, fig13Ns, fig14Ns, syncNs := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns, bench.SyncNs
 	if *quick {
@@ -48,7 +68,7 @@ func main() {
 	run("13", func() { bench.PrintFig13(os.Stdout, bench.Fig13(fig13Ns, *seed)) })
 	run("14", func() { bench.PrintFig14(os.Stdout, bench.Fig14(fig14Ns, *seed)) })
 	run("15", func() { bench.PrintFig15(os.Stdout, bench.Fig15(fig14Ns, *seed)) })
-	run("table3", func() { bench.PrintTable3(os.Stdout, bench.Table3(*scale)) })
+	run("table3", func() { bench.PrintTable3(os.Stdout, bench.Table3(*scale, *typ)) })
 	run("sync", func() { bench.PrintSyncCost(os.Stdout, bench.SyncCost(syncNs, *seed)) })
 
 	switch *fig {

@@ -1,35 +1,43 @@
-// Command peepul-verify certifies every MRDT in the library: it explores
-// the replicated store's labelled transition system exhaustively up to the
-// per-type bounds plus seeded random walks, and checks the paper's proof
-// obligations (Table 2: Φ_do, Φ_merge, Φ_spec, Φ_con, with the store
-// properties Ψ_ts and Ψ_lca re-validated) at every transition. The summary
-// table is the reproduction's Table 3′.
+// Command peepul-verify certifies MRDTs from the public datatype
+// registry: it explores the replicated store's labelled transition system
+// exhaustively up to the per-type bounds plus seeded random walks, and
+// checks the paper's proof obligations (Table 2: Φ_do, Φ_merge, Φ_spec,
+// Φ_con, with the store properties Ψ_ts and Ψ_lca re-validated) at every
+// transition. The summary table is the reproduction's Table 3′.
 //
-//	peepul-verify              # default exploration volume
-//	peepul-verify -scale 5     # 5× the random-walk volume
-//	peepul-verify -type queue  # certify only matching data types
+//	peepul-verify                   # certify every registered datatype
+//	peepul-verify -scale 5          # 5× the random-walk volume
+//	peepul-verify -type pn-counter  # exact registry name
+//	peepul-verify -type or-set      # or any substring of one
+//	peepul-verify -list             # print the registry and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/harness"
-	"repro/internal/sim"
+	"repro/peepul"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "multiplier on the number of random executions")
-	typ := flag.String("type", "", "substring filter on data type names (empty = all)")
+	typ := flag.String("type", "", "registry name (exact or substring) of the data types to certify; empty = all")
+	list := flag.Bool("list", false, "list registered data types and exit")
 	flag.Parse()
 
-	var reports []sim.Report
+	if *list {
+		for _, name := range peepul.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var reports []peepul.Report
 	failures := 0
-	for _, r := range harness.All() {
-		if *typ != "" && !strings.Contains(r.Name(), *typ) {
+	for _, r := range peepul.All() {
+		if !bench.MatchType(r.Name(), *typ) {
 			continue
 		}
 		cfg := r.Config()
@@ -45,7 +53,10 @@ func main() {
 		reports = append(reports, rep)
 	}
 	if len(reports) == 0 {
-		fmt.Fprintf(os.Stderr, "no data type matches %q\n", *typ)
+		fmt.Fprintf(os.Stderr, "no data type matches %q; registered:\n", *typ)
+		for _, name := range peepul.Names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
 		os.Exit(2)
 	}
 	bench.PrintTable3(os.Stdout, reports)

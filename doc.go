@@ -5,6 +5,13 @@
 // replication-aware simulation machinery recast as an executable
 // certification harness.
 //
+// The public API is the peepul package: a descriptor-based datatype
+// registry (peepul.Register / peepul.Lookup / peepul.All), typed object
+// handles (peepul.Open with Do/Fork/Pull/Sync), and multi-object replica
+// nodes that negotiate and delta-sync every shared named object over a
+// single connection (peepul.Node). The internal packages are the
+// implementation layers underneath it.
+//
 // See README.md for the tour and DESIGN.md for the system inventory,
 // the sync protocol specification, and the experiment index. The root
 // package carries the benchmark suite (bench_test.go) that regenerates

@@ -10,28 +10,24 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/chat"
-	"repro/internal/store"
+	"repro/peepul"
 )
 
 func main() {
-	codec := store.FuncCodec[chat.State](func(s chat.State) []byte {
-		var buf []byte
-		for _, e := range s {
-			buf = store.AppendString(buf, e.K)
-			for _, m := range e.V {
-				buf = store.AppendTimestamp(buf, m.T)
-				buf = store.AppendString(buf, m.Msg)
-			}
-		}
-		return buf
-	})
-	st := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, codec, "hub")
-	must(st.Fork("hub", "nomad"))
-	must(st.Fork("hub", "office"))
+	node, err := peepul.NewNode("hub", 1)
+	if err != nil {
+		panic(err)
+	}
+	defer node.Close()
+	room, err := peepul.Open(node, peepul.Chat, "workspace")
+	if err != nil {
+		panic(err)
+	}
+	must(room.Fork("nomad"))
+	must(room.Fork("office"))
 
 	say := func(who, ch, msg string) {
-		if _, err := st.Apply(who, chat.Op{Kind: chat.Send, Ch: ch, Msg: who + ": " + msg}); err != nil {
+		if _, err := room.DoOn(who, peepul.ChatOp{Kind: peepul.ChatSend, Ch: ch, Msg: who + ": " + msg}); err != nil {
 			panic(err)
 		}
 	}
@@ -40,23 +36,23 @@ func main() {
 	say("nomad", "#general", "checking in from the train")
 	say("office", "#general", "standup in five")
 	say("office", "#ops", "deploy queued")
-	must(st.Sync("hub", "nomad"))
-	must(st.Sync("hub", "office"))
-	must(st.Sync("hub", "nomad")) // second round so nomad sees office
+	must(room.Sync("hub", "nomad"))
+	must(room.Sync("hub", "office"))
+	must(room.Sync("hub", "nomad")) // second round so nomad sees office
 
 	// Round 2: more traffic, another gossip round.
 	say("nomad", "#ops", "holding the deploy, tunnel ahead")
 	say("office", "#general", "ack, see you at standup")
-	must(st.Sync("hub", "office"))
-	must(st.Sync("hub", "nomad"))
-	must(st.Sync("hub", "office"))
+	must(room.Sync("hub", "office"))
+	must(room.Sync("hub", "nomad"))
+	must(room.Sync("hub", "office"))
 
 	var rendered []string
 	for _, replica := range []string{"hub", "nomad", "office"} {
 		out := ""
 		fmt.Printf("=== %s ===\n", replica)
 		for _, ch := range []string{"#general", "#ops"} {
-			v, err := st.Apply(replica, chat.Op{Kind: chat.Read, Ch: ch})
+			v, err := room.DoOn(replica, peepul.ChatOp{Kind: peepul.ChatRead, Ch: ch})
 			if err != nil {
 				panic(err)
 			}

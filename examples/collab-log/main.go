@@ -16,27 +16,30 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/mlog"
-	"repro/internal/replica"
-	"repro/internal/wire"
+	"repro/peepul"
 )
 
-type node = replica.Node[mlog.State, mlog.Op, mlog.Val]
+type researcher struct {
+	node *peepul.Node
+	feed *peepul.Handle[peepul.MLogState, peepul.MLogOp, peepul.MLogVal]
+}
 
 func main() {
-	mk := func(name string, id int) *node {
-		n, err := replica.NewNode[mlog.State, mlog.Op, mlog.Val](name, id, mlog.Log{}, wire.MLog{})
+	mk := func(name string, id int) researcher {
+		n, err := peepul.NewNode(name, id)
+		must(err)
+		h, err := peepul.Open(n, peepul.MLog, "lab-notebook")
 		must(err)
 		must(n.Listen("127.0.0.1:0"))
-		return n
+		return researcher{node: n, feed: h}
 	}
 	ada, grace, barbara := mk("ada", 1), mk("grace", 2), mk("barbara", 3)
-	defer ada.Close()
-	defer grace.Close()
-	defer barbara.Close()
+	defer ada.node.Close()
+	defer grace.node.Close()
+	defer barbara.node.Close()
 
-	note := func(n *node, text string) {
-		if _, err := n.Do(mlog.Op{Kind: mlog.Append, Msg: n.Name() + ": " + text}); err != nil {
+	note := func(r researcher, text string) {
+		if _, err := r.feed.Do(peepul.MLogOp{Kind: peepul.MLogAppend, Msg: r.node.Name() + ": " + text}); err != nil {
 			panic(err)
 		}
 	}
@@ -45,20 +48,20 @@ func main() {
 	note(grace, "compiler bootstrap reaches stage 2")
 	note(barbara, "drafted the consistency proof")
 	// Hub-and-spoke gossip through ada.
-	must(grace.SyncWith(ada.Addr()))
-	must(barbara.SyncWith(ada.Addr()))
-	must(grace.SyncWith(ada.Addr()))
+	must(grace.node.SyncWith(ada.node.Addr()))
+	must(barbara.node.SyncWith(ada.node.Addr()))
+	must(grace.node.SyncWith(ada.node.Addr()))
 
 	note(grace, "stage 3 green, tagging release")
 	note(ada, "interferometer drift back within tolerance")
-	must(grace.SyncWith(ada.Addr()))
-	must(barbara.SyncWith(ada.Addr()))
+	must(grace.node.SyncWith(ada.node.Addr()))
+	must(barbara.node.SyncWith(ada.node.Addr()))
 
 	feeds := make([]string, 0, 3)
-	for _, n := range []*node{ada, grace, barbara} {
-		v, err := n.Do(mlog.Op{Kind: mlog.Read})
+	for _, r := range []researcher{ada, grace, barbara} {
+		v, err := r.feed.Do(peepul.MLogOp{Kind: peepul.MLogRead})
 		must(err)
-		fmt.Printf("=== %s's feed (%d entries, newest first) ===\n", n.Name(), len(v.Log))
+		fmt.Printf("=== %s's feed (%d entries, newest first) ===\n", r.node.Name(), len(v.Log))
 		feed := ""
 		for _, e := range v.Log {
 			fmt.Printf("  %s\n", e.Msg)
@@ -74,10 +77,10 @@ func main() {
 	}
 	fmt.Println("all feeds identical: 5 entries, reverse-chronological")
 
-	for _, n := range []*node{ada, grace, barbara} {
-		st := n.Stats()
+	for _, r := range []researcher{ada, grace, barbara} {
+		st := r.node.Stats()
 		fmt.Printf("%s wire: %d B sent, %d B recv, %d commits shipped, %d delta syncs, %d fallbacks\n",
-			n.Name(), st.BytesSent, st.BytesRecv, st.CommitsSent, st.DeltaSyncs, st.Fallbacks)
+			r.node.Name(), st.BytesSent, st.BytesRecv, st.CommitsSent, st.DeltaSyncs, st.Fallbacks)
 	}
 }
 

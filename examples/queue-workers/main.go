@@ -7,7 +7,8 @@
 // Every sync is an incremental delta exchange — only the missing commits
 // cross the wire.
 //
-// The example also replays Figure 11's worked merge exactly.
+// The example also replays Figure 11's worked merge exactly, driving the
+// registered implementation directly through its descriptor.
 //
 //	go run ./examples/queue-workers
 package main
@@ -15,10 +16,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/queue"
-	"repro/internal/replica"
-	"repro/internal/wire"
+	"repro/peepul"
 )
 
 func main() {
@@ -28,22 +26,24 @@ func main() {
 
 // figure11 replays the paper's worked example: LCA [1..5]; branch A
 // dequeues twice and enqueues 8, 9; branch B dequeues once and enqueues
-// 6, 7; the merge is [3,4,5,6,7,8,9].
+// 6, 7; the merge is [3,4,5,6,7,8,9]. The descriptor exposes the raw
+// implementation, so the merge can be driven with hand-picked
+// timestamps.
 func figure11() {
-	var impl queue.Queue
+	impl := peepul.Queue.Impl
 	lca := impl.Init()
 	for i := int64(1); i <= 5; i++ {
-		lca, _ = impl.Do(queue.Op{Kind: queue.Enqueue, V: i}, lca, core.Timestamp(i))
+		lca, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: i}, lca, peepul.Timestamp(i))
 	}
 	a := lca
-	a, _ = impl.Do(queue.Op{Kind: queue.Dequeue}, a, 100)
-	a, _ = impl.Do(queue.Op{Kind: queue.Dequeue}, a, 101)
-	a, _ = impl.Do(queue.Op{Kind: queue.Enqueue, V: 8}, a, 8)
-	a, _ = impl.Do(queue.Op{Kind: queue.Enqueue, V: 9}, a, 9)
+	a, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueDequeue}, a, 100)
+	a, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueDequeue}, a, 101)
+	a, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: 8}, a, 8)
+	a, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: 9}, a, 9)
 	b := lca
-	b, _ = impl.Do(queue.Op{Kind: queue.Dequeue}, b, 102)
-	b, _ = impl.Do(queue.Op{Kind: queue.Enqueue, V: 6}, b, 6)
-	b, _ = impl.Do(queue.Op{Kind: queue.Enqueue, V: 7}, b, 7)
+	b, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueDequeue}, b, 102)
+	b, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: 6}, b, 6)
+	b, _ = impl.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: 7}, b, 7)
 
 	merged := impl.Merge(lca, a, b)
 	fmt.Print("Figure 11 three-way merge: [")
@@ -56,52 +56,57 @@ func figure11() {
 	fmt.Println("]  (paper: [3,4,5,6,7,8,9])")
 }
 
-type qnode = replica.Node[queue.State, queue.Op, queue.Val]
+type qworker struct {
+	node *peepul.Node
+	jobs *peepul.Handle[peepul.QueueState, peepul.QueueOp, peepul.QueueVal]
+}
 
 func workers() {
-	mk := func(name string, id int) *qnode {
-		n, err := replica.NewNode[queue.State, queue.Op, queue.Val](name, id, queue.Queue{}, wire.Queue{})
+	mk := func(name string, id int) qworker {
+		n, err := peepul.NewNode(name, id)
+		must(err)
+		h, err := peepul.Open(n, peepul.Queue, "jobs")
 		must(err)
 		must(n.Listen("127.0.0.1:0"))
-		return n
+		return qworker{node: n, jobs: h}
 	}
 	producer := mk("producer", 1)
 	w1 := mk("worker-1", 2)
 	w2 := mk("worker-2", 3)
-	defer producer.Close()
-	defer w1.Close()
-	defer w2.Close()
+	defer producer.node.Close()
+	defer w1.node.Close()
+	defer w2.node.Close()
 
 	// The producer enqueues six jobs and the workers sync to see them.
 	for job := int64(1); job <= 6; job++ {
-		producer.Do(queue.Op{Kind: queue.Enqueue, V: job})
+		producer.jobs.Do(peepul.QueueOp{Kind: peepul.QueueEnqueue, V: job})
 	}
-	must(w1.SyncWith(producer.Addr()))
-	must(w2.SyncWith(producer.Addr()))
+	must(w1.node.SyncWith(producer.node.Addr()))
+	must(w2.node.SyncWith(producer.node.Addr()))
 
 	// Each worker processes two jobs offline. Both grab the queue head, so
 	// jobs 1 and 2 run on both workers — at-least-once, never lost.
 	processed := map[string][]int64{}
-	for _, w := range []*qnode{w1, w2} {
+	for _, w := range []qworker{w1, w2} {
 		for i := 0; i < 2; i++ {
-			v, _ := w.Do(queue.Op{Kind: queue.Dequeue})
+			v, _ := w.jobs.Do(peepul.QueueOp{Kind: peepul.QueueDequeue})
 			if v.OK {
-				processed[w.Name()] = append(processed[w.Name()], v.V)
+				processed[w.node.Name()] = append(processed[w.node.Name()], v.V)
 			}
 		}
 	}
-	for _, w := range []*qnode{w1, w2} {
-		fmt.Printf("%s processed jobs %v\n", w.Name(), processed[w.Name()])
+	for _, w := range []qworker{w1, w2} {
+		fmt.Printf("%s processed jobs %v\n", w.node.Name(), processed[w.node.Name()])
 	}
 
 	// Gossip the dequeues back through the producer; each exchange ships
 	// only the commits the other side is missing.
-	must(w1.SyncWith(producer.Addr()))
-	must(w2.SyncWith(producer.Addr()))
-	must(w1.SyncWith(producer.Addr()))
+	must(w1.node.SyncWith(producer.node.Addr()))
+	must(w2.node.SyncWith(producer.node.Addr()))
+	must(w1.node.SyncWith(producer.node.Addr()))
 
 	var remaining []int64
-	head, err := producer.State()
+	head, err := producer.jobs.State()
 	must(err)
 	for _, p := range head.ToSlice() {
 		remaining = append(remaining, p.V)
@@ -112,7 +117,7 @@ func workers() {
 	if len(remaining) != 4 || remaining[0] != 3 {
 		panic(fmt.Sprintf("unexpected queue state: %v", remaining))
 	}
-	st := producer.Stats()
+	st := producer.node.Stats()
 	fmt.Printf("producer wire: %d B sent, %d B recv, %d delta syncs, %d fallbacks\n",
 		st.BytesSent, st.BytesRecv, st.DeltaSyncs, st.Fallbacks)
 }

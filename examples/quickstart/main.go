@@ -1,6 +1,7 @@
 // Quickstart: the smallest end-to-end use of the library — a PN-counter
-// replicated across two branches of the Git-like store, with concurrent
-// updates reconciled by the certified three-way merge.
+// object opened on a node, replicated across two branches, with
+// concurrent updates reconciled by the certified three-way merge.
+// Everything comes from the public peepul package.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,40 +9,43 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/counter"
-	"repro/internal/store"
+	"repro/peepul"
 )
 
 func main() {
-	// A store holds one replicated object; the codec serializes states for
-	// content addressing.
-	codec := store.FuncCodec[counter.PNState](func(s counter.PNState) []byte {
-		buf := store.AppendInt64(nil, s.P)
-		return store.AppendInt64(buf, s.N)
-	})
-	st := store.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{}, codec, "main")
+	// A node hosts named replicated objects; Open is get-or-create and
+	// returns a typed handle bound to the node's branch.
+	node, err := peepul.NewNode("main", 1)
+	if err != nil {
+		panic(err)
+	}
+	defer node.Close()
+	cart, err := peepul.Open(node, peepul.PNCounter, "cart-total")
+	if err != nil {
+		panic(err)
+	}
 
-	// Fork a second replica. Each branch evolves independently.
-	if err := st.Fork("main", "replica"); err != nil {
+	// Fork a second replica branch. Each branch evolves independently.
+	if err := cart.Fork("replica"); err != nil {
 		panic(err)
 	}
 
 	// Concurrent updates on both branches.
-	st.Apply("main", counter.Op{Kind: counter.Inc, N: 10})
-	st.Apply("replica", counter.Op{Kind: counter.Inc, N: 5})
-	st.Apply("replica", counter.Op{Kind: counter.Dec, N: 2})
+	cart.Do(peepul.CounterOp{Kind: peepul.CounterInc, N: 10})
+	cart.DoOn("replica", peepul.CounterOp{Kind: peepul.CounterInc, N: 5})
+	cart.DoOn("replica", peepul.CounterOp{Kind: peepul.CounterDec, N: 2})
 
-	mv, _ := st.Apply("main", counter.Op{Kind: counter.Read})
-	rv, _ := st.Apply("replica", counter.Op{Kind: counter.Read})
+	mv, _ := cart.Do(peepul.CounterOp{Kind: peepul.CounterRead})
+	rv, _ := cart.DoOn("replica", peepul.CounterOp{Kind: peepul.CounterRead})
 	fmt.Printf("before sync:  main=%d  replica=%d\n", mv, rv)
 
 	// Synchronize: a three-way merge over the lowest common ancestor,
 	// counting every increment and decrement exactly once.
-	if err := st.Sync("main", "replica"); err != nil {
+	if err := cart.Sync("main", "replica"); err != nil {
 		panic(err)
 	}
-	mv, _ = st.Apply("main", counter.Op{Kind: counter.Read})
-	rv, _ = st.Apply("replica", counter.Op{Kind: counter.Read})
+	mv, _ = cart.Do(peepul.CounterOp{Kind: peepul.CounterRead})
+	rv, _ = cart.DoOn("replica", peepul.CounterOp{Kind: peepul.CounterRead})
 	fmt.Printf("after sync:   main=%d  replica=%d\n", mv, rv)
 	if mv != 13 || rv != 13 {
 		panic("replicas failed to converge to 13")

@@ -9,8 +9,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/orset"
-	"repro/internal/store"
+	"repro/peepul"
 )
 
 // Item ids for the demo catalogue.
@@ -27,29 +26,29 @@ var names = map[int64]string{
 }
 
 func main() {
-	codec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
-		var buf []byte
-		for _, p := range s {
-			buf = store.AppendInt64(buf, p.E)
-			buf = store.AppendTimestamp(buf, p.T)
-		}
-		return buf
-	})
-	st := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, codec, "phone")
-	must(st.Fork("phone", "laptop"))
+	node, err := peepul.NewNode("phone", 1)
+	if err != nil {
+		panic(err)
+	}
+	defer node.Close()
+	cart, err := peepul.Open(node, peepul.OrSetSpace, "cart")
+	if err != nil {
+		panic(err)
+	}
+	must(cart.Fork("laptop"))
 
 	add := func(dev string, item int64) {
-		st.Apply(dev, orset.Op{Kind: orset.Add, E: item})
+		cart.DoOn(dev, peepul.OrSetOp{Kind: peepul.OrSetAdd, E: item})
 		fmt.Printf("[%s] add    %s\n", dev, names[item])
 	}
 	remove := func(dev string, item int64) {
-		st.Apply(dev, orset.Op{Kind: orset.Remove, E: item})
+		cart.DoOn(dev, peepul.OrSetOp{Kind: peepul.OrSetRemove, E: item})
 		fmt.Printf("[%s] remove %s\n", dev, names[item])
 	}
 
 	// Shared prefix: beans in the cart, then the devices go offline.
 	add("phone", espressoBeans)
-	must(st.Sync("phone", "laptop"))
+	must(cart.Sync("phone", "laptop"))
 
 	// Offline editing: the laptop clears the beans and adds a grinder; the
 	// phone re-adds the beans (user really wants them) and a kettle.
@@ -59,9 +58,9 @@ func main() {
 	add("phone", kettle)
 
 	fmt.Println("\n-- devices reconnect and sync --")
-	must(st.Sync("phone", "laptop"))
+	must(cart.Sync("phone", "laptop"))
 
-	v, _ := st.Apply("phone", orset.Op{Kind: orset.Read})
+	v, _ := cart.Do(peepul.OrSetOp{Kind: peepul.OrSetRead})
 	fmt.Println("\nfinal cart (both devices):")
 	for _, item := range v.Elems {
 		fmt.Printf("  - %s\n", names[item])
@@ -71,7 +70,7 @@ func main() {
 	if len(v.Elems) != 3 {
 		panic(fmt.Sprintf("expected 3 items, got %v", v.Elems))
 	}
-	l, _ := st.Apply("laptop", orset.Op{Kind: orset.Read})
+	l, _ := cart.DoOn("laptop", peepul.OrSetOp{Kind: peepul.OrSetRead})
 	if len(l.Elems) != 3 {
 		panic("laptop disagrees with phone")
 	}

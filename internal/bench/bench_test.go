@@ -117,7 +117,7 @@ func TestPrintersProduceRows(t *testing.T) {
 }
 
 func TestTable3SmokeAndPrinter(t *testing.T) {
-	reports := Table3(0.02)
+	reports := Table3(0.02, "")
 	if len(reports) < 10 {
 		t.Fatalf("expected a report per MRDT, got %d", len(reports))
 	}

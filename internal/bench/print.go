@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -61,12 +62,23 @@ func PrintSyncCost(w io.Writer, rows []SyncCostRow) {
 	}
 }
 
-// Table3 runs the certification harness for every MRDT and returns the
-// reports — the reproduction's analogue of the paper's Table 3.
-func Table3(scale float64) []sim.Report {
+// MatchType reports whether a registered datatype name passes a -type
+// filter: the empty filter matches everything, otherwise an exact name
+// or substring match is required.
+func MatchType(name, filter string) bool {
+	return filter == "" || name == filter || strings.Contains(name, filter)
+}
+
+// Table3 runs the certification harness for every registered MRDT whose
+// name passes the -type filter and returns the reports — the
+// reproduction's analogue of the paper's Table 3.
+func Table3(scale float64, typeFilter string) []sim.Report {
 	runners := harness.All()
 	reports := make([]sim.Report, 0, len(runners))
 	for _, r := range runners {
+		if !MatchType(r.Name(), typeFilter) {
+			continue
+		}
 		cfg := r.Config()
 		cfg.RandomExecutions = int(float64(cfg.RandomExecutions) * scale)
 		if cfg.RandomExecutions < 1 {

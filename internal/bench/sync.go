@@ -38,22 +38,30 @@ type SyncCostRow struct {
 // SyncNs is the history-length sweep of the sync-cost benchmark.
 var SyncNs = []int{64, 256, 1024}
 
-type syncNode = replica.Node[counter.PNState, counter.Op, counter.Val]
+// syncNode is a replica node hosting a single PN-counter object.
+type syncNode struct {
+	*replica.Node
+	obj *replica.TypedObject[counter.PNState, counter.Op, counter.Val]
+}
 
 func newSyncNode(name string, id int) *syncNode {
-	n, err := replica.NewNode[counter.PNState, counter.Op, counter.Val](
-		name, id, counter.PNCounter{}, wire.PNCounter{})
+	n, err := replica.NewNode(name, id)
+	if err != nil {
+		panic(err)
+	}
+	obj, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
 	if err != nil {
 		panic(err)
 	}
 	if err := n.Listen("127.0.0.1:0"); err != nil {
 		panic(err)
 	}
-	return n
+	return &syncNode{Node: n, obj: obj}
 }
 
 func syncInc(n *syncNode) {
-	if _, err := n.Do(counter.Op{Kind: counter.Inc, N: 1}); err != nil {
+	if _, err := n.obj.Do(counter.Op{Kind: counter.Inc, N: 1}); err != nil {
 		panic(err)
 	}
 }

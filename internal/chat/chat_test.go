@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mlog"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func send(t *testing.T, impl chat.Chat, s chat.State, ch, msg string, ts core.Timestamp) chat.State {
@@ -91,18 +92,7 @@ func TestChatRsim(t *testing.T) {
 // TestChatOnStore runs a three-replica chat session over the Git-like
 // store and checks all replicas converge to identical channel logs.
 func TestChatOnStore(t *testing.T) {
-	codec := store.FuncCodec[chat.State](func(s chat.State) []byte {
-		var buf []byte
-		for _, e := range s {
-			buf = store.AppendString(buf, e.K)
-			for _, m := range e.V {
-				buf = store.AppendTimestamp(buf, m.T)
-				buf = store.AppendString(buf, m.Msg)
-			}
-		}
-		return buf
-	})
-	st := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, codec, "alice")
+	st := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, wire.Chat{}, "alice")
 	if err := st.Fork("alice", "bob"); err != nil {
 		t.Fatal(err)
 	}

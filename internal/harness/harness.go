@@ -1,22 +1,17 @@
-// Package harness assembles the certification harnesses for every MRDT in
-// the library: implementation + specification + simulation relation +
-// operation alphabet, with exploration bounds tuned per data type. It is
-// the single registry behind `peepul-verify` (Table 3′) and the
-// certification test suite.
+// Package harness adapts the public datatype registry (package peepul)
+// to the certification tooling: a Runner is the type-erased view of one
+// registered datatype's certification harness — implementation +
+// specification + simulation relation + operation alphabet, with
+// exploration bounds tuned per data type. Historically this package
+// hand-wired every datatype; it is now a thin iteration over
+// peepul.All(), so registering a datatype is the only step needed to
+// certify it via `peepul-verify` (Table 3′) and the certification test
+// suite.
 package harness
 
 import (
-	"repro/internal/alphamap"
-	"repro/internal/chat"
-	"repro/internal/counter"
-	"repro/internal/ewflag"
-	"repro/internal/gmap"
-	"repro/internal/gset"
-	"repro/internal/lwwreg"
-	"repro/internal/mlog"
-	"repro/internal/orset"
-	"repro/internal/queue"
 	"repro/internal/sim"
+	"repro/peepul"
 )
 
 // Runner is a type-erased certification harness, so heterogeneous data
@@ -30,396 +25,13 @@ type Runner interface {
 	Config() sim.Config
 }
 
-type runner[S, Op, Val any] struct {
-	h   *sim.Harness[S, Op, Val]
-	cfg sim.Config
-}
-
-func (r runner[S, Op, Val]) Name() string                      { return r.h.Name }
-func (r runner[S, Op, Val]) Certify(cfg sim.Config) sim.Report { return r.h.Certify(cfg) }
-func (r runner[S, Op, Val]) Config() sim.Config                { return r.cfg }
-
-// All returns every registered harness, in the order of the paper's
-// Table 3.
+// All returns every registered harness, in registration order (the
+// built-in library registers in the order of the paper's Table 3).
 func All() []Runner {
-	return []Runner{
-		Counter(),
-		PNCounter(),
-		EWFlag(),
-		DWFlag(),
-		LWWReg(),
-		GSet(),
-		GMap(),
-		MLog(),
-		OrSet(),
-		OrSetSpace(),
-		OrSetSpaceTime(),
-		Queue(),
-		AlphaMapCounter(),
-		AlphaMapOrSet(),
-		Chat(),
+	ds := peepul.All()
+	out := make([]Runner, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d)
 	}
-}
-
-// Counter returns the increment-only counter harness.
-func Counter() Runner {
-	return runner[int64, counter.Op, counter.Val]{
-		h: &sim.Harness[int64, counter.Op, counter.Val]{
-			Name:  "inc-counter",
-			Impl:  counter.IncCounter{},
-			Spec:  counter.IncSpec,
-			Rsim:  counter.IncRsim,
-			ValEq: counter.ValEq,
-			Ops: []counter.Op{
-				{Kind: counter.Read},
-				{Kind: counter.Inc, N: 1},
-				{Kind: counter.Inc, N: 2},
-			},
-			Probes: []counter.Op{{Kind: counter.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// PNCounter returns the PN-counter harness.
-func PNCounter() Runner {
-	return runner[counter.PNState, counter.Op, counter.Val]{
-		h: &sim.Harness[counter.PNState, counter.Op, counter.Val]{
-			Name:  "pn-counter",
-			Impl:  counter.PNCounter{},
-			Spec:  counter.PNSpec,
-			Rsim:  counter.PNRsim,
-			ValEq: counter.ValEq,
-			Ops: []counter.Op{
-				{Kind: counter.Read},
-				{Kind: counter.Inc, N: 1},
-				{Kind: counter.Dec, N: 1},
-			},
-			Probes: []counter.Op{{Kind: counter.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// EWFlag returns the enable-wins flag harness.
-func EWFlag() Runner {
-	return runner[ewflag.State, ewflag.Op, ewflag.Val]{
-		h: &sim.Harness[ewflag.State, ewflag.Op, ewflag.Val]{
-			Name:  "ew-flag",
-			Impl:  ewflag.Flag{},
-			Spec:  ewflag.Spec,
-			Rsim:  ewflag.Rsim,
-			ValEq: ewflag.ValEq,
-			Ops: []ewflag.Op{
-				{Kind: ewflag.Read},
-				{Kind: ewflag.Enable},
-				{Kind: ewflag.Disable},
-			},
-			Probes: []ewflag.Op{{Kind: ewflag.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// DWFlag returns the disable-wins flag harness — the dual policy, not in
-// the paper's library; certifying it shows the framework is policy
-// agnostic.
-func DWFlag() Runner {
-	return runner[ewflag.DWState, ewflag.Op, ewflag.Val]{
-		h: &sim.Harness[ewflag.DWState, ewflag.Op, ewflag.Val]{
-			Name:  "dw-flag",
-			Impl:  ewflag.DWFlag{},
-			Spec:  ewflag.DWSpec,
-			Rsim:  ewflag.DWRsim,
-			ValEq: ewflag.ValEq,
-			Ops: []ewflag.Op{
-				{Kind: ewflag.Read},
-				{Kind: ewflag.Enable},
-				{Kind: ewflag.Disable},
-			},
-			Probes: []ewflag.Op{{Kind: ewflag.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// LWWReg returns the last-writer-wins register harness.
-func LWWReg() Runner {
-	return runner[lwwreg.State, lwwreg.Op, lwwreg.Val]{
-		h: &sim.Harness[lwwreg.State, lwwreg.Op, lwwreg.Val]{
-			Name:  "lww-register",
-			Impl:  lwwreg.Reg{},
-			Spec:  lwwreg.Spec,
-			Rsim:  lwwreg.Rsim,
-			ValEq: lwwreg.ValEq,
-			Ops: []lwwreg.Op{
-				{Kind: lwwreg.Read},
-				{Kind: lwwreg.Write, V: 1},
-				{Kind: lwwreg.Write, V: 2},
-			},
-			Probes: []lwwreg.Op{{Kind: lwwreg.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// GSet returns the grow-only set harness.
-func GSet() Runner {
-	return runner[gset.State, gset.Op, gset.Val]{
-		h: &sim.Harness[gset.State, gset.Op, gset.Val]{
-			Name:  "g-set",
-			Impl:  gset.Set{},
-			Spec:  gset.Spec,
-			Rsim:  gset.Rsim,
-			ValEq: gset.ValEq,
-			Ops: []gset.Op{
-				{Kind: gset.Read},
-				{Kind: gset.Add, E: 1},
-				{Kind: gset.Add, E: 2},
-				{Kind: gset.Lookup, E: 1},
-			},
-			Probes: []gset.Op{{Kind: gset.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// GMap returns the grow-only map harness.
-func GMap() Runner {
-	return runner[gmap.State, gmap.Op, gmap.Val]{
-		h: &sim.Harness[gmap.State, gmap.Op, gmap.Val]{
-			Name:  "g-map",
-			Impl:  gmap.Map{},
-			Spec:  gmap.Spec,
-			Rsim:  gmap.Rsim,
-			ValEq: gmap.ValEq,
-			Ops: []gmap.Op{
-				{Kind: gmap.Get, K: "a"},
-				{Kind: gmap.Put, K: "a", V: 1},
-				{Kind: gmap.Put, K: "a", V: 2},
-				{Kind: gmap.Put, K: "b", V: 1},
-				{Kind: gmap.Keys},
-			},
-			Probes: []gmap.Op{
-				{Kind: gmap.Get, K: "a"},
-				{Kind: gmap.Get, K: "b"},
-				{Kind: gmap.Keys},
-			},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// MLog returns the mergeable log harness.
-func MLog() Runner {
-	return runner[mlog.State, mlog.Op, mlog.Val]{
-		h: &sim.Harness[mlog.State, mlog.Op, mlog.Val]{
-			Name:  "mergeable-log",
-			Impl:  mlog.Log{},
-			Spec:  mlog.Spec,
-			Rsim:  mlog.Rsim,
-			ValEq: mlog.ValEq,
-			Ops: []mlog.Op{
-				{Kind: mlog.Read},
-				{Kind: mlog.Append, Msg: "x"},
-				{Kind: mlog.Append, Msg: "y"},
-			},
-			Probes: []mlog.Op{{Kind: mlog.Read}},
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-func orsetOps() []orset.Op {
-	return []orset.Op{
-		{Kind: orset.Read},
-		{Kind: orset.Add, E: 1},
-		{Kind: orset.Add, E: 2},
-		{Kind: orset.Remove, E: 1},
-		{Kind: orset.Lookup, E: 1},
-	}
-}
-
-func orsetProbes() []orset.Op {
-	return []orset.Op{{Kind: orset.Read}}
-}
-
-// OrSet returns the unoptimized OR-set harness (§2.1.1).
-func OrSet() Runner {
-	return runner[orset.State, orset.Op, orset.Val]{
-		h: &sim.Harness[orset.State, orset.Op, orset.Val]{
-			Name:   "or-set",
-			Impl:   orset.OrSet{},
-			Spec:   orset.Spec,
-			Rsim:   orset.Rsim,
-			ValEq:  orset.ValEq,
-			Ops:    orsetOps(),
-			Probes: orsetProbes(),
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// OrSetSpace returns the space-efficient OR-set harness (§2.1.2).
-func OrSetSpace() Runner {
-	return runner[orset.SpaceState, orset.Op, orset.Val]{
-		h: &sim.Harness[orset.SpaceState, orset.Op, orset.Val]{
-			Name:   "or-set-space",
-			Impl:   orset.OrSetSpace{},
-			Spec:   orset.Spec,
-			Rsim:   orset.RsimSpace,
-			ValEq:  orset.ValEq,
-			Ops:    orsetOps(),
-			Probes: orsetProbes(),
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// OrSetSpaceTime returns the space- and time-efficient OR-set harness
-// (§7.1).
-func OrSetSpaceTime() Runner {
-	return runner[orset.TreeState, orset.Op, orset.Val]{
-		h: &sim.Harness[orset.TreeState, orset.Op, orset.Val]{
-			Name:   "or-set-spacetime",
-			Impl:   orset.OrSetSpaceTime{},
-			Spec:   orset.Spec,
-			Rsim:   orset.RsimSpaceTime,
-			ValEq:  orset.ValEq,
-			Ops:    orsetOps(),
-			Probes: orsetProbes(),
-		},
-		cfg: sim.DefaultConfig(),
-	}
-}
-
-// Queue returns the replicated functional queue harness (§6), with the
-// queue axioms of §6.2 installed as an abstract-state invariant.
-func Queue() Runner {
-	return runner[queue.State, queue.Op, queue.Val]{
-		h: &sim.Harness[queue.State, queue.Op, queue.Val]{
-			Name:  "functional-queue",
-			Impl:  queue.Queue{},
-			Spec:  queue.Spec,
-			Rsim:  queue.Rsim,
-			ValEq: queue.ValEq,
-			Ops: []queue.Op{
-				{Kind: queue.Enqueue, V: 1},
-				{Kind: queue.Enqueue, V: 2},
-				{Kind: queue.Dequeue},
-			},
-			Probes:    []queue.Op{{Kind: queue.Dequeue}},
-			Invariant: queue.Axioms,
-		},
-		// The axioms are O(n⁴) in the number of events; keep walks shorter.
-		cfg: sim.Config{
-			MaxBranches:      2,
-			MaxSteps:         4,
-			RandomExecutions: 200,
-			RandomSteps:      18,
-			RandomBranches:   3,
-			Seed:             1,
-		},
-	}
-}
-
-// AlphaMapCounter returns the generic α-map harness instantiated with the
-// PN-counter — certifying the composition machinery of §5.3–5.4 on a
-// non-trivial inner type.
-func AlphaMapCounter() Runner {
-	m := alphamap.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{})
-	return runner[alphamap.State[counter.PNState], alphamap.Op[counter.Op], counter.Val]{
-		h: &sim.Harness[alphamap.State[counter.PNState], alphamap.Op[counter.Op], counter.Val]{
-			Name:  "alpha-map<pn-counter>",
-			Impl:  m,
-			Spec:  alphamap.Spec[counter.Op, counter.Val](counter.PNSpec),
-			Rsim:  alphamap.Rsim[counter.PNState, counter.Op, counter.Val](m, counter.PNRsim),
-			ValEq: counter.ValEq,
-			Ops: []alphamap.Op[counter.Op]{
-				{K: "a", Inner: counter.Op{Kind: counter.Inc, N: 1}},
-				{K: "a", Inner: counter.Op{Kind: counter.Dec, N: 1}},
-				{K: "b", Inner: counter.Op{Kind: counter.Inc, N: 1}},
-				{Get: true, K: "a", Inner: counter.Op{Kind: counter.Read}},
-			},
-			Probes: []alphamap.Op[counter.Op]{
-				{Get: true, K: "a", Inner: counter.Op{Kind: counter.Read}},
-				{Get: true, K: "b", Inner: counter.Op{Kind: counter.Read}},
-			},
-		},
-		cfg: sim.Config{
-			MaxBranches:      2,
-			MaxSteps:         4,
-			RandomExecutions: 150,
-			RandomSteps:      20,
-			RandomBranches:   3,
-			Seed:             1,
-		},
-	}
-}
-
-// AlphaMapOrSet returns the α-map harness instantiated with the
-// space-efficient OR-set — a second composition instance demonstrating
-// that the derived specification and simulation relation are agnostic to
-// the inner data type (§5.3's parametric polymorphism).
-func AlphaMapOrSet() Runner {
-	m := alphamap.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{})
-	return runner[alphamap.State[orset.SpaceState], alphamap.Op[orset.Op], orset.Val]{
-		h: &sim.Harness[alphamap.State[orset.SpaceState], alphamap.Op[orset.Op], orset.Val]{
-			Name:  "alpha-map<or-set-space>",
-			Impl:  m,
-			Spec:  alphamap.Spec[orset.Op, orset.Val](orset.Spec),
-			Rsim:  alphamap.Rsim[orset.SpaceState, orset.Op, orset.Val](m, orset.RsimSpace),
-			ValEq: orset.ValEq,
-			Ops: []alphamap.Op[orset.Op]{
-				{K: "a", Inner: orset.Op{Kind: orset.Add, E: 1}},
-				{K: "a", Inner: orset.Op{Kind: orset.Remove, E: 1}},
-				{K: "b", Inner: orset.Op{Kind: orset.Add, E: 2}},
-				{Get: true, K: "a", Inner: orset.Op{Kind: orset.Read}},
-			},
-			Probes: []alphamap.Op[orset.Op]{
-				{Get: true, K: "a", Inner: orset.Op{Kind: orset.Read}},
-				{Get: true, K: "b", Inner: orset.Op{Kind: orset.Read}},
-			},
-		},
-		cfg: sim.Config{
-			MaxBranches:      2,
-			MaxSteps:         4,
-			RandomExecutions: 150,
-			RandomSteps:      20,
-			RandomBranches:   3,
-			Seed:             1,
-		},
-	}
-}
-
-// Chat returns the IRC-style chat harness (§5.1) — the composition α-map
-// over mergeable logs, certified end to end.
-func Chat() Runner {
-	return runner[chat.State, chat.Op, chat.Val]{
-		h: &sim.Harness[chat.State, chat.Op, chat.Val]{
-			Name:  "irc-chat",
-			Impl:  chat.Chat{},
-			Spec:  chat.Spec,
-			Rsim:  chat.Rsim,
-			ValEq: chat.ValEq,
-			Ops: []chat.Op{
-				{Kind: chat.Send, Ch: "#go", Msg: "hi"},
-				{Kind: chat.Send, Ch: "#go", Msg: "yo"},
-				{Kind: chat.Send, Ch: "#ml", Msg: "hey"},
-				{Kind: chat.Read, Ch: "#go"},
-			},
-			Probes: []chat.Op{
-				{Kind: chat.Read, Ch: "#go"},
-				{Kind: chat.Read, Ch: "#ml"},
-			},
-		},
-		cfg: sim.Config{
-			MaxBranches:      2,
-			MaxSteps:         4,
-			RandomExecutions: 150,
-			RandomSteps:      20,
-			RandomBranches:   3,
-			Seed:             1,
-		},
-	}
+	return out
 }

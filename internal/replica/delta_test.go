@@ -26,7 +26,7 @@ func bytesMoved(before, after replica.SyncStats) int64 {
 // with a Read op would append a commit and de-converge the fleet).
 func peek(t *testing.T, n *counterNode) int64 {
 	t.Helper()
-	s, err := n.State()
+	s, err := n.obj.State()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func legacyV1Server(t *testing.T) (addr string, st *store.Store[counter.PNState,
 					return
 				}
 				track := "remote/" + string(fields[0])
-				if err := st.Import(track, commits, head, wire.PNCounter{}); err != nil {
+				if err := st.Import(track, commits, head); err != nil {
 					wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
 					return
 				}

@@ -1,0 +1,101 @@
+package replica
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Object is the type-erased view of one named replicated object a Node
+// hosts: exactly the surface the sync protocol needs, so heterogeneous
+// datatypes share one session. Concrete objects are TypedObjects.
+type Object interface {
+	// Datatype is the registered datatype name; hellos carry it so two
+	// nodes never merge states of different types under one object name.
+	Datatype() string
+	// Frontier summarizes the node's branch for sync negotiation.
+	Frontier() (store.Frontier, error)
+	// Export returns the branch's full history (legacy v1 transfers).
+	Export() ([]store.ExportedCommit, store.Hash, error)
+	// ExportSince returns the commits a peer with the given have-set is
+	// missing.
+	ExportSince(have []store.Hash) ([]store.ExportedCommit, store.Hash, error)
+	// Integrate installs a peer's (possibly partial) history under a
+	// tracking branch and pulls it into the node's branch.
+	Integrate(track string, commits []store.ExportedCommit, head store.Hash) error
+}
+
+// TypedObject is one named object with its concrete types intact: a full
+// versioned store whose branch named after the node carries the node's
+// state. The public peepul package wraps it in a typed handle.
+type TypedObject[S, Op, Val any] struct {
+	datatype string
+	branch   string
+	st       *store.Store[S, Op, Val]
+}
+
+// Ensure returns node n's object named object, creating it if absent.
+// An existing object must have been created with the same datatype name
+// and the same concrete types; a mismatch is an ErrObject error.
+func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, Op, Val], codec store.Codec[S]) (*TypedObject[S, Op, Val], error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.objects[object]; ok {
+		to, ok := e.obj.(*TypedObject[S, Op, Val])
+		if !ok || to.datatype != datatype {
+			return nil, fmt.Errorf("%w: object %q already open as datatype %s", ErrObject, object, e.obj.Datatype())
+		}
+		return to, nil
+	}
+	// Every object is an independent DAG, so objects can share the node's
+	// replica-id block: timestamps are only ever compared within one
+	// object.
+	st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.storeOpts...)
+	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st}
+	n.objects[object] = &objectEntry{obj: to}
+	return to, nil
+}
+
+// Datatype returns the object's registered datatype name.
+func (o *TypedObject[S, Op, Val]) Datatype() string { return o.datatype }
+
+// Branch returns the node branch the object's state lives on.
+func (o *TypedObject[S, Op, Val]) Branch() string { return o.branch }
+
+// Store exposes the object's embedded versioned store (read-mostly; the
+// node's branch carries its state).
+func (o *TypedObject[S, Op, Val]) Store() *store.Store[S, Op, Val] { return o.st }
+
+// Do applies an operation on the node's branch with a fresh timestamp.
+func (o *TypedObject[S, Op, Val]) Do(op Op) (Val, error) {
+	return o.st.Apply(o.branch, op)
+}
+
+// State returns the current state of the node's branch.
+func (o *TypedObject[S, Op, Val]) State() (S, error) {
+	return o.st.Head(o.branch)
+}
+
+// Frontier implements Object.
+func (o *TypedObject[S, Op, Val]) Frontier() (store.Frontier, error) {
+	return o.st.Frontier(o.branch)
+}
+
+// Export implements Object.
+func (o *TypedObject[S, Op, Val]) Export() ([]store.ExportedCommit, store.Hash, error) {
+	return o.st.Export(o.branch)
+}
+
+// ExportSince implements Object.
+func (o *TypedObject[S, Op, Val]) ExportSince(have []store.Hash) ([]store.ExportedCommit, store.Hash, error) {
+	return o.st.ExportSince(o.branch, have)
+}
+
+// Integrate implements Object.
+func (o *TypedObject[S, Op, Val]) Integrate(track string, commits []store.ExportedCommit, head store.Hash) error {
+	if err := o.st.Import(track, commits, head); err != nil {
+		return err
+	}
+	return o.st.Pull(o.branch, track)
+}

@@ -1,23 +1,28 @@
-// Package replica is the network replication layer: it runs an MRDT on
+// Package replica is the network replication layer: it runs MRDTs on
 // geo-distributed nodes that exchange their commit histories peer-to-peer
 // over TCP — the deployment model of the paper's system (Irmin replicas
 // synchronizing Git-style, §1, §7).
 //
-// Each node embeds a full versioned store (internal/store). A sync is an
-// incremental delta exchange (protocol v2): the client opens with a hello
-// carrying its branch frontier — head hash plus a sampled have-set — the
-// server answers with its own frontier, and then each side streams only
-// the commits the other's frontier does not dominate. The receiver grafts
-// the partial DAG onto the commits it already holds (content addressing
-// deduplicates anything shipped twice) and performs a store Pull, whose
-// DAG-based lowest common ancestor is correct even when history reached a
-// node indirectly through third parties — ring and mesh gossip topologies
-// converge, which per-pair state exchange cannot achieve. A re-sync of an
-// already-converged pair therefore costs O(frontier) bytes, not
-// O(history). Peers that do not speak the frontier negotiation (or fail
-// it) are handled by falling back to the legacy v1 one-shot full-history
-// exchange. The store's Ψ_lca soundness discipline applies verbatim:
-// unsound merges are refused, fast-forwards adopt commits.
+// A Node hosts any number of named replicated objects, the way an Irmin
+// repository hosts many keys: each object is an independent versioned
+// store (internal/store) of one registered datatype. One sync connection
+// negotiates and delta-syncs every object the two nodes share. Per object,
+// a sync is an incremental delta exchange (protocol v2): the client opens
+// with a hello carrying the object's name, its datatype, and the branch
+// frontier — head hash plus a sampled have-set — the server answers with
+// its own frontier (or a miss for objects it does not host), and then each
+// side streams only the commits the other's frontier does not dominate.
+// The receiver grafts the partial DAG onto the commits it already holds
+// (content addressing deduplicates anything shipped twice) and performs a
+// store Pull, whose DAG-based lowest common ancestor is correct even when
+// history reached a node indirectly through third parties — ring and mesh
+// gossip topologies converge, which per-pair state exchange cannot
+// achieve. A re-sync of an already-converged pair therefore costs
+// O(frontier) bytes, not O(history). Peers that do not speak the frontier
+// negotiation (or fail it before it starts) are handled by falling back to
+// the legacy v1 one-shot full-history exchange. The store's Ψ_lca
+// soundness discipline applies verbatim: unsound merges are refused,
+// fast-forwards adopt commits.
 package replica
 
 import (
@@ -25,11 +30,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -37,13 +42,18 @@ import (
 // ErrProtocol is wrapped by all protocol-level failures.
 var ErrProtocol = errors.New("replica: protocol error")
 
+// ErrObject is wrapped by object lookup and registration failures.
+var ErrObject = errors.New("replica: object error")
+
 // errFallback marks a failed v2 negotiation; SyncWith retries with the
 // legacy full-history protocol.
 var errFallback = errors.New("replica: delta negotiation unavailable")
 
-// SyncStats counts a node's sync traffic across both client and server
-// roles. Byte counts cover both directions of every connection the node
-// took part in; commit counts are commits shipped, before content-address
+// SyncStats counts sync traffic across both client and server roles.
+// The node's aggregate stats cover both directions of every connection
+// the node took part in; per-object stats attribute commits exactly and
+// bytes to the object whose exchange was in flight when they crossed the
+// wire. Commit counts are commits shipped, before content-address
 // deduplication on the receiving side.
 type SyncStats struct {
 	BytesSent   int64
@@ -56,13 +66,15 @@ type SyncStats struct {
 	FullSyncs  int64
 	// Fallbacks counts delta negotiations abandoned for the full path.
 	Fallbacks int64
+	// Misses counts hellos answered with "object not hosted here".
+	Misses int64
 }
 
 type syncStats struct {
 	bytesSent, bytesRecv     atomic.Int64
 	commitsSent, commitsRecv atomic.Int64
 	deltaSyncs, fullSyncs    atomic.Int64
-	fallbacks                atomic.Int64
+	fallbacks, misses        atomic.Int64
 }
 
 func (s *syncStats) snapshot() SyncStats {
@@ -74,6 +86,7 @@ func (s *syncStats) snapshot() SyncStats {
 		DeltaSyncs:  s.deltaSyncs.Load(),
 		FullSyncs:   s.fullSyncs.Load(),
 		Fallbacks:   s.fallbacks.Load(),
+		Misses:      s.misses.Load(),
 	}
 }
 
@@ -84,36 +97,54 @@ func (s *syncStats) snapshot() SyncStats {
 // would block every later sync on the node).
 const syncIdleTimeout = 30 * time.Second
 
-// countedConn counts the bytes crossing a connection into a node's stats
-// and refreshes the idle deadline on every read and write.
+// countedConn counts the bytes crossing a connection into the node's
+// aggregate stats and the stats of the object whose exchange is in
+// flight, and refreshes the idle deadline on every read and write.
 type countedConn struct {
 	net.Conn
-	stats *syncStats
+	total *syncStats
+	obj   atomic.Pointer[syncStats]
 }
 
-func (c countedConn) Read(p []byte) (int, error) {
+func (c *countedConn) Read(p []byte) (int, error) {
 	c.Conn.SetReadDeadline(time.Now().Add(syncIdleTimeout))
 	n, err := c.Conn.Read(p)
-	c.stats.bytesRecv.Add(int64(n))
+	c.total.bytesRecv.Add(int64(n))
+	if s := c.obj.Load(); s != nil {
+		s.bytesRecv.Add(int64(n))
+	}
 	return n, err
 }
 
-func (c countedConn) Write(p []byte) (int, error) {
+func (c *countedConn) Write(p []byte) (int, error) {
 	c.Conn.SetWriteDeadline(time.Now().Add(syncIdleTimeout))
 	n, err := c.Conn.Write(p)
-	c.stats.bytesSent.Add(int64(n))
+	c.total.bytesSent.Add(int64(n))
+	if s := c.obj.Load(); s != nil {
+		s.bytesSent.Add(int64(n))
+	}
 	return n, err
 }
 
-// Node is one replica of an MRDT object. It is safe for concurrent use.
-type Node[S, Op, Val any] struct {
-	name  string
-	store *store.Store[S, Op, Val]
-	codec wire.Codec[S]
+// objectEntry pairs a hosted object with its sync counters.
+type objectEntry struct {
+	obj   Object
+	stats syncStats
+}
+
+// Node is one replica hosting a set of named MRDT objects. It is safe
+// for concurrent use.
+type Node struct {
+	name      string
+	replicaID int
+	storeOpts []store.Option
+
+	mu      sync.Mutex // guards objects
+	objects map[string]*objectEntry
 
 	syncMu sync.Mutex // serializes sync exchanges on this node
 
-	stats    syncStats
+	total    syncStats
 	fullOnly atomic.Bool
 
 	ln     net.Listener
@@ -122,52 +153,99 @@ type Node[S, Op, Val any] struct {
 }
 
 // MaxReplicaID is the largest node id; each node reserves a block of 64
-// branch-clock replica ids so that timestamps are unique fleet-wide.
+// branch-clock replica ids per object so that timestamps are unique
+// fleet-wide within every object's DAG.
 const MaxReplicaID = 1023
 
 // NewNode creates a replica named name with fleet-unique id replicaID.
-// Node names double as branch names in the embedded store and as peer
-// identities on the wire; names and ids must be unique across the fleet.
-func NewNode[S, Op, Val any](name string, replicaID int, impl core.MRDT[S, Op, Val], codec wire.Codec[S]) (*Node[S, Op, Val], error) {
+// Node names double as branch names in each object's embedded store and
+// as peer identities on the wire; names and ids must be unique across the
+// fleet. Store options (e.g. frontier sampling caps) apply to every
+// object subsequently opened on the node.
+func NewNode(name string, replicaID int, opts ...store.Option) (*Node, error) {
 	if replicaID < 0 || replicaID > MaxReplicaID {
 		return nil, fmt.Errorf("replica: id %d out of range [0, %d]", replicaID, MaxReplicaID)
 	}
-	return &Node[S, Op, Val]{
-		name:   name,
-		store:  store.NewAt[S, Op, Val](impl, codec, name, replicaID*64),
-		codec:  codec,
-		closed: make(chan struct{}),
+	return &Node{
+		name:      name,
+		replicaID: replicaID,
+		storeOpts: opts,
+		objects:   make(map[string]*objectEntry),
+		closed:    make(chan struct{}),
 	}, nil
 }
 
 // Name returns the node's name.
-func (n *Node[S, Op, Val]) Name() string { return n.name }
+func (n *Node) Name() string { return n.name }
 
-// Store exposes the embedded versioned store (read-mostly; the node's own
-// branch carries its state).
-func (n *Node[S, Op, Val]) Store() *store.Store[S, Op, Val] { return n.store }
-
-// Do applies an operation locally with a fresh timestamp.
-func (n *Node[S, Op, Val]) Do(op Op) (Val, error) {
-	return n.store.Apply(n.name, op)
+// Objects returns the names of the hosted objects, sorted.
+func (n *Node) Objects() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.objects))
+	for name := range n.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
-// State returns the current local state.
-func (n *Node[S, Op, Val]) State() (S, error) {
-	return n.store.Head(n.name)
+// Object returns the hosted object named object.
+func (n *Node) Object(object string) (Object, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.objects[object]
+	if !ok {
+		return nil, false
+	}
+	return e.obj, true
 }
 
-// Stats returns a snapshot of the node's sync counters.
-func (n *Node[S, Op, Val]) Stats() SyncStats { return n.stats.snapshot() }
+// Stats returns a snapshot of the node's aggregate sync counters.
+func (n *Node) Stats() SyncStats { return n.total.snapshot() }
+
+// ObjectStats returns a snapshot of one object's sync counters (zero for
+// objects the node does not host).
+func (n *Node) ObjectStats(object string) SyncStats {
+	n.mu.Lock()
+	e, ok := n.objects[object]
+	n.mu.Unlock()
+	if !ok {
+		return SyncStats{}
+	}
+	return e.stats.snapshot()
+}
 
 // SetFullSyncOnly forces outgoing syncs onto the legacy v1 full-history
 // protocol (the serving side always speaks both). Benchmarks use it to
 // compare protocols; tests use it to pin down the fallback path.
-func (n *Node[S, Op, Val]) SetFullSyncOnly(v bool) { n.fullOnly.Store(v) }
+func (n *Node) SetFullSyncOnly(v bool) { n.fullOnly.Store(v) }
+
+// entry returns the object entry for object, if hosted.
+func (n *Node) entry(object string) (*objectEntry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.objects[object]
+	return e, ok
+}
+
+// soleEntry returns the node's only object, for legacy v1 requests that
+// predate object naming.
+func (n *Node) soleEntry() (string, *objectEntry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.objects) != 1 {
+		return "", nil, false
+	}
+	for name, e := range n.objects {
+		return name, e, true
+	}
+	return "", nil, false // unreachable
+}
 
 // Listen starts serving sync requests on addr ("127.0.0.1:0" picks a free
 // port). The chosen address is available from Addr.
-func (n *Node[S, Op, Val]) Listen(addr string) error {
+func (n *Node) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -179,7 +257,7 @@ func (n *Node[S, Op, Val]) Listen(addr string) error {
 }
 
 // Addr returns the listening address, or "" before Listen.
-func (n *Node[S, Op, Val]) Addr() string {
+func (n *Node) Addr() string {
 	if n.ln == nil {
 		return ""
 	}
@@ -187,7 +265,7 @@ func (n *Node[S, Op, Val]) Addr() string {
 }
 
 // Close stops serving and waits for in-flight handlers.
-func (n *Node[S, Op, Val]) Close() error {
+func (n *Node) Close() error {
 	close(n.closed)
 	var err error
 	if n.ln != nil {
@@ -197,7 +275,7 @@ func (n *Node[S, Op, Val]) Close() error {
 	return err
 }
 
-func (n *Node[S, Op, Val]) serve() {
+func (n *Node) serve() {
 	defer n.wg.Done()
 	for {
 		conn, err := n.ln.Accept()
@@ -213,42 +291,74 @@ func (n *Node[S, Op, Val]) serve() {
 		go func() {
 			defer n.wg.Done()
 			defer conn.Close()
-			n.handle(countedConn{Conn: conn, stats: &n.stats})
+			n.handle(&countedConn{Conn: conn, total: &n.total})
 		}()
 	}
 }
 
-// handle dispatches one inbound sync by its opening frame: a v2 hello
-// starts the delta negotiation, a v1 request gets the one-shot exchange.
-func (n *Node[S, Op, Val]) handle(conn io.ReadWriter) {
-	kind, fields, err := wire.ReadMsg(conn)
-	if err != nil {
-		wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
-		return
-	}
-	switch kind {
-	case wire.FrameHello:
-		n.handleHello(conn, fields)
-	case wire.FrameSyncRequest:
-		n.handleFull(conn, fields)
-	default:
-		wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+// handle serves one inbound sync session. A session is a sequence of
+// per-object exchanges on a single connection: each v2 hello negotiates
+// and delta-syncs one named object, and the session ends when the client
+// hangs up. A v1 request gets the legacy one-shot exchange and closes the
+// session.
+func (n *Node) handle(conn *countedConn) {
+	for {
+		kind, fields, err := wire.ReadMsg(conn)
+		if err != nil {
+			// Bare EOF is the client ending the session; anything else is
+			// a framing violation worth reporting before hanging up.
+			if !errors.Is(err, io.EOF) {
+				wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+			}
+			return
+		}
+		switch kind {
+		case wire.FrameHello:
+			if !n.handleHello(conn, fields) {
+				return
+			}
+		case wire.FrameSyncRequest:
+			n.handleFull(conn, fields)
+			return
+		default:
+			wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+			return
+		}
 	}
 }
 
-// handleHello serves the v2 exchange: answer with the local frontier,
-// read the client's missing-commit delta, merge it, and stream back the
-// commits the client's frontier does not dominate.
-func (n *Node[S, Op, Val]) handleHello(conn io.ReadWriter, fields [][]byte) {
+// handleHello serves one object's v2 exchange: answer with the local
+// frontier (or a miss for unhosted objects), read the client's
+// missing-commit delta, merge it, and stream back the commits the
+// client's frontier does not dominate. The return value reports whether
+// the session may continue with further hellos.
+func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
 	if len(fields) != 1 {
 		fail("bad hello")
-		return
+		return false
 	}
-	peer, theirs, err := wire.DecodeHello(fields[0])
+	hello, err := wire.DecodeHello(fields[0])
 	if err != nil {
 		fail(err.Error())
-		return
+		return false
+	}
+	// Re-point byte attribution before any reply: traffic of this
+	// exchange must not land on the previous exchange's object.
+	conn.obj.Store(nil)
+	e, ok := n.entry(hello.Object)
+	if !ok {
+		n.total.misses.Add(1)
+		wire.WriteMsg(conn, wire.FrameHelloMiss, []byte("object not hosted: "+hello.Object))
+		return true
+	}
+	conn.obj.Store(&e.stats)
+	if dt := e.obj.Datatype(); dt != hello.Datatype {
+		n.total.misses.Add(1)
+		e.stats.misses.Add(1)
+		wire.WriteMsg(conn, wire.FrameHelloMiss,
+			[]byte(fmt.Sprintf("object %s is %s here, peer has %s", hello.Object, dt, hello.Datatype)))
+		return true
 	}
 
 	// The network round-trips happen outside syncMu: a stalled or
@@ -256,139 +366,219 @@ func (n *Node[S, Op, Val]) handleHello(conn io.ReadWriter, fields [][]byte) {
 	// node's sync path. The frontier needs no lock — it advertises
 	// commits we have, which stays true however concurrent exchanges
 	// advance the branch.
-	mine, err := n.store.Frontier(n.name)
+	mine, err := e.obj.Frontier()
 	if err != nil {
 		fail(err.Error())
-		return
+		return false
 	}
-	if err := wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(n.name, mine)); err != nil {
-		return
+	ack := wire.Hello{Node: n.name, Object: hello.Object, Datatype: hello.Datatype, Frontier: mine}
+	if err := wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(ack)); err != nil {
+		return false
 	}
 	commits, head, err := wire.ReadDelta(conn)
 	if err != nil {
 		fail(err.Error())
-		return
+		return false
 	}
 
 	n.syncMu.Lock()
-	err = n.integrate("remote/"+peer, commits, head)
+	err = e.obj.Integrate("remote/"+hello.Node, commits, head)
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
 	if err == nil {
-		reply, replyHead, err = n.store.ExportSince(n.name, theirs.HaveSet())
+		reply, replyHead, err = e.obj.ExportSince(hello.Frontier.HaveSet())
 	}
 	n.syncMu.Unlock()
 	if err != nil {
 		fail(err.Error())
-		return
+		return false
+	}
+	// Count the exchange before the reply streams out: the client may
+	// read its own stats the moment its SyncWith returns, and this
+	// handler goroutine has no happens-before edge past the write.
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.deltaSyncs.Add(1)
+		s.commitsRecv.Add(int64(len(commits)))
+		s.commitsSent.Add(int64(len(reply)))
 	}
 	// Commits are immutable, so the materialized reply stays valid even
 	// if another exchange advances the branch while it streams out.
-	if err := wire.WriteDelta(conn, reply, replyHead); err != nil {
-		return
-	}
-	n.stats.deltaSyncs.Add(1)
-	n.stats.commitsRecv.Add(int64(len(commits)))
-	n.stats.commitsSent.Add(int64(len(reply)))
+	return wire.WriteDelta(conn, reply, replyHead) == nil
 }
 
 // handleFull serves the legacy v1 exchange: import the client's whole
-// history, merge it, reply with the merged whole history.
-func (n *Node[S, Op, Val]) handleFull(conn io.ReadWriter, fields [][]byte) {
+// history for one object, merge it, reply with the merged whole history.
+// The request names its object and datatype in third and fourth fields;
+// the two-field form predates object naming and resolves to the node's
+// sole object with no datatype check (pre-multi-object peers cannot send
+// one).
+func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
-	if len(fields) != 2 {
+	var peer, object, datatype string
+	var payload []byte
+	switch len(fields) {
+	case 2:
+		peer, payload = string(fields[0]), fields[1]
+		var ok bool
+		if object, _, ok = n.soleEntry(); !ok {
+			if len(n.Objects()) == 0 {
+				fail("no objects hosted")
+			} else {
+				fail("object name required: node hosts several objects")
+			}
+			return
+		}
+	case 4:
+		peer, object, datatype = string(fields[0]), string(fields[1]), string(fields[2])
+		payload = fields[3]
+	default:
 		fail("bad request")
 		return
 	}
-	peer := string(fields[0])
-	commits, head, err := wire.DecodeCommitList(fields[1])
+	e, ok := n.entry(object)
+	if !ok {
+		fail("object not hosted: " + object)
+		return
+	}
+	if datatype != "" {
+		if dt := e.obj.Datatype(); dt != datatype {
+			fail(fmt.Sprintf("object %s is %s here, peer has %s", object, dt, datatype))
+			return
+		}
+	}
+	conn.obj.Store(&e.stats)
+	commits, head, err := wire.DecodeCommitList(payload)
 	if err != nil {
 		fail(err.Error())
 		return
 	}
 
 	n.syncMu.Lock()
-	err = n.integrate("remote/"+peer, commits, head)
+	err = e.obj.Integrate("remote/"+peer, commits, head)
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
 	if err == nil {
-		reply, replyHead, err = n.store.Export(n.name)
+		reply, replyHead, err = e.obj.Export()
 	}
 	n.syncMu.Unlock()
 	if err != nil {
 		fail(err.Error())
 		return
 	}
-	if err := wire.WriteMsg(conn, wire.FrameSyncResponse, wire.EncodeCommitList(reply, replyHead)); err != nil {
-		return
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.fullSyncs.Add(1)
+		s.commitsRecv.Add(int64(len(commits)))
+		s.commitsSent.Add(int64(len(reply)))
 	}
-	n.stats.fullSyncs.Add(1)
-	n.stats.commitsRecv.Add(int64(len(commits)))
-	n.stats.commitsSent.Add(int64(len(reply)))
+	wire.WriteMsg(conn, wire.FrameSyncResponse, wire.EncodeCommitList(reply, replyHead))
 }
 
-// integrate installs a peer's (possibly partial) history under a tracking
-// branch and pulls it into the local branch.
-func (n *Node[S, Op, Val]) integrate(track string, commits []store.ExportedCommit, head store.Hash) error {
-	if err := n.store.Import(track, commits, head, n.codec); err != nil {
-		return err
-	}
-	return n.store.Pull(n.name, track)
-}
-
-// SyncWith synchronizes this node with the peer listening at addr: the
-// peer merges this node's missing commits into its branch, and this node
-// then merges the peer's reply delta (usually a fast-forward, since the
-// reply is computed after the peer merged). After a successful exchange
-// both nodes' branches hold equal states. The delta protocol is tried
-// first; if the peer does not speak it or the negotiation fails, the
-// exchange falls back to the legacy full-history protocol.
-func (n *Node[S, Op, Val]) SyncWith(addr string) error {
+// SyncWith synchronizes every object this node hosts with the peer
+// listening at addr, over a single connection: per object, the peer
+// merges this node's missing commits into its branch, and this node then
+// merges the peer's reply delta (usually a fast-forward, since the reply
+// is computed after the peer merged). Objects the peer does not host (or
+// hosts under a different datatype) are skipped and counted in Misses.
+// After a successful exchange both nodes hold equal states on every
+// shared object. The delta protocol is tried first; if the peer does not
+// speak it, the exchange falls back to the legacy full-history protocol,
+// one connection per object.
+func (n *Node) SyncWith(addr string) error {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
+	names := n.Objects()
+	if len(names) == 0 {
+		return nil
+	}
 	if !n.fullOnly.Load() {
-		err := n.syncDelta(addr)
+		err := n.syncDelta(addr, names)
 		if err == nil || !errors.Is(err, errFallback) {
 			return err
 		}
-		n.stats.fallbacks.Add(1)
+		n.total.fallbacks.Add(1)
 	}
-	return n.syncFull(addr)
+	for _, object := range names {
+		if err := n.syncFull(addr, object, len(names) == 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// syncDelta runs the client side of the v2 exchange. Failures before the
-// negotiation completes are reported as errFallback; failures after it
-// are real errors.
-func (n *Node[S, Op, Val]) syncDelta(addr string) error {
-	mine, err := n.store.Frontier(n.name)
-	if err != nil {
-		return err
-	}
+// syncDelta runs the client side of a v2 session: one connection, one
+// negotiate-and-ship-missing exchange per object. A failure of the first
+// hello is reported as errFallback (the peer predates the protocol);
+// failures after that are real errors.
+func (n *Node) syncDelta(addr string, names []string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	c := countedConn{Conn: conn, stats: &n.stats}
+	c := &countedConn{Conn: conn, total: &n.total}
 
-	if err := wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(n.name, mine)); err != nil {
+	for i, object := range names {
+		e, ok := n.entry(object)
+		if !ok {
+			continue // removed concurrently; nothing to sync
+		}
+		c.obj.Store(&e.stats)
+		if err := n.syncObjectDelta(c, object, e, i == 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncObjectDelta negotiates and transfers one object on an open session.
+func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first bool) error {
+	mine, err := e.obj.Frontier()
+	if err != nil {
+		return err
+	}
+	hello := wire.Hello{Node: n.name, Object: object, Datatype: e.obj.Datatype(), Frontier: mine}
+	if err := wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello)); err != nil {
+		if first {
+			return fmt.Errorf("%w: %v", errFallback, err)
+		}
 		return err
 	}
 	kind, fields, err := wire.ReadMsg(c)
 	switch {
 	case err != nil:
-		return fmt.Errorf("%w: %v", errFallback, err)
+		if first {
+			return fmt.Errorf("%w: %v", errFallback, err)
+		}
+		return err
+	case kind == wire.FrameHelloMiss:
+		// Peer does not host this object (or hosts it as another type):
+		// skip it, the session stays usable for the next object.
+		n.total.misses.Add(1)
+		e.stats.misses.Add(1)
+		return nil
 	case kind == wire.FrameErr:
-		return fmt.Errorf("%w: peer refused hello", errFallback)
+		if first {
+			return fmt.Errorf("%w: peer refused hello", errFallback)
+		}
+		return fmt.Errorf("%w: peer refused hello for object %s", ErrProtocol, object)
 	case kind != wire.FrameHelloAck || len(fields) != 1:
-		return fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
+		if first {
+			return fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
+		}
+		return fmt.Errorf("%w: unexpected reply kind %d", ErrProtocol, kind)
 	}
-	peer, theirs, err := wire.DecodeHello(fields[0])
+	ack, err := wire.DecodeHello(fields[0])
 	if err != nil {
-		return fmt.Errorf("%w: %v", errFallback, err)
+		if first {
+			return fmt.Errorf("%w: %v", errFallback, err)
+		}
+		return err
+	}
+	if ack.Object != object {
+		return fmt.Errorf("%w: peer acked object %q, want %q", ErrProtocol, ack.Object, object)
 	}
 
-	commits, head, err := n.store.ExportSince(n.name, theirs.HaveSet())
+	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet())
 	if err != nil {
 		return err
 	}
@@ -403,19 +593,48 @@ func (n *Node[S, Op, Val]) syncDelta(addr string) error {
 		}
 		return err
 	}
-	if err := n.integrate("remote/"+peer, reply, replyHead); err != nil {
+	if err := e.obj.Integrate("remote/"+ack.Node, reply, replyHead); err != nil {
 		return err
 	}
-	n.stats.deltaSyncs.Add(1)
-	n.stats.commitsSent.Add(int64(len(commits)))
-	n.stats.commitsRecv.Add(int64(len(reply)))
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.deltaSyncs.Add(1)
+		s.commitsSent.Add(int64(len(commits)))
+		s.commitsRecv.Add(int64(len(reply)))
+	}
 	return nil
 }
 
-// syncFull runs the client side of the legacy v1 exchange: ship the whole
-// branch history, merge the peer's whole merged history from the reply.
-func (n *Node[S, Op, Val]) syncFull(addr string) error {
-	commits, head, err := n.store.Export(n.name)
+// syncFull runs the client side of the legacy v1 exchange for one
+// object: ship the whole branch history, merge the peer's whole merged
+// history from the reply. The named (four-field) request form is tried
+// first — it carries the object and datatype, so multi-object peers
+// resolve and type-check it; if the peer refuses it and this node hosts
+// a single object, the original two-field form is retried on a fresh
+// connection for interop with pre-multi-object peers.
+func (n *Node) syncFull(addr string, object string, sole bool) error {
+	e, ok := n.entry(object)
+	if !ok {
+		return nil
+	}
+	err := n.syncFullOnce(addr, object, e, true)
+	if err != nil && sole && errors.Is(err, errLegacyRequest) {
+		return n.syncFullOnce(addr, object, e, false)
+	}
+	return err
+}
+
+// errLegacyRequest marks a v1 request the peer could not even parse —
+// the answer a pre-multi-object node gives the named request form, and
+// the one failure where retrying with the legacy two-field form can
+// help. Semantic refusals (unknown object, datatype mismatch) do not
+// qualify: retrying those through the unchecked legacy form would
+// bypass the datatype check.
+var errLegacyRequest = errors.New("replica: peer cannot parse request")
+
+// syncFullOnce runs one v1 exchange on its own connection, using the
+// named request form when named is true.
+func (n *Node) syncFullOnce(addr, object string, e *objectEntry, named bool) error {
+	commits, head, err := e.obj.Export()
 	if err != nil {
 		return err
 	}
@@ -424,9 +643,17 @@ func (n *Node[S, Op, Val]) syncFull(addr string) error {
 		return err
 	}
 	defer conn.Close()
-	c := countedConn{Conn: conn, stats: &n.stats}
+	c := &countedConn{Conn: conn, total: &n.total}
+	c.obj.Store(&e.stats)
 
-	if err := wire.WriteMsg(c, wire.FrameSyncRequest, []byte(n.name), wire.EncodeCommitList(commits, head)); err != nil {
+	payload := wire.EncodeCommitList(commits, head)
+	if named {
+		err = wire.WriteMsg(c, wire.FrameSyncRequest,
+			[]byte(n.name), []byte(object), []byte(e.obj.Datatype()), payload)
+	} else {
+		err = wire.WriteMsg(c, wire.FrameSyncRequest, []byte(n.name), payload)
+	}
+	if err != nil {
 		return err
 	}
 	kind, fields, err := wire.ReadMsg(c)
@@ -438,6 +665,9 @@ func (n *Node[S, Op, Val]) syncFull(addr string) error {
 		if len(fields) > 0 {
 			msg = string(fields[0])
 		}
+		if msg == "bad request" {
+			return fmt.Errorf("%w: %w", ErrProtocol, errLegacyRequest)
+		}
 		return fmt.Errorf("%w: peer: %s", ErrProtocol, msg)
 	}
 	if kind != wire.FrameSyncResponse || len(fields) != 1 {
@@ -447,11 +677,15 @@ func (n *Node[S, Op, Val]) syncFull(addr string) error {
 	if err != nil {
 		return err
 	}
-	if err := n.integrate("remote/peer@"+addr, peerCommits, peerHead); err != nil {
+	if err := e.obj.Integrate("remote/peer@"+addr, peerCommits, peerHead); err != nil {
 		return err
 	}
-	n.stats.fullSyncs.Add(1)
-	n.stats.commitsSent.Add(int64(len(commits)))
-	n.stats.commitsRecv.Add(int64(len(peerCommits)))
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.fullSyncs.Add(1)
+		s.commitsSent.Add(int64(len(commits)))
+		s.commitsRecv.Add(int64(len(peerCommits)))
+	}
 	return nil
 }
+
+var _ io.ReadWriter = (*countedConn)(nil)

@@ -7,17 +7,29 @@ import (
 	"testing"
 
 	"repro/internal/counter"
+	"repro/internal/lwwreg"
+	"repro/internal/mlog"
 	"repro/internal/orset"
 	"repro/internal/queue"
 	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
-type counterNode = replica.Node[counter.PNState, counter.Op, counter.Val]
+// counterNode is a node hosting a single PN-counter object — the
+// single-object shape most protocol tests use.
+type counterNode struct {
+	*replica.Node
+	obj *replica.TypedObject[counter.PNState, counter.Op, counter.Val]
+}
 
 func newCounterNode(t *testing.T, name string, id int) *counterNode {
 	t.Helper()
-	n, err := replica.NewNode[counter.PNState, counter.Op, counter.Val](name, id, counter.PNCounter{}, wire.PNCounter{})
+	n, err := replica.NewNode(name, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,19 +37,19 @@ func newCounterNode(t *testing.T, name string, id int) *counterNode {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { n.Close() })
-	return n
+	return &counterNode{Node: n, obj: obj}
 }
 
 func inc(t *testing.T, n *counterNode, amount int64) {
 	t.Helper()
-	if _, err := n.Do(counter.Op{Kind: counter.Inc, N: amount}); err != nil {
+	if _, err := n.obj.Do(counter.Op{Kind: counter.Inc, N: amount}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func read(t *testing.T, n *counterNode) int64 {
 	t.Helper()
-	v, err := n.Do(counter.Op{Kind: counter.Read})
+	v, err := n.obj.Do(counter.Op{Kind: counter.Read})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +61,7 @@ func TestTwoNodesConverge(t *testing.T) {
 	b := newCounterNode(t, "b", 2)
 	inc(t, a, 10)
 	inc(t, b, 5)
-	if _, err := b.Do(counter.Op{Kind: counter.Dec, N: 2}); err != nil {
+	if _, err := b.obj.Do(counter.Op{Kind: counter.Dec, N: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.SyncWith(b.Addr()); err != nil {
@@ -111,8 +123,17 @@ func TestRingGossipConverges(t *testing.T) {
 }
 
 func TestORSetAddWinsOverTheWire(t *testing.T) {
-	mk := func(name string, id int) *replica.Node[orset.SpaceState, orset.Op, orset.Val] {
-		n, err := replica.NewNode[orset.SpaceState, orset.Op, orset.Val](name, id, orset.OrSetSpace{}, wire.OrSetSpace{})
+	type orsetNode struct {
+		*replica.Node
+		obj *replica.TypedObject[orset.SpaceState, orset.Op, orset.Val]
+	}
+	mk := func(name string, id int) *orsetNode {
+		n, err := replica.NewNode(name, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := replica.Ensure[orset.SpaceState, orset.Op, orset.Val](
+			n, "cart", "or-set-space", orset.OrSetSpace{}, wire.OrSetSpace{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,31 +141,40 @@ func TestORSetAddWinsOverTheWire(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { n.Close() })
-		return n
+		return &orsetNode{Node: n, obj: obj}
 	}
 	phone := mk("phone", 1)
 	laptop := mk("laptop", 2)
-	phone.Do(orset.Op{Kind: orset.Add, E: 7})
+	phone.obj.Do(orset.Op{Kind: orset.Add, E: 7})
 	if err := phone.SyncWith(laptop.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	// Concurrent: laptop removes, phone re-adds.
-	laptop.Do(orset.Op{Kind: orset.Remove, E: 7})
-	phone.Do(orset.Op{Kind: orset.Add, E: 7})
+	laptop.obj.Do(orset.Op{Kind: orset.Remove, E: 7})
+	phone.obj.Do(orset.Op{Kind: orset.Add, E: 7})
 	if err := phone.SyncWith(laptop.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := phone.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
+	if v, _ := phone.obj.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
 		t.Fatal("phone: add must win")
 	}
-	if v, _ := laptop.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
+	if v, _ := laptop.obj.Do(orset.Op{Kind: orset.Lookup, E: 7}); !v.Found {
 		t.Fatal("laptop: add must win")
 	}
 }
 
 func TestQueueWorkersOverTheWire(t *testing.T) {
-	mk := func(name string, id int) *replica.Node[queue.State, queue.Op, queue.Val] {
-		n, err := replica.NewNode[queue.State, queue.Op, queue.Val](name, id, queue.Queue{}, wire.Queue{})
+	type queueNode struct {
+		*replica.Node
+		obj *replica.TypedObject[queue.State, queue.Op, queue.Val]
+	}
+	mk := func(name string, id int) *queueNode {
+		n, err := replica.NewNode(name, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := replica.Ensure[queue.State, queue.Op, queue.Val](
+			n, "jobs", "functional-queue", queue.Queue{}, wire.Queue{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,26 +182,26 @@ func TestQueueWorkersOverTheWire(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { n.Close() })
-		return n
+		return &queueNode{Node: n, obj: obj}
 	}
 	producer := mk("producer", 1)
 	worker := mk("worker", 2)
 	for i := int64(1); i <= 4; i++ {
-		producer.Do(queue.Op{Kind: queue.Enqueue, V: i})
+		producer.obj.Do(queue.Op{Kind: queue.Enqueue, V: i})
 	}
 	if err := worker.SyncWith(producer.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	// Both consume the head concurrently: at-least-once.
-	v1, _ := producer.Do(queue.Op{Kind: queue.Dequeue})
-	v2, _ := worker.Do(queue.Op{Kind: queue.Dequeue})
+	v1, _ := producer.obj.Do(queue.Op{Kind: queue.Dequeue})
+	v2, _ := worker.obj.Do(queue.Op{Kind: queue.Dequeue})
 	if !v1.OK || !v2.OK || v1.V != 1 || v2.V != 1 {
 		t.Fatalf("heads: %+v %+v", v1, v2)
 	}
 	if err := worker.SyncWith(producer.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	st, err := worker.State()
+	st, err := worker.obj.State()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,6 +278,239 @@ func TestConcurrentOpsDuringGossip(t *testing.T) {
 	}
 }
 
+// TestMultiObjectSession syncs two differently-typed named objects over a
+// single connection and checks per-object frontier negotiation: a
+// re-sync of the converged pair ships zero commits for each object.
+func TestMultiObjectSession(t *testing.T) {
+	mk := func(name string, id int) (*replica.Node,
+		*replica.TypedObject[counter.PNState, counter.Op, counter.Val],
+		*replica.TypedObject[mlog.State, mlog.Op, mlog.Val]) {
+		n, err := replica.NewNode(name, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+			n, "hits", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed, err := replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+			n, "feed", "mergeable-log", mlog.Log{}, wire.MLog{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n, cnt, feed
+	}
+	a, aCnt, aFeed := mk("a", 1)
+	b, bCnt, bFeed := mk("b", 2)
+
+	aCnt.Do(counter.Op{Kind: counter.Inc, N: 7})
+	bCnt.Do(counter.Op{Kind: counter.Inc, N: 5})
+	aFeed.Do(mlog.Op{Kind: mlog.Append, Msg: "from-a"})
+	bFeed.Do(mlog.Op{Kind: mlog.Append, Msg: "from-b"})
+
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for _, cnt := range []*replica.TypedObject[counter.PNState, counter.Op, counter.Val]{aCnt, bCnt} {
+		s, err := cnt.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.P - s.N; got != 12 {
+			t.Fatalf("counter = %d, want 12", got)
+		}
+	}
+	for _, feed := range []*replica.TypedObject[mlog.State, mlog.Op, mlog.Val]{aFeed, bFeed} {
+		s, err := feed.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != 2 {
+			t.Fatalf("feed has %d entries, want 2", len(s))
+		}
+	}
+
+	// Converged: a re-sync ships zero commits per object, on both sides.
+	before := map[string][2]replica.SyncStats{
+		"hits": {a.ObjectStats("hits"), b.ObjectStats("hits")},
+		"feed": {a.ObjectStats("feed"), b.ObjectStats("feed")},
+	}
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for object, prev := range before {
+		for i, n := range []*replica.Node{a, b} {
+			after := n.ObjectStats(object)
+			moved := (after.CommitsSent - prev[i].CommitsSent) + (after.CommitsRecv - prev[i].CommitsRecv)
+			if moved != 0 {
+				t.Fatalf("%s re-sync moved %d commits on %s, want 0", object, moved, n.Name())
+			}
+			if after.DeltaSyncs != prev[i].DeltaSyncs+1 {
+				t.Fatalf("%s on %s: delta syncs %d -> %d, want one more",
+					object, n.Name(), prev[i].DeltaSyncs, after.DeltaSyncs)
+			}
+		}
+	}
+}
+
+// TestPartialObjectOverlap syncs nodes whose object sets only partially
+// overlap: shared objects converge, unshared ones are skipped and
+// counted as misses, and the session survives the miss.
+func TestPartialObjectOverlap(t *testing.T) {
+	a, err := replica.NewNode("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replica.NewNode("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	aCnt, _ := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		a, "shared", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	if _, err := replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+		a, "a-only", "mergeable-log", mlog.Log{}, wire.MLog{}); err != nil {
+		t.Fatal(err)
+	}
+	bCnt, _ := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		b, "shared", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	aCnt.Do(counter.Op{Kind: counter.Inc, N: 3})
+	bCnt.Do(counter.Op{Kind: counter.Inc, N: 4})
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := aCnt.State()
+	if got := s.P - s.N; got != 7 {
+		t.Fatalf("shared counter = %d, want 7", got)
+	}
+	if st := a.Stats(); st.Misses != 1 {
+		t.Fatalf("client misses = %d, want 1", st.Misses)
+	}
+	if st := a.ObjectStats("a-only"); st.Misses != 1 || st.CommitsSent != 0 {
+		t.Fatalf("a-only object stats: %+v", st)
+	}
+	if st := a.ObjectStats("shared"); st.DeltaSyncs != 1 {
+		t.Fatalf("shared object stats: %+v", st)
+	}
+}
+
+// TestDatatypeMismatchIsMiss: the same object name registered under
+// different datatypes must not merge; the hello is answered with a miss.
+func TestDatatypeMismatchIsMiss(t *testing.T) {
+	a, _ := replica.NewNode("a", 1)
+	b, _ := replica.NewNode("b", 2)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	aObj, _ := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		a, "thing", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+		b, "thing", "mergeable-log", mlog.Log{}, wire.MLog{})
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	aObj.Do(counter.Op{Kind: counter.Inc, N: 1})
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.DeltaSyncs != 0 {
+		t.Fatalf("mismatched datatype must miss, got %+v", st)
+	}
+}
+
+// TestEnsureRejectsMismatch: re-opening an object under another datatype
+// or concrete type fails instead of corrupting the store.
+func TestEnsureRejectsMismatch(t *testing.T) {
+	n, _ := replica.NewNode("x", 1)
+	defer n.Close()
+	if _, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "obj", "pn-counter", counter.PNCounter{}, wire.PNCounter{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same name and types: idempotent.
+	if _, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "obj", "pn-counter", counter.PNCounter{}, wire.PNCounter{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different datatype: refused.
+	if _, err := replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+		n, "obj", "mergeable-log", mlog.Log{}, wire.MLog{}); err == nil {
+		t.Fatal("mismatched Ensure must fail")
+	}
+}
+
+// TestFullSyncAgainstMultiObjectServer: a single-object client forced
+// onto the v1 full protocol must still sync with a server hosting
+// several objects — the named request form resolves the object.
+func TestFullSyncAgainstMultiObjectServer(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b, err := replica.NewNode("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	bCnt, _ := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		b, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	if _, err := replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+		b, "extra", "mergeable-log", mlog.Log{}, wire.MLog{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, a, 2)
+	bCnt.Do(counter.Op{Kind: counter.Inc, N: 3})
+	a.SetFullSyncOnly(true)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if v := peek(t, a); v != 5 {
+		t.Fatalf("a = %d, want 5", v)
+	}
+	if st := a.Stats(); st.FullSyncs != 1 {
+		t.Fatalf("expected one full sync, got %+v", st)
+	}
+}
+
+// TestFullSyncRejectsDatatypeMismatch: the named v1 request carries the
+// datatype, so byte-compatible states of different types are refused
+// instead of merged into garbage — and the legacy two-field retry must
+// not bypass the check.
+func TestFullSyncRejectsDatatypeMismatch(t *testing.T) {
+	a, _ := replica.NewNode("a", 1)
+	b, _ := replica.NewNode("b", 2)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	// pn-counter and lww-register states are both 16 bytes: a decode
+	// succeeds, only the datatype name tells them apart.
+	aObj, _ := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		a, "x", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	bObj, _ := replica.Ensure[lwwreg.State, lwwreg.Op, lwwreg.Val](
+		b, "x", "lww-register", lwwreg.Reg{}, wire.LWWReg{})
+	if err := b.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	aObj.Do(counter.Op{Kind: counter.Inc, N: 9})
+	bObj.Do(lwwreg.Op{Kind: lwwreg.Write, V: 4})
+	a.SetFullSyncOnly(true)
+	if err := a.SyncWith(b.Addr()); err == nil {
+		t.Fatal("full sync across datatypes must fail")
+	}
+	s, err := bObj.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 4 {
+		t.Fatalf("server register corrupted: %+v", s)
+	}
+}
+
 func TestSyncWithUnreachablePeer(t *testing.T) {
 	a := newCounterNode(t, "a", 1)
 	if err := a.SyncWith("127.0.0.1:1"); err == nil {
@@ -256,10 +519,10 @@ func TestSyncWithUnreachablePeer(t *testing.T) {
 }
 
 func TestNewNodeValidatesID(t *testing.T) {
-	if _, err := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", -1, counter.PNCounter{}, wire.PNCounter{}); err == nil {
+	if _, err := replica.NewNode("x", -1); err == nil {
 		t.Fatal("negative replica id accepted")
 	}
-	if _, err := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", replica.MaxReplicaID+1, counter.PNCounter{}, wire.PNCounter{}); err == nil {
+	if _, err := replica.NewNode("x", replica.MaxReplicaID+1); err == nil {
 		t.Fatal("oversized replica id accepted")
 	}
 }
@@ -272,10 +535,19 @@ func TestNodeAccessors(t *testing.T) {
 	if a.Addr() == "" {
 		t.Fatal("Addr must be set after Listen")
 	}
-	if a.Store() == nil {
+	if a.obj.Store() == nil {
 		t.Fatal("Store accessor")
 	}
-	n, _ := replica.NewNode[counter.PNState, counter.Op, counter.Val]("x", 9, counter.PNCounter{}, wire.PNCounter{})
+	if got := a.Objects(); !slices.Equal(got, []string{"counter"}) {
+		t.Fatalf("Objects = %v", got)
+	}
+	if _, ok := a.Object("counter"); !ok {
+		t.Fatal("Object lookup")
+	}
+	if _, ok := a.Object("ghost"); ok {
+		t.Fatal("ghost object must not resolve")
+	}
+	n, _ := replica.NewNode("x", 9)
 	if n.Addr() != "" {
 		t.Fatal("Addr before Listen must be empty")
 	}

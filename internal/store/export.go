@@ -21,11 +21,6 @@ type ExportedCommit struct {
 // ErrBadImport is wrapped by Import failures.
 var ErrBadImport = errors.New("store: bad import")
 
-// Decoder deserializes transferred states (the write half lives in Codec).
-type Decoder[S any] interface {
-	Decode([]byte) (S, error)
-}
-
 // Export returns branch b's full history — every ancestor commit of its
 // head in parents-before-children order — together with the head hash.
 // Feeding the result to another store's Import reproduces the history
@@ -130,8 +125,8 @@ func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash 
 // commits already present, so a dangling parent fails the import. Commit
 // hashes are recomputed locally; a corrupted transfer cannot forge
 // history. An empty batch is a valid delta as long as the advertised
-// head is already known.
-func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash, dec Decoder[S]) error {
+// head is already known. States decode through the store's own codec.
+func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, ec := range commits {
@@ -140,7 +135,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 				return fmt.Errorf("%w: commit %d references unknown parent %v", ErrBadImport, i, p)
 			}
 		}
-		state, err := dec.Decode(ec.State)
+		state, err := s.codec.Decode(ec.State)
 		if err != nil {
 			return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
 		}

@@ -23,7 +23,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 
 	dst := store.NewAt[int64, counter.Op, counter.Val](
 		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
-	if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", commits, head); err != nil {
 		t.Fatal(err)
 	}
 	v, err := dst.Head("remote/main")
@@ -52,12 +52,12 @@ func TestImportIsIdempotent(t *testing.T) {
 	commits, head, _ := src.Export("main")
 	dst := store.NewAt[int64, counter.Op, counter.Val](
 		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
-	if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", commits, head); err != nil {
 		t.Fatal(err)
 	}
 	after := dst.NumCommits()
 	for i := 0; i < 3; i++ {
-		if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+		if err := dst.Import("remote/main", commits, head); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,7 +75,7 @@ func TestImportRejectsUnknownParent(t *testing.T) {
 	// Drop the middle commit: the final op commit now references a parent
 	// the destination has never seen. (Dropping the root would not do —
 	// both stores share the identical content-addressed root.)
-	err := dst.Import("remote/x", append([]store.ExportedCommit{commits[0]}, commits[2:]...), head, wire.IncCounter{})
+	err := dst.Import("remote/x", append([]store.ExportedCommit{commits[0]}, commits[2:]...), head)
 	if !errors.Is(err, store.ErrBadImport) {
 		t.Fatalf("Import = %v, want ErrBadImport", err)
 	}
@@ -86,7 +86,7 @@ func TestImportRejectsBogusHead(t *testing.T) {
 	inc(t, src, "main", 1)
 	commits, _, _ := src.Export("main")
 	dst := counterStore()
-	err := dst.Import("remote/x", commits, store.Hash{0xde, 0xad}, wire.IncCounter{})
+	err := dst.Import("remote/x", commits, store.Hash{0xde, 0xad})
 	if !errors.Is(err, store.ErrBadImport) {
 		t.Fatalf("Import = %v, want ErrBadImport", err)
 	}
@@ -98,7 +98,7 @@ func TestImportRejectsUndecodableState(t *testing.T) {
 	commits, head, _ := src.Export("main")
 	commits[0].State = []byte{1, 2, 3} // not a valid counter payload
 	dst := counterStore()
-	err := dst.Import("remote/x", commits, head, wire.IncCounter{})
+	err := dst.Import("remote/x", commits, head)
 	if !errors.Is(err, store.ErrBadImport) {
 		t.Fatalf("Import = %v, want ErrBadImport", err)
 	}
@@ -128,7 +128,7 @@ func TestExportTopologicalOrder(t *testing.T) {
 	// precede children or the import fails.
 	dst := store.NewAt[int64, counter.Op, counter.Val](
 		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
-	if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", commits, head); err != nil {
 		t.Fatalf("topological order violated: %v", err)
 	}
 	v, _ := dst.Head("remote/main")

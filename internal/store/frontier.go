@@ -9,26 +9,17 @@ import "fmt"
 // A peer subtracts everything dominated by the frontier's hashes from
 // what it ships, so re-syncing an already-converged pair transfers
 // O(frontier) bytes instead of O(history).
+//
+// The sampling caps — dense window, sample size, walk budget — default to
+// DefaultOptions and are tuned per store via WithFrontierDense,
+// WithFrontierMaxHave and WithFrontierWalkBudget.
 type Frontier struct {
 	// Head is the branch's current head commit.
 	Head Hash
 	// Have samples ancestors of Head (Head itself excluded): every commit
-	// within frontierDense generations, then power-of-two distances.
+	// within the dense generation window, then power-of-two distances.
 	Have []Hash
 }
-
-const (
-	// frontierDense is the generation window below the head inside which
-	// every ancestor joins the sample, so short divergences cut exactly.
-	frontierDense = 16
-	// frontierMaxHave caps the sample size: a frontier stays O(1) on the
-	// wire no matter how long the history grows.
-	frontierMaxHave = 128
-	// frontierWalkBudget caps the commits visited while sampling, bounding
-	// the local cost of frontier construction on huge DAGs. Beyond the
-	// budget the sample is merely sparser; correctness is unaffected.
-	frontierWalkBudget = 4096
-)
 
 // HaveSet returns the frontier's hashes — head and sample — as the
 // have-set understood by ExportSince.
@@ -50,10 +41,10 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 	f := Frontier{Head: head}
 	seen := map[Hash]bool{head: true}
 	queue := []Hash{head}
-	for visited := 0; len(queue) > 0 && visited < frontierWalkBudget && len(f.Have) < frontierMaxHave; visited++ {
+	for visited := 0; len(queue) > 0 && visited < s.opts.FrontierWalkBudget && len(f.Have) < s.opts.FrontierMaxHave; visited++ {
 		h := queue[0]
 		queue = queue[1:]
-		if h != head && sampled(headGen-s.commits[h].Gen) {
+		if h != head && sampled(headGen-s.commits[h].Gen, s.opts.FrontierDense) {
 			f.Have = append(f.Have, h)
 		}
 		for _, p := range s.commits[h].Parents {
@@ -67,9 +58,9 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 }
 
 // sampled reports whether an ancestor at generation distance d below the
-// head belongs in the frontier sample.
-func sampled(d int) bool {
-	if d <= frontierDense {
+// head belongs in a frontier sample with dense window dense.
+func sampled(d, dense int) bool {
+	if d <= dense {
 		return true
 	}
 	return d&(d-1) == 0 // power of two

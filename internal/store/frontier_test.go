@@ -118,7 +118,7 @@ func TestExportSinceGrafts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", commits, head); err != nil {
 		t.Fatal(err)
 	}
 
@@ -137,7 +137,7 @@ func TestExportSinceGrafts(t *testing.T) {
 	if len(delta) != 4 {
 		t.Fatalf("delta = %d commits, want 4", len(delta))
 	}
-	if err := dst.Import("remote/main", delta, newHead, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", delta, newHead); err != nil {
 		t.Fatal(err)
 	}
 	v, err := dst.Head("remote/main")
@@ -164,15 +164,15 @@ func TestImportEmptyDeltaMovesBranch(t *testing.T) {
 	}
 	dst := store.NewAt[int64, counter.Op, counter.Val](
 		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
-	if err := dst.Import("remote/main", commits, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", commits, head); err != nil {
 		t.Fatal(err)
 	}
 	// An empty delta whose head is already known is a no-op re-point.
-	if err := dst.Import("remote/main", nil, head, wire.IncCounter{}); err != nil {
+	if err := dst.Import("remote/main", nil, head); err != nil {
 		t.Fatal(err)
 	}
 	// An empty delta with an unknown head still fails.
-	if err := dst.Import("remote/main", nil, store.Hash{1}, wire.IncCounter{}); err == nil {
+	if err := dst.Import("remote/main", nil, store.Hash{1}); err == nil {
 		t.Fatal("unknown head must fail the import")
 	}
 }
@@ -192,7 +192,7 @@ func TestImportDanglingParentFails(t *testing.T) {
 	// instead of installing a dangling DAG.
 	dst := store.NewAt[int64, counter.Op, counter.Val](
 		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
-	if err := dst.Import("remote/main", delta, head, wire.IncCounter{}); err == nil {
+	if err := dst.Import("remote/main", delta, head); err == nil {
 		t.Fatal("delta onto a store missing the cut point must fail")
 	}
 }

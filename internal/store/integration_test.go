@@ -68,10 +68,7 @@ func runFJ[S, Op, Val any](t *testing.T, it integration[S, Op, Val], seed int64)
 }
 
 func TestStoreIntegrationCounter(t *testing.T) {
-	codec := store.FuncCodec[counter.PNState](func(s counter.PNState) []byte {
-		return wire.PNCounter{}.Encode(s)
-	})
-	st := store.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{}, codec, "main")
+	st := store.New[counter.PNState, counter.Op, counter.Val](counter.PNCounter{}, wire.PNCounter{}, "main")
 	runFJ(t, integration[counter.PNState, counter.Op, counter.Val]{
 		name:  "pn-counter",
 		store: st,
@@ -90,10 +87,7 @@ func TestStoreIntegrationCounter(t *testing.T) {
 }
 
 func TestStoreIntegrationEWFlag(t *testing.T) {
-	codec := store.FuncCodec[ewflag.State](func(s ewflag.State) []byte {
-		return wire.EWFlag{}.Encode(s)
-	})
-	st := store.New[ewflag.State, ewflag.Op, ewflag.Val](ewflag.Flag{}, codec, "main")
+	st := store.New[ewflag.State, ewflag.Op, ewflag.Val](ewflag.Flag{}, wire.EWFlag{}, "main")
 	runFJ(t, integration[ewflag.State, ewflag.Op, ewflag.Val]{
 		name:  "ew-flag",
 		store: st,
@@ -112,10 +106,7 @@ func TestStoreIntegrationEWFlag(t *testing.T) {
 }
 
 func TestStoreIntegrationLWWAndGSet(t *testing.T) {
-	lcodec := store.FuncCodec[lwwreg.State](func(s lwwreg.State) []byte {
-		return wire.LWWReg{}.Encode(s)
-	})
-	lst := store.New[lwwreg.State, lwwreg.Op, lwwreg.Val](lwwreg.Reg{}, lcodec, "main")
+	lst := store.New[lwwreg.State, lwwreg.Op, lwwreg.Val](lwwreg.Reg{}, wire.LWWReg{}, "main")
 	runFJ(t, integration[lwwreg.State, lwwreg.Op, lwwreg.Val]{
 		name:  "lww",
 		store: lst,
@@ -129,10 +120,7 @@ func TestStoreIntegrationLWWAndGSet(t *testing.T) {
 		},
 	}, 3)
 
-	gcodec := store.FuncCodec[gset.State](func(s gset.State) []byte {
-		return wire.GSet{}.Encode(s)
-	})
-	gst := store.New[gset.State, gset.Op, gset.Val](gset.Set{}, gcodec, "main")
+	gst := store.New[gset.State, gset.Op, gset.Val](gset.Set{}, wire.GSet{}, "main")
 	runFJ(t, integration[gset.State, gset.Op, gset.Val]{
 		name:  "g-set",
 		store: gst,
@@ -148,10 +136,7 @@ func TestStoreIntegrationLWWAndGSet(t *testing.T) {
 }
 
 func TestStoreIntegrationORSets(t *testing.T) {
-	scodec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
-		return wire.OrSetSpace{}.Encode(s)
-	})
-	sst := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, scodec, "main")
+	sst := store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, wire.OrSetSpace{}, "main")
 	randOp := func(r *rand.Rand) orset.Op {
 		e := int64(r.Intn(20))
 		if r.Intn(3) == 0 {
@@ -170,10 +155,7 @@ func TestStoreIntegrationORSets(t *testing.T) {
 		},
 	}, 5)
 
-	tcodec := store.FuncCodec[orset.TreeState](func(s orset.TreeState) []byte {
-		return wire.OrSetSpaceTime{}.Encode(s)
-	})
-	tst := store.New[orset.TreeState, orset.Op, orset.Val](orset.OrSetSpaceTime{}, tcodec, "main")
+	tst := store.New[orset.TreeState, orset.Op, orset.Val](orset.OrSetSpaceTime{}, wire.OrSetSpaceTime{}, "main")
 	runFJ(t, integration[orset.TreeState, orset.Op, orset.Val]{
 		name:   "or-set-spacetime",
 		store:  tst,
@@ -192,10 +174,7 @@ func TestStoreIntegrationORSets(t *testing.T) {
 }
 
 func TestStoreIntegrationQueue(t *testing.T) {
-	codec := store.FuncCodec[queue.State](func(s queue.State) []byte {
-		return wire.Queue{}.Encode(s)
-	})
-	st := store.New[queue.State, queue.Op, queue.Val](queue.Queue{}, codec, "main")
+	st := store.New[queue.State, queue.Op, queue.Val](queue.Queue{}, wire.Queue{}, "main")
 	next := int64(0)
 	runFJ(t, integration[queue.State, queue.Op, queue.Val]{
 		name:  "queue",
@@ -222,10 +201,7 @@ func TestStoreIntegrationQueue(t *testing.T) {
 }
 
 func TestStoreIntegrationMLogAndChat(t *testing.T) {
-	mcodec := store.FuncCodec[mlog.State](func(s mlog.State) []byte {
-		return wire.MLog{}.Encode(s)
-	})
-	mst := store.New[mlog.State, mlog.Op, mlog.Val](mlog.Log{}, mcodec, "main")
+	mst := store.New[mlog.State, mlog.Op, mlog.Val](mlog.Log{}, wire.MLog{}, "main")
 	n := 0
 	runFJ(t, integration[mlog.State, mlog.Op, mlog.Val]{
 		name:  "mlog",
@@ -246,10 +222,7 @@ func TestStoreIntegrationMLogAndChat(t *testing.T) {
 		},
 	}, 8)
 
-	ccodec := store.FuncCodec[chat.State](func(s chat.State) []byte {
-		return wire.Chat{}.Encode(s)
-	})
-	cst := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, ccodec, "main")
+	cst := store.New[chat.State, chat.Op, chat.Val](chat.Chat{}, wire.Chat{}, "main")
 	m := 0
 	channels := []string{"#a", "#b", "#c"}
 	runFJ(t, integration[chat.State, chat.Op, chat.Val]{

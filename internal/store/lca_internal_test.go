@@ -1,6 +1,8 @@
 package store
 
 import (
+	"encoding/binary"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -12,11 +14,23 @@ import (
 // sides) unreachable, so the recursive virtual-base path is exercised here
 // by constructing commits directly.
 
+// int64Codec is a minimal in-package codec (the wire package's codecs
+// would import-cycle back into store).
+type int64Codec struct{}
+
+func (int64Codec) Encode(s int64) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(s))
+}
+
+func (int64Codec) Decode(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("int64 codec: %d bytes", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
 func newInternalCounterStore() *Store[int64, counter.Op, counter.Val] {
-	codec := FuncCodec[int64](func(s int64) []byte {
-		return AppendInt64(nil, s)
-	})
-	return New[int64, counter.Op, counter.Val](counter.IncCounter{}, codec, "main")
+	return New[int64, counter.Op, counter.Val](counter.IncCounter{}, int64Codec{}, "main")
 }
 
 // nextTime distinguishes synthetic commits: the store is content

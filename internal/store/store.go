@@ -31,10 +31,62 @@ type Hash [sha256.Size]byte
 // String renders the short form of the hash.
 func (h Hash) String() string { return fmt.Sprintf("%x", h[:6]) }
 
-// Codec serializes concrete states for content addressing and for the
-// space-accounting used by the benchmarks.
+// Codec serializes and deserializes concrete states. Encoding drives
+// content addressing and the space-accounting used by the benchmarks;
+// decoding lets the store install transferred histories (Import) without
+// a side-channel decoder, which is what allows a registry of data types
+// to round-trip states uniformly.
 type Codec[S any] interface {
 	Encode(S) []byte
+	Decode([]byte) (S, error)
+}
+
+// Options collects the store's tunables; the zero value is never used
+// directly — DefaultOptions supplies the defaults and functional Option
+// values override them.
+type Options struct {
+	// FrontierDense is the generation window below the head inside which
+	// every ancestor joins the frontier sample, so short divergences cut
+	// exactly.
+	FrontierDense int
+	// FrontierMaxHave caps the sample size: a frontier stays O(1) on the
+	// wire no matter how long the history grows.
+	FrontierMaxHave int
+	// FrontierWalkBudget caps the commits visited while sampling, bounding
+	// the local cost of frontier construction on huge DAGs. Beyond the
+	// budget the sample is merely sparser; correctness is unaffected.
+	FrontierWalkBudget int
+}
+
+// DefaultOptions returns the store defaults: frontier sampling dense for
+// 16 generations, at most 128 sampled hashes, and a 4096-commit walk.
+func DefaultOptions() Options {
+	return Options{
+		FrontierDense:      16,
+		FrontierMaxHave:    128,
+		FrontierWalkBudget: 4096,
+	}
+}
+
+// Option adjusts store construction.
+type Option func(*Options)
+
+// WithFrontierDense sets the dense generation window of frontier
+// sampling. Values below zero are clamped to zero.
+func WithFrontierDense(n int) Option {
+	return func(o *Options) { o.FrontierDense = max(n, 0) }
+}
+
+// WithFrontierMaxHave caps the frontier sample size. Values below one are
+// clamped to one so a frontier always advertises at least one ancestor.
+func WithFrontierMaxHave(n int) Option {
+	return func(o *Options) { o.FrontierMaxHave = max(n, 1) }
+}
+
+// WithFrontierWalkBudget caps the sampling walk. Values below one are
+// clamped to one.
+func WithFrontierWalkBudget(n int) Option {
+	return func(o *Options) { o.FrontierWalkBudget = max(n, 1) }
 }
 
 // Commit is one version in the DAG.
@@ -83,6 +135,7 @@ type Store[S, Op, Val any] struct {
 	mu      sync.Mutex
 	impl    core.MRDT[S, Op, Val]
 	codec   Codec[S]
+	opts    Options
 	objects map[Hash][]byte
 	states  map[Hash]S
 	commits map[Hash]Commit
@@ -96,16 +149,21 @@ type Store[S, Op, Val any] struct {
 // process running several stores of the same object (e.g. one per network
 // replica) must give each store a distinct id range via NewAt so that
 // timestamps stay globally unique.
-func New[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string) *Store[S, Op, Val] {
-	return NewAt(impl, codec, main, 0)
+func New[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, opts ...Option) *Store[S, Op, Val] {
+	return NewAt(impl, codec, main, 0, opts...)
 }
 
 // NewAt is New with an explicit replica-id base for the store's branch
 // clocks: branch k created in this store uses replica id replicaBase+k.
-func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int) *Store[S, Op, Val] {
+func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int, opts ...Option) *Store[S, Op, Val] {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s := &Store[S, Op, Val]{
 		impl:    impl,
 		codec:   codec,
+		opts:    o,
 		objects: make(map[Hash][]byte),
 		states:  make(map[Hash]S),
 		commits: make(map[Hash]Commit),

@@ -9,25 +9,15 @@ import (
 	"repro/internal/counter"
 	"repro/internal/orset"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func counterStore() *store.Store[int64, counter.Op, counter.Val] {
-	codec := store.FuncCodec[int64](func(s int64) []byte {
-		return store.AppendInt64(nil, s)
-	})
-	return store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, codec, "main")
+	return store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, wire.IncCounter{}, "main")
 }
 
 func orsetStore() *store.Store[orset.SpaceState, orset.Op, orset.Val] {
-	codec := store.FuncCodec[orset.SpaceState](func(s orset.SpaceState) []byte {
-		var buf []byte
-		for _, p := range s {
-			buf = store.AppendInt64(buf, p.E)
-			buf = store.AppendTimestamp(buf, p.T)
-		}
-		return buf
-	})
-	return store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, codec, "main")
+	return store.New[orset.SpaceState, orset.Op, orset.Val](orset.OrSetSpace{}, wire.OrSetSpace{}, "main")
 }
 
 func inc(t *testing.T, s *store.Store[int64, counter.Op, counter.Val], b string, n int64) {

@@ -48,6 +48,24 @@ func (PNCounter) Decode(b []byte) (counter.PNState, error) {
 	return s, r.Close()
 }
 
+// DWFlag is the codec for the disable-wins flag.
+type DWFlag struct{}
+
+// Encode serializes the flag.
+func (DWFlag) Encode(s ewflag.DWState) []byte {
+	var w Writer
+	w.PutInt64(s.Disables)
+	w.PutBool(s.Flag)
+	return w.Bytes()
+}
+
+// Decode deserializes the flag.
+func (DWFlag) Decode(b []byte) (ewflag.DWState, error) {
+	r := NewReader(b)
+	s := ewflag.DWState{Disables: r.Int64(), Flag: r.Bool()}
+	return s, r.Close()
+}
+
 // EWFlag is the codec for the enable-wins flag.
 type EWFlag struct{}
 
@@ -264,41 +282,55 @@ func (Queue) Decode(b []byte) (queue.State, error) {
 	return queue.FromSlice(ps), nil
 }
 
+// AlphaMap is the codec for α-map states over any inner state codec —
+// one generic codec serves every composition instance (chat, α-map of
+// counters, α-map of OR-sets, …).
+type AlphaMap[S any] struct {
+	// Inner serializes the value states the map binds.
+	Inner Codec[S]
+}
+
+// Encode serializes the map as length-prefixed (key, inner payload)
+// pairs in binding order.
+func (c AlphaMap[S]) Encode(s alphamap.State[S]) []byte {
+	var w Writer
+	w.PutLen(len(s))
+	for _, e := range s {
+		w.PutString(e.K)
+		w.PutBytes(c.Inner.Encode(e.V))
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes the map.
+func (c AlphaMap[S]) Decode(b []byte) (alphamap.State[S], error) {
+	r := NewReader(b)
+	n := r.Len(8)
+	s := make(alphamap.State[S], 0, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		payload := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		inner, err := c.Inner.Decode(payload)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, alphamap.Entry[S]{K: k, V: inner})
+	}
+	return s, r.Close()
+}
+
 // Chat is the codec for the IRC-style chat (an α-map of mergeable logs).
 type Chat struct{}
 
 // Encode serializes the chat state.
 func (Chat) Encode(s chat.State) []byte {
-	var w Writer
-	w.PutLen(len(s))
-	var ml MLog
-	for _, e := range s {
-		w.PutString(e.K)
-		payload := ml.Encode(e.V)
-		w.PutLen(len(payload))
-		w.buf = append(w.buf, payload...)
-	}
-	return w.Bytes()
+	return AlphaMap[mlog.State]{Inner: MLog{}}.Encode(s)
 }
 
 // Decode deserializes the chat state.
 func (Chat) Decode(b []byte) (chat.State, error) {
-	r := NewReader(b)
-	n := r.Len(8)
-	var ml MLog
-	s := make(chat.State, 0, n)
-	for i := 0; i < n; i++ {
-		k := r.String()
-		payloadLen := r.Len(1)
-		if r.err != nil || !r.need(payloadLen) {
-			break
-		}
-		inner, err := ml.Decode(r.buf[r.off : r.off+payloadLen])
-		if err != nil {
-			return nil, err
-		}
-		r.off += payloadLen
-		s = append(s, alphamap.Entry[mlog.State]{K: k, V: inner})
-	}
-	return s, r.Close()
+	return AlphaMap[mlog.State]{Inner: MLog{}}.Decode(b)
 }

@@ -23,14 +23,18 @@ type FrameKind byte
 // negotiate-and-ship-missing exchange. A v1 peer answers any v2 frame
 // with FrameErr, which v2 clients treat as "fall back to full export".
 const (
-	FrameSyncRequest  FrameKind = 1 // v1: name + full commit list
+	FrameSyncRequest  FrameKind = 1 // v1: name [+ object + datatype] + full commit list
 	FrameSyncResponse FrameKind = 2 // v1: full commit list
 	FrameErr          FrameKind = 3 // error text (any phase, either protocol)
-	FrameHello        FrameKind = 4 // v2: name + frontier
-	FrameHelloAck     FrameKind = 5 // v2: responder name + frontier
+	FrameHello        FrameKind = 4 // v2: name + object + datatype + frontier
+	FrameHelloAck     FrameKind = 5 // v2: responder name + object + datatype + frontier
 	FrameDeltaHeader  FrameKind = 6 // v2: head hash + announced commit count
 	FrameCommits      FrameKind = 7 // v2: one chunk of commits
 	FrameDeltaEnd     FrameKind = 8 // v2: end of commit stream
+	// FrameHelloMiss answers a hello for an object the responder does not
+	// host (or hosts under a different datatype): the pair skips that
+	// object and the session continues with the client's next hello.
+	FrameHelloMiss FrameKind = 9
 )
 
 // Wire limits. Chunk constants shape writes; Max* constants are enforced
@@ -91,9 +95,14 @@ func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
 
 // ReadMsg reads one framed message, capping the field count and each
 // field's size. Field-count validation per kind is the caller's job.
+// A clean end of stream before any header byte surfaces as bare io.EOF,
+// so session loops can tell "peer hung up" from a framing violation.
 func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
 		return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
 	}
 	kind := FrameKind(hdr[0])
@@ -154,34 +163,53 @@ func (r *Reader) Bytes() []byte {
 // Remaining reports the unconsumed payload bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 
-// EncodeHello serializes a peer name and branch frontier for the v2
-// negotiation (FrameHello / FrameHelloAck payload).
-func EncodeHello(name string, f store.Frontier) []byte {
+// Hello is the negotiation payload of one object's sync: who is asking,
+// which named object on the node, the datatype it is expected to hold
+// (so mismatched registrations fail cleanly instead of corrupting
+// states), and the branch frontier to subtract from the transfer.
+type Hello struct {
+	// Node is the sending node's name.
+	Node string
+	// Object names the replicated object on the node.
+	Object string
+	// Datatype is the registered datatype name of the object.
+	Datatype string
+	// Frontier summarizes the sender's branch for delta negotiation.
+	Frontier store.Frontier
+}
+
+// EncodeHello serializes a hello for the v2 negotiation (FrameHello /
+// FrameHelloAck payload).
+func EncodeHello(h Hello) []byte {
 	var w Writer
-	w.PutString(name)
-	w.PutHash(f.Head)
-	w.PutLen(len(f.Have))
-	for _, h := range f.Have {
-		w.PutHash(h)
+	w.PutString(h.Node)
+	w.PutString(h.Object)
+	w.PutString(h.Datatype)
+	w.PutHash(h.Frontier.Head)
+	w.PutLen(len(h.Frontier.Have))
+	for _, hh := range h.Frontier.Have {
+		w.PutHash(hh)
 	}
 	return w.Bytes()
 }
 
 // DecodeHello parses a hello payload.
-func DecodeHello(b []byte) (string, store.Frontier, error) {
+func DecodeHello(b []byte) (Hello, error) {
 	r := NewReader(b)
-	name := r.String()
-	var f store.Frontier
-	f.Head = r.Hash()
+	var h Hello
+	h.Node = r.String()
+	h.Object = r.String()
+	h.Datatype = r.String()
+	h.Frontier.Head = r.Hash()
 	n := r.Len(len(store.Hash{}))
-	f.Have = make([]store.Hash, 0, min(n, maxHashPrealloc))
+	h.Frontier.Have = make([]store.Hash, 0, min(n, maxHashPrealloc))
 	for i := 0; i < n; i++ {
-		f.Have = append(f.Have, r.Hash())
+		h.Frontier.Have = append(h.Frontier.Have, r.Hash())
 	}
 	if err := r.Close(); err != nil {
-		return "", store.Frontier{}, err
+		return Hello{}, err
 	}
-	return name, f, nil
+	return h, nil
 }
 
 // appendCommit serializes one commit: parent hashes, pinned state, then

@@ -82,25 +82,34 @@ func TestReadMsgCapsFieldCount(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	f := store.Frontier{
-		Head: store.Hash{1, 2, 3},
-		Have: []store.Hash{{4}, {5}, {6}},
+	h := Hello{
+		Node:     "node-7",
+		Object:   "cart",
+		Datatype: "or-set-space",
+		Frontier: store.Frontier{
+			Head: store.Hash{1, 2, 3},
+			Have: []store.Hash{{4}, {5}, {6}},
+		},
 	}
-	name, got, err := DecodeHello(EncodeHello("node-7", f))
+	got, err := DecodeHello(EncodeHello(h))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "node-7" || got.Head != f.Head || len(got.Have) != 3 || got.Have[2] != f.Have[2] {
-		t.Fatalf("hello mismatch: %q %+v", name, got)
+	if got.Node != "node-7" || got.Object != "cart" || got.Datatype != "or-set-space" ||
+		got.Frontier.Head != h.Frontier.Head || len(got.Frontier.Have) != 3 ||
+		got.Frontier.Have[2] != h.Frontier.Have[2] {
+		t.Fatalf("hello mismatch: %+v", got)
 	}
 }
 
 func TestDecodeHelloForgedCountFails(t *testing.T) {
 	var w Writer
 	w.PutString("x")
+	w.PutString("obj")
+	w.PutString("dt")
 	w.PutHash(store.Hash{})
 	w.PutLen(1 << 30) // claims a billion hashes with no payload behind it
-	if _, _, err := DecodeHello(w.Bytes()); err == nil {
+	if _, err := DecodeHello(w.Bytes()); err == nil {
 		t.Fatal("forged have count must fail")
 	}
 }

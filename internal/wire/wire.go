@@ -16,16 +16,16 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // ErrMalformed is wrapped by all decoding errors.
 var ErrMalformed = errors.New("wire: malformed payload")
 
-// Codec serializes and deserializes states of type S.
-type Codec[S any] interface {
-	Encode(S) []byte
-	Decode([]byte) (S, error)
-}
+// Codec serializes and deserializes states of type S. It is the store's
+// codec interface: one codec value serves content addressing, import
+// round-trips and wire transfer alike.
+type Codec[S any] = store.Codec[S]
 
 // Writer accumulates a payload.
 type Writer struct {

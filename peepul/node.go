@@ -1,0 +1,158 @@
+package peepul
+
+import (
+	"fmt"
+
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+// NodeOption adjusts node construction; options plumb through to every
+// object store the node opens.
+type NodeOption = store.Option
+
+// WithFrontierDense sets the dense generation window of frontier
+// sampling: every ancestor within n generations of the head joins the
+// sync-negotiation sample, so divergences shorter than n cut exactly.
+func WithFrontierDense(n int) NodeOption { return store.WithFrontierDense(n) }
+
+// WithFrontierMaxHave caps the number of sampled ancestor hashes a
+// frontier advertises — the constant factor of a re-sync's wire cost.
+func WithFrontierMaxHave(n int) NodeOption { return store.WithFrontierMaxHave(n) }
+
+// WithFrontierWalkBudget caps the commits visited while sampling a
+// frontier, bounding negotiation cost on huge DAGs. Past the budget the
+// sample is merely sparser; correctness is unaffected.
+func WithFrontierWalkBudget(n int) NodeOption { return store.WithFrontierWalkBudget(n) }
+
+// Node is one replica hosting a set of named replicated objects. Create
+// objects with Open; replicate with Listen/SyncWith. Safe for concurrent
+// use.
+type Node struct {
+	rn *replica.Node
+}
+
+// NewNode creates a replica named name with fleet-unique id replicaID in
+// [0, MaxReplicaID]. The name doubles as the node's branch name in every
+// object's store and as its peer identity on the wire; names and ids must
+// be unique across the fleet.
+func NewNode(name string, replicaID int, opts ...NodeOption) (*Node, error) {
+	rn, err := replica.NewNode(name, replicaID, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{rn: rn}, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.rn.Name() }
+
+// Objects returns the names of the objects the node hosts, sorted.
+func (n *Node) Objects() []string { return n.rn.Objects() }
+
+// Listen starts serving sync requests on addr ("127.0.0.1:0" picks a
+// free port).
+func (n *Node) Listen(addr string) error { return n.rn.Listen(addr) }
+
+// Addr returns the listening address, or "" before Listen.
+func (n *Node) Addr() string { return n.rn.Addr() }
+
+// Close stops serving and waits for in-flight sync handlers.
+func (n *Node) Close() error { return n.rn.Close() }
+
+// SyncWith synchronizes every object this node hosts with the peer at
+// addr over a single connection, object by object: frontiers are
+// exchanged per object and only missing commits cross the wire. Objects
+// the peer does not host are skipped (counted in Stats().Misses). After a
+// successful exchange both nodes hold equal states on every shared
+// object.
+func (n *Node) SyncWith(addr string) error { return n.rn.SyncWith(addr) }
+
+// Stats returns the node's aggregate sync counters.
+func (n *Node) Stats() SyncStats { return n.rn.Stats() }
+
+// ObjectStats returns one object's sync counters.
+func (n *Node) ObjectStats(object string) SyncStats { return n.rn.ObjectStats(object) }
+
+// SetFullSyncOnly forces outgoing syncs onto the legacy full-history
+// protocol; benchmarks use it to compare against delta sync.
+func (n *Node) SetFullSyncOnly(v bool) { n.rn.SetFullSyncOnly(v) }
+
+// Open returns a typed handle on node n's object named object,
+// creating the object with datatype d if it does not exist yet
+// (get-or-create, like opening a key in an Irmin repository). Re-opening
+// an existing object requires the same datatype; a mismatch is an error,
+// never a corrupted merge.
+func Open[S, Op, Val any](n *Node, d Datatype[S, Op, Val], object string) (*Handle[S, Op, Val], error) {
+	if d.Name == "" || d.Impl == nil || d.Codec == nil {
+		return nil, fmt.Errorf("peepul: Open %q: incomplete datatype descriptor", object)
+	}
+	obj, err := replica.Ensure[S, Op, Val](n.rn, object, d.Name, d.Impl, d.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[S, Op, Val]{node: n, object: object, obj: obj}, nil
+}
+
+// Handle is a typed view of one named object on a node. Do/State operate
+// on the node's own branch; Fork/DoOn/Pull/Sync manipulate additional
+// local branches of the same object (the paper's branch-and-merge
+// programming model inside one replica).
+type Handle[S, Op, Val any] struct {
+	node   *Node
+	object string
+	obj    *replica.TypedObject[S, Op, Val]
+}
+
+// Object returns the object's name on the node.
+func (h *Handle[S, Op, Val]) Object() string { return h.object }
+
+// Node returns the node hosting the object.
+func (h *Handle[S, Op, Val]) Node() *Node { return h.node }
+
+// Branch returns the node's branch name (the branch Do operates on).
+func (h *Handle[S, Op, Val]) Branch() string { return h.obj.Branch() }
+
+// Do applies an operation on the node's branch with a fresh timestamp
+// and returns the operation's value.
+func (h *Handle[S, Op, Val]) Do(op Op) (Val, error) { return h.obj.Do(op) }
+
+// State returns the current state of the node's branch.
+func (h *Handle[S, Op, Val]) State() (S, error) { return h.obj.State() }
+
+// Fork creates local branch name from the node branch's current head
+// (the CREATEBRANCH rule).
+func (h *Handle[S, Op, Val]) Fork(name string) error {
+	return h.obj.Store().Fork(h.obj.Branch(), name)
+}
+
+// DoOn applies an operation on the named local branch.
+func (h *Handle[S, Op, Val]) DoOn(branch string, op Op) (Val, error) {
+	return h.obj.Store().Apply(branch, op)
+}
+
+// StateOf returns the current state of the named local branch.
+func (h *Handle[S, Op, Val]) StateOf(branch string) (S, error) {
+	return h.obj.Store().Head(branch)
+}
+
+// Pull merges branch src into branch dst (the MERGE rule): a three-way
+// MRDT merge over the branches' lowest common ancestor, refused if it
+// would violate the store's Ψ_lca soundness discipline.
+func (h *Handle[S, Op, Val]) Pull(dst, src string) error {
+	return h.obj.Store().Pull(dst, src)
+}
+
+// Sync converges two local branches atomically: a pulls b, then b
+// fast-forwards to the merge commit. After Sync both branches hold equal
+// states.
+func (h *Handle[S, Op, Val]) Sync(a, b string) error {
+	return h.obj.Store().Sync(a, b)
+}
+
+// Stats returns the object's sync counters on this node.
+func (h *Handle[S, Op, Val]) Stats() SyncStats { return h.node.ObjectStats(h.object) }
+
+// Store exposes the object's embedded versioned store for advanced use
+// (branch listing, export/import, garbage collection).
+func (h *Handle[S, Op, Val]) Store() *store.Store[S, Op, Val] { return h.obj.Store() }
