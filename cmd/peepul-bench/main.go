@@ -4,9 +4,13 @@
 //	peepul-bench                 # everything, paper-scale sweeps
 //	peepul-bench -fig 12         # one figure
 //	peepul-bench -fig sync       # sync cost: delta vs full-history replication
+//	peepul-bench -fig dag        # DAG scaling: merge cost vs history length
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
+//
+// The dag figure additionally writes its rows as JSON (default
+// BENCH_dag.json, see -dag-out) so CI can archive the perf trajectory.
 //
 // Output is row-oriented, one row per plotted point, matching the series
 // of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
@@ -24,11 +28,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
 	typ := flag.String("type", "", "registry name (exact or substring) filter for Table 3'; empty = all")
+	dagOut := flag.String("dag-out", "BENCH_dag.json", "output path for the DAG-scaling JSON (-fig dag)")
 	flag.Parse()
 
 	if *typ != "" {
@@ -48,11 +53,14 @@ func main() {
 	}
 
 	fig12Ns, fig13Ns, fig14Ns, syncNs := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns, bench.SyncNs
+	dagNs, dagMeshNs := bench.DagNs, bench.DagMeshNs
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
 		fig14Ns = []int{2000, 5000, 10000}
 		syncNs = []int{32, 128}
+		dagNs = []int{100, 1000, 10000}
+		dagMeshNs = []int{100, 1000}
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -70,9 +78,25 @@ func main() {
 	run("15", func() { bench.PrintFig15(os.Stdout, bench.Fig15(fig14Ns, *seed)) })
 	run("table3", func() { bench.PrintTable3(os.Stdout, bench.Table3(*scale, *typ)) })
 	run("sync", func() { bench.PrintSyncCost(os.Stdout, bench.SyncCost(syncNs, *seed)) })
+	run("dag", func() {
+		rows := bench.Dag(dagNs, dagMeshNs)
+		bench.PrintDag(os.Stdout, rows)
+		f, err := os.Create(*dagOut)
+		if err == nil {
+			err = bench.WriteDagJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *dagOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *dagOut, len(rows))
+	})
 
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

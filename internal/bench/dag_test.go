@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDagScenarios runs every DAG-scaling scenario at toy sizes: the
+// point is that the histories build without Ψ_lca refusals (the
+// criss-cross rounds in particular must resolve through virtual bases)
+// and that the JSON document round-trips.
+func TestDagScenarios(t *testing.T) {
+	rows := Dag([]int{16, 64}, []int{24})
+	if len(rows) != 2*2+2 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	seen := make(map[string]int)
+	for _, r := range rows {
+		seen[r.Scenario]++
+		if r.Commits <= r.History/2 {
+			t.Fatalf("%s/%d: commits = %d, implausibly few", r.Scenario, r.History, r.Commits)
+		}
+		if r.ElapsedNs < 0 {
+			t.Fatalf("%s/%d: negative elapsed", r.Scenario, r.History)
+		}
+	}
+	for _, sc := range []string{"deep-pull", "resync", "crisscross", "mesh"} {
+		if seen[sc] == 0 {
+			t.Fatalf("scenario %s missing from rows", sc)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDagJSON(&buf, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench string   `json:"bench"`
+		Rows  []DagRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "dag" || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON round-trip lost rows: %+v", doc)
+	}
+}

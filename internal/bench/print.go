@@ -62,6 +62,21 @@ func PrintSyncCost(w io.Writer, rows []SyncCostRow) {
 	}
 }
 
+// PrintDag renders the DAG-scaling table: merge wall time (Pull/Sync
+// calls only; delta shipping excluded) against history length per
+// scenario. The divergence is held constant in every scenario, so a
+// healthy O(divergence) engine shows flat times down each scenario's
+// column while history grows 10²–10⁵.
+func PrintDag(w io.Writer, rows []DagRow) {
+	fmt.Fprintln(w, "DAG scaling: merge cost vs history length (divergence held constant)")
+	fmt.Fprintf(w, "%12s %10s %10s %10s %12s\n",
+		"scenario", "#history", "branches", "#commits", "merge-time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %10d %10d %10d %12s\n",
+			r.Scenario, r.History, r.Branches, r.Commits, fmtDur(r.Elapsed()))
+	}
+}
+
 // MatchType reports whether a registered datatype name passes a -type
 // filter: the empty filter matches everything, otherwise an exact name
 // or substring match is required.

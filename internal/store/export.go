@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 
@@ -26,8 +28,8 @@ var ErrBadImport = errors.New("store: bad import")
 // Feeding the result to another store's Import reproduces the history
 // bit-for-bit (content addressing makes re-imported commits identical).
 func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
@@ -56,8 +58,8 @@ func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
 // are harmless: they cannot lie on any walked path. An empty have-set
 // degenerates to Export.
 func (s *Store[S, Op, Val]) ExportSince(b string, have []Hash) ([]ExportedCommit, Hash, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
@@ -125,21 +127,48 @@ func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash 
 // commits already present, so a dangling parent fails the import. Commit
 // hashes are recomputed locally; a corrupted transfer cannot forge
 // history. An empty batch is a valid delta as long as the advertised
-// head is already known. States decode through the store's own codec.
+// head is already known. States decode through the store's own codec,
+// except that an encoded state whose hash is already present — re-shipped
+// history a frontier sample failed to advertise — skips the decode.
 func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, ec := range commits {
+		// The generation-guided DAG walks (lca.go) are only correct under
+		// the invariant Gen = 1 + max parent generation, so a transferred
+		// generation is verified, never trusted: a peer shipping a bogus
+		// one gets a rejected import instead of silently wrong merges.
+		wantGen := 1
 		for _, p := range ec.Parents {
-			if _, known := s.commits[p]; !known {
+			pc, known := s.commits[p]
+			if !known {
 				return fmt.Errorf("%w: commit %d references unknown parent %v", ErrBadImport, i, p)
 			}
+			if pc.Gen >= wantGen {
+				wantGen = pc.Gen + 1
+			}
 		}
-		state, err := s.codec.Decode(ec.State)
-		if err != nil {
-			return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
+		if ec.Gen != wantGen {
+			return fmt.Errorf("%w: commit %d generation %d, want %d", ErrBadImport, i, ec.Gen, wantGen)
 		}
-		st := s.putState(state)
+		// Content addressing lets re-imported history short-circuit: when
+		// the encoded state is already present, skip the decode entirely.
+		// A first-seen state must round-trip to the same bytes — accepting
+		// a non-canonical encoding would give one logical state two
+		// content addresses and fork identical histories forever.
+		st := sha256.Sum256(ec.State)
+		if _, known := s.objects[st]; !known {
+			state, err := s.codec.Decode(ec.State)
+			if err != nil {
+				return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
+			}
+			enc := s.codec.Encode(state)
+			if !bytes.Equal(enc, ec.State) {
+				return fmt.Errorf("%w: commit %d state encoding is not canonical", ErrBadImport, i)
+			}
+			s.objects[st] = enc
+			s.states[st] = state
+		}
 		s.putCommit(Commit{Parents: ec.Parents, State: st, Gen: ec.Gen, Time: ec.Time})
 	}
 	if _, ok := s.commits[head]; !ok {

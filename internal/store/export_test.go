@@ -136,3 +136,64 @@ func TestExportTopologicalOrder(t *testing.T) {
 		t.Fatalf("imported merge head = %d, want 7", v)
 	}
 }
+
+// TestImportRejectsBogusGeneration pins the generation invariant at the
+// trust boundary: the generation-guided DAG walks assume
+// Gen = 1 + max parent generation, so Import must verify transferred
+// generations rather than install whatever a peer shipped.
+func TestImportRejectsBogusGeneration(t *testing.T) {
+	src := counterStore()
+	inc(t, src, "main", 1)
+	inc(t, src, "main", 2)
+	commits, head, err := src.Export("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []int{-1, 1, -10} {
+		tampered := append([]store.ExportedCommit(nil), commits...)
+		tampered[len(tampered)-1].Gen += delta
+		dst := store.NewAt[int64, counter.Op, counter.Val](
+			counter.IncCounter{}, wire.IncCounter{}, "local", 64)
+		err := dst.Import("remote/main", tampered, head)
+		if !errors.Is(err, store.ErrBadImport) {
+			t.Fatalf("Gen%+d: import = %v, want ErrBadImport", delta, err)
+		}
+	}
+}
+
+// paddedCodec decodes like the int64 wire codec but tolerates trailing
+// garbage, making non-canonical encodings representable: Decode accepts
+// them, Encode never produces them.
+type paddedCodec struct{ wire.IncCounter }
+
+func (paddedCodec) Decode(b []byte) (int64, error) {
+	if len(b) > 8 {
+		b = b[:8]
+	}
+	return wire.IncCounter{}.Decode(b)
+}
+
+// TestImportRejectsNonCanonicalState: an encoded state that decodes fine
+// but does not re-encode to the same bytes would give one logical state
+// two content addresses (the peer's hash and the local one), forking
+// identical histories forever — Import must refuse it.
+func TestImportRejectsNonCanonicalState(t *testing.T) {
+	src := store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, paddedCodec{}, "main")
+	inc(t, src, "main", 3)
+	commits, head, err := src.Export("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]store.ExportedCommit(nil), commits...)
+	last := tampered[len(tampered)-1]
+	last.State = append(append([]byte(nil), last.State...), 0xff)
+	tampered[len(tampered)-1] = last
+	dst := store.New[int64, counter.Op, counter.Val](counter.IncCounter{}, paddedCodec{}, "local")
+	if err := dst.Import("remote/main", tampered, head); !errors.Is(err, store.ErrBadImport) {
+		t.Fatalf("non-canonical state: import = %v, want ErrBadImport", err)
+	}
+	// The untampered batch still imports cleanly.
+	if err := dst.Import("remote/main", commits, head); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,22 +30,45 @@ func (f Frontier) HaveSet() []Hash {
 }
 
 // Frontier summarizes branch b for sync negotiation.
+//
+// The sample budget is split: a quarter of FrontierMaxHave is reserved
+// for the sparse power-of-two tail, the rest goes to the dense window.
+// On wide DAGs (many merges close to the head) the dense window alone
+// can hold more commits than the whole budget, and an unsplit budget
+// would fill up before the walk ever reaches a sparse ancestor — losing
+// exactly the old merge-cut points that let a long-diverged peer find a
+// deep common commit.
 func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return Frontier{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
 	headGen := s.commits[head].Gen
-	f := Frontier{Head: head}
+	sparseCap := s.opts.FrontierMaxHave / 4
+	if sparseCap < 1 && s.opts.FrontierMaxHave > 1 {
+		sparseCap = 1
+	}
+	denseCap := s.opts.FrontierMaxHave - sparseCap
+	var dense, sparse []Hash
 	seen := map[Hash]bool{head: true}
 	queue := []Hash{head}
-	for visited := 0; len(queue) > 0 && visited < s.opts.FrontierWalkBudget && len(f.Have) < s.opts.FrontierMaxHave; visited++ {
+	for visited := 0; len(queue) > 0 && visited < s.opts.FrontierWalkBudget &&
+		(len(dense) < denseCap || len(sparse) < sparseCap); visited++ {
 		h := queue[0]
 		queue = queue[1:]
-		if h != head && sampled(headGen-s.commits[h].Gen, s.opts.FrontierDense) {
-			f.Have = append(f.Have, h)
+		if h != head {
+			switch d := headGen - s.commits[h].Gen; {
+			case d <= s.opts.FrontierDense:
+				if len(dense) < denseCap {
+					dense = append(dense, h)
+				}
+			case d&(d-1) == 0: // power of two
+				if len(sparse) < sparseCap {
+					sparse = append(sparse, h)
+				}
+			}
 		}
 		for _, p := range s.commits[h].Parents {
 			if !seen[p] {
@@ -54,14 +77,6 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 			}
 		}
 	}
+	f := Frontier{Head: head, Have: append(dense, sparse...)}
 	return f, nil
-}
-
-// sampled reports whether an ancestor at generation distance d below the
-// head belongs in a frontier sample with dense window dense.
-func sampled(d, dense int) bool {
-	if d <= dense {
-		return true
-	}
-	return d&(d-1) == 0 // power of two
 }

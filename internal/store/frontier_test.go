@@ -52,6 +52,46 @@ func TestFrontierShape(t *testing.T) {
 	}
 }
 
+// TestFrontierSparseTailReserved pins the budget split: when the dense
+// window alone would exhaust the sample cap, part of the budget must
+// still be spent on sparse power-of-two ancestors, so deep cut points
+// survive in the sample.
+func TestFrontierSparseTailReserved(t *testing.T) {
+	s := store.New[int64, counter.Op, counter.Val](
+		counter.IncCounter{}, wire.IncCounter{}, "main",
+		store.WithFrontierDense(16), store.WithFrontierMaxHave(8))
+	for i := 0; i < 200; i++ {
+		inc(t, s, "main", 1)
+	}
+	f, err := s.Frontier("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := s.HeadHash("main")
+	headCommit, _ := s.Commit(head)
+	dists := make(map[int]bool)
+	for _, h := range f.Have {
+		c, ok := s.Commit(h)
+		if !ok {
+			t.Fatal("Have contains an unknown commit")
+		}
+		dists[headCommit.Gen-c.Gen] = true
+	}
+	if len(f.Have) > 8 {
+		t.Fatalf("sample size %d exceeds FrontierMaxHave", len(f.Have))
+	}
+	// 16 dense candidates compete for 6 dense slots; the reserved quarter
+	// (2 slots) must still surface sparse ancestors at distances 32, 64.
+	for _, d := range []int{32, 64} {
+		if !dists[d] {
+			t.Fatalf("sparse tail misses distance %d; sampled distances %v", d, dists)
+		}
+	}
+	if !dists[1] {
+		t.Fatal("dense window must still cover the head's immediate ancestry")
+	}
+}
+
 func TestFrontierUnknownBranch(t *testing.T) {
 	s := counterStore()
 	if _, err := s.Frontier("nope"); err == nil {

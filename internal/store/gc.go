@@ -41,8 +41,8 @@ func (s *Store[S, Op, Val]) GC() int {
 
 // NumCommits returns the number of commits currently retained.
 func (s *Store[S, Op, Val]) NumCommits() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.commits)
 }
 

@@ -1,6 +1,10 @@
 package store
 
-import "errors"
+import (
+	"bytes"
+	"errors"
+	"sort"
+)
 
 // ErrNoCommonAncestor is returned when two commits share no ancestor; it
 // cannot happen for commits created through the store's API (every branch
@@ -14,17 +18,28 @@ var ErrNoCommonAncestor = errors.New("store: no common ancestor")
 // virtual commit is recorded in the DAG (but on no branch), so nested
 // criss-crosses terminate.
 func (s *Store[S, Op, Val]) lca(a, b Hash) (Hash, error) {
-	cands := s.maximalCommonAncestors(a, b)
+	return s.foldBases(s.maximalCommonAncestors(a, b), s.lca)
+}
+
+// foldBases reduces a candidate merge-base set to a single base,
+// recursively merging pairs into virtual commits via rec (the LCA
+// function folding — fast or reference — so each keeps its own
+// recursion). Candidates are folded in hash order: content addressing
+// then makes both implementations materialize bit-identical virtual
+// commits, which is what lets the property tests compare them.
+func (s *Store[S, Op, Val]) foldBases(cands []Hash, rec func(a, b Hash) (Hash, error)) (Hash, error) {
 	switch len(cands) {
 	case 0:
 		return Hash{}, ErrNoCommonAncestor
 	case 1:
 		return cands[0], nil
 	}
-	// Recursive strategy: fold the candidates into one virtual base.
+	sort.Slice(cands, func(i, j int) bool {
+		return bytes.Compare(cands[i][:], cands[j][:]) < 0
+	})
 	base := cands[0]
 	for _, next := range cands[1:] {
-		vbase, err := s.lca(base, next)
+		vbase, err := rec(base, next)
 		if err != nil {
 			return Hash{}, err
 		}
@@ -50,53 +65,33 @@ func (s *Store[S, Op, Val]) lca(a, b Hash) (Hash, error) {
 // maximalCommonAncestors returns the common ancestors of a and b that are
 // not ancestors of another common ancestor. Commits count as their own
 // ancestors, so a fast-forward situation (a an ancestor of b) yields a.
+//
+// This is Git's paint-down-to-common walk guided by generation numbers:
+// commits are colored flagP1/flagP2 as the walk descends from the two
+// tips in decreasing generation order, a commit reached by both colors is
+// a common ancestor and poisons its own ancestry flagStale, and the walk
+// stops once every queued commit is stale — it never descends past the
+// merge base's generation band, so the cost is bounded by the divergence
+// region rather than total history. Generation order makes flags final at
+// pop time, so unlike Git (which orders by fallible commit dates) no
+// post-pass over the candidates is needed: a dominated common ancestor is
+// always painted stale before it is popped.
 func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
-	aAnc := s.ancestors(a)
-	bAnc := s.ancestors(b)
-	var common []Hash
-	for h := range aAnc {
-		if bAnc[h] {
-			common = append(common, h)
-		}
+	if a == b {
+		return []Hash{a}
 	}
-	// A common ancestor is maximal if no *other* common ancestor descends
-	// from it. Sort candidates by generation descending and sweep: anything
-	// reachable from an already-kept candidate is dominated.
-	inCommon := make(map[Hash]bool, len(common))
-	for _, h := range common {
-		inCommon[h] = true
-	}
+	p := newPainter(s.commits, flagStale)
+	p.add(a, flagP1)
+	p.add(b, flagP2)
 	var maximal []Hash
-	dominated := make(map[Hash]bool)
-	// Process highest generation first.
-	for len(common) > 1 {
-		best := -1
-		var bestH Hash
-		for _, h := range common {
-			if g := s.commits[h].Gen; g > best {
-				best, bestH = g, h
-			}
-		}
-		next := common[:0]
-		for _, h := range common {
-			if h != bestH {
-				next = append(next, h)
-			}
-		}
-		common = next
-		if dominated[bestH] {
-			continue
-		}
-		maximal = append(maximal, bestH)
-		for h := range s.ancestors(bestH) {
-			if h != bestH && inCommon[h] {
-				dominated[h] = true
-			}
-		}
-	}
-	for _, h := range common {
-		if !dominated[h] {
+	for p.active() {
+		h, f := p.pop()
+		if f&flagStale == 0 && f&(flagP1|flagP2) == flagP1|flagP2 {
 			maximal = append(maximal, h)
+			f |= flagStale
+		}
+		for _, par := range s.commits[h].Parents {
+			p.add(par, f)
 		}
 	}
 	return maximal
@@ -107,45 +102,85 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 // from either head but not from the base must descend from the base.
 // Operation commits are the only event creators, so this is exactly "every
 // event outside the LCA observed every event in the LCA".
+//
+// One two-color walk decides this: flagBase paints the base's ancestry,
+// flagHead paints the heads' reachability, both descending in generation
+// order so flags are final at pop time. A commit popped with flagBase is
+// inside the base's history and exempt, and so is everything beneath it;
+// the walk stops when only such commits remain queued. A commit popped
+// with flagHead alone is in the merge region proper, and if it is an
+// operation commit it must descend from the base — checked by a memoized
+// descent search that never expands commits at or below the base's
+// generation (an ancestor's generation is strictly smaller, so such
+// commits cannot reach the base going down). Total cost is O(region),
+// not O(n²).
 func (s *Store[S, Op, Val]) soundBase(base, a, b Hash) bool {
-	baseAnc := s.ancestors(base)
-	for h := range s.ancestors(a) {
-		if !s.opDescendsFromBase(h, base, baseAnc) {
+	baseGen := s.commits[base].Gen
+	p := newPainter(s.commits, flagBase)
+	p.add(base, flagBase)
+	p.add(a, flagHead)
+	p.add(b, flagHead)
+	memo := make(map[Hash]bool)
+	for p.active() {
+		h, f := p.pop()
+		if f&flagBase != 0 {
+			// Inside the base's history: exempt, and everything below is
+			// too, so only the base color continues downward.
+			f = flagBase
+		} else if len(s.commits[h].Parents) == 1 && !s.descendsWithin(h, base, baseGen, memo) {
 			return false
 		}
-	}
-	for h := range s.ancestors(b) {
-		if !s.opDescendsFromBase(h, base, baseAnc) {
-			return false
+		for _, par := range s.commits[h].Parents {
+			p.add(par, f)
 		}
 	}
 	return true
 }
 
-func (s *Store[S, Op, Val]) opDescendsFromBase(h, base Hash, baseAnc map[Hash]bool) bool {
-	if baseAnc[h] {
-		return true // inside the base's history
+// descendsWithin reports whether base is an ancestor of h, exploring only
+// commits above base's generation (ancestors have strictly smaller
+// generations, so anything at or below baseGen other than base itself
+// cannot reach it). memo is shared across the queries of one soundBase
+// call, so the merge region is traversed once overall. The walk is
+// iterative; region depth does not grow the stack.
+func (s *Store[S, Op, Val]) descendsWithin(h, base Hash, baseGen int, memo map[Hash]bool) bool {
+	decided := func(x Hash) (verdict, known bool) {
+		if x == base {
+			return true, true
+		}
+		if s.commits[x].Gen <= baseGen {
+			return false, true
+		}
+		v, ok := memo[x]
+		return v, ok
 	}
-	c := s.commits[h]
-	if len(c.Parents) != 1 {
-		return true // root or merge commit: creates no event
+	if v, ok := decided(h); ok {
+		return v
 	}
-	return s.ancestors(h)[base]
-}
-
-// ancestors returns the set of commits reachable from h, including h.
-func (s *Store[S, Op, Val]) ancestors(h Hash) map[Hash]bool {
-	seen := map[Hash]bool{h: true}
 	stack := []Hash{h}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range s.commits[cur].Parents {
-			if !seen[p] {
-				seen[p] = true
-				stack = append(stack, p)
+		if _, ok := decided(cur); ok {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		settled, verdict := true, false
+		for _, par := range s.commits[cur].Parents {
+			v, ok := decided(par)
+			if !ok {
+				stack = append(stack, par)
+				settled = false
+				break
+			}
+			if v {
+				verdict = true
+				break
 			}
 		}
+		if settled {
+			memo[cur] = verdict
+			stack = stack[:len(stack)-1]
+		}
 	}
-	return seen
+	return memo[h]
 }

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/counter"
+)
+
+// Property tests pinning the generation-guided DAG walks (lca.go) to the
+// retained full-ancestor-set reference implementations (reference.go) on
+// randomized DAGs. Commits are constructed directly so the DAGs include
+// shapes the public API's soundness discipline forbids — criss-cross
+// merges on both sides, merges of concurrent merge commits, and nested
+// criss-crosses that force the virtual-base recursion.
+
+// randomDAG builds a DAG of roughly size commits over the store's root:
+// mostly operation commits on random existing tips, with a merge mixed in
+// about a third of the time. Returns every created hash (root included).
+func randomDAG(s *Store[int64, counter.Op, counter.Val], r *rand.Rand, size int) []Hash {
+	hashes := []Hash{s.heads["main"]}
+	for len(hashes) < size {
+		if r.Intn(3) == 0 && len(hashes) > 2 {
+			a := hashes[r.Intn(len(hashes))]
+			b := hashes[r.Intn(len(hashes))]
+			if a == b {
+				continue
+			}
+			hashes = append(hashes, mergeCommit(s, a, b, int64(r.Intn(512))))
+		} else {
+			hashes = append(hashes, commitChain(s, hashes[r.Intn(len(hashes))], 1))
+		}
+	}
+	return hashes
+}
+
+func sortedHashes(hs []Hash) []Hash {
+	out := append([]Hash(nil), hs...)
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}
+
+func sameHashSet(a, b []Hash) bool {
+	a, b = sortedHashes(a), sortedHashes(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaximalCommonAncestorsMatchReferenceOnRandomDAGs(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := newInternalCounterStore()
+		hashes := randomDAG(s, r, 60)
+		for k := 0; k < 50; k++ {
+			a := hashes[r.Intn(len(hashes))]
+			b := hashes[r.Intn(len(hashes))]
+			fast := s.maximalCommonAncestors(a, b)
+			ref := s.refMaximalCommonAncestors(a, b)
+			if !sameHashSet(fast, ref) {
+				t.Fatalf("seed %d: maximalCommonAncestors(%v, %v) = %v, reference says %v",
+					seed, a, b, sortedHashes(fast), sortedHashes(ref))
+			}
+		}
+	}
+}
+
+func TestLCAMatchesReferenceOnRandomDAGs(t *testing.T) {
+	for seed := int64(100); seed <= 125; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := newInternalCounterStore()
+		hashes := randomDAG(s, r, 50)
+		for k := 0; k < 30; k++ {
+			a := hashes[r.Intn(len(hashes))]
+			b := hashes[r.Intn(len(hashes))]
+			// The reference runs first; the fast walk must reproduce its
+			// virtual commits bit-for-bit (they deduplicate by content
+			// address), so the bases must be identical hashes.
+			refBase, refErr := s.refLCA(a, b)
+			fastBase, fastErr := s.lca(a, b)
+			if (refErr == nil) != (fastErr == nil) {
+				t.Fatalf("seed %d: lca errors diverge: ref=%v fast=%v", seed, refErr, fastErr)
+			}
+			if refErr == nil && refBase != fastBase {
+				t.Fatalf("seed %d: lca(%v, %v) = %v, reference says %v", seed, a, b, fastBase, refBase)
+			}
+		}
+	}
+}
+
+// TestLCANestedCrissCrossMatchesReference builds deliberately nested
+// criss-crosses — at every level two opposite merges of the previous
+// level's tips — so the merge-base search keeps finding two maximal
+// common ancestors and lca recurses through virtual bases several levels
+// deep. Fast and reference must agree at every level.
+func TestLCANestedCrissCrossMatchesReference(t *testing.T) {
+	s := newInternalCounterStore()
+	x := commitChain(s, s.heads["main"], 1)
+	y := commitChain(s, x, 1)
+	x = commitChain(s, x, 2)
+	for level := 0; level < 4; level++ {
+		ma := mergeCommit(s, x, y, int64(10+level))
+		mb := mergeCommit(s, y, x, int64(10+level))
+		x = commitChain(s, ma, 1)
+		y = commitChain(s, mb, 1)
+
+		fastCands := s.maximalCommonAncestors(x, y)
+		refCands := s.refMaximalCommonAncestors(x, y)
+		if !sameHashSet(fastCands, refCands) {
+			t.Fatalf("level %d: candidates diverge: fast %v ref %v", level, fastCands, refCands)
+		}
+		if len(fastCands) != 2 {
+			t.Fatalf("level %d: expected a criss-cross (2 candidates), got %d", level, len(fastCands))
+		}
+		refBase, err := s.refLCA(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastBase, err := s.lca(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refBase != fastBase {
+			t.Fatalf("level %d: virtual base diverges: fast %v ref %v", level, fastBase, refBase)
+		}
+		if c := s.commits[fastBase]; len(c.Parents) != 2 {
+			t.Fatalf("level %d: virtual base must be a merge commit", level)
+		}
+	}
+}
+
+func TestSoundBaseMatchesReferenceOnRandomDAGs(t *testing.T) {
+	for seed := int64(200); seed <= 230; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := newInternalCounterStore()
+		hashes := randomDAG(s, r, 50)
+		for k := 0; k < 40; k++ {
+			a := hashes[r.Intn(len(hashes))]
+			b := hashes[r.Intn(len(hashes))]
+			var base Hash
+			if k%2 == 0 {
+				// Realistic bases: the actual merge base of the pair.
+				var err error
+				base, err = s.lca(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Adversarial bases: any commit at all.
+				base = hashes[r.Intn(len(hashes))]
+			}
+			fast := s.soundBase(base, a, b)
+			ref := s.refSoundBase(base, a, b)
+			if fast != ref {
+				t.Fatalf("seed %d: soundBase(%v, %v, %v) = %v, reference says %v",
+					seed, base, a, b, fast, ref)
+			}
+		}
+	}
+}

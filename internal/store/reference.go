@@ -1,0 +1,117 @@
+package store
+
+// Reference implementations of the DAG queries, retained from before the
+// generation-guided rewrite (lca.go, walk.go). They materialize full
+// ancestor sets — O(history) per query, O(n²) for the soundness check —
+// and serve as the executable specification: the randomized-DAG property
+// tests (lca_property_test.go) require the fast walks to agree with
+// these on every seed. GC keeps using ancestors() directly, where the
+// full reachability set is the point of the computation.
+
+// ancestors returns the set of commits reachable from h, including h.
+func (s *Store[S, Op, Val]) ancestors(h Hash) map[Hash]bool {
+	seen := map[Hash]bool{h: true}
+	stack := []Hash{h}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range s.commits[cur].Parents {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// refLCA is the reference counterpart of lca: identical fold over the
+// reference candidate set. Content addressing makes its virtual base
+// commits bit-identical to the fast implementation's.
+func (s *Store[S, Op, Val]) refLCA(a, b Hash) (Hash, error) {
+	return s.foldBases(s.refMaximalCommonAncestors(a, b), s.refLCA)
+}
+
+// refMaximalCommonAncestors is the full-ancestor-set merge-base search:
+// intersect the two ancestor sets, then discard candidates dominated by
+// a higher-generation candidate.
+func (s *Store[S, Op, Val]) refMaximalCommonAncestors(a, b Hash) []Hash {
+	aAnc := s.ancestors(a)
+	bAnc := s.ancestors(b)
+	var common []Hash
+	for h := range aAnc {
+		if bAnc[h] {
+			common = append(common, h)
+		}
+	}
+	// A common ancestor is maximal if no *other* common ancestor descends
+	// from it. Sort candidates by generation descending and sweep: anything
+	// reachable from an already-kept candidate is dominated.
+	inCommon := make(map[Hash]bool, len(common))
+	for _, h := range common {
+		inCommon[h] = true
+	}
+	var maximal []Hash
+	dominated := make(map[Hash]bool)
+	// Process highest generation first.
+	for len(common) > 1 {
+		best := -1
+		var bestH Hash
+		for _, h := range common {
+			if g := s.commits[h].Gen; g > best {
+				best, bestH = g, h
+			}
+		}
+		next := common[:0]
+		for _, h := range common {
+			if h != bestH {
+				next = append(next, h)
+			}
+		}
+		common = next
+		if dominated[bestH] {
+			continue
+		}
+		maximal = append(maximal, bestH)
+		for h := range s.ancestors(bestH) {
+			if h != bestH && inCommon[h] {
+				dominated[h] = true
+			}
+		}
+	}
+	for _, h := range common {
+		if !dominated[h] {
+			maximal = append(maximal, h)
+		}
+	}
+	return maximal
+}
+
+// refSoundBase is the full-set Ψ_lca check: every operation commit
+// reachable from either head but not from the base must descend from the
+// base, decided with one ancestor-set materialization per checked commit.
+func (s *Store[S, Op, Val]) refSoundBase(base, a, b Hash) bool {
+	baseAnc := s.ancestors(base)
+	for h := range s.ancestors(a) {
+		if !s.refOpDescendsFromBase(h, base, baseAnc) {
+			return false
+		}
+	}
+	for h := range s.ancestors(b) {
+		if !s.refOpDescendsFromBase(h, base, baseAnc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store[S, Op, Val]) refOpDescendsFromBase(h, base Hash, baseAnc map[Hash]bool) bool {
+	if baseAnc[h] {
+		return true // inside the base's history
+	}
+	c := s.commits[h]
+	if len(c.Parents) != 1 {
+		return true // root or merge commit: creates no event
+	}
+	return s.ancestors(h)[base]
+}

@@ -50,7 +50,9 @@ type Options struct {
 	// exactly.
 	FrontierDense int
 	// FrontierMaxHave caps the sample size: a frontier stays O(1) on the
-	// wire no matter how long the history grows.
+	// wire no matter how long the history grows. A quarter of the budget
+	// is reserved for the sparse power-of-two tail so that dense-window
+	// commits on wide DAGs cannot crowd out deep cut points.
 	FrontierMaxHave int
 	// FrontierWalkBudget caps the commits visited while sampling, bounding
 	// the local cost of frontier construction on huge DAGs. Beyond the
@@ -129,10 +131,14 @@ var (
 )
 
 // Store is a single-object replicated datastore for one MRDT. It is safe
-// for concurrent use; each branch carries its own Lamport clock, modelling
+// for concurrent use and read-parallel: queries (Head, HeadHash, Size,
+// Branches, Frontier, Export, ExportSince, Commit, NumCommits) take a
+// shared read lock and run concurrently with each other, while mutations
+// (Apply, Pull, Sync, Fork, Import, GC, DeleteBranch) serialize behind
+// the write lock. Each branch carries its own Lamport clock, modelling
 // one replica per branch.
 type Store[S, Op, Val any] struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	impl    core.MRDT[S, Op, Val]
 	codec   Codec[S]
 	opts    Options
@@ -182,8 +188,8 @@ func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main stri
 
 // Branches returns the branch names, sorted.
 func (s *Store[S, Op, Val]) Branches() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.heads))
 	for b := range s.heads {
 		out = append(out, b)
@@ -244,8 +250,8 @@ func (s *Store[S, Op, Val]) Apply(b string, op Op) (Val, error) {
 
 // Head returns the current state of branch b.
 func (s *Store[S, Op, Val]) Head(b string) (S, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var zero S
 	head, ok := s.heads[b]
 	if !ok {
@@ -256,8 +262,8 @@ func (s *Store[S, Op, Val]) Head(b string) (S, error) {
 
 // HeadHash returns the commit hash at the head of branch b.
 func (s *Store[S, Op, Val]) HeadHash(b string) (Hash, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
@@ -268,8 +274,8 @@ func (s *Store[S, Op, Val]) HeadHash(b string) (Hash, error) {
 // Size returns the encoded size in bytes of branch b's state — the space
 // metric reported by Figure 15.
 func (s *Store[S, Op, Val]) Size(b string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoBranch, b)
@@ -356,8 +362,8 @@ func (s *Store[S, Op, Val]) Sync(a, b string) error {
 
 // Commit returns the commit object at hash h.
 func (s *Store[S, Op, Val]) Commit(h Hash) (Commit, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c, ok := s.commits[h]
 	return c, ok
 }
@@ -381,6 +387,9 @@ func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Gen))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Time))
 	h := sha256.Sum256(buf)
+	if _, ok := s.commits[h]; ok {
+		return h // already present: content addressing makes it identical
+	}
 	s.commits[h] = c
 	return h
 }

@@ -27,7 +27,12 @@ func WithFrontierWalkBudget(n int) NodeOption { return store.WithFrontierWalkBud
 
 // Node is one replica hosting a set of named replicated objects. Create
 // objects with Open; replicate with Listen/SyncWith. Safe for concurrent
-// use.
+// use, and read-parallel: per-object queries (State, Stats, frontier
+// negotiation, delta export) share a read lock on the object's store and
+// run concurrently with each other, serializing only against mutations
+// (Do, Pull, Sync). Merge cost is O(divergence) — the store's
+// generation-guided DAG walks never descend past the merge base — so
+// long-lived replicas pull as fast as freshly created ones.
 type Node struct {
 	rn *replica.Node
 }
