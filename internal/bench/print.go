@@ -77,6 +77,35 @@ func PrintDag(w io.Writer, rows []DagRow) {
 	}
 }
 
+// PrintSpace renders the space table: resident object bytes and sync
+// bytes, packed (delta-chained pack layer) vs the pre-pack full-snapshot
+// format, with cold materialize latency and allocations per operation.
+func PrintSpace(w io.Writer, rows []SpaceRow) {
+	fmt.Fprintln(w, "Space: pack-layer storage and sync cost vs full-snapshot storage")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %7s %10s %10s %7s %10s %9s\n",
+		"datatype", "#ops", "packed", "full", "resx", "pull-pack", "pull-full", "syncx", "mat-lat", "allocs/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %10s %10s %6.1fx %10s %10s %6.1fx %10s %9.1f\n",
+			r.Datatype, r.History,
+			fmtBytes(r.PackedBytes), fmtBytes(r.FullBytes), r.ResidentReduction,
+			fmtBytes(r.DeepPullPackedBytes), fmtBytes(r.DeepPullFullBytes), r.SyncReduction,
+			fmtDur(time.Duration(r.MaterializeNs)), r.AllocsPerApply)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n < 10<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 10<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case n < 10<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	}
+}
+
 // MatchType reports whether a registered datatype name passes a -type
 // filter: the empty filter matches everything, otherwise an exact name
 // or substring match is required.

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The space benchmark at miniature scale: every measured claim the
+// acceptance bar relies on must already hold directionally — packed
+// resident bytes below full, packed sync bytes below full, bounded
+// chains — and the JSON document must round-trip.
+func TestSpaceRows(t *testing.T) {
+	rows := Space([]int{64, 256}, []int{64, 256}, 1)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 datatypes x 2 sweeps)", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Datatype] = true
+		if r.Commits != r.History+1 {
+			t.Errorf("%s/%d: %d commits, want history+1", r.Datatype, r.History, r.Commits)
+		}
+		if r.PackedBytes <= 0 || r.FullBytes <= 0 {
+			t.Errorf("%s/%d: non-positive resident bytes %+v", r.Datatype, r.History, r)
+		}
+		if r.PackedBytes >= r.FullBytes {
+			t.Errorf("%s/%d: packed %d not below full %d", r.Datatype, r.History, r.PackedBytes, r.FullBytes)
+		}
+		if r.DeepPullPackedBytes >= r.DeepPullFullBytes {
+			t.Errorf("%s/%d: packed deep pull %d not below full %d",
+				r.Datatype, r.History, r.DeepPullPackedBytes, r.DeepPullFullBytes)
+		}
+		if r.MaxChain >= 32 {
+			t.Errorf("%s/%d: chain length %d breaches default snapshot spacing", r.Datatype, r.History, r.MaxChain)
+		}
+		if r.ResyncPackedBytes > 4096 {
+			t.Errorf("%s/%d: converged resync moved %d bytes, want O(frame overhead)",
+				r.Datatype, r.History, r.ResyncPackedBytes)
+		}
+		if r.AllocsPerApply <= 0 {
+			t.Errorf("%s/%d: allocs/op not recorded", r.Datatype, r.History)
+		}
+	}
+	for _, want := range []string{"mergeable-log", "or-set-space", "functional-queue"} {
+		if !seen[want] {
+			t.Errorf("no rows for %s", want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpaceJSON(&buf, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench string     `json:"bench"`
+		Seed  int64      `json:"seed"`
+		Rows  []SpaceRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "space" || doc.Seed != 1 || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON document mangled: bench=%q seed=%d rows=%d", doc.Bench, doc.Seed, len(doc.Rows))
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("JSON document must end with a newline")
+	}
+
+	var out bytes.Buffer
+	PrintSpace(&out, rows)
+	if !strings.Contains(out.String(), "mergeable-log") {
+		t.Fatal("PrintSpace dropped rows")
+	}
+}

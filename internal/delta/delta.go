@@ -1,0 +1,230 @@
+// Package delta implements the binary delta encoding the store's pack
+// layer chains state objects with: a patch is a sequence of copy/insert
+// opcodes that rebuilds a target byte string from a base byte string,
+// the way Git packfiles delta-chain objects against a nearby version.
+// Patches are pure data — Apply validates every offset and length against
+// the base and the announced target size, so a corrupted or hostile patch
+// yields an error, never an out-of-bounds read or an oversized
+// allocation.
+//
+// The format is deliberately small. A patch opens with two uvarints, the
+// base length and the target length (Apply refuses a patch whose base
+// length does not match the base it is given), followed by opcodes:
+//
+//	0x00 <uvarint n> <n bytes>      insert the next n literal bytes
+//	0x01 <uvarint off> <uvarint n>  copy n bytes from base offset off
+//
+// Make is a greedy block-matching encoder: it indexes the base in
+// blockSize-aligned windows, scans the target for matching windows, and
+// extends every match as far as possible in both directions. It always
+// produces a valid patch; when base and target share nothing, the patch
+// degenerates to one insert of the whole target (plus the header).
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is wrapped by every Apply failure.
+var ErrCorrupt = errors.New("delta: corrupt patch")
+
+// MaxTarget bounds the target length a patch may announce — the same
+// 64 MiB ceiling the wire layer puts on one full encoded state, so a
+// patch can never be used to reassemble (or allocate for) anything a
+// full-state transfer could not have shipped. The store falls back to
+// snapshots for states beyond it.
+const MaxTarget = 64 << 20
+
+// Opcode tags.
+const (
+	opInsert = 0x00
+	opCopy   = 0x01
+)
+
+// blockSize is the match granularity of Make: base windows of this size
+// are indexed, and only matches at least this long are worth a copy
+// opcode (a copy costs up to 1+2·binary.MaxVarintLen64 bytes).
+const blockSize = 16
+
+// maxChainProbe bounds how many same-hash base offsets Make considers per
+// target window, so adversarially repetitive inputs stay O(n).
+const maxChainProbe = 8
+
+// Make encodes target as a patch against base. The result is always a
+// valid input for Apply(base, ·); it is never larger than
+// len(target)+2·binary.MaxVarintLen64+header bytes beyond the target
+// itself, so callers comparing against storing target verbatim can simply
+// compare lengths.
+func Make(base, target []byte) []byte {
+	patch := make([]byte, 0, 2*binary.MaxVarintLen64+len(target)/8+16)
+	patch = binary.AppendUvarint(patch, uint64(len(base)))
+	patch = binary.AppendUvarint(patch, uint64(len(target)))
+
+	if len(base) < blockSize || len(target) < blockSize {
+		return appendInsert(patch, target)
+	}
+
+	// Index the base in aligned windows: hash → offsets.
+	index := make(map[uint64][]int, len(base)/blockSize)
+	for off := 0; off+blockSize <= len(base); off += blockSize {
+		h := blockHash(base[off : off+blockSize])
+		if c := index[h]; len(c) < maxChainProbe {
+			index[h] = append(c, off)
+		}
+	}
+
+	insertStart := 0
+	i := 0
+	for i+blockSize <= len(target) {
+		bestOff, bestStart, bestLen := -1, 0, 0
+		for _, off := range index[blockHash(target[i:i+blockSize])] {
+			if !bytes.Equal(base[off:off+blockSize], target[i:i+blockSize]) {
+				continue
+			}
+			// Extend forward.
+			end, bend := i+blockSize, off+blockSize
+			for end < len(target) && bend < len(base) && target[end] == base[bend] {
+				end++
+				bend++
+			}
+			// Extend backward into the pending insert run.
+			start, bstart := i, off
+			for start > insertStart && bstart > 0 && target[start-1] == base[bstart-1] {
+				start--
+				bstart--
+			}
+			if l := end - start; l > bestLen {
+				bestOff, bestStart, bestLen = bstart, start, l
+			}
+		}
+		if bestLen >= blockSize {
+			patch = appendInsert(patch, target[insertStart:bestStart])
+			patch = append(patch, opCopy)
+			patch = binary.AppendUvarint(patch, uint64(bestOff))
+			patch = binary.AppendUvarint(patch, uint64(bestLen))
+			i = bestStart + bestLen
+			insertStart = i
+		} else {
+			i++
+		}
+	}
+	return appendInsert(patch, target[insertStart:])
+}
+
+// Identity returns the patch that rebuilds an n-byte base unchanged —
+// one copy of the whole base. Stores ship it for commits that pin
+// exactly their parent's state (deduplicated no-op operations), where
+// the base's length is known without materializing the bytes.
+func Identity(n int) []byte {
+	patch := make([]byte, 0, 2*binary.MaxVarintLen64+4)
+	patch = binary.AppendUvarint(patch, uint64(n))
+	patch = binary.AppendUvarint(patch, uint64(n))
+	if n == 0 {
+		return patch
+	}
+	patch = append(patch, opCopy)
+	patch = binary.AppendUvarint(patch, 0)
+	return binary.AppendUvarint(patch, uint64(n))
+}
+
+// appendInsert emits one insert opcode for lit (nothing for empty lit).
+func appendInsert(patch, lit []byte) []byte {
+	if len(lit) == 0 {
+		return patch
+	}
+	patch = append(patch, opInsert)
+	patch = binary.AppendUvarint(patch, uint64(len(lit)))
+	return append(patch, lit...)
+}
+
+// blockHash is an FNV-1a over one window — cheap, and collisions only
+// cost a failed byte comparison.
+func blockHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// Apply rebuilds the target from base and patch. Every opcode is
+// validated *before* it produces output: copies must lie inside base,
+// no opcode may push the output past the announced target length, the
+// announced length is capped at MaxTarget, and the announced base
+// length must match len(base) — so a hostile patch can neither read out
+// of bounds nor drive allocation beyond MaxTarget, however many
+// whole-base copy opcodes it stacks. The returned slice is freshly
+// allocated.
+func Apply(base, patch []byte) ([]byte, error) {
+	baseLen, n := binary.Uvarint(patch)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad base length", ErrCorrupt)
+	}
+	patch = patch[n:]
+	if baseLen != uint64(len(base)) {
+		return nil, fmt.Errorf("%w: patch is against a %d-byte base, have %d bytes", ErrCorrupt, baseLen, len(base))
+	}
+	targetLen, n := binary.Uvarint(patch)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad target length", ErrCorrupt)
+	}
+	if targetLen > MaxTarget {
+		return nil, fmt.Errorf("%w: announced target of %d bytes exceeds the %d limit", ErrCorrupt, targetLen, MaxTarget)
+	}
+	patch = patch[n:]
+	// Every opcode below is checked against the remaining room before
+	// appending, so out never grows past targetLen; still cap the
+	// prealloc at what the patch could plausibly produce, so a forged
+	// length paired with a tiny patch does not get a large buffer for
+	// free.
+	prealloc := targetLen
+	if lim := uint64(len(base)+len(patch)) * 8; prealloc > lim {
+		prealloc = lim
+	}
+	out := make([]byte, 0, prealloc)
+	for len(patch) > 0 {
+		op := patch[0]
+		patch = patch[1:]
+		room := targetLen - uint64(len(out))
+		switch op {
+		case opInsert:
+			l, n := binary.Uvarint(patch)
+			if n <= 0 || l > uint64(len(patch)-n) {
+				return nil, fmt.Errorf("%w: truncated insert", ErrCorrupt)
+			}
+			if l > room {
+				return nil, fmt.Errorf("%w: output exceeds announced %d bytes", ErrCorrupt, targetLen)
+			}
+			patch = patch[n:]
+			out = append(out, patch[:l]...)
+			patch = patch[l:]
+		case opCopy:
+			off, n := binary.Uvarint(patch)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad copy offset", ErrCorrupt)
+			}
+			patch = patch[n:]
+			l, n := binary.Uvarint(patch)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad copy length", ErrCorrupt)
+			}
+			patch = patch[n:]
+			if off > uint64(len(base)) || l > uint64(len(base))-off {
+				return nil, fmt.Errorf("%w: copy [%d,%d) outside %d-byte base", ErrCorrupt, off, off+l, len(base))
+			}
+			if l > room {
+				return nil, fmt.Errorf("%w: output exceeds announced %d bytes", ErrCorrupt, targetLen)
+			}
+			out = append(out, base[off:off+l]...)
+		default:
+			return nil, fmt.Errorf("%w: unknown opcode %#x", ErrCorrupt, op)
+		}
+	}
+	if uint64(len(out)) != targetLen {
+		return nil, fmt.Errorf("%w: output is %d bytes, %d announced", ErrCorrupt, len(out), targetLen)
+	}
+	return out, nil
+}

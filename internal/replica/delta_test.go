@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/counter"
+	"repro/internal/mlog"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -353,5 +354,204 @@ func TestDeltaShipsOnlyTheGap(t *testing.T) {
 	var pe *wire.PeerError
 	if errors.As(errors.New("x"), &pe) {
 		t.Fatal("sanity")
+	}
+}
+
+// logNode hosts a mergeable-log object — unlike the 16-byte PN-counter
+// state, a growing log is where the pack layer's patches actually beat
+// full encodings, so these are the nodes the packed-dialect tests use.
+type logNode struct {
+	*replica.Node
+	obj *replica.TypedObject[mlog.State, mlog.Op, mlog.Val]
+}
+
+func newLogNode(t *testing.T, name string, id int) *logNode {
+	t.Helper()
+	n, err := replica.NewNode(name, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := replica.Ensure[mlog.State, mlog.Op, mlog.Val](
+		n, "log", "mlog", mlog.Log{}, wire.MLog{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return &logNode{Node: n, obj: obj}
+}
+
+func appendLog(t *testing.T, n *logNode, count int, tag string) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		if _, err := n.obj.Do(mlog.Op{Kind: mlog.Append, Msg: fmt.Sprintf("%s %s entry %04d", n.Name(), tag, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func logLen(t *testing.T, n *logNode) int {
+	t.Helper()
+	s, err := n.obj.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(s)
+}
+
+// TestPackedSyncShipsPatches: two current nodes negotiate the packed
+// dialect and most of a deep log history crosses the wire as binary
+// patches, not full states.
+func TestPackedSyncShipsPatches(t *testing.T) {
+	a := newLogNode(t, "a", 1)
+	b := newLogNode(t, "b", 2)
+	appendLog(t, a, 80, "deep")
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if la, lb := logLen(t, a), logLen(t, b); la != 80 || lb != 80 {
+		t.Fatalf("log lengths a=%d b=%d, want 80", la, lb)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.DeltaSyncs != 1 || sa.Fallbacks != 0 {
+		t.Fatalf("client stats: %+v", sa)
+	}
+	// The bulk of 80+ shipped commits must have traveled as patches
+	// (snapshot-boundary commits and the root ship full).
+	if sa.PatchesSent < int64(sa.CommitsSent)/2 || sa.PatchesSent == 0 {
+		t.Fatalf("client shipped %d patches of %d commits", sa.PatchesSent, sa.CommitsSent)
+	}
+	if sb.PatchesRecv != sa.PatchesSent {
+		t.Fatalf("server received %d patches, client sent %d", sb.PatchesRecv, sa.PatchesSent)
+	}
+	// And the packed transfer must be far smaller than the full-state
+	// transfer of the same history: re-sync a fresh legacy-mode pair as
+	// the yardstick.
+	c := newLogNode(t, "c", 3)
+	d := newLogNode(t, "d", 4)
+	appendLog(t, c, 80, "deep")
+	c.SetFullSyncOnly(true)
+	if err := c.SyncWith(d.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if packed, full := sa.BytesSent, c.Stats().BytesSent; packed*2 > full {
+		t.Fatalf("packed deep sync sent %d bytes, full sent %d — expected at least 2x win", packed, full)
+	}
+}
+
+// plainV2Server speaks the pre-capability delta protocol verbatim:
+// strict one-field hellos, full-state chunks — what a PR 1–3 node
+// answers. It drives the packed→plain downgrade path.
+func plainV2Server(t *testing.T) (string, *store.Store[counter.PNState, counter.Op, counter.Val]) {
+	t.Helper()
+	st := store.NewAt[counter.PNState, counter.Op, counter.Val](
+		counter.PNCounter{}, wire.PNCounter{}, "v2", 901*64)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					kind, fields, err := wire.ReadMsg(conn)
+					if err != nil {
+						return
+					}
+					if kind != wire.FrameHello || len(fields) != 1 {
+						wire.WriteMsg(conn, wire.FrameErr, []byte("bad hello"))
+						return
+					}
+					hello, err := wire.DecodeHello(fields[0])
+					if err != nil {
+						wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+						return
+					}
+					f, err := st.Frontier("v2")
+					if err != nil {
+						wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+						return
+					}
+					ack := wire.Hello{Node: "v2", Object: hello.Object, Datatype: hello.Datatype, Frontier: f}
+					if err := wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(ack)); err != nil {
+						return
+					}
+					commits, head, err := wire.ReadDelta(conn)
+					if err != nil {
+						return
+					}
+					track := "remote/" + hello.Node
+					if err := st.Import(track, commits, head); err != nil {
+						wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+						return
+					}
+					if err := st.Pull("v2", track); err != nil {
+						wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+						return
+					}
+					reply, replyHead, err := st.ExportSince("v2", hello.Frontier.HaveSet())
+					if err != nil {
+						wire.WriteMsg(conn, wire.FrameErr, []byte(err.Error()))
+						return
+					}
+					if err := wire.WriteDelta(conn, reply, replyHead); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), st
+}
+
+// TestPlainV2PeerDowngrade: a packed-dialect client meeting a strict
+// pre-capability peer retries with plain hellos and still completes a
+// delta sync — no patches, no v1 fallback.
+func TestPlainV2PeerDowngrade(t *testing.T) {
+	addr, st := plainV2Server(t)
+	if _, err := st.Apply("v2", counter.Op{Kind: counter.Inc, N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	a := newCounterNode(t, "a", 1)
+	inc(t, a, 2)
+	if err := a.SyncWith(addr); err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Stats()
+	if sa.DeltaSyncs != 1 || sa.FullSyncs != 0 || sa.Fallbacks != 0 {
+		t.Fatalf("downgrade stats: %+v", sa)
+	}
+	if sa.PatchesSent != 0 || sa.PatchesRecv != 0 {
+		t.Fatalf("plain dialect must carry no patches: %+v", sa)
+	}
+	if v := read(t, a); v != 7 {
+		t.Fatalf("a = %d, want 7 after merging the plain-v2 peer", v)
+	}
+	hv, err := st.Head("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.P - hv.N; got != 7 {
+		t.Fatalf("v2 peer = %d, want 7", got)
+	}
+	// The dialect is remembered: a second sync skips the doomed
+	// capability probe and still completes a plain delta exchange.
+	inc(t, a, 3)
+	if err := a.SyncWith(addr); err != nil {
+		t.Fatal(err)
+	}
+	if sa := a.Stats(); sa.DeltaSyncs != 2 || sa.FullSyncs != 0 || sa.Fallbacks != 0 {
+		t.Fatalf("re-sync stats after remembered downgrade: %+v", sa)
+	}
+	if v := read(t, a); v != 10 {
+		t.Fatalf("a = %d, want 10 after the second exchange", v)
 	}
 }

@@ -19,8 +19,10 @@ type Object interface {
 	// Export returns the branch's full history (legacy v1 transfers).
 	Export() ([]store.ExportedCommit, store.Hash, error)
 	// ExportSince returns the commits a peer with the given have-set is
-	// missing.
-	ExportSince(have []store.Hash) ([]store.ExportedCommit, store.Hash, error)
+	// missing. When packed, commits ship in the patch-bearing wire form
+	// (for peers that negotiated wire.CapPatch); otherwise every commit
+	// carries its full state.
+	ExportSince(have []store.Hash, packed bool) ([]store.ExportedCommit, store.Hash, error)
 	// Integrate installs a peer's (possibly partial) history under a
 	// tracking branch and pulls it into the node's branch.
 	Integrate(track string, commits []store.ExportedCommit, head store.Hash) error
@@ -88,7 +90,10 @@ func (o *TypedObject[S, Op, Val]) Export() ([]store.ExportedCommit, store.Hash, 
 }
 
 // ExportSince implements Object.
-func (o *TypedObject[S, Op, Val]) ExportSince(have []store.Hash) ([]store.ExportedCommit, store.Hash, error) {
+func (o *TypedObject[S, Op, Val]) ExportSince(have []store.Hash, packed bool) ([]store.ExportedCommit, store.Hash, error) {
+	if packed {
+		return o.st.ExportSincePacked(o.branch, have)
+	}
 	return o.st.ExportSince(o.branch, have)
 }
 

@@ -68,6 +68,10 @@ type SyncStats struct {
 	Fallbacks int64
 	// Misses counts hellos answered with "object not hosted here".
 	Misses int64
+	// PatchesSent and PatchesRecv count commits that crossed the wire as
+	// binary patches rather than full states — the packed dialect's win.
+	PatchesSent int64
+	PatchesRecv int64
 }
 
 type syncStats struct {
@@ -75,6 +79,7 @@ type syncStats struct {
 	commitsSent, commitsRecv atomic.Int64
 	deltaSyncs, fullSyncs    atomic.Int64
 	fallbacks, misses        atomic.Int64
+	patchesSent, patchesRecv atomic.Int64
 }
 
 func (s *syncStats) snapshot() SyncStats {
@@ -87,7 +92,20 @@ func (s *syncStats) snapshot() SyncStats {
 		FullSyncs:   s.fullSyncs.Load(),
 		Fallbacks:   s.fallbacks.Load(),
 		Misses:      s.misses.Load(),
+		PatchesSent: s.patchesSent.Load(),
+		PatchesRecv: s.patchesRecv.Load(),
 	}
+}
+
+// countPatches reports how many of the commits travel as patches.
+func countPatches(commits []store.ExportedCommit) int64 {
+	n := int64(0)
+	for i := range commits {
+		if commits[i].Patch != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // syncIdleTimeout bounds how long one read or write of a sync exchange
@@ -146,6 +164,12 @@ type Node struct {
 
 	total    syncStats
 	fullOnly atomic.Bool
+	// plainPeers remembers addresses that rejected the capability hello,
+	// so periodic re-syncs with a pre-capability peer skip the doomed
+	// probe connection instead of paying it every round. Like the
+	// fullOnly switch it is best-effort session state: a peer upgraded
+	// in place keeps getting the plain dialect until this node restarts.
+	plainPeers sync.Map // addr -> struct{}
 
 	ln     net.Listener
 	closed chan struct{}
@@ -330,13 +354,26 @@ func (n *Node) handle(conn *countedConn) {
 // handleHello serves one object's v2 exchange: answer with the local
 // frontier (or a miss for unhosted objects), read the client's
 // missing-commit delta, merge it, and stream back the commits the
-// client's frontier does not dominate. The return value reports whether
-// the session may continue with further hellos.
+// client's frontier does not dominate. A two-field hello carries the
+// client's capability set; the ack then carries ours, and a client that
+// advertised wire.CapPatch exchanges packed (delta-state) commit chunks
+// in both directions. One-field hellos are the pre-capability dialect
+// and get full-state chunks. The return value reports whether the
+// session may continue with further hellos.
 func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
-	if len(fields) != 1 {
+	if len(fields) != 1 && len(fields) != 2 {
 		fail("bad hello")
 		return false
+	}
+	peerPatch := false
+	if len(fields) == 2 {
+		caps, err := wire.DecodeCaps(fields[1])
+		if err != nil {
+			fail(err.Error())
+			return false
+		}
+		peerPatch = caps&wire.CapPatch != 0
 	}
 	hello, err := wire.DecodeHello(fields[0])
 	if err != nil {
@@ -372,7 +409,14 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		return false
 	}
 	ack := wire.Hello{Node: n.name, Object: hello.Object, Datatype: hello.Datatype, Frontier: mine}
-	if err := wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(ack)); err != nil {
+	var ackErr error
+	if peerPatch {
+		ackErr = wire.WriteMsg(conn, wire.FrameHelloAck,
+			wire.EncodeHello(ack), wire.EncodeCaps(wire.CapPatch))
+	} else {
+		ackErr = wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(ack))
+	}
+	if ackErr != nil {
 		return false
 	}
 	commits, head, err := wire.ReadDelta(conn)
@@ -386,7 +430,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
 	if err == nil {
-		reply, replyHead, err = e.obj.ExportSince(hello.Frontier.HaveSet())
+		reply, replyHead, err = e.obj.ExportSince(hello.Frontier.HaveSet(), peerPatch)
 	}
 	n.syncMu.Unlock()
 	if err != nil {
@@ -400,9 +444,14 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		s.deltaSyncs.Add(1)
 		s.commitsRecv.Add(int64(len(commits)))
 		s.commitsSent.Add(int64(len(reply)))
+		s.patchesRecv.Add(countPatches(commits))
+		s.patchesSent.Add(countPatches(reply))
 	}
 	// Commits are immutable, so the materialized reply stays valid even
 	// if another exchange advances the branch while it streams out.
+	if peerPatch {
+		return wire.WriteDeltaPacked(conn, reply, replyHead) == nil
+	}
 	return wire.WriteDelta(conn, reply, replyHead) == nil
 }
 
@@ -480,9 +529,11 @@ func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 // is computed after the peer merged). Objects the peer does not host (or
 // hosts under a different datatype) are skipped and counted in Misses.
 // After a successful exchange both nodes hold equal states on every
-// shared object. The delta protocol is tried first; if the peer does not
-// speak it, the exchange falls back to the legacy full-history protocol,
-// one connection per object.
+// shared object. Negotiation runs richest-first: the packed delta
+// protocol (capability hellos, patch-bearing commit chunks), then the
+// plain delta protocol (full-state chunks, for peers that predate
+// capabilities), then the legacy full-history protocol, one connection
+// per object.
 func (n *Node) SyncWith(addr string) error {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
@@ -491,7 +542,18 @@ func (n *Node) SyncWith(addr string) error {
 		return nil
 	}
 	if !n.fullOnly.Load() {
-		err := n.syncDelta(addr, names)
+		if _, plain := n.plainPeers.Load(addr); !plain {
+			err := n.syncDelta(addr, names, true)
+			if err == nil || !errors.Is(err, errFallback) {
+				return err
+			}
+			// The peer refused the capability hello outright (and closed
+			// the session): remember that and retry the pre-capability
+			// dialect on a fresh connection before abandoning delta sync
+			// entirely.
+			n.plainPeers.Store(addr, struct{}{})
+		}
+		err := n.syncDelta(addr, names, false)
 		if err == nil || !errors.Is(err, errFallback) {
 			return err
 		}
@@ -506,10 +568,11 @@ func (n *Node) SyncWith(addr string) error {
 }
 
 // syncDelta runs the client side of a v2 session: one connection, one
-// negotiate-and-ship-missing exchange per object. A failure of the first
-// hello is reported as errFallback (the peer predates the protocol);
-// failures after that are real errors.
-func (n *Node) syncDelta(addr string, names []string) error {
+// negotiate-and-ship-missing exchange per object. withCaps selects the
+// packed dialect (capability hello, patch commits when the peer acks
+// them). A failure of the first hello is reported as errFallback (the
+// peer predates the dialect); failures after that are real errors.
+func (n *Node) syncDelta(addr string, names []string, withCaps bool) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -523,7 +586,7 @@ func (n *Node) syncDelta(addr string, names []string) error {
 			continue // removed concurrently; nothing to sync
 		}
 		c.obj.Store(&e.stats)
-		if err := n.syncObjectDelta(c, object, e, i == 0); err != nil {
+		if err := n.syncObjectDelta(c, object, e, i == 0, withCaps); err != nil {
 			return err
 		}
 	}
@@ -531,13 +594,18 @@ func (n *Node) syncDelta(addr string, names []string) error {
 }
 
 // syncObjectDelta negotiates and transfers one object on an open session.
-func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first bool) error {
+func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first, withCaps bool) error {
 	mine, err := e.obj.Frontier()
 	if err != nil {
 		return err
 	}
 	hello := wire.Hello{Node: n.name, Object: object, Datatype: e.obj.Datatype(), Frontier: mine}
-	if err := wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello)); err != nil {
+	if withCaps {
+		err = wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello), wire.EncodeCaps(wire.CapPatch))
+	} else {
+		err = wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello))
+	}
+	if err != nil {
 		if first {
 			return fmt.Errorf("%w: %v", errFallback, err)
 		}
@@ -561,11 +629,21 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 			return fmt.Errorf("%w: peer refused hello", errFallback)
 		}
 		return fmt.Errorf("%w: peer refused hello for object %s", ErrProtocol, object)
-	case kind != wire.FrameHelloAck || len(fields) != 1:
+	case kind != wire.FrameHelloAck || (len(fields) != 1 && len(fields) != 2):
 		if first {
 			return fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
 		}
 		return fmt.Errorf("%w: unexpected reply kind %d", ErrProtocol, kind)
+	}
+	// The peer speaks the packed dialect iff it echoed a capability field
+	// (it never volunteers one to a pre-capability hello).
+	peerPatch := false
+	if len(fields) == 2 {
+		caps, err := wire.DecodeCaps(fields[1])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		peerPatch = withCaps && caps&wire.CapPatch != 0
 	}
 	ack, err := wire.DecodeHello(fields[0])
 	if err != nil {
@@ -578,11 +656,16 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		return fmt.Errorf("%w: peer acked object %q, want %q", ErrProtocol, ack.Object, object)
 	}
 
-	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet())
+	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet(), peerPatch)
 	if err != nil {
 		return err
 	}
-	if err := wire.WriteDelta(c, commits, head); err != nil {
+	if peerPatch {
+		err = wire.WriteDeltaPacked(c, commits, head)
+	} else {
+		err = wire.WriteDelta(c, commits, head)
+	}
+	if err != nil {
 		return err
 	}
 	reply, replyHead, err := wire.ReadDelta(c)
@@ -600,6 +683,8 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		s.deltaSyncs.Add(1)
 		s.commitsSent.Add(int64(len(commits)))
 		s.commitsRecv.Add(int64(len(reply)))
+		s.patchesSent.Add(countPatches(commits))
+		s.patchesRecv.Add(countPatches(reply))
 	}
 	return nil
 }

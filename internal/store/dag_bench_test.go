@@ -41,6 +41,7 @@ func deepPair(history int) *Store[int64, counter.Op, counter.Val] {
 func BenchmarkStorePullDeepHistory(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s := deepPair(history)
 			op := counter.Op{Kind: counter.Inc, N: 1}
 			b.ResetTimer()
@@ -72,6 +73,7 @@ func diamond(history, divergence int) (*Store[int64, counter.Op, counter.Val], H
 func BenchmarkStoreSoundBase(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s, base, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -86,6 +88,7 @@ func BenchmarkStoreSoundBase(b *testing.B) {
 func BenchmarkStoreSoundBaseRef(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s, base, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -100,6 +103,7 @@ func BenchmarkStoreSoundBaseRef(b *testing.B) {
 func BenchmarkStoreLCA(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s, _, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -114,6 +118,7 @@ func BenchmarkStoreLCA(b *testing.B) {
 func BenchmarkStoreLCARef(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s, _, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -131,6 +136,7 @@ func BenchmarkStoreLCARef(b *testing.B) {
 func BenchmarkStoreLCACrissCross(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			b.ReportAllocs()
 			s := newInternalCounterStore()
 			fork := commitChain(s, s.heads["main"], history)
 			t1 := commitChain(s, fork, 1)

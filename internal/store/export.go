@@ -8,16 +8,27 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/delta"
 )
 
 // ExportedCommit is one commit prepared for transfer to another store:
-// the commit metadata plus the encoded state it pins. Hashes are
-// recomputed on import, so a corrupted transfer cannot forge history.
+// the commit metadata plus the state it pins, carried either as the full
+// encoding (State) or — in packed exports — as a binary patch against the
+// state of the commit's first parent (Patch). Exactly one of State and
+// Patch is set. Hashes are recomputed on import from the reassembled
+// bytes, so a corrupted transfer cannot forge history, and the buffers
+// are copies: mutating an exported commit never reaches into the store.
 type ExportedCommit struct {
 	Parents []Hash
 	State   []byte
-	Gen     int
-	Time    core.Timestamp
+	// Patch is a delta (internal/delta) from the encoded state of
+	// Parents[0]'s commit to this commit's encoded state. Packed exports
+	// use it for every commit the receiver can provably rebase: the
+	// parent is either earlier in the batch or inside the have-set the
+	// export was cut at.
+	Patch []byte
+	Gen   int
+	Time  core.Timestamp
 }
 
 // ErrBadImport is wrapped by Import failures.
@@ -28,24 +39,7 @@ var ErrBadImport = errors.New("store: bad import")
 // Feeding the result to another store's Import reproduces the history
 // bit-for-bit (content addressing makes re-imported commits identical).
 func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	head, ok := s.heads[b]
-	if !ok {
-		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
-	}
-	order := s.topoOrder(head)
-	out := make([]ExportedCommit, 0, len(order))
-	for _, h := range order {
-		c := s.commits[h]
-		out = append(out, ExportedCommit{
-			Parents: c.Parents,
-			State:   s.objects[c.State],
-			Gen:     c.Gen,
-			Time:    c.Time,
-		})
-	}
-	return out, head, nil
+	return s.export(b, nil, false)
 }
 
 // ExportSince returns the part of branch b's history a peer is missing:
@@ -58,28 +52,78 @@ func (s *Store[S, Op, Val]) Export(b string) ([]ExportedCommit, Hash, error) {
 // are harmless: they cannot lie on any walked path. An empty have-set
 // degenerates to Export.
 func (s *Store[S, Op, Val]) ExportSince(b string, have []Hash) ([]ExportedCommit, Hash, error) {
+	return s.export(b, have, false)
+}
+
+// ExportSincePacked is ExportSince in the packed wire form: commits whose
+// stored object is a delta against their first parent's state ship that
+// patch instead of a re-materialized full encoding — O(op) bytes per
+// commit instead of O(state). Every patched commit's parent is provably
+// available to the receiver (topological order puts it earlier in the
+// batch, or it is a member of the have-set the walk was cut at), so
+// Import can always reassemble. Snapshots and commits whose chain base is
+// not their parent (deduplicated states) ship full.
+func (s *Store[S, Op, Val]) ExportSincePacked(b string, have []Hash) ([]ExportedCommit, Hash, error) {
+	return s.export(b, have, true)
+}
+
+func (s *Store[S, Op, Val]) export(b string, have []Hash, packed bool) ([]ExportedCommit, Hash, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	head, ok := s.heads[b]
 	if !ok {
 		return nil, Hash{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	cut := make(map[Hash]bool, len(have))
-	for _, h := range have {
-		cut[h] = true
+	var cut map[Hash]bool
+	if len(have) > 0 {
+		cut = make(map[Hash]bool, len(have))
+		for _, h := range have {
+			cut[h] = true
+		}
 	}
 	order := s.topoOrderSince(head, cut)
 	out := make([]ExportedCommit, 0, len(order))
+	// The walk materializes states in topological order, so the previous
+	// result is almost always the next commit's chain base; carrying it
+	// as a local hint keeps a full-state export O(patch) per commit even
+	// when concurrent exports race the store's shared reassembly slot.
+	var lastHash Hash
+	var lastEnc []byte
 	for _, h := range order {
 		c := s.commits[h]
-		out = append(out, ExportedCommit{
-			Parents: c.Parents,
-			State:   s.objects[c.State],
+		ec := ExportedCommit{
+			Parents: append([]Hash(nil), c.Parents...),
 			Gen:     c.Gen,
 			Time:    c.Time,
-		})
+		}
+		obj := s.objects[c.State]
+		switch parentState, hasParent := s.parentState(c); {
+		case packed && hasParent && c.State == parentState:
+			// A deduplicated no-op commit pins exactly its parent's
+			// state: an identity patch costs a dozen bytes where the
+			// stored chain (based elsewhere) would force a full ship.
+			ec.Patch = delta.Identity(obj.size)
+		case packed && hasParent && obj.delta && obj.base == parentState:
+			ec.Patch = append([]byte(nil), obj.data...)
+		default:
+			enc, err := s.materializeHintLocked(c.State, lastHash, lastEnc)
+			if err != nil {
+				return nil, Hash{}, err
+			}
+			lastHash, lastEnc = c.State, enc
+			ec.State = append([]byte(nil), enc...)
+		}
+		out = append(out, ec)
 	}
 	return out, head, nil
+}
+
+// parentState returns the state hash of c's first parent, if any.
+func (s *Store[S, Op, Val]) parentState(c Commit) (Hash, bool) {
+	if len(c.Parents) == 0 {
+		return Hash{}, false
+	}
+	return s.commits[c.Parents[0]].State, true
 }
 
 // topoOrder returns the ancestors of head (inclusive) with every commit
@@ -130,6 +174,15 @@ func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash 
 // head is already known. States decode through the store's own codec,
 // except that an encoded state whose hash is already present — re-shipped
 // history a frontier sample failed to advertise — skips the decode.
+//
+// A commit may carry its state as a Patch against its first parent's
+// state (packed exports); the parent is necessarily known — the batch is
+// parents-before-children and dangling parents fail the import — so the
+// patch is applied to the parent's materialized encoding and the result
+// goes through the same hash/decode/canonicality verification as a full
+// state. A corrupt patch therefore cannot forge state: the reassembled
+// bytes hash to a state address the commit chain must be consistent with,
+// and the advertised head check fails otherwise.
 func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,25 +204,55 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		if ec.Gen != wantGen {
 			return fmt.Errorf("%w: commit %d generation %d, want %d", ErrBadImport, i, ec.Gen, wantGen)
 		}
+		// Resolve the commit's encoded state: either shipped whole, or a
+		// patch reassembled against the first parent's state.
+		enc := ec.State
+		var chainBase Hash
+		var patch []byte
+		if len(ec.Parents) > 0 {
+			chainBase = s.commits[ec.Parents[0]].State
+		}
+		if ec.Patch != nil {
+			if ec.State != nil {
+				return fmt.Errorf("%w: commit %d carries both a state and a patch", ErrBadImport, i)
+			}
+			if len(ec.Parents) == 0 {
+				return fmt.Errorf("%w: commit %d is a patch with no parent", ErrBadImport, i)
+			}
+			baseEnc, err := s.materializeLocked(chainBase)
+			if err != nil {
+				return fmt.Errorf("%w: commit %d base: %v", ErrBadImport, i, err)
+			}
+			enc, err = delta.Apply(baseEnc, ec.Patch)
+			if err != nil {
+				return fmt.Errorf("%w: commit %d patch: %v", ErrBadImport, i, err)
+			}
+			patch = ec.Patch
+		}
 		// Content addressing lets re-imported history short-circuit: when
 		// the encoded state is already present, skip the decode entirely.
 		// A first-seen state must round-trip to the same bytes — accepting
 		// a non-canonical encoding would give one logical state two
 		// content addresses and fork identical histories forever.
-		st := sha256.Sum256(ec.State)
+		st := sha256.Sum256(enc)
 		if _, known := s.objects[st]; !known {
-			state, err := s.codec.Decode(ec.State)
+			state, err := s.codec.Decode(enc)
 			if err != nil {
 				return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
 			}
-			enc := s.codec.Encode(state)
-			if !bytes.Equal(enc, ec.State) {
+			reenc := s.codec.Encode(state)
+			if !bytes.Equal(reenc, enc) {
 				return fmt.Errorf("%w: commit %d state encoding is not canonical", ErrBadImport, i)
 			}
-			s.objects[st] = enc
-			s.states[st] = state
+			s.cache.put(st, state)
+			// The defensive copy happens only for first-seen states:
+			// re-shipped known history never stores the patch at all.
+			if patch != nil {
+				patch = append([]byte(nil), patch...)
+			}
+			s.packLocked(st, reenc, chainBase, patch)
 		}
-		s.putCommit(Commit{Parents: ec.Parents, State: st, Gen: ec.Gen, Time: ec.Time})
+		s.putCommit(Commit{Parents: append([]Hash(nil), ec.Parents...), State: st, Gen: ec.Gen, Time: ec.Time})
 	}
 	if _, ok := s.commits[head]; !ok {
 		return fmt.Errorf("%w: advertised head %v not present after import", ErrBadImport, head)

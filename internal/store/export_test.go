@@ -161,6 +161,79 @@ func TestImportRejectsBogusGeneration(t *testing.T) {
 	}
 }
 
+// TestExportedCommitsAreCopies is the aliasing regression test: Export
+// used to hand callers the store's own object buffers (and parent
+// slices), so a caller mutating an exported commit silently corrupted
+// the store. Exported commits must be copies — mutate every buffer of
+// one export, then check the store still reads, re-exports identically,
+// and re-imports cleanly elsewhere.
+func TestExportedCommitsAreCopies(t *testing.T) {
+	src := counterStore()
+	inc(t, src, "main", 1)
+	inc(t, src, "main", 2)
+	if err := src.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, src, "main", 4)
+	inc(t, src, "dev", 8)
+	if err := src.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	wantHead, _ := src.Head("main")
+	wantSize, _ := src.Size("main")
+
+	pristine, head, err := src.Export("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, _, err := src.Export("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mutated {
+		for j := range mutated[i].State {
+			mutated[i].State[j] ^= 0xff
+		}
+		for j := range mutated[i].Parents {
+			mutated[i].Parents[j] = store.Hash{0xbb}
+		}
+	}
+
+	// The store must be untouched by the mutation...
+	if got, _ := src.Head("main"); got != wantHead {
+		t.Fatalf("head changed after mutating an export: %d, want %d", got, wantHead)
+	}
+	if got, _ := src.Size("main"); got != wantSize {
+		t.Fatalf("size changed after mutating an export: %d, want %d", got, wantSize)
+	}
+	again, _, err := src.Export("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(pristine) {
+		t.Fatalf("re-export has %d commits, want %d", len(again), len(pristine))
+	}
+	for i := range again {
+		if string(again[i].State) != string(pristine[i].State) {
+			t.Fatalf("re-exported commit %d state changed after caller mutation", i)
+		}
+		for j := range again[i].Parents {
+			if again[i].Parents[j] != pristine[i].Parents[j] {
+				t.Fatalf("re-exported commit %d parents changed after caller mutation", i)
+			}
+		}
+	}
+	// ...and the pristine export still imports into a fresh store.
+	dst := store.NewAt[int64, counter.Op, counter.Val](
+		counter.IncCounter{}, wire.IncCounter{}, "local", 64)
+	if err := dst.Import("remote/main", pristine, head); err != nil {
+		t.Fatalf("pristine export no longer imports: %v", err)
+	}
+	if v, _ := dst.Head("remote/main"); v != wantHead {
+		t.Fatalf("imported head = %d, want %d", v, wantHead)
+	}
+}
+
 // paddedCodec decodes like the int64 wire codec but tolerates trailing
 // garbage, making non-canonical encodings representable: Decode accepts
 // them, Encode never produces them.

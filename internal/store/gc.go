@@ -9,6 +9,14 @@ package store
 // objects are dropped.
 //
 // It returns the number of commits collected.
+//
+// The pack layer makes collection two-phase: a surviving state may be
+// stored as a delta whose chain runs through states only dead commits
+// pin. Deleting those bases would orphan the chain, so before anything is
+// dropped, every live delta whose base is about to vanish is re-packed as
+// a full snapshot (chain roots are re-snapshotted, in the packfile
+// sense); live-on-live links are kept as deltas. Only then are dead
+// commits and their objects removed.
 func (s *Store[S, Op, Val]) GC() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -20,22 +28,77 @@ func (s *Store[S, Op, Val]) GC() int {
 		}
 	}
 
-	collected := 0
 	liveStates := make(map[Hash]bool, len(live))
 	for h, c := range s.commits {
 		if live[h] {
 			liveStates[c.State] = true
+		}
+	}
+	// Re-snapshot chain roots the sweep would orphan, while every base is
+	// still present. After this loop each surviving delta's base is
+	// itself a surviving state, so chains stay closed under liveness. If
+	// a chain fails to materialize (corruption), its bases are retained
+	// instead of deleted, keeping the store readable for diagnosis.
+	for h := range liveStates {
+		obj := s.objects[h]
+		// A nil object can only appear through the corruption-retention
+		// path below (a chain base whose object is itself missing was
+		// marked live mid-iteration); there is nothing to re-pack.
+		if obj == nil || !obj.delta || liveStates[obj.base] {
 			continue
 		}
-		delete(s.commits, h)
-		collected++
+		enc, err := s.materializeLocked(h)
+		if err != nil {
+			for cur := obj; cur != nil && cur.delta && !liveStates[cur.base]; cur = s.objects[cur.base] {
+				liveStates[cur.base] = true
+			}
+			continue
+		}
+		s.objects[h] = &packObject{data: append([]byte(nil), enc...), size: len(enc)}
 	}
-	for h := range s.states {
-		if !liveStates[h] {
-			delete(s.states, h)
-			delete(s.objects, h)
+	// Re-snapshotting moved some chain roots to depth 0, so surviving
+	// descendants' recorded depths over-count their true chain length.
+	// Recompute them (memoized descent over base links) so future
+	// packLocked spacing decisions and PackStats stay exact.
+	depth := make(map[Hash]int, len(liveStates))
+	var fixDepth func(h Hash) int
+	fixDepth = func(h Hash) int {
+		if d, ok := depth[h]; ok {
+			return d
+		}
+		obj, ok := s.objects[h]
+		if !ok || !obj.delta {
+			depth[h] = 0
+			return 0
+		}
+		d := fixDepth(obj.base) + 1
+		obj.depth = d
+		depth[h] = d
+		return d
+	}
+	for h := range liveStates {
+		fixDepth(h)
+	}
+
+	collected := 0
+	for h := range s.commits {
+		if !live[h] {
+			delete(s.commits, h)
+			collected++
 		}
 	}
+	for h := range s.objects {
+		if !liveStates[h] {
+			delete(s.objects, h)
+			s.cache.remove(h)
+		}
+	}
+	// Drop the reassembly cache if its subject died with the sweep.
+	s.encMu.Lock()
+	if !liveStates[s.encHash] {
+		s.encHash, s.encBuf = Hash{}, nil
+	}
+	s.encMu.Unlock()
 	return collected
 }
 

@@ -43,16 +43,24 @@ func (s *Store[S, Op, Val]) foldBases(cands []Hash, rec func(a, b Hash) (Hash, e
 		if err != nil {
 			return Hash{}, err
 		}
-		merged := s.impl.Merge(
-			s.states[s.commits[vbase].State],
-			s.states[s.commits[base].State],
-			s.states[s.commits[next].State],
-		)
+		vbaseState, err := s.stateLocked(s.commits[vbase].State)
+		if err != nil {
+			return Hash{}, err
+		}
+		baseState, err := s.stateLocked(s.commits[base].State)
+		if err != nil {
+			return Hash{}, err
+		}
+		nextState, err := s.stateLocked(s.commits[next].State)
+		if err != nil {
+			return Hash{}, err
+		}
+		merged := s.impl.Merge(vbaseState, baseState, nextState)
 		gen := s.commits[base].Gen
 		if g := s.commits[next].Gen; g > gen {
 			gen = g
 		}
-		st := s.putState(merged)
+		st := s.putState(merged, s.commits[base].State)
 		base = s.putCommit(Commit{
 			Parents: []Hash{base, next},
 			State:   st,

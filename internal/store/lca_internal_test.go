@@ -44,8 +44,11 @@ func commitChain(s *Store[int64, counter.Op, counter.Val], parent Hash, n int) H
 	h := parent
 	for i := 0; i < n; i++ {
 		c := s.commits[h]
-		state := s.states[c.State] + 1
-		st := s.putState(state)
+		cur, err := s.stateLocked(c.State)
+		if err != nil {
+			panic(err)
+		}
+		st := s.putState(cur+1, c.State)
 		nextTime++
 		h = s.putCommit(Commit{Parents: []Hash{h}, State: st, Gen: c.Gen + 1, Time: core.Timestamp(nextTime)})
 	}
@@ -57,7 +60,7 @@ func mergeCommit(s *Store[int64, counter.Op, counter.Val], a, b Hash, state int6
 	if g := s.commits[b].Gen; g > gen {
 		gen = g
 	}
-	st := s.putState(state)
+	st := s.putState(state, s.commits[a].State)
 	return s.putCommit(Commit{Parents: []Hash{a, b}, State: st, Gen: gen + 1})
 }
 
@@ -119,10 +122,17 @@ func TestLCACrissCrossVirtualBase(t *testing.T) {
 	}
 	// The virtual base's state is merge(base, a1, b1) = 4, so a final
 	// three-way merge yields 5 + 6 − 4 = 7 — each increment counted once.
-	if got := s.states[c.State]; got != 4 {
+	mustState := func(h Hash) int64 {
+		st, err := s.stateLocked(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if got := mustState(c.State); got != 4 {
 		t.Fatalf("virtual base state = %d, want 4", got)
 	}
-	merged := s.impl.Merge(s.states[c.State], s.states[s.commits[a2].State], s.states[s.commits[b2].State])
+	merged := s.impl.Merge(mustState(c.State), mustState(s.commits[a2].State), mustState(s.commits[b2].State))
 	if merged != 7 {
 		t.Fatalf("merge over virtual base = %d, want 7", merged)
 	}

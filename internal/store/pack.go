@@ -1,0 +1,320 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/delta"
+)
+
+// The pack layer: how the store keeps encoded states resident.
+//
+// Every state used to pin its full encoding forever, so resident bytes
+// grew O(history × state size). Packed, each state object is either a
+// full snapshot or a binary delta (internal/delta) chained to the state
+// of its commit-parent, with a snapshot every SnapshotEvery links so no
+// read ever walks an unbounded chain — Git's packfile discipline applied
+// to the paper's version store. Reads reassemble through materialize,
+// which verifies the content hash of everything it rebuilds; decoded
+// states are held in a small LRU so branch heads stay hot while deep
+// history stops pinning memory.
+
+// ErrCorruptPack is returned when a stored object fails to reassemble to
+// its content address — a broken chain or a corrupted patch.
+var ErrCorruptPack = errors.New("store: corrupt pack object")
+
+// packObject is one stored state encoding.
+type packObject struct {
+	// data is the full encoding when delta is false, the patch against
+	// base's encoding when delta is true.
+	data []byte
+	// base is the state hash the patch chains to (zero for snapshots).
+	base Hash
+	// delta distinguishes patches from snapshots.
+	delta bool
+	// size is the length of the full encoding, whatever the storage form
+	// — it keeps Size O(1) and the space accounting exact.
+	size int
+	// depth is the number of patches between this object and its chain's
+	// snapshot; snapshots are depth 0.
+	depth int
+}
+
+// PackStats is a snapshot of the pack layer's space accounting.
+type PackStats struct {
+	// Objects is the number of distinct state objects retained.
+	Objects int
+	// Snapshots and Deltas split Objects by storage form.
+	Snapshots int
+	Deltas    int
+	// PackedBytes is the resident encoded bytes: Σ len(stored data).
+	PackedBytes int64
+	// FullBytes is what the same states would pin unpacked: Σ full
+	// encoded size — the pre-pack resident footprint.
+	FullBytes int64
+	// MaxDepth is the longest patch chain below any object.
+	MaxDepth int
+}
+
+// PackStats reports the pack layer's space accounting.
+func (s *Store[S, Op, Val]) PackStats() PackStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ps PackStats
+	for _, o := range s.objects {
+		ps.Objects++
+		if o.delta {
+			ps.Deltas++
+		} else {
+			ps.Snapshots++
+		}
+		ps.PackedBytes += int64(len(o.data))
+		ps.FullBytes += int64(o.size)
+		if o.depth > ps.MaxDepth {
+			ps.MaxDepth = o.depth
+		}
+	}
+	return ps
+}
+
+// stateCache is a bounded LRU of decoded states keyed by state hash. It
+// has its own lock: readers holding the store's shared read lock still
+// mutate recency.
+type stateCache[S any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Hash]*list.Element
+}
+
+type cacheEntry[S any] struct {
+	h Hash
+	s S
+}
+
+func newStateCache[S any](capacity int) *stateCache[S] {
+	return &stateCache[S]{cap: capacity, ll: list.New(), items: make(map[Hash]*list.Element)}
+}
+
+func (c *stateCache[S]) get(h Hash) (S, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[h]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*cacheEntry[S]).s, true
+	}
+	var zero S
+	return zero, false
+}
+
+func (c *stateCache[S]) put(h Hash, s S) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[h]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry[S]).s = s
+		return
+	}
+	c.items[h] = c.ll.PushFront(&cacheEntry[S]{h: h, s: s})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry[S]).h)
+	}
+}
+
+func (c *stateCache[S]) remove(h Hash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[h]; ok {
+		c.ll.Remove(e)
+		delete(c.items, h)
+	}
+}
+
+// materializeLocked reassembles the full encoding of the state addressed
+// by h: walk the delta chain down to its snapshot, apply the patches back
+// up, and verify the result against the content address. Callers must
+// hold s.mu (read or write) and must not modify the returned buffer — it
+// may be the stored snapshot or the reassembly cache.
+//
+// A one-slot reassembly cache keyed by state hash makes chain-sequential
+// access — Apply deltifying against the state it just built, imports
+// walking a shipped chain — O(patch) instead of O(chain).
+func (s *Store[S, Op, Val]) materializeLocked(h Hash) ([]byte, error) {
+	return s.materializeHintLocked(h, Hash{}, nil)
+}
+
+// materializeHintLocked is materializeLocked with a caller-local
+// (hash, encoding) pair the chain walk may stop at. Concurrent readers
+// each racing a long loop of materializations (exports under the shared
+// read lock) thrash the store-global slot; carrying the previous result
+// through the loop keeps each of them O(patch) per commit regardless of
+// interleaving.
+func (s *Store[S, Op, Val]) materializeHintLocked(h Hash, hintHash Hash, hintEnc []byte) ([]byte, error) {
+	if hintHash == h && hintEnc != nil {
+		return hintEnc, nil
+	}
+	s.encMu.Lock()
+	cached, cachedHash := s.encBuf, s.encHash
+	s.encMu.Unlock()
+	if cachedHash == h && cached != nil {
+		return cached, nil
+	}
+
+	var chain []*packObject // objects from h down, snapshot excluded
+	cur := h
+	var enc []byte
+	for {
+		if cur == hintHash && hintEnc != nil {
+			enc = hintEnc
+			break
+		}
+		if cur == cachedHash && cached != nil {
+			enc = cached
+			break
+		}
+		obj, ok := s.objects[cur]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing object %v in chain of %v", ErrCorruptPack, cur, h)
+		}
+		if !obj.delta {
+			enc = obj.data
+			break
+		}
+		chain = append(chain, obj)
+		cur = obj.base
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		var err error
+		enc, err = delta.Apply(enc, chain[i].data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v (chain of %v)", ErrCorruptPack, err, h)
+		}
+	}
+	if sha256.Sum256(enc) != h {
+		return nil, fmt.Errorf("%w: object %v reassembles to a different hash", ErrCorruptPack, h)
+	}
+	if len(chain) > 0 {
+		s.encMu.Lock()
+		s.encHash, s.encBuf = h, enc
+		s.encMu.Unlock()
+	}
+	return enc, nil
+}
+
+// stateLocked returns the decoded state addressed by h, via the LRU.
+// Callers must hold s.mu (read or write).
+func (s *Store[S, Op, Val]) stateLocked(h Hash) (S, error) {
+	if st, ok := s.cache.get(h); ok {
+		return st, nil
+	}
+	var zero S
+	enc, err := s.materializeLocked(h)
+	if err != nil {
+		return zero, err
+	}
+	st, err := s.codec.Decode(enc)
+	if err != nil {
+		return zero, fmt.Errorf("%w: object %v does not decode: %v", ErrCorruptPack, h, err)
+	}
+	s.cache.put(h, st)
+	return st, nil
+}
+
+// packLocked stores encoding enc under its content address h, as a delta
+// chained to base when the spacing policy permits, else as a snapshot.
+// patch, when non-nil, is a ready-made delta from base's encoding to enc
+// (a patch that arrived over the wire) and is reused instead of being
+// recomputed; packLocked owns both slices. Callers hold the write lock.
+func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []byte) {
+	if _, ok := s.objects[h]; ok {
+		return
+	}
+	obj := &packObject{size: len(enc)}
+	// States beyond the patch format's target limit always snapshot:
+	// Apply rejects larger announced targets (its allocation bound), so
+	// chaining them would make the state unreadable.
+	if bo, ok := s.objects[base]; ok && base != h && len(enc) <= delta.MaxTarget &&
+		bo.depth+1 < s.opts.SnapshotEvery {
+		if patch == nil {
+			if baseEnc, err := s.materializeLocked(base); err == nil {
+				patch = delta.Make(baseEnc, enc)
+			}
+		}
+		if patch != nil && len(patch) < len(enc) {
+			obj.data, obj.base, obj.delta, obj.depth = patch, base, true, bo.depth+1
+		}
+	}
+	if !obj.delta {
+		obj.data = enc
+	}
+	s.objects[h] = obj
+	// The freshly packed encoding is the likeliest next chain base.
+	s.encMu.Lock()
+	s.encHash, s.encBuf = h, enc
+	s.encMu.Unlock()
+}
+
+// VerifyPack materializes every retained state object, checking that each
+// chain reassembles to its content address and decodes. It is the pack
+// layer's integrity check, used by tests (notably the GC-over-chains
+// property test) and available to tools.
+func (s *Store[S, Op, Val]) VerifyPack() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for h, obj := range s.objects {
+		enc, err := s.materializeLocked(h)
+		if err != nil {
+			return err
+		}
+		if len(enc) != obj.size {
+			return fmt.Errorf("%w: object %v is %d bytes, %d recorded", ErrCorruptPack, h, len(enc), obj.size)
+		}
+		if _, err := s.codec.Decode(enc); err != nil {
+			return fmt.Errorf("%w: object %v does not decode: %v", ErrCorruptPack, h, err)
+		}
+	}
+	for b, head := range s.heads {
+		c, ok := s.commits[head]
+		if !ok {
+			return fmt.Errorf("%w: branch %s heads a missing commit", ErrCorruptPack, b)
+		}
+		if _, ok := s.objects[c.State]; !ok {
+			return fmt.Errorf("%w: branch %s pins a missing state", ErrCorruptPack, b)
+		}
+	}
+	return nil
+}
+
+// StateSize reports the full encoded size of the state pinned by commit
+// c, without materializing it — the per-commit space accounting the
+// benchmarks aggregate.
+func (s *Store[S, Op, Val]) StateSize(c Hash) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cm, ok := s.commits[c]
+	if !ok {
+		return 0, false
+	}
+	obj, ok := s.objects[cm.State]
+	if !ok {
+		return 0, false
+	}
+	return obj.size, true
+}
+
+// EncodedState materializes the encoded state pinned by state hash h and
+// returns a copy (benchmarks use it to time cold chain reassembly).
+func (s *Store[S, Op, Val]) EncodedState(h Hash) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc, err := s.materializeLocked(h)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), enc...), nil
+}

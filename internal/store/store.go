@@ -58,15 +58,28 @@ type Options struct {
 	// the local cost of frontier construction on huge DAGs. Beyond the
 	// budget the sample is merely sparser; correctness is unaffected.
 	FrontierWalkBudget int
+	// SnapshotEvery is the pack layer's snapshot spacing: a state is
+	// stored as a full snapshot whenever chaining it would put more than
+	// SnapshotEvery-1 patches between it and the nearest snapshot, so no
+	// read walks a longer chain. 1 disables packing (every state a
+	// snapshot — the pre-pack storage format).
+	SnapshotEvery int
+	// StateCacheSize bounds the LRU of decoded states: branch heads and
+	// recent merge bases stay hot while deep history is re-materialized
+	// on demand instead of pinning memory.
+	StateCacheSize int
 }
 
 // DefaultOptions returns the store defaults: frontier sampling dense for
-// 16 generations, at most 128 sampled hashes, and a 4096-commit walk.
+// 16 generations, at most 128 sampled hashes, a 4096-commit walk, a
+// snapshot every 32 states, and 128 cached decoded states.
 func DefaultOptions() Options {
 	return Options{
 		FrontierDense:      16,
 		FrontierMaxHave:    128,
 		FrontierWalkBudget: 4096,
+		SnapshotEvery:      32,
+		StateCacheSize:     128,
 	}
 }
 
@@ -89,6 +102,21 @@ func WithFrontierMaxHave(n int) Option {
 // clamped to one.
 func WithFrontierWalkBudget(n int) Option {
 	return func(o *Options) { o.FrontierWalkBudget = max(n, 1) }
+}
+
+// WithSnapshotEvery sets the pack layer's snapshot spacing — the maximum
+// delta-chain length between a state and the snapshot it reassembles
+// from. Smaller values trade resident bytes for cheaper cold reads; 1
+// stores every state as a full snapshot. Values below one are clamped to
+// one.
+func WithSnapshotEvery(n int) Option {
+	return func(o *Options) { o.SnapshotEvery = max(n, 1) }
+}
+
+// WithStateCacheSize bounds the store's LRU of decoded states. Values
+// below one are clamped to one so the hot head state is always cached.
+func WithStateCacheSize(n int) Option {
+	return func(o *Options) { o.StateCacheSize = max(n, 1) }
 }
 
 // Commit is one version in the DAG.
@@ -142,12 +170,18 @@ type Store[S, Op, Val any] struct {
 	impl    core.MRDT[S, Op, Val]
 	codec   Codec[S]
 	opts    Options
-	objects map[Hash][]byte
-	states  map[Hash]S
+	objects map[Hash]*packObject
+	cache   *stateCache[S]
 	commits map[Hash]Commit
 	heads   map[string]Hash
 	clocks  map[string]*clock.Clock
 	nextID  int
+
+	// One-slot reassembly cache (pack.go); own lock so readers holding
+	// mu.RLock can refresh it.
+	encMu   sync.Mutex
+	encHash Hash
+	encBuf  []byte
 }
 
 // New creates a store for impl with a single branch named main, holding
@@ -170,15 +204,15 @@ func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main stri
 		impl:    impl,
 		codec:   codec,
 		opts:    o,
-		objects: make(map[Hash][]byte),
-		states:  make(map[Hash]S),
+		objects: make(map[Hash]*packObject),
+		cache:   newStateCache[S](o.StateCacheSize),
 		commits: make(map[Hash]Commit),
 		heads:   make(map[string]Hash),
 		clocks:  make(map[string]*clock.Clock),
 	}
 	s.nextID = replicaBase
 	init := impl.Init()
-	st := s.putState(init)
+	st := s.putState(init, Hash{})
 	root := s.putCommit(Commit{State: st, Gen: 1})
 	s.heads[main] = root
 	s.clocks[main], _ = clock.New(s.nextID)
@@ -235,10 +269,13 @@ func (s *Store[S, Op, Val]) Apply(b string, op Op) (Val, error) {
 	if !ok {
 		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
+	cur, err := s.stateLocked(s.commits[head].State)
+	if err != nil {
+		return zero, err
+	}
 	t := s.clocks[b].Tick()
-	cur := s.states[s.commits[head].State]
 	next, val := s.impl.Do(op, cur, t)
-	st := s.putState(next)
+	st := s.putState(next, s.commits[head].State)
 	s.heads[b] = s.putCommit(Commit{
 		Parents: []Hash{head},
 		State:   st,
@@ -257,7 +294,7 @@ func (s *Store[S, Op, Val]) Head(b string) (S, error) {
 	if !ok {
 		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	return s.states[s.commits[head].State], nil
+	return s.stateLocked(s.commits[head].State)
 }
 
 // HeadHash returns the commit hash at the head of branch b.
@@ -280,7 +317,7 @@ func (s *Store[S, Op, Val]) Size(b string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	return len(s.objects[s.commits[head].State]), nil
+	return s.objects[s.commits[head].State].size, nil
 }
 
 // Pull merges branch src into branch dst (the MERGE rule). Degenerate
@@ -326,17 +363,28 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	if !s.soundBase(base, hd, hs) {
 		return fmt.Errorf("%w: pull %s <- %s", ErrUnsoundMerge, dst, src)
 	}
-	merged := s.impl.Merge(
-		s.states[s.commits[base].State],
-		s.states[s.commits[hd].State],
-		s.states[s.commits[hs].State],
-	)
+	baseState, err := s.stateLocked(s.commits[base].State)
+	if err != nil {
+		return err
+	}
+	dstState, err := s.stateLocked(s.commits[hd].State)
+	if err != nil {
+		return err
+	}
+	srcState, err := s.stateLocked(s.commits[hs].State)
+	if err != nil {
+		return err
+	}
+	merged := s.impl.Merge(baseState, dstState, srcState)
 	t := s.clocks[dst].Tick()
 	gen := s.commits[hd].Gen
 	if g := s.commits[hs].Gen; g > gen {
 		gen = g
 	}
-	st := s.putState(merged)
+	// The merge commit's first parent is dst's head: the pack layer
+	// chains the merged state against it, and packed exports ship that
+	// patch to peers that hold the parent.
+	st := s.putState(merged, s.commits[hd].State)
 	s.heads[dst] = s.putCommit(Commit{
 		Parents: []Hash{hd, hs},
 		State:   st,
@@ -368,18 +416,22 @@ func (s *Store[S, Op, Val]) Commit(h Hash) (Commit, bool) {
 	return c, ok
 }
 
-func (s *Store[S, Op, Val]) putState(state S) Hash {
+// putState packs state, chained against the base state hash (its commit
+// parent's state; zero for the root), and returns its content address.
+func (s *Store[S, Op, Val]) putState(state S, base Hash) Hash {
 	enc := s.codec.Encode(state)
 	h := sha256.Sum256(enc)
-	if _, ok := s.objects[h]; !ok {
-		s.objects[h] = enc
-		s.states[h] = state
-	}
+	s.cache.put(h, state)
+	s.packLocked(h, enc, base, nil)
 	return h
 }
 
 func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
-	var buf []byte
+	// A commit's preimage is at most 3 hashes (two parents + state) and
+	// two fixed-width integers; seeding the appends from a stack array
+	// keeps the hot Apply path free of a per-commit heap allocation.
+	var arr [3*sha256.Size + 16]byte
+	buf := arr[:0]
 	for _, p := range c.Parents {
 		buf = append(buf, p[:]...)
 	}

@@ -35,7 +35,43 @@ const (
 	// host (or hosts under a different datatype): the pair skips that
 	// object and the session continues with the client's next hello.
 	FrameHelloMiss FrameKind = 9
+	// FramePackedCommits is the delta-state chunk: commits whose state
+	// may travel as a binary patch against the first parent instead of a
+	// full encoding. Only sent to peers that advertised CapPatch in the
+	// hello negotiation; full-state FrameCommits chunks remain the format
+	// for chain snapshots and legacy peers.
+	FramePackedCommits FrameKind = 10
 )
+
+// Capability bits negotiated in the hello exchange: a hello (or ack)
+// carrying a capabilities field is the packed dialect of the v2 protocol.
+// A peer that predates capabilities rejects the extended hello outright,
+// which the client treats as "retry without capabilities, then fall back
+// to v1" — so every pairing converges on the richest protocol both ends
+// speak.
+const (
+	// CapPatch: the sender understands FramePackedCommits chunks and
+	// commits shipped as patches.
+	CapPatch uint64 = 1 << 0
+)
+
+// EncodeCaps serializes a capability set (the optional second hello
+// field).
+func EncodeCaps(caps uint64) []byte {
+	var w Writer
+	w.PutInt64(int64(caps))
+	return w.Bytes()
+}
+
+// DecodeCaps parses a capability set.
+func DecodeCaps(b []byte) (uint64, error) {
+	r := NewReader(b)
+	caps := uint64(r.Int64())
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return caps, nil
+}
 
 // Wire limits. Chunk constants shape writes; Max* constants are enforced
 // on reads.
@@ -213,7 +249,8 @@ func DecodeHello(b []byte) (Hello, error) {
 }
 
 // appendCommit serializes one commit: parent hashes, pinned state, then
-// generation and timestamp.
+// generation and timestamp (the full-state form; patches never travel in
+// these chunks).
 func appendCommit(w *Writer, c store.ExportedCommit) {
 	w.PutLen(len(c.Parents))
 	for _, p := range c.Parents {
@@ -235,6 +272,62 @@ func readCommit(r *Reader) store.ExportedCommit {
 		}
 	}
 	c.State = r.Bytes()
+	c.Gen = int(r.Int64())
+	c.Time = r.Timestamp()
+	return c
+}
+
+// State-form tags of the packed commit encoding.
+const (
+	stateFull  = 0 // full encoded state follows
+	statePatch = 1 // binary patch against the first parent's state follows
+)
+
+// appendPackedCommit serializes one commit in the packed form: parents,
+// a form byte, the state or patch bytes, then generation and timestamp.
+func appendPackedCommit(w *Writer, c store.ExportedCommit) {
+	w.PutLen(len(c.Parents))
+	for _, p := range c.Parents {
+		w.PutHash(p)
+	}
+	if c.Patch != nil {
+		w.buf = append(w.buf, statePatch)
+		w.PutBytes(c.Patch)
+	} else {
+		w.buf = append(w.buf, stateFull)
+		w.PutBytes(c.State)
+	}
+	w.PutInt64(int64(c.Gen))
+	w.PutTimestamp(c.Time)
+}
+
+// readPackedCommit deserializes one packed-form commit.
+func readPackedCommit(r *Reader) store.ExportedCommit {
+	var c store.ExportedCommit
+	np := r.Len(len(store.Hash{}))
+	if np > 0 {
+		c.Parents = make([]store.Hash, 0, min(np, 4))
+		for i := 0; i < np; i++ {
+			c.Parents = append(c.Parents, r.Hash())
+		}
+	}
+	if !r.need(1) {
+		return c
+	}
+	form := r.buf[r.off]
+	r.off++
+	switch form {
+	case stateFull:
+		c.State = r.Bytes()
+	case statePatch:
+		if c.Patch = r.Bytes(); len(c.Patch) == 0 && r.err == nil {
+			// No valid patch is empty, and a nil Patch would read back as
+			// a full state; reject rather than mistranslate.
+			r.err = fmt.Errorf("%w: empty patch field", ErrMalformed)
+		}
+	default:
+		r.err = fmt.Errorf("%w: unknown state form %d", ErrMalformed, form)
+	}
 	c.Gen = int(r.Int64())
 	c.Time = r.Timestamp()
 	return c
@@ -274,22 +367,48 @@ func DecodeCommitList(b []byte) ([]store.ExportedCommit, store.Hash, error) {
 
 // WriteDelta streams a commit delta: a header frame announcing the head
 // and commit count, then commit chunks of bounded size, then an end
-// frame. The caller's slice is never re-buffered whole.
+// frame. The caller's slice is never re-buffered whole. Commits must
+// carry full states (the legacy-compatible form); use WriteDeltaPacked
+// for a peer that negotiated CapPatch.
 func WriteDelta(w io.Writer, commits []store.ExportedCommit, head store.Hash) error {
+	return writeDelta(w, commits, head, false)
+}
+
+// WriteDeltaPacked streams a commit delta in the packed form: chunks are
+// FramePackedCommits and each commit ships either its full state or a
+// patch against its first parent. Only send to peers that advertised
+// CapPatch.
+func WriteDeltaPacked(w io.Writer, commits []store.ExportedCommit, head store.Hash) error {
+	return writeDelta(w, commits, head, true)
+}
+
+func writeDelta(w io.Writer, commits []store.ExportedCommit, head store.Hash, packed bool) error {
 	var hdr Writer
 	hdr.PutHash(head)
 	hdr.PutLen(len(commits))
 	if err := WriteMsg(w, FrameDeltaHeader, hdr.Bytes()); err != nil {
 		return err
 	}
+	kind := FrameCommits
+	if packed {
+		kind = FramePackedCommits
+	}
 	for start := 0; start < len(commits); {
 		var chunk Writer
 		n := 0
 		for start+n < len(commits) && n < commitChunkMax && len(chunk.buf) < commitChunkBytes {
-			appendCommit(&chunk, commits[start+n])
+			c := commits[start+n]
+			if packed {
+				appendPackedCommit(&chunk, c)
+			} else {
+				if c.Patch != nil {
+					return fmt.Errorf("%w: patch commit in a full-state delta", ErrFraming)
+				}
+				appendCommit(&chunk, c)
+			}
 			n++
 		}
-		if err := WriteMsg(w, FrameCommits, chunk.Bytes()); err != nil {
+		if err := WriteMsg(w, kind, chunk.Bytes()); err != nil {
 			return err
 		}
 		start += n
@@ -328,7 +447,7 @@ func ReadDelta(r io.Reader) ([]store.ExportedCommit, store.Hash, error) {
 			return nil, store.Hash{}, err
 		}
 		switch kind {
-		case FrameCommits:
+		case FrameCommits, FramePackedCommits:
 			if len(fields) != 1 {
 				return nil, store.Hash{}, fmt.Errorf("%w: commit chunk wants 1 field, got %d", ErrFraming, len(fields))
 			}
@@ -338,7 +457,12 @@ func ReadDelta(r io.Reader) ([]store.ExportedCommit, store.Hash, error) {
 			}
 			cr := NewReader(fields[0])
 			for cr.Remaining() > 0 {
-				c := readCommit(cr)
+				var c store.ExportedCommit
+				if kind == FramePackedCommits {
+					c = readPackedCommit(cr)
+				} else {
+					c = readCommit(cr)
+				}
 				if err := cr.Err(); err != nil {
 					return nil, store.Hash{}, err
 				}

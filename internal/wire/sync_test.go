@@ -262,3 +262,96 @@ func TestPeerErrorMessage(t *testing.T) {
 		t.Fatal("peer error rendering")
 	}
 }
+
+// packedTestCommits mixes full-state and patch-bearing commits.
+func packedTestCommits(n int) []store.ExportedCommit {
+	commits := testCommits(n, 24)
+	for i := range commits {
+		if i%3 == 1 {
+			commits[i].Patch = append([]byte{0x7f}, commits[i].State...)
+			commits[i].State = nil
+		}
+	}
+	return commits
+}
+
+func samePackedCommits(a, b []store.ExportedCommit) bool {
+	if !sameCommits(a, b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Patch, b[i].Patch) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPackedDeltaRoundTrip(t *testing.T) {
+	commits := packedTestCommits(40)
+	head := store.Hash{9, 9}
+	var buf bytes.Buffer
+	if err := WriteDeltaPacked(&buf, commits, head); err != nil {
+		t.Fatal(err)
+	}
+	got, gotHead, err := ReadDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHead != head || !samePackedCommits(got, commits) {
+		t.Fatal("packed delta round trip mismatch")
+	}
+}
+
+func TestWriteDeltaRejectsPatchCommits(t *testing.T) {
+	// The full-state writer must never silently drop a patch — sending
+	// one to a legacy peer would ship a nil state in its place.
+	commits := packedTestCommits(4)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, commits, store.Hash{}); !errors.Is(err, ErrFraming) {
+		t.Fatalf("WriteDelta with patch commits = %v, want ErrFraming", err)
+	}
+}
+
+func TestPackedCommitRejectsBadForm(t *testing.T) {
+	var w Writer
+	w.PutLen(0)              // no parents
+	w.buf = append(w.buf, 7) // unknown state form
+	w.PutBytes([]byte("x"))
+	w.PutInt64(1)
+	w.PutTimestamp(0)
+	r := NewReader(w.Bytes())
+	readPackedCommit(r)
+	if r.Err() == nil {
+		t.Fatal("unknown state form must fail")
+	}
+}
+
+func TestPackedCommitRejectsEmptyPatch(t *testing.T) {
+	var w Writer
+	w.PutLen(0)
+	w.buf = append(w.buf, statePatch)
+	w.PutBytes(nil) // empty patch field
+	w.PutInt64(1)
+	w.PutTimestamp(0)
+	r := NewReader(w.Bytes())
+	readPackedCommit(r)
+	if r.Err() == nil {
+		t.Fatal("empty patch field must fail")
+	}
+}
+
+func TestCapsRoundTrip(t *testing.T) {
+	for _, caps := range []uint64{0, CapPatch, CapPatch | 1<<7} {
+		got, err := DecodeCaps(EncodeCaps(caps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != caps {
+			t.Fatalf("caps round trip: got %x, want %x", got, caps)
+		}
+	}
+	if _, err := DecodeCaps([]byte{1, 2}); err == nil {
+		t.Fatal("truncated caps must fail")
+	}
+}

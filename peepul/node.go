@@ -25,6 +25,18 @@ func WithFrontierMaxHave(n int) NodeOption { return store.WithFrontierMaxHave(n)
 // sample is merely sparser; correctness is unaffected.
 func WithFrontierWalkBudget(n int) NodeOption { return store.WithFrontierWalkBudget(n) }
 
+// WithSnapshotEvery sets the pack layer's snapshot spacing in every
+// object store the node opens: states are delta-chained to their parent
+// with a full snapshot at most every n links, so resident bytes track the
+// operations, not the state size, while no cold read walks more than n
+// patches. 1 stores every state whole (the pre-pack format).
+func WithSnapshotEvery(n int) NodeOption { return store.WithSnapshotEvery(n) }
+
+// WithStateCacheSize bounds each object store's LRU of decoded states:
+// branch heads and recent merge bases stay hot, deep history is
+// re-materialized on demand instead of pinning memory forever.
+func WithStateCacheSize(n int) NodeOption { return store.WithStateCacheSize(n) }
+
 // Node is one replica hosting a set of named replicated objects. Create
 // objects with Open; replicate with Listen/SyncWith. Safe for concurrent
 // use, and read-parallel: per-object queries (State, Stats, frontier
