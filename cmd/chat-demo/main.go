@@ -2,15 +2,28 @@
 // Git-like store with three replica branches that post concurrently,
 // gossip peer-to-peer, and converge to identical channel logs — no
 // central server involved. Built entirely on the public peepul API.
+//
+// With -data <dir> the demo is durable: the node keeps its commit DAG in
+// a segmented pack log under dir, so killing the process and running it
+// again resumes the conversation where it left off — each run posts one
+// more message and prints the channel history recovered from disk.
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/peepul"
 )
 
 func main() {
+	data := flag.String("data", "", "storage directory; the demo resumes the conversation across restarts")
+	flag.Parse()
+	if *data != "" {
+		durable(*data)
+		return
+	}
+
 	node, err := peepul.NewNode("alice", 1)
 	if err != nil {
 		panic(err)
@@ -53,6 +66,47 @@ func main() {
 				fmt.Printf("  [t=%d] %s\n", entry.T, entry.Msg)
 			}
 		}
+	}
+}
+
+// durable runs the restartable variant: one durable node, one channel,
+// one new message per run, full history printed from the recovered DAG.
+func durable(dir string) {
+	node, err := peepul.NewNode("alice", 1, peepul.WithStorage(dir))
+	if err != nil {
+		panic(err)
+	}
+	defer node.Close()
+	room, err := peepul.Open(node, peepul.Chat, "conference")
+	if err != nil {
+		panic(err)
+	}
+
+	v, err := room.Do(peepul.ChatOp{Kind: peepul.ChatRead, Ch: "#pldi"})
+	if err != nil {
+		panic(err)
+	}
+	n := len(v.Log)
+	if n == 0 {
+		fmt.Printf("fresh conversation in %s\n", dir)
+	} else {
+		fmt.Printf("resumed conversation from %s (%d messages on disk)\n", dir, n)
+	}
+	msg := fmt.Sprintf("alice: message #%d, surviving restarts", n+1)
+	if _, err := room.Do(peepul.ChatOp{Kind: peepul.ChatSend, Ch: "#pldi", Msg: msg}); err != nil {
+		panic(err)
+	}
+
+	v, err = room.Do(peepul.ChatOp{Kind: peepul.ChatRead, Ch: "#pldi"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("#pldi:")
+	for _, entry := range v.Log {
+		fmt.Printf("  [t=%d] %s\n", entry.T, entry.Msg)
+	}
+	if st, ok := room.StorageStats(); ok {
+		fmt.Printf("\non disk: %d segment(s), %d bytes — kill and rerun to resume\n", st.Segments, st.Bytes)
 	}
 }
 

@@ -6,13 +6,15 @@
 //	peepul-bench -fig sync       # sync cost: delta vs full-history replication
 //	peepul-bench -fig dag        # DAG scaling: merge cost vs history length
 //	peepul-bench -fig space      # pack layer: resident + sync bytes vs full snapshots
+//	peepul-bench -fig durable    # disk log: commit latency, recovery time, footprint
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
 //
-// The dag and space figures additionally write their rows as JSON
-// (default BENCH_dag.json / BENCH_space.json, see -dag-out / -space-out)
-// so CI can archive the perf trajectory.
+// The dag, space and durable figures additionally write their rows as
+// JSON (default BENCH_dag.json / BENCH_space.json / BENCH_durable.json,
+// see -dag-out / -space-out / -durable-out) so CI can archive the perf
+// trajectory.
 //
 // Output is row-oriented, one row per plotted point, matching the series
 // of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
@@ -30,13 +32,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
 	typ := flag.String("type", "", "registry name (exact or substring) filter for Table 3'; empty = all")
 	dagOut := flag.String("dag-out", "BENCH_dag.json", "output path for the DAG-scaling JSON (-fig dag)")
 	spaceOut := flag.String("space-out", "BENCH_space.json", "output path for the space JSON (-fig space)")
+	durableOut := flag.String("durable-out", "BENCH_durable.json", "output path for the durability JSON (-fig durable)")
 	flag.Parse()
 
 	if *typ != "" {
@@ -58,6 +61,7 @@ func main() {
 	fig12Ns, fig13Ns, fig14Ns, syncNs := bench.Fig12Ns, bench.Fig13Ns, bench.Fig14Ns, bench.SyncNs
 	dagNs, dagMeshNs := bench.DagNs, bench.DagMeshNs
 	spaceNs, spaceLogNs := bench.SpaceNs, bench.SpaceLogNs
+	durableNs, durableLogNs := bench.DurableNs, bench.DurableLogNs
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
@@ -67,6 +71,8 @@ func main() {
 		dagMeshNs = []int{100, 1000}
 		spaceNs = []int{100, 1000, 10000}
 		spaceLogNs = []int{100, 1000, 5000}
+		durableNs = []int{100, 1000, 10000}
+		durableLogNs = []int{100, 1000, 5000}
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -117,8 +123,25 @@ func main() {
 		fmt.Printf("wrote %s (%d rows)\n", *spaceOut, len(rows))
 	})
 
+	run("durable", func() {
+		rows := bench.Durable(durableNs, durableLogNs, *seed)
+		bench.PrintDurable(os.Stdout, rows)
+		f, err := os.Create(*durableOut)
+		if err == nil {
+			err = bench.WriteDurableJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *durableOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *durableOut, len(rows))
+	})
+
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

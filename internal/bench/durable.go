@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/mlog"
+	"repro/internal/orset"
+	"repro/internal/queue"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Durability benchmark (`peepul-bench -fig durable`): what the disk
+// subsystem costs and buys. For each datatype and history length the
+// harness measures, on one linear branch of history:
+//
+//   - commit latency per operation: in-memory store, persistent store
+//     under FsyncNever (flush to the OS each commit), and persistent
+//     store under FsyncAlways (one fsync per commit — measured over a
+//     capped operation count, since the cost is depth-independent);
+//   - recovery time: disk.Open's segment replay plus
+//     store.OpenRecovered's validation and VerifyPack — the time from
+//     process start to a serving replica;
+//   - the on-disk footprint (segments, bytes, records) against the
+//     store's resident packed bytes — the append-only log's overhead
+//     over the live set before compaction;
+//   - post-recovery deep-pull latency: the same constant diamond merge
+//     the DAG benchmark times (BENCH_dag.json), run on the recovered
+//     store — durability must not regress merge cost.
+
+// DurableRow is one (datatype, history) measurement.
+type DurableRow struct {
+	Datatype string `json:"datatype"`
+	History  int    `json:"history"`
+	// Commits is the DAG size (operations + root).
+	Commits int `json:"commits"`
+	// Per-operation commit latency: in-memory, disk-backed with
+	// FsyncNever, disk-backed with FsyncAlways. FsyncOps is how many
+	// operations the fsync figure averaged over (capped; the cost is
+	// depth-independent).
+	ApplyMemNs   int64 `json:"apply_mem_ns"`
+	ApplyDiskNs  int64 `json:"apply_disk_ns"`
+	ApplyFsyncNs int64 `json:"apply_fsync_ns"`
+	FsyncOps     int   `json:"fsync_ops"`
+	// RecoveryNs is the full reopen: segment replay, prefix validation,
+	// VerifyPack. RecoveredRecords is how many records replayed.
+	RecoveryNs       int64 `json:"recovery_ns"`
+	RecoveredRecords int64 `json:"recovered_records"`
+	// On-disk footprint vs the store's resident packed bytes.
+	DiskBytes     int64   `json:"disk_bytes"`
+	Segments      int     `json:"segments"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	DiskOverhead  float64 `json:"disk_overhead"`
+	// DeepPullNs is the post-recovery constant-divergence diamond sync —
+	// comparable to BENCH_dag.json's deep-pull scenario.
+	DeepPullNs int64 `json:"deep_pull_ns"`
+}
+
+// DurableNs is the history sweep for bounded-state datatypes.
+var DurableNs = []int{100, 1000, 10000, 100000}
+
+// DurableLogNs caps the log sweep at 10⁴ for the same reason the space
+// benchmark does: the mergeable log's snapshots are O(history) each.
+var DurableLogNs = []int{100, 1000, 10000}
+
+// durableFsyncOpsCap bounds how many fsync-per-commit operations the
+// FsyncAlways figure averages over.
+const durableFsyncOpsCap = 128
+
+// Durable runs the durability benchmark over the given sweeps.
+func Durable(ns, logNs []int, seed int64) []DurableRow {
+	var rows []DurableRow
+	for _, n := range logNs {
+		rows = append(rows, durableRun[mlog.State, mlog.Op, mlog.Val](
+			"mergeable-log", mlog.Log{}, wire.MLog{},
+			func(i int, _ *rand.Rand) mlog.Op {
+				return mlog.Op{Kind: mlog.Append, Msg: fmt.Sprintf("msg %06d", i)}
+			}, n, seed))
+	}
+	for _, n := range ns {
+		rows = append(rows, durableRun[orset.SpaceState, orset.Op, orset.Val](
+			"or-set-space", orset.OrSetSpace{}, wire.OrSetSpace{},
+			func(_ int, rng *rand.Rand) orset.Op {
+				if rng.Intn(3) == 0 {
+					return orset.Op{Kind: orset.Remove, E: int64(rng.Intn(Fig13ValueRange))}
+				}
+				return orset.Op{Kind: orset.Add, E: int64(rng.Intn(Fig13ValueRange))}
+			}, n, seed))
+	}
+	for _, n := range ns {
+		rows = append(rows, durableRun[queue.State, queue.Op, queue.Val](
+			"functional-queue", queue.Queue{}, wire.Queue{},
+			func(_ int, rng *rand.Rand) queue.Op {
+				if rng.Intn(2) == 0 {
+					return queue.Op{Kind: queue.Dequeue}
+				}
+				return queue.Op{Kind: queue.Enqueue, V: rng.Int63n(1 << 30)}
+			}, n, seed))
+	}
+	return rows
+}
+
+// durableRun builds one persisted history and takes every measurement.
+func durableRun[S, Op, Val any](
+	name string,
+	impl core.MRDT[S, Op, Val],
+	codec store.Codec[S],
+	genOp func(i int, rng *rand.Rand) Op,
+	history int,
+	seed int64,
+) DurableRow {
+	row := DurableRow{Datatype: name, History: history}
+
+	// In-memory baseline.
+	rng := rand.New(rand.NewSource(seed))
+	mem := store.New[S, Op, Val](impl, codec, "main")
+	start := time.Now()
+	for i := 0; i < history; i++ {
+		if _, err := mem.Apply("main", genOp(i, rng)); err != nil {
+			panic(err)
+		}
+	}
+	row.ApplyMemNs = time.Since(start).Nanoseconds() / int64(max(history, 1))
+
+	// Disk-backed, FsyncNever: the same workload with every commit
+	// appended and flushed.
+	dir, err := os.MkdirTemp("", "peepul-durable-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	l, rec, err := disk.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	s, err := store.OpenRecovered(impl, codec, "main", 0, &rec.State, store.WithPersister(l))
+	if err != nil {
+		panic(err)
+	}
+	rng = rand.New(rand.NewSource(seed))
+	start = time.Now()
+	for i := 0; i < history; i++ {
+		if _, err := s.Apply("main", genOp(i, rng)); err != nil {
+			panic(err)
+		}
+	}
+	row.ApplyDiskNs = time.Since(start).Nanoseconds() / int64(max(history, 1))
+	row.Commits = s.NumCommits()
+	ps := s.PackStats()
+	row.ResidentBytes = ps.PackedBytes
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+
+	// FsyncAlways: depth-independent, measured on a shallow history.
+	fsyncDir, err := os.MkdirTemp("", "peepul-durable-fsync-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(fsyncDir)
+	lf, recf, err := disk.Open(fsyncDir, disk.WithFsync(disk.FsyncAlways))
+	if err != nil {
+		panic(err)
+	}
+	sf, err := store.OpenRecovered(impl, codec, "main", 0, &recf.State, store.WithPersister(lf))
+	if err != nil {
+		panic(err)
+	}
+	row.FsyncOps = min(history, durableFsyncOpsCap)
+	rng = rand.New(rand.NewSource(seed))
+	start = time.Now()
+	for i := 0; i < row.FsyncOps; i++ {
+		if _, err := sf.Apply("main", genOp(i, rng)); err != nil {
+			panic(err)
+		}
+	}
+	row.ApplyFsyncNs = time.Since(start).Nanoseconds() / int64(max(row.FsyncOps, 1))
+	lf.Close()
+
+	// Recovery: reopen the FsyncNever history from disk, end to end.
+	start = time.Now()
+	l2, rec2, err := disk.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	s2, err := store.OpenRecovered(impl, codec, "main", 0, &rec2.State, store.WithPersister(l2))
+	if err != nil {
+		panic(err)
+	}
+	row.RecoveryNs = time.Since(start).Nanoseconds()
+	row.RecoveredRecords = rec2.Records
+	st := l2.Stats()
+	row.DiskBytes = st.Bytes
+	row.Segments = st.Segments
+	row.DiskOverhead = ratio(row.DiskBytes, row.ResidentBytes)
+
+	// Post-recovery deep pull: the DAG benchmark's constant diamond on
+	// the recovered store.
+	if err := s2.Fork("main", "dev"); err != nil {
+		panic(err)
+	}
+	const divergence = 8
+	rng = rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < divergence; i++ {
+		if _, err := s2.Apply("main", genOp(history+2*i, rng)); err != nil {
+			panic(err)
+		}
+		if _, err := s2.Apply("dev", genOp(history+2*i+1, rng)); err != nil {
+			panic(err)
+		}
+	}
+	start = time.Now()
+	if err := s2.Sync("main", "dev"); err != nil {
+		panic(err)
+	}
+	row.DeepPullNs = time.Since(start).Nanoseconds()
+	l2.Close()
+	return row
+}
+
+// WriteDurableJSON renders rows as the BENCH_durable.json document: one
+// object with the seed and the measured rows, stable field order,
+// trailing newline.
+func WriteDurableJSON(w io.Writer, seed int64, rows []DurableRow) error {
+	doc := struct {
+		Bench string       `json:"bench"`
+		Seed  int64        `json:"seed"`
+		Rows  []DurableRow `json:"rows"`
+	}{Bench: "durable", Seed: seed, Rows: rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

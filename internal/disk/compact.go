@@ -1,0 +1,213 @@
+package disk
+
+// Compaction: rewriting the log to exactly the store's live state. The
+// store's GC already computed the survivors (and re-snapshotted any
+// delta chain whose base died), so the log's job is purely mechanical —
+// but crash-safe and prefix-consistent:
+//
+//  1. Seal the active segment.
+//  2. Write every live record into seg-<next>.log.tmp, in dependency
+//     order: meta and allocator first, pack objects with each chain
+//     base before its dependents, commits with parents before children,
+//     branch heads last. A torn tail inside a compacted segment then
+//     still replays to a self-consistent prefix (worst case: no branch
+//     records survive and the store reopens fresh).
+//  3. Fsync the temp file, rename it into place, fsync the directory —
+//     the atomic switch.
+//  4. Delete the old segments and fsync the directory again.
+//
+// A crash before 3 leaves the old segments intact (the .tmp is swept on
+// the next open). A crash between 3 and 4 leaves old and new segments
+// side by side; replay visits them oldest-first and every record is an
+// idempotent upsert, so the compacted segment simply re-states what the
+// old ones already said about live history, and dead records resurrect
+// only until the next GC.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// Compact implements store.Persister.
+func (l *Log) Compact(rs *store.RecoveredState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.sealLocked(); err != nil {
+		return err
+	}
+	oldEnd := l.seq
+	newSeq := l.seq + 1
+
+	tmp := filepath.Join(l.dir, segName(newSeq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	written, err := writeCompacted(f, l.meta, rs)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(l.dir, segName(newSeq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The switch is durable; the old segments are garbage now.
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq <= oldEnd {
+			if err := os.Remove(filepath.Join(l.dir, segName(seq))); err != nil {
+				return err
+			}
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+
+	// The compacted segment becomes the active one.
+	af, err := os.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = af
+	l.w = newSegWriter(af)
+	l.seq = newSeq
+	l.size = written
+	l.sealed, l.nseal = 0, 0
+	l.stats.Compactions++
+	return nil
+}
+
+// writeCompacted streams the live state as framed records and returns
+// the bytes written (header included).
+func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState) (int64, error) {
+	w := newSegWriter(f)
+	written := int64(0)
+	emit := func(record []byte) error {
+		if len(record) > maxRecordBytes {
+			return fmt.Errorf("disk: %d-byte record exceeds the %d replay limit", len(record), maxRecordBytes)
+		}
+		framed := appendFrame(nil, record)
+		if _, err := w.Write(framed); err != nil {
+			return err
+		}
+		written += int64(len(framed))
+		return nil
+	}
+	if _, err := w.WriteString(segMagic); err != nil {
+		return 0, err
+	}
+	written += int64(len(segMagic))
+
+	for k, v := range meta {
+		if err := emit(encodeMeta(k, v)); err != nil {
+			return 0, err
+		}
+	}
+	if err := emit(encodeNextID(rs.NextID)); err != nil {
+		return 0, err
+	}
+	// Objects in chain order: snapshots first, then each delta after its
+	// base. Deltas whose base is outside the set (impossible for a
+	// GC-closed live set, tolerated defensively) flush last — replay
+	// into maps does not need them ordered, only prefix consistency
+	// wants it.
+	children := make(map[store.Hash][]store.Hash)
+	emitted := make(map[store.Hash]bool, len(rs.Objects))
+	var stack []store.Hash
+	for h, o := range rs.Objects {
+		if o.Delta {
+			children[o.Base] = append(children[o.Base], h)
+		} else {
+			stack = append(stack, h)
+		}
+	}
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if emitted[h] {
+			continue
+		}
+		emitted[h] = true
+		if err := emit(encodeObject(h, rs.Objects[h])); err != nil {
+			return 0, err
+		}
+		stack = append(stack, children[h]...)
+	}
+	for h, o := range rs.Objects {
+		if !emitted[h] {
+			if err := emit(encodeObject(h, o)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Commits parents-first (Kahn's algorithm on the in-set parent
+	// counts); out-of-set parents are treated as satisfied.
+	waiting := make(map[store.Hash]int, len(rs.Commits))
+	dependents := make(map[store.Hash][]store.Hash)
+	var ready []store.Hash
+	for h, c := range rs.Commits {
+		n := 0
+		for _, p := range c.Parents {
+			if _, ok := rs.Commits[p]; ok {
+				n++
+				dependents[p] = append(dependents[p], h)
+			}
+		}
+		waiting[h] = n
+		if n == 0 {
+			ready = append(ready, h)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		h := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		if err := emit(encodeCommit(h, rs.Commits[h])); err != nil {
+			return 0, err
+		}
+		done++
+		for _, d := range dependents[h] {
+			if waiting[d]--; waiting[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if done != len(rs.Commits) {
+		// A parent cycle cannot happen in a hash-addressed DAG; emit any
+		// stragglers rather than lose them.
+		for h, c := range rs.Commits {
+			if waiting[h] > 0 {
+				if err := emit(encodeCommit(h, c)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	for name, b := range rs.Branches {
+		if err := emit(encodeBranch(name, b)); err != nil {
+			return 0, err
+		}
+	}
+	return written, w.Flush()
+}

@@ -1,0 +1,497 @@
+// Package disk is the durable storage engine under the versioned store:
+// a segmented, append-only, checksum-framed pack log, the role Git's
+// packfiles and a database's write-ahead log play rolled into one. Every
+// commit and every pack object (snapshot or parent-chained binary delta,
+// exactly as internal/store's pack layer holds them in memory) is
+// appended as a CRC-32C-framed record; branch-head moves and clock
+// positions ride along as small records, so replaying the log front to
+// back rebuilds the entire replica — DAG, states, branches, Lamport
+// clocks — bit for bit.
+//
+// Durability model. Records are buffered and flushed to the OS at the
+// end of every store mutation, so a crashed *process* loses nothing that
+// a mutation reported durable; the fsync policy decides what a crashed
+// *machine* can lose (FsyncAlways pays one fsync per mutation,
+// FsyncNever leaves the window to the OS). Recovery-on-open replays all
+// segments in order and truncates at the first torn or corrupted record
+// — everything before it is a self-consistent prefix of the replica's
+// history, because the store appends records in dependency order
+// (objects before the commits that pin them, commits before the branch
+// heads that reach them).
+//
+// Compaction. The store's GC hands the log its complete live state; the
+// log writes it into a fresh segment (objects in chain order, commits in
+// parent order, branch records last — the same prefix-consistency
+// discipline), atomically renames it into place, and deletes the old
+// segments. A crash anywhere in that sequence leaves either the old
+// segments, or both old and new (replay order makes that benign:
+// records are idempotent upserts), never a half-visible state.
+package disk
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Policy selects when the log fsyncs the active segment.
+type Policy int
+
+const (
+	// FsyncNever flushes records to the OS on every mutation but never
+	// calls fsync on the append path: a process crash loses nothing, a
+	// machine crash can lose the OS's write-back window. Sealed and
+	// compacted segments are still fsynced — the tail is the only
+	// exposure.
+	FsyncNever Policy = iota
+	// FsyncAlways fsyncs the active segment at the end of every store
+	// mutation: committed means on stable storage, at one fsync of
+	// latency per operation.
+	FsyncAlways
+)
+
+// String names the policy (flag values, bench output).
+func (p Policy) String() string {
+	switch p {
+	case FsyncNever:
+		return "never"
+	case FsyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ErrClosed is returned by appends to a closed log.
+var ErrClosed = errors.New("disk: log closed")
+
+// Options collects the log's tunables.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that would push
+	// the active segment past it seals the segment and starts the next.
+	SegmentBytes int64
+	// Fsync is the append-path fsync policy.
+	Fsync Policy
+}
+
+// DefaultOptions returns 64 MiB segments and FsyncNever.
+func DefaultOptions() Options {
+	return Options{SegmentBytes: 64 << 20, Fsync: FsyncNever}
+}
+
+// Option adjusts log construction.
+type Option func(*Options)
+
+// WithSegmentBytes sets the segment rotation threshold. Values below
+// 4 KiB are clamped (tests use small segments to force rotation).
+func WithSegmentBytes(n int64) Option {
+	return func(o *Options) { o.SegmentBytes = max(n, 4<<10) }
+}
+
+// WithFsync sets the append-path fsync policy.
+func WithFsync(p Policy) Option {
+	return func(o *Options) { o.Fsync = p }
+}
+
+// Stats is a snapshot of the log's accounting.
+type Stats struct {
+	// Segments is the number of live segment files; Bytes their total
+	// size, including buffered-but-unflushed appends.
+	Segments int
+	Bytes    int64
+	// Records counts records appended since open; RecoveredRecords the
+	// records replayed by Open.
+	Records          int64
+	RecoveredRecords int64
+	// TruncatedBytes and DroppedSegments describe what recovery cut: the
+	// torn or corrupt suffix discarded from the first bad segment and
+	// the whole segments dropped after it.
+	TruncatedBytes  int64
+	DroppedSegments int
+	// Fsyncs counts fsync calls on the append path; Compactions counts
+	// completed log rewrites.
+	Fsyncs      int64
+	Compactions int64
+}
+
+// Recovered is what Open replayed from an existing directory: the
+// store-facing state plus the log's own metadata and accounting.
+type Recovered struct {
+	State store.RecoveredState
+	// Meta is the log's key/value metadata (SetMeta); the replica layer
+	// records the object's datatype here and refuses to reopen a log
+	// under a different type.
+	Meta map[string]string
+	// Records is the number of records that replayed cleanly.
+	Records int64
+	// TruncatedBytes is the size of the torn/corrupt suffix discarded
+	// from the first bad segment; DroppedSegments counts whole segments
+	// discarded after it.
+	TruncatedBytes  int64
+	DroppedSegments int
+}
+
+func newRecovered() *Recovered {
+	return &Recovered{
+		State: store.RecoveredState{
+			Commits:  make(map[store.Hash]store.Commit),
+			Objects:  make(map[store.Hash]store.ObjectRecord),
+			Branches: make(map[string]store.BranchRecord),
+		},
+		Meta: make(map[string]string),
+	}
+}
+
+// Log is one object's segmented pack log. It implements store.Persister;
+// all methods are safe for concurrent use, though in practice the owning
+// store serializes them behind its write lock.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	seq      int   // active segment number
+	size     int64 // active segment size including buffered bytes
+	sealed   int64 // total bytes across sealed segments
+	nseal    int   // sealed segment count
+	stats    Stats
+	meta     map[string]string
+	closed   bool
+	closeErr error
+}
+
+// Open opens (creating if needed) the pack log in dir and replays it.
+// The returned Recovered holds everything the log contained up to the
+// first torn or corrupted record; the suffix past that point has been
+// truncated on disk (and any later segments deleted), so a second Open
+// of the same directory replays identically. Stray temporary files from
+// an interrupted compaction are removed.
+func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	rec := newRecovered()
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: o, meta: rec.Meta}
+
+	live := seqs[:0]
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		good, torn, err := scanSegment(path, rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("disk: replaying %s: %w", path, err)
+		}
+		if !torn {
+			live = append(live, seq)
+			l.sealed += good
+			continue
+		}
+		// Torn or corrupt: keep the clean prefix of this segment, drop
+		// the rest of it and every later segment — recovery lands on a
+		// prefix of the record stream.
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.TruncatedBytes += info.Size() - good
+		if good < int64(len(segMagic)) {
+			// Nothing usable (bad or missing header): remove the file.
+			if err := os.Remove(path); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if err := os.Truncate(path, good); err != nil {
+				return nil, nil, err
+			}
+			live = append(live, seq)
+			l.sealed += good
+		}
+		for _, later := range seqs[i+1:] {
+			laterPath := filepath.Join(dir, segName(later))
+			if info, err := os.Stat(laterPath); err == nil {
+				rec.TruncatedBytes += info.Size()
+			}
+			if err := os.Remove(laterPath); err != nil {
+				return nil, nil, err
+			}
+			rec.DroppedSegments++
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, nil, err
+		}
+		break
+	}
+
+	// The last surviving segment becomes the active one; with none, a
+	// fresh segment 1 is created.
+	if len(live) == 0 {
+		if err := l.startSegment(1); err != nil {
+			return nil, nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			l.f.Close()
+			return nil, nil, err
+		}
+	} else {
+		seq := live[len(live)-1]
+		path := filepath.Join(dir, segName(seq))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f, l.w, l.seq, l.size = f, newSegWriter(f), seq, info.Size()
+		l.sealed -= info.Size()
+		l.nseal = len(live) - 1
+	}
+	rec.State.NextID = max(rec.State.NextID, maxBranchReplica(rec)+1)
+	l.stats.RecoveredRecords = rec.Records
+	l.stats.TruncatedBytes = rec.TruncatedBytes
+	l.stats.DroppedSegments = rec.DroppedSegments
+	return l, rec, nil
+}
+
+func maxBranchReplica(rec *Recovered) int {
+	maxID := -1
+	for _, b := range rec.State.Branches {
+		if b.Replica > maxID {
+			maxID = b.Replica
+		}
+	}
+	return maxID
+}
+
+// startSegment creates and activates segment seq.
+func (l *Log) startSegment(seq int) error {
+	f, err := createSegment(l.dir, seq)
+	if err != nil {
+		return err
+	}
+	l.f, l.w, l.seq, l.size = f, newSegWriter(f), seq, int64(len(segMagic))
+	return nil
+}
+
+// append frames and writes one record, rotating first if the active
+// segment is full.
+func (l *Log) append(record []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(record)
+}
+
+func (l *Log) appendLocked(record []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return errors.New("disk: log has no active segment (failed compaction)")
+	}
+	// Refuse records recovery would reject: writing one would make the
+	// next open treat it as corruption and truncate everything after it.
+	// Surfacing the error here makes the owning store fail-stop instead.
+	if len(record) > maxRecordBytes {
+		return fmt.Errorf("disk: %d-byte record exceeds the %d replay limit", len(record), maxRecordBytes)
+	}
+	framed := appendFrame(nil, record)
+	if l.size > int64(len(segMagic)) && l.size+int64(len(framed)) > l.opts.SegmentBytes {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+		if err := l.startSegment(l.seq + 1); err != nil {
+			return err
+		}
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	if _, err := l.w.Write(framed); err != nil {
+		return err
+	}
+	l.size += int64(len(framed))
+	l.stats.Records++
+	return nil
+}
+
+// sealLocked flushes, fsyncs and closes the active segment. Sealed
+// segments are always fsynced, whatever the append-path policy: the
+// exposure window of FsyncNever is only ever the active tail.
+func (l *Log) sealLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed += l.size
+	l.nseal++
+	l.f, l.w = nil, nil
+	return nil
+}
+
+// AppendCommit implements store.Persister.
+func (l *Log) AppendCommit(h store.Hash, c store.Commit) error {
+	return l.append(encodeCommit(h, c))
+}
+
+// AppendObject implements store.Persister.
+func (l *Log) AppendObject(h store.Hash, o store.ObjectRecord) error {
+	return l.append(encodeObject(h, o))
+}
+
+// AppendBranch implements store.Persister.
+func (l *Log) AppendBranch(name string, b store.BranchRecord) error {
+	return l.append(encodeBranch(name, b))
+}
+
+// AppendBranchDelete implements store.Persister.
+func (l *Log) AppendBranchDelete(name string) error {
+	return l.append(encodeBranchDelete(name))
+}
+
+// AppendNextID implements store.Persister.
+func (l *Log) AppendNextID(id int) error {
+	return l.append(encodeNextID(id))
+}
+
+// SetMeta records a key/value pair describing the log (e.g. the object's
+// datatype). Durable immediately.
+func (l *Log) SetMeta(key, value string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(encodeMeta(key, value)); err != nil {
+		return err
+	}
+	l.meta[key] = value
+	return l.flushLocked()
+}
+
+// Meta returns the log's metadata as recovered and updated this session.
+func (l *Log) Meta(key string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.meta[key]
+	return v, ok
+}
+
+// Flush implements store.Persister: push buffered records to the OS and,
+// under FsyncAlways, to stable storage.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return errors.New("disk: log has no active segment (failed compaction)")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.opts.Fsync == FsyncAlways {
+		l.stats.Fsyncs++
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return errors.New("disk: log has no active segment (failed compaction)")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.stats.Fsyncs++
+	return l.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the log. Further appends return
+// ErrClosed; Close is idempotent, and repeated calls keep returning the
+// first call's error — a failed final flush (full disk at shutdown) is
+// never masked by a later defer-stacked Close. The file descriptor is
+// released even when the flush fails.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.closeErr
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.sealed += l.size
+	l.nseal++
+	l.f, l.w, l.size = nil, nil, 0
+	l.closeErr = err
+	return err
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the log's accounting.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	if l.closed {
+		st.Segments, st.Bytes = l.nseal, l.sealed
+	} else {
+		st.Segments, st.Bytes = l.nseal+1, l.sealed+l.size
+	}
+	return st
+}
+
+var _ store.Persister = (*Log)(nil)

@@ -1,0 +1,294 @@
+package disk_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/mlog"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// openLogStore opens (or reopens) a persistent mergeable-log store in
+// dir and returns it with its log.
+func openLogStore(t *testing.T, dir string, opts ...disk.Option) (*store.Store[mlog.State, mlog.Op, mlog.Val], *disk.Log, *disk.Recovered) {
+	t.Helper()
+	l, rec, err := disk.Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("disk.Open: %v", err)
+	}
+	s, err := store.OpenRecovered[mlog.State, mlog.Op, mlog.Val](
+		mlog.Log{}, wire.MLog{}, "main", 0, &rec.State, store.WithPersister(l))
+	if err != nil {
+		t.Fatalf("store.OpenRecovered: %v", err)
+	}
+	return s, l, rec
+}
+
+func appendMsg(t *testing.T, s *store.Store[mlog.State, mlog.Op, mlog.Val], b, msg string) {
+	t.Helper()
+	if _, err := s.Apply(b, mlog.Op{Kind: mlog.Append, Msg: msg}); err != nil {
+		t.Fatalf("Apply(%s): %v", b, err)
+	}
+}
+
+func headMsgs(t *testing.T, s *store.Store[mlog.State, mlog.Op, mlog.Val], b string) mlog.State {
+	t.Helper()
+	st, err := s.Head(b)
+	if err != nil {
+		t.Fatalf("Head(%s): %v", b, err)
+	}
+	return st
+}
+
+// TestRoundTrip: a persisted store reopens with identical history,
+// branches, states and clock positions.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	for i := 0; i < 20; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	if err := s.Fork("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	appendMsg(t, s, "dev", "d")
+	appendMsg(t, s, "main", "x")
+	if err := s.Sync("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	wantMain := headMsgs(t, s, "main")
+	wantHead, _ := s.HeadHash("main")
+	wantCommits := s.NumCommits()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, l2, rec := openLogStore(t, dir)
+	defer l2.Close()
+	if rec.TruncatedBytes != 0 || rec.DroppedSegments != 0 {
+		t.Fatalf("clean log recovered with truncation: %+v", rec)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, wantMain) {
+		t.Fatalf("recovered main state differs: got %v want %v", got, wantMain)
+	}
+	if h, _ := s2.HeadHash("main"); h != wantHead {
+		t.Fatalf("recovered head %v, want %v", h, wantHead)
+	}
+	if n := s2.NumCommits(); n != wantCommits {
+		t.Fatalf("recovered %d commits, want %d", n, wantCommits)
+	}
+	// Fresh timestamps must stay ahead of recovered history: a new
+	// operation commits strictly after everything recovered.
+	appendMsg(t, s2, "main", "after-restart")
+	after := headMsgs(t, s2, "main")
+	newest := after[0] // the mergeable log prepends
+	for _, e := range wantMain {
+		if e.T >= newest.T {
+			t.Fatalf("post-restart timestamp %d does not dominate recovered %d", newest.T, e.T)
+		}
+	}
+}
+
+func statesEqual(a, b mlog.State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRotation: small segments force rotation; recovery replays across
+// segment boundaries.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir, disk.WithSegmentBytes(4<<10))
+	for i := 0; i < 200; i++ {
+		appendMsg(t, s, "main", "a reasonably long chat message to grow the state")
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	want := headMsgs(t, s, "main")
+	l.Close()
+
+	s2, l2, _ := openLogStore(t, dir, disk.WithSegmentBytes(4<<10))
+	defer l2.Close()
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("recovered state differs after rotation")
+	}
+}
+
+// TestTornTail: garbage appended past the last record is truncated on
+// open and the clean prefix survives.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	for i := 0; i < 10; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	want := headMsgs(t, s, "main")
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(bytes.Repeat([]byte{0xEE}, 37)) // half a frame of garbage
+	f.Close()
+
+	s2, l2, rec := openLogStore(t, dir)
+	defer l2.Close()
+	if rec.TruncatedBytes != 37 {
+		t.Fatalf("TruncatedBytes = %d, want 37", rec.TruncatedBytes)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("torn tail damaged the clean prefix")
+	}
+	// The truncation is durable: a third open sees a clean log.
+	l2.Close()
+	_, l3, rec3 := openLogStore(t, dir)
+	defer l3.Close()
+	if rec3.TruncatedBytes != 0 {
+		t.Fatalf("second recovery still truncating: %+v", rec3)
+	}
+}
+
+// TestCompaction: GC rewrites the log to the live set; dead history
+// stops costing disk and the compacted log reopens to the same state.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	if err := s.Fork("main", "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		appendMsg(t, s, "scratch", "doomed history that should compact away")
+	}
+	for i := 0; i < 5; i++ {
+		appendMsg(t, s, "main", "kept")
+	}
+	if err := s.DeleteBranch("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats().Bytes
+	collected := s.GC()
+	if collected == 0 {
+		t.Fatal("GC collected nothing")
+	}
+	if err := s.FlushStorage(); err != nil {
+		t.Fatalf("compaction failed: %v", err)
+	}
+	after := l.Stats()
+	if after.Bytes >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before, after.Bytes)
+	}
+	if after.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", after.Compactions)
+	}
+	want := headMsgs(t, s, "main")
+	wantCommits := s.NumCommits()
+	l.Close()
+
+	s2, l2, _ := openLogStore(t, dir)
+	defer l2.Close()
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("compacted log recovered a different state")
+	}
+	if n := s2.NumCommits(); n != wantCommits {
+		t.Fatalf("compacted log recovered %d commits, want %d", n, wantCommits)
+	}
+	if bs := s2.Branches(); len(bs) != 1 || bs[0] != "main" {
+		t.Fatalf("deleted branch resurrected: %v", bs)
+	}
+}
+
+// TestAppendAfterCompaction: the compacted segment stays appendable and
+// a post-compaction mutation survives a reopen.
+func TestAppendAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	for i := 0; i < 10; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	s.GC()
+	if err := s.FlushStorage(); err != nil {
+		t.Fatal(err)
+	}
+	appendMsg(t, s, "main", "post-compaction")
+	want := headMsgs(t, s, "main")
+	l.Close()
+
+	s2, l2, _ := openLogStore(t, dir)
+	defer l2.Close()
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("post-compaction append lost")
+	}
+}
+
+// TestMeta: metadata round-trips and survives compaction.
+func TestMeta(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := disk.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Meta) != 0 {
+		t.Fatalf("fresh log has meta: %v", rec.Meta)
+	}
+	if err := l.SetMeta("datatype", "mergeable-log"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenRecovered[mlog.State, mlog.Op, mlog.Val](
+		mlog.Log{}, wire.MLog{}, "main", 0, &rec.State, store.WithPersister(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.GC() // compaction must carry meta into the rewritten segment
+	if err := s.FlushStorage(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, rec2, err := disk.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Meta["datatype"] != "mergeable-log" {
+		t.Fatalf("meta lost: %v", rec2.Meta)
+	}
+}
+
+// TestFsyncAlways: the policy is exercised end to end and counted.
+func TestFsyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir, disk.WithFsync(disk.FsyncAlways))
+	for i := 0; i < 5; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	if st := l.Stats(); st.Fsyncs < 5 {
+		t.Fatalf("FsyncAlways recorded %d fsyncs for 5 mutations", st.Fsyncs)
+	}
+	l.Close()
+}
+
+// TestClosedLog: appends after Close fail, and the owning store surfaces
+// the failure instead of silently running ahead of its log.
+func TestClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	appendMsg(t, s, "main", "m")
+	l.Close()
+	if _, err := s.Apply("main", mlog.Op{Kind: mlog.Append, Msg: "x"}); err == nil {
+		t.Fatal("Apply succeeded with a closed log")
+	}
+}

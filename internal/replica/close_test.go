@@ -1,0 +1,53 @@
+package replica_test
+
+import (
+	"testing"
+
+	"repro/internal/chat"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+// TestCloseIdempotent: Close must be safe to call any number of times —
+// deferred cleanup plus explicit shutdown is the common pattern — and
+// must keep returning the first call's result instead of panicking on
+// the closed channel.
+func TestCloseIdempotent(t *testing.T) {
+	n, err := replica.NewNode("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	first := n.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("second Close panicked: %v", r)
+		}
+	}()
+	if second := n.Close(); second != first {
+		t.Fatalf("second Close returned %v, first returned %v", second, first)
+	}
+	if third := n.Close(); third != first {
+		t.Fatalf("third Close returned %v, first returned %v", third, first)
+	}
+}
+
+// TestCloseIdempotentWithoutListen: a node that never listened must
+// close cleanly twice as well.
+func TestCloseIdempotentWithoutListen(t *testing.T) {
+	n, err := replica.NewNode("y", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.Ensure[chat.State, chat.Op, chat.Val](n, "room", "chat", chat.Chat{}, wire.Chat{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

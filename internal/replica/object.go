@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/store"
 )
 
@@ -26,6 +27,9 @@ type Object interface {
 	// Integrate installs a peer's (possibly partial) history under a
 	// tracking branch and pulls it into the node's branch.
 	Integrate(track string, commits []store.ExportedCommit, head store.Hash) error
+	// FlushStorage pushes buffered persistence out and surfaces any
+	// sticky storage error; a no-op on in-memory objects.
+	FlushStorage() error
 }
 
 // TypedObject is one named object with its concrete types intact: a full
@@ -35,11 +39,20 @@ type TypedObject[S, Op, Val any] struct {
 	datatype string
 	branch   string
 	st       *store.Store[S, Op, Val]
+	log      *disk.Log // nil on in-memory nodes
 }
 
 // Ensure returns node n's object named object, creating it if absent.
 // An existing object must have been created with the same datatype name
 // and the same concrete types; a mismatch is an ErrObject error.
+//
+// On a durable node (WithStorage), the object's segmented pack log is
+// opened (and recovered) from its own subdirectory of the storage
+// directory: a fresh directory starts empty and records the datatype in
+// the log's metadata; an existing one replays the object's entire
+// history — refusing a log written under a different datatype or by a
+// node of a different name, so storage mix-ups fail loudly instead of
+// merging incompatible states.
 func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, Op, Val], codec store.Codec[S]) (*TypedObject[S, Op, Val], error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -53,9 +66,41 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 	// Every object is an independent DAG, so objects can share the node's
 	// replica-id block: timestamps are only ever compared within one
 	// object.
-	st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.storeOpts...)
-	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st}
-	n.objects[object] = &objectEntry{obj: to}
+	if n.cfg.storageDir == "" {
+		st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.cfg.storeOpts...)
+		to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st}
+		n.objects[object] = &objectEntry{obj: to}
+		return to, nil
+	}
+
+	log, rec, err := disk.Open(n.cfg.objectDir(object), n.cfg.logOptions()...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening storage for %q: %v", ErrObject, object, err)
+	}
+	fail := func(err error) (*TypedObject[S, Op, Val], error) {
+		log.Close()
+		return nil, err
+	}
+	if dt, ok := log.Meta("datatype"); ok {
+		if dt != datatype {
+			return fail(fmt.Errorf("%w: storage for %q holds datatype %s, want %s", ErrObject, object, dt, datatype))
+		}
+	} else {
+		// Record the datatype *before* the store writes its first
+		// records, so no crash window can leave a log with history but
+		// no type guard. (A meta-less log with recovered branches —
+		// pre-guard or damaged — gets the guard stamped now.)
+		if err := log.SetMeta("datatype", datatype); err != nil {
+			return fail(fmt.Errorf("%w: storage for %q: %v", ErrObject, object, err))
+		}
+	}
+	st, err := store.OpenRecovered(impl, codec, n.name, n.replicaID*64, &rec.State,
+		append(append([]store.Option(nil), n.cfg.storeOpts...), store.WithPersister(log))...)
+	if err != nil {
+		return fail(fmt.Errorf("%w: recovering %q: %v", ErrObject, object, err))
+	}
+	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st, log: log}
+	n.objects[object] = &objectEntry{obj: to, log: log}
 	return to, nil
 }
 
@@ -103,4 +148,21 @@ func (o *TypedObject[S, Op, Val]) Integrate(track string, commits []store.Export
 		return err
 	}
 	return o.st.Pull(o.branch, track)
+}
+
+// FlushStorage implements Object.
+func (o *TypedObject[S, Op, Val]) FlushStorage() error {
+	if o.log == nil {
+		return nil
+	}
+	return o.st.FlushStorage()
+}
+
+// StorageStats reports the object's pack-log accounting; ok is false on
+// in-memory nodes.
+func (o *TypedObject[S, Op, Val]) StorageStats() (disk.Stats, bool) {
+	if o.log == nil {
+		return disk.Stats{}, false
+	}
+	return o.log.Stats(), true
 }

@@ -1,0 +1,88 @@
+package replica
+
+// Node construction options. A NodeOption configures node-level concerns
+// — durable storage, fsync policy — or carries store options through to
+// every object store the node opens.
+
+import (
+	"path/filepath"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/store"
+)
+
+// nodeConfig collects a node's construction-time settings.
+type nodeConfig struct {
+	storeOpts  []store.Option
+	storageDir string
+	fsync      disk.Policy
+	segBytes   int64
+}
+
+// NodeOption adjusts node construction.
+type NodeOption func(*nodeConfig)
+
+// WithStoreOptions passes store options (frontier sampling caps,
+// snapshot spacing, cache sizes) through to every object store the node
+// opens.
+func WithStoreOptions(opts ...store.Option) NodeOption {
+	return func(c *nodeConfig) { c.storeOpts = append(c.storeOpts, opts...) }
+}
+
+// WithStorage makes the node durable: every object opened on it keeps a
+// segmented pack log (internal/disk) in its own subdirectory of dir, and
+// reopening a node with the same name over the same directory resumes
+// every object with its full history, branches and clocks intact.
+func WithStorage(dir string) NodeOption {
+	return func(c *nodeConfig) { c.storageDir = dir }
+}
+
+// WithFsync sets the fsync policy of the node's object logs; it has no
+// effect without WithStorage.
+func WithFsync(p disk.Policy) NodeOption {
+	return func(c *nodeConfig) { c.fsync = p }
+}
+
+// WithSegmentBytes sets the log segment rotation threshold of the
+// node's object logs; it has no effect without WithStorage.
+func WithSegmentBytes(n int64) NodeOption {
+	return func(c *nodeConfig) { c.segBytes = n }
+}
+
+// objectDirName maps an object name to a filesystem-safe directory name:
+// alphanumerics, dot, dash and underscore pass through, every other byte
+// is %XX-escaped — deterministic, collision-free, and readable for the
+// common case of simple names.
+func objectDirName(object string) string {
+	var b strings.Builder
+	b.WriteString("obj-")
+	for i := 0; i < len(object); i++ {
+		c := object[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+			b.WriteByte(c)
+		default:
+			const hex = "0123456789ABCDEF"
+			b.WriteByte('%')
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xF])
+		}
+	}
+	return b.String()
+}
+
+// objectDir is the storage directory of one object's log.
+func (c *nodeConfig) objectDir(object string) string {
+	return filepath.Join(c.storageDir, objectDirName(object))
+}
+
+// logOptions assembles the disk options for one object log.
+func (c *nodeConfig) logOptions() []disk.Option {
+	opts := []disk.Option{disk.WithFsync(c.fsync)}
+	if c.segBytes > 0 {
+		opts = append(opts, disk.WithSegmentBytes(c.segBytes))
+	}
+	return opts
+}

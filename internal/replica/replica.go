@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -144,9 +145,11 @@ func (c *countedConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// objectEntry pairs a hosted object with its sync counters.
+// objectEntry pairs a hosted object with its sync counters and, on
+// durable nodes, its pack log.
 type objectEntry struct {
 	obj   Object
+	log   *disk.Log
 	stats syncStats
 }
 
@@ -155,7 +158,7 @@ type objectEntry struct {
 type Node struct {
 	name      string
 	replicaID int
-	storeOpts []store.Option
+	cfg       nodeConfig
 
 	mu      sync.Mutex // guards objects
 	objects map[string]*objectEntry
@@ -171,9 +174,11 @@ type Node struct {
 	// in place keeps getting the plain dialect until this node restarts.
 	plainPeers sync.Map // addr -> struct{}
 
-	ln     net.Listener
-	closed chan struct{}
-	wg     sync.WaitGroup
+	ln        net.Listener
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // MaxReplicaID is the largest node id; each node reserves a block of 64
@@ -184,19 +189,23 @@ const MaxReplicaID = 1023
 // NewNode creates a replica named name with fleet-unique id replicaID.
 // Node names double as branch names in each object's embedded store and
 // as peer identities on the wire; names and ids must be unique across the
-// fleet. Store options (e.g. frontier sampling caps) apply to every
+// fleet. Options configure durable storage (WithStorage, WithFsync) and
+// per-object store tunables (WithStoreOptions); they apply to every
 // object subsequently opened on the node.
-func NewNode(name string, replicaID int, opts ...store.Option) (*Node, error) {
+func NewNode(name string, replicaID int, opts ...NodeOption) (*Node, error) {
 	if replicaID < 0 || replicaID > MaxReplicaID {
 		return nil, fmt.Errorf("replica: id %d out of range [0, %d]", replicaID, MaxReplicaID)
 	}
-	return &Node{
+	n := &Node{
 		name:      name,
 		replicaID: replicaID,
-		storeOpts: opts,
 		objects:   make(map[string]*objectEntry),
 		closed:    make(chan struct{}),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(&n.cfg)
+	}
+	return n, nil
 }
 
 // Name returns the node's name.
@@ -288,15 +297,32 @@ func (n *Node) Addr() string {
 	return n.ln.Addr().String()
 }
 
-// Close stops serving and waits for in-flight handlers.
+// Close stops serving, waits for in-flight handlers, then flushes and
+// closes every object's pack log, so a durable node's on-disk state is
+// complete the moment Close returns. Close is idempotent: second and
+// later calls are no-ops returning the first call's error.
 func (n *Node) Close() error {
-	close(n.closed)
-	var err error
-	if n.ln != nil {
-		err = n.ln.Close()
-	}
-	n.wg.Wait()
-	return err
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		if n.ln != nil {
+			n.closeErr = n.ln.Close()
+		}
+		n.wg.Wait()
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for _, e := range n.objects {
+			if e.log == nil {
+				continue
+			}
+			if err := e.obj.FlushStorage(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+			if err := e.log.Close(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
+	})
+	return n.closeErr
 }
 
 func (n *Node) serve() {

@@ -267,6 +267,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		}
 		s.nextID++
 		s.clocks[name] = c
+		s.persistNextIDLocked()
 	}
 	// Tracking branches never Apply; their clock only needs to dominate
 	// the imported history so merges hand out later timestamps. A delta
@@ -282,5 +283,6 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 	}
 	s.clocks[name].Observe(maxT)
 	s.heads[name] = head
-	return nil
+	s.persistBranchLocked(name)
+	return s.finishPersistLocked()
 }

@@ -99,6 +99,17 @@ func (s *Store[S, Op, Val]) GC() int {
 		s.encHash, s.encBuf = Hash{}, nil
 	}
 	s.encMu.Unlock()
+	// A GC is the persister's compaction point: the log is rewritten to
+	// exactly the survivors (including the re-snapshotted chain roots and
+	// recomputed depths), so on-disk bytes shrink with resident bytes. A
+	// compaction failure is sticky like any persistence failure; GC's
+	// counting return stays useful, and the next mutation surfaces the
+	// error.
+	if p := s.opts.Persister; p != nil && s.persistErr == nil {
+		if err := p.Compact(s.liveStateLocked()); err != nil {
+			s.persistErr = err
+		}
+	}
 	return collected
 }
 
@@ -122,5 +133,10 @@ func (s *Store[S, Op, Val]) DeleteBranch(name string) error {
 	}
 	delete(s.heads, name)
 	delete(s.clocks, name)
-	return nil
+	if p := s.opts.Persister; p != nil && s.persistErr == nil {
+		if err := p.AppendBranchDelete(name); err != nil {
+			s.persistErr = err
+		}
+	}
+	return s.finishPersistLocked()
 }

@@ -253,6 +253,7 @@ func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []by
 		obj.data = enc
 	}
 	s.objects[h] = obj
+	s.persistObjectLocked(h, obj)
 	// The freshly packed encoding is the likeliest next chain base.
 	s.encMu.Lock()
 	s.encHash, s.encBuf = h, enc
@@ -262,20 +263,86 @@ func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []by
 // VerifyPack materializes every retained state object, checking that each
 // chain reassembles to its content address and decodes. It is the pack
 // layer's integrity check, used by tests (notably the GC-over-chains
-// property test) and available to tools.
+// property test), by recovery-on-open (OpenRecovered runs it before a
+// recovered store is handed out), and available to tools.
+//
+// Objects are visited chain-forest order — each snapshot's dependent
+// patches depth-first, every encoding built with exactly one patch
+// application from its base — so a full verification costs O(total
+// state bytes), not O(chain length × state bytes). Objects no such walk
+// reaches (a missing or cyclic chain base) are verified individually,
+// which yields the precise corruption error.
 func (s *Store[S, Op, Val]) VerifyPack() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	children := make(map[Hash][]Hash)
+	var roots []Hash
 	for h, obj := range s.objects {
-		enc, err := s.materializeLocked(h)
-		if err != nil {
-			return err
+		if obj.delta {
+			children[obj.base] = append(children[obj.base], h)
+		} else {
+			roots = append(roots, h)
+		}
+	}
+	verify := func(h Hash, enc []byte) error {
+		obj := s.objects[h]
+		if sha256.Sum256(enc) != h {
+			return fmt.Errorf("%w: object %v reassembles to a different hash", ErrCorruptPack, h)
 		}
 		if len(enc) != obj.size {
 			return fmt.Errorf("%w: object %v is %d bytes, %d recorded", ErrCorruptPack, h, len(enc), obj.size)
 		}
 		if _, err := s.codec.Decode(enc); err != nil {
 			return fmt.Errorf("%w: object %v does not decode: %v", ErrCorruptPack, h, err)
+		}
+		return nil
+	}
+	reached := make(map[Hash]bool, len(s.objects))
+	type frame struct {
+		h   Hash
+		enc []byte
+	}
+	for _, root := range roots {
+		stack := []frame{{h: root, enc: s.objects[root].data}}
+		if err := verify(root, stack[0].enc); err != nil {
+			return err
+		}
+		reached[root] = true
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, child := range children[top.h] {
+				enc, err := delta.Apply(top.enc, s.objects[child].data)
+				if err != nil {
+					return fmt.Errorf("%w: %v (chain of %v)", ErrCorruptPack, err, child)
+				}
+				if err := verify(child, enc); err != nil {
+					return err
+				}
+				reached[child] = true
+				stack = append(stack, frame{h: child, enc: enc})
+			}
+		}
+	}
+	if len(reached) != len(s.objects) {
+		// Some delta's chain never reaches a snapshot: its base is either
+		// absent or part of a base cycle. Diagnose the first one exactly.
+		for h := range s.objects {
+			if reached[h] {
+				continue
+			}
+			onPath := map[Hash]bool{h: true}
+			for cur := h; ; {
+				base := s.objects[cur].base
+				if _, ok := s.objects[base]; !ok {
+					return fmt.Errorf("%w: missing object %v in chain of %v", ErrCorruptPack, base, h)
+				}
+				if onPath[base] {
+					return fmt.Errorf("%w: object %v chains in a cycle", ErrCorruptPack, h)
+				}
+				onPath[base] = true
+				cur = base
+			}
 		}
 	}
 	for b, head := range s.heads {

@@ -1,0 +1,301 @@
+package store
+
+// Persistence: the store's durability seam. A store constructed with
+// WithPersister reports every durable mutation — new commits, new pack
+// objects, branch-head moves, branch deletions, replica-id allocation —
+// to a Persister as it happens, in an order that keeps any prefix of the
+// record stream self-consistent (an object precedes the commit that pins
+// it, a commit precedes the branch record that points at it). GC hands
+// the persister the complete live state instead, so the persister can
+// rewrite its log to exactly the survivors (compaction).
+//
+// The concrete persister is internal/disk's segmented pack log; the
+// interface lives here so the store stays free of file-format concerns
+// and tests can substitute an in-memory recorder.
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// ObjectRecord is the persisted form of one pack object: the stored
+// bytes (snapshot or patch), the chain base for patches, and the
+// recorded full size and chain depth, exactly as pack.go keeps them.
+type ObjectRecord struct {
+	Data  []byte
+	Base  Hash
+	Delta bool
+	Size  int
+	Depth int
+}
+
+// BranchRecord is the persisted form of one branch: its head commit and
+// the state of its Lamport clock (replica id plus counter), enough to
+// resume issuing unique, monotonic timestamps after a restart.
+type BranchRecord struct {
+	Head    Hash
+	Replica int
+	Clock   int64
+}
+
+// RecoveredState is a store's durable contents in persister-neutral
+// form: what a Persister replays from its log on open, and what GC hands
+// to Compact. Maps may be shared with the store on the Compact path;
+// persisters must not mutate them.
+type RecoveredState struct {
+	Commits  map[Hash]Commit
+	Objects  map[Hash]ObjectRecord
+	Branches map[string]BranchRecord
+	NextID   int
+}
+
+// Persister receives every durable mutation of a store. Append* calls
+// happen under the store's write lock and may buffer; Flush is called
+// once at the end of each mutating store operation and must make the
+// batch durable to the persister's configured degree (its fsync policy).
+// A Persister error makes the store fail-stop: the error is surfaced
+// from the current (or next) mutating call and every later mutation
+// keeps failing, so a replica can never silently run ahead of its log.
+type Persister interface {
+	AppendCommit(h Hash, c Commit) error
+	AppendObject(h Hash, o ObjectRecord) error
+	AppendBranch(name string, b BranchRecord) error
+	AppendBranchDelete(name string) error
+	AppendNextID(id int) error
+	// Compact replaces the persisted contents with exactly rs — the
+	// store's live state after a GC sweep.
+	Compact(rs *RecoveredState) error
+	Flush() error
+}
+
+// persistCommitLocked reports a freshly stored commit.
+func (s *Store[S, Op, Val]) persistCommitLocked(h Hash, c Commit) {
+	if p := s.opts.Persister; p != nil && s.persistErr == nil {
+		if err := p.AppendCommit(h, c); err != nil {
+			s.persistErr = err
+		}
+	}
+}
+
+// persistObjectLocked reports a freshly stored pack object.
+func (s *Store[S, Op, Val]) persistObjectLocked(h Hash, o *packObject) {
+	if p := s.opts.Persister; p != nil && s.persistErr == nil {
+		err := p.AppendObject(h, ObjectRecord{
+			Data: o.data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth,
+		})
+		if err != nil {
+			s.persistErr = err
+		}
+	}
+}
+
+// persistBranchLocked reports branch b's current head and clock.
+func (s *Store[S, Op, Val]) persistBranchLocked(b string) {
+	p := s.opts.Persister
+	if p == nil || s.persistErr != nil {
+		return
+	}
+	c := s.clocks[b]
+	err := p.AppendBranch(b, BranchRecord{Head: s.heads[b], Replica: c.Replica(), Clock: c.Now()})
+	if err != nil {
+		s.persistErr = err
+	}
+}
+
+// persistNextIDLocked reports the replica-id allocator's position.
+func (s *Store[S, Op, Val]) persistNextIDLocked() {
+	if p := s.opts.Persister; p != nil && s.persistErr == nil {
+		if err := p.AppendNextID(s.nextID); err != nil {
+			s.persistErr = err
+		}
+	}
+}
+
+// finishPersistLocked ends one mutating operation: flush the persister's
+// batch and surface the sticky error, if any. Mutations on a store
+// without a persister pay a nil check and nothing else.
+func (s *Store[S, Op, Val]) finishPersistLocked() error {
+	p := s.opts.Persister
+	if p == nil {
+		return nil
+	}
+	if s.persistErr == nil {
+		if err := p.Flush(); err != nil {
+			s.persistErr = err
+		}
+	}
+	if s.persistErr != nil {
+		return fmt.Errorf("store: persistence failed: %w", s.persistErr)
+	}
+	return nil
+}
+
+// FlushStorage flushes any buffered persistence and reports the sticky
+// persistence error, if one has occurred. It is a no-op without a
+// persister. Node shutdown calls it so a close cannot mask a disk
+// failure.
+func (s *Store[S, Op, Val]) FlushStorage() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finishPersistLocked()
+}
+
+// OpenRecovered constructs a store from a persister's replayed state.
+// A nil or branchless rs builds a fresh store exactly like NewAt —
+// writing the initial records through the persister, when one is
+// configured — so callers need not special-case first open.
+//
+// A non-empty rs is installed and then validated: every branch head must
+// resolve, every reachable commit's parents and state object must be
+// present, the generation invariant must hold, and VerifyPack must pass
+// (every retained object reassembles to its content address and
+// decodes). Recovery therefore either lands on a self-consistent DAG or
+// fails loudly; it never half-loads. When recovering, replicaBase only
+// acts as a floor for the replica-id allocator — recovered branches keep
+// the ids they were created with.
+func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int, rs *RecoveredState, opts ...Option) (*Store[S, Op, Val], error) {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Store[S, Op, Val]{
+		impl:    impl,
+		codec:   codec,
+		opts:    o,
+		objects: make(map[Hash]*packObject),
+		cache:   newStateCache[S](o.StateCacheSize),
+		commits: make(map[Hash]Commit),
+		heads:   make(map[string]Hash),
+		clocks:  make(map[string]*clock.Clock),
+	}
+	if rs == nil || len(rs.Branches) == 0 {
+		// Fresh start — possibly over a log whose branch records were
+		// truncated away. Respect a recovered allocator floor so new
+		// branch clocks never reuse replica ids that orphaned records
+		// already spent.
+		s.nextID = replicaBase
+		if rs != nil && rs.NextID > s.nextID {
+			s.nextID = rs.NextID
+		}
+		init := impl.Init()
+		st := s.putState(init, Hash{})
+		root := s.putCommit(Commit{State: st, Gen: 1})
+		s.heads[main] = root
+		c, err := clock.New(s.nextID)
+		if err != nil {
+			return nil, err
+		}
+		s.clocks[main] = c
+		s.nextID++
+		s.persistBranchLocked(main)
+		s.persistNextIDLocked()
+		if err := s.finishPersistLocked(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	for h, c := range rs.Commits {
+		s.commits[h] = Commit{
+			Parents: append([]Hash(nil), c.Parents...),
+			State:   c.State,
+			Gen:     c.Gen,
+			Time:    c.Time,
+		}
+	}
+	for h, or := range rs.Objects {
+		s.objects[h] = &packObject{
+			data: or.Data, base: or.Base, delta: or.Delta, size: or.Size, depth: or.Depth,
+		}
+	}
+	maxReplica := -1
+	for name, b := range rs.Branches {
+		c, err := clock.New(b.Replica)
+		if err != nil {
+			return nil, fmt.Errorf("store: recovered branch %q: %w", name, err)
+		}
+		c.Observe(clock.Pack(b.Clock, 0))
+		s.heads[name] = b.Head
+		s.clocks[name] = c
+		if b.Replica > maxReplica {
+			maxReplica = b.Replica
+		}
+	}
+	s.nextID = max(rs.NextID, maxReplica+1, replicaBase)
+	if _, ok := s.heads[main]; !ok {
+		return nil, fmt.Errorf("%w: recovered state has no branch %q (log belongs to another node?)", ErrCorruptPack, main)
+	}
+	if err := s.validateRecovered(); err != nil {
+		return nil, err
+	}
+	if err := s.VerifyPack(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateRecovered checks the reachable closure of every branch head:
+// commits resolve, parents and pinned state objects are present, and
+// generation numbers respect Gen = 1 + max parent generation (the
+// invariant the generation-guided DAG walks assume).
+func (s *Store[S, Op, Val]) validateRecovered() error {
+	seen := make(map[Hash]bool)
+	var stack []Hash
+	for b, head := range s.heads {
+		if _, ok := s.commits[head]; !ok {
+			return fmt.Errorf("%w: branch %s heads missing commit %v", ErrCorruptPack, b, head)
+		}
+		if !seen[head] {
+			seen[head] = true
+			stack = append(stack, head)
+		}
+	}
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.commits[h]
+		if _, ok := s.objects[c.State]; !ok {
+			return fmt.Errorf("%w: commit %v pins missing state %v", ErrCorruptPack, h, c.State)
+		}
+		wantGen := 1
+		for _, p := range c.Parents {
+			pc, ok := s.commits[p]
+			if !ok {
+				return fmt.Errorf("%w: commit %v references missing parent %v", ErrCorruptPack, h, p)
+			}
+			if pc.Gen >= wantGen {
+				wantGen = pc.Gen + 1
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+		if c.Gen != wantGen {
+			return fmt.Errorf("%w: commit %v has generation %d, want %d", ErrCorruptPack, h, c.Gen, wantGen)
+		}
+	}
+	return nil
+}
+
+// liveStateLocked assembles the store's current durable contents for a
+// persister's Compact. The maps are shared with the store; the persister
+// reads them synchronously under the store's write lock.
+func (s *Store[S, Op, Val]) liveStateLocked() *RecoveredState {
+	rs := &RecoveredState{
+		Commits:  s.commits,
+		Objects:  make(map[Hash]ObjectRecord, len(s.objects)),
+		Branches: make(map[string]BranchRecord, len(s.heads)),
+		NextID:   s.nextID,
+	}
+	for h, o := range s.objects {
+		rs.Objects[h] = ObjectRecord{Data: o.data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth}
+	}
+	for b, head := range s.heads {
+		c := s.clocks[b]
+		rs.Branches[b] = BranchRecord{Head: head, Replica: c.Replica(), Clock: c.Now()}
+	}
+	return rs
+}

@@ -68,6 +68,9 @@ type Options struct {
 	// recent merge bases stay hot while deep history is re-materialized
 	// on demand instead of pinning memory.
 	StateCacheSize int
+	// Persister, when non-nil, receives every durable mutation (see
+	// persist.go). nil keeps the store purely in-memory.
+	Persister Persister
 }
 
 // DefaultOptions returns the store defaults: frontier sampling dense for
@@ -117,6 +120,14 @@ func WithSnapshotEvery(n int) Option {
 // below one are clamped to one so the hot head state is always cached.
 func WithStateCacheSize(n int) Option {
 	return func(o *Options) { o.StateCacheSize = max(n, 1) }
+}
+
+// WithPersister attaches a durable log (e.g. internal/disk's segmented
+// pack log) to the store: every commit, pack object and branch move is
+// appended to it, and GC compacts it. Stores opened over a recovered log
+// use OpenRecovered so history survives restarts.
+func WithPersister(p Persister) Option {
+	return func(o *Options) { o.Persister = p }
 }
 
 // Commit is one version in the DAG.
@@ -176,6 +187,9 @@ type Store[S, Op, Val any] struct {
 	heads   map[string]Hash
 	clocks  map[string]*clock.Clock
 	nextID  int
+	// persistErr is the sticky persistence failure (persist.go): once a
+	// Persister call fails, every later mutation reports it.
+	persistErr error
 
 	// One-slot reassembly cache (pack.go); own lock so readers holding
 	// mu.RLock can refresh it.
@@ -195,28 +209,14 @@ func New[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string
 
 // NewAt is New with an explicit replica-id base for the store's branch
 // clocks: branch k created in this store uses replica id replicaBase+k.
+// It panics if initialization fails, which can only happen when a
+// Persister rejects the initial records — persistent stores are opened
+// with OpenRecovered, whose error return covers that path.
 func NewAt[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int, opts ...Option) *Store[S, Op, Val] {
-	o := DefaultOptions()
-	for _, opt := range opts {
-		opt(&o)
+	s, err := OpenRecovered(impl, codec, main, replicaBase, nil, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("store: NewAt: %v", err))
 	}
-	s := &Store[S, Op, Val]{
-		impl:    impl,
-		codec:   codec,
-		opts:    o,
-		objects: make(map[Hash]*packObject),
-		cache:   newStateCache[S](o.StateCacheSize),
-		commits: make(map[Hash]Commit),
-		heads:   make(map[string]Hash),
-		clocks:  make(map[string]*clock.Clock),
-	}
-	s.nextID = replicaBase
-	init := impl.Init()
-	st := s.putState(init, Hash{})
-	root := s.putCommit(Commit{State: st, Gen: 1})
-	s.heads[main] = root
-	s.clocks[main], _ = clock.New(s.nextID)
-	s.nextID++
 	return s
 }
 
@@ -256,7 +256,9 @@ func (s *Store[S, Op, Val]) Fork(src, name string) error {
 	c.Observe(clock.Pack(s.clocks[src].Now(), 0))
 	s.clocks[name] = c
 	s.nextID++
-	return nil
+	s.persistBranchLocked(name)
+	s.persistNextIDLocked()
+	return s.finishPersistLocked()
 }
 
 // Apply performs op on branch b (the DO rule) and commits the resulting
@@ -282,6 +284,10 @@ func (s *Store[S, Op, Val]) Apply(b string, op Op) (Val, error) {
 		Gen:     s.commits[head].Gen + 1,
 		Time:    t,
 	})
+	s.persistBranchLocked(b)
+	if err := s.finishPersistLocked(); err != nil {
+		return zero, err
+	}
 	return val, nil
 }
 
@@ -331,7 +337,10 @@ func (s *Store[S, Op, Val]) Size(b string) (int, error) {
 func (s *Store[S, Op, Val]) Pull(dst, src string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pullLocked(dst, src)
+	if err := s.pullLocked(dst, src); err != nil {
+		return err
+	}
+	return s.finishPersistLocked()
 }
 
 func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
@@ -358,6 +367,7 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 		// Fast-forward: dst has no exclusive history; adopting src's head
 		// commit is exact and keeps the DAG transparent for future LCAs.
 		s.heads[dst] = hs
+		s.persistBranchLocked(dst)
 		return nil
 	}
 	if !s.soundBase(base, hd, hs) {
@@ -391,6 +401,7 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 		Gen:     gen + 1,
 		Time:    t,
 	})
+	s.persistBranchLocked(dst)
 	return nil
 }
 
@@ -405,7 +416,10 @@ func (s *Store[S, Op, Val]) Sync(a, b string) error {
 	if err := s.pullLocked(a, b); err != nil {
 		return err
 	}
-	return s.pullLocked(b, a)
+	if err := s.pullLocked(b, a); err != nil {
+		return err
+	}
+	return s.finishPersistLocked()
 }
 
 // Commit returns the commit object at hash h.
@@ -443,5 +457,6 @@ func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
 		return h // already present: content addressing makes it identical
 	}
 	s.commits[h] = c
+	s.persistCommitLocked(h, c)
 	return h
 }

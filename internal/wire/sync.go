@@ -129,10 +129,35 @@ func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
 	return nil
 }
 
+// fieldChunkBytes bounds how much of an announced field is allocated
+// ahead of the bytes actually arriving: a hostile length prefix costs at
+// most one chunk of memory, not MaxFieldBytes, because the buffer only
+// grows as data is really received.
+const fieldChunkBytes = 1 << 20
+
+// readField reads one size-announced field without trusting the
+// announcement for allocation: bytes are read in bounded chunks and the
+// field grows only as data actually arrives.
+func readField(r io.Reader, size int) ([]byte, error) {
+	field := make([]byte, 0, min(size, fieldChunkBytes))
+	for len(field) < size {
+		n := min(size-len(field), fieldChunkBytes)
+		start := len(field)
+		field = append(field, make([]byte, n)...)
+		if _, err := io.ReadFull(r, field[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return field, nil
+}
+
 // ReadMsg reads one framed message, capping the field count and each
-// field's size. Field-count validation per kind is the caller's job.
-// A clean end of stream before any header byte surfaces as bare io.EOF,
-// so session loops can tell "peer hung up" from a framing violation.
+// field's size; a field's bytes are read incrementally, so an announced
+// size never drives an allocation larger than the data that actually
+// arrives (plus one bounded chunk). Field-count validation per kind is
+// the caller's job. A clean end of stream before any header byte
+// surfaces as bare io.EOF, so session loops can tell "peer hung up"
+// from a framing violation.
 func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -156,10 +181,11 @@ func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 		if size > MaxFieldBytes {
 			return 0, nil, fmt.Errorf("%w: field of %d bytes exceeds limit", ErrFraming, size)
 		}
-		fields[i] = make([]byte, size)
-		if _, err := io.ReadFull(r, fields[i]); err != nil {
+		field, err := readField(r, int(size))
+		if err != nil {
 			return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
 		}
+		fields[i] = field
 	}
 	return kind, fields, nil
 }

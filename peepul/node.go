@@ -3,39 +3,81 @@ package peepul
 import (
 	"fmt"
 
+	"repro/internal/disk"
 	"repro/internal/replica"
 	"repro/internal/store"
 )
 
 // NodeOption adjusts node construction; options plumb through to every
-// object store the node opens.
-type NodeOption = store.Option
+// object the node opens — store tunables and, for durable nodes, the
+// storage directory and fsync policy.
+type NodeOption = replica.NodeOption
 
 // WithFrontierDense sets the dense generation window of frontier
 // sampling: every ancestor within n generations of the head joins the
 // sync-negotiation sample, so divergences shorter than n cut exactly.
-func WithFrontierDense(n int) NodeOption { return store.WithFrontierDense(n) }
+func WithFrontierDense(n int) NodeOption {
+	return replica.WithStoreOptions(store.WithFrontierDense(n))
+}
 
 // WithFrontierMaxHave caps the number of sampled ancestor hashes a
 // frontier advertises — the constant factor of a re-sync's wire cost.
-func WithFrontierMaxHave(n int) NodeOption { return store.WithFrontierMaxHave(n) }
+func WithFrontierMaxHave(n int) NodeOption {
+	return replica.WithStoreOptions(store.WithFrontierMaxHave(n))
+}
 
 // WithFrontierWalkBudget caps the commits visited while sampling a
 // frontier, bounding negotiation cost on huge DAGs. Past the budget the
 // sample is merely sparser; correctness is unaffected.
-func WithFrontierWalkBudget(n int) NodeOption { return store.WithFrontierWalkBudget(n) }
+func WithFrontierWalkBudget(n int) NodeOption {
+	return replica.WithStoreOptions(store.WithFrontierWalkBudget(n))
+}
 
 // WithSnapshotEvery sets the pack layer's snapshot spacing in every
 // object store the node opens: states are delta-chained to their parent
 // with a full snapshot at most every n links, so resident bytes track the
 // operations, not the state size, while no cold read walks more than n
 // patches. 1 stores every state whole (the pre-pack format).
-func WithSnapshotEvery(n int) NodeOption { return store.WithSnapshotEvery(n) }
+func WithSnapshotEvery(n int) NodeOption {
+	return replica.WithStoreOptions(store.WithSnapshotEvery(n))
+}
 
 // WithStateCacheSize bounds each object store's LRU of decoded states:
 // branch heads and recent merge bases stay hot, deep history is
 // re-materialized on demand instead of pinning memory forever.
-func WithStateCacheSize(n int) NodeOption { return store.WithStateCacheSize(n) }
+func WithStateCacheSize(n int) NodeOption {
+	return replica.WithStoreOptions(store.WithStateCacheSize(n))
+}
+
+// WithStorage makes the node durable: every object opened on it keeps a
+// segmented, checksummed pack log in its own subdirectory of dir —
+// every commit and delta-chained state object appended as it happens,
+// compacted whenever the store garbage-collects. Reopening a node of
+// the same name over the same directory resumes each object with its
+// full history, branches, sync frontiers and clocks intact; a log
+// damaged by a crash recovers to a verified prefix and re-converges
+// through ordinary delta sync.
+func WithStorage(dir string) NodeOption { return replica.WithStorage(dir) }
+
+// FsyncPolicy selects what a machine crash may cost a durable node:
+// FsyncNever (the default) flushes to the OS on every operation and
+// fsyncs only sealed segments; FsyncAlways fsyncs every operation.
+type FsyncPolicy = disk.Policy
+
+// Fsync policies for WithFsync.
+const (
+	FsyncNever  FsyncPolicy = disk.FsyncNever
+	FsyncAlways FsyncPolicy = disk.FsyncAlways
+)
+
+// WithFsync sets a durable node's fsync policy; no effect without
+// WithStorage.
+func WithFsync(p FsyncPolicy) NodeOption { return replica.WithFsync(p) }
+
+// StorageStats is the pack-log accounting of one durable object: live
+// segments and bytes on disk, records appended and recovered, what
+// recovery truncated, fsyncs and compactions.
+type StorageStats = disk.Stats
 
 // Node is one replica hosting a set of named replicated objects. Create
 // objects with Open; replicate with Listen/SyncWith. Safe for concurrent
@@ -169,6 +211,10 @@ func (h *Handle[S, Op, Val]) Sync(a, b string) error {
 
 // Stats returns the object's sync counters on this node.
 func (h *Handle[S, Op, Val]) Stats() SyncStats { return h.node.ObjectStats(h.object) }
+
+// StorageStats reports the object's on-disk pack-log accounting; ok is
+// false when the node was opened without WithStorage.
+func (h *Handle[S, Op, Val]) StorageStats() (StorageStats, bool) { return h.obj.StorageStats() }
 
 // Store exposes the object's embedded versioned store for advanced use
 // (branch listing, export/import, garbage collection).

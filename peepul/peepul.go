@@ -20,7 +20,10 @@
 //     an Irmin repository hosts many keys. Open(node, datatype, name)
 //     returns a typed Handle (get-or-create) with Do/Fork/Pull/Sync;
 //     Node.SyncWith negotiates and delta-syncs every shared object with a
-//     peer over a single connection, with per-object SyncStats.
+//     peer over a single connection, with per-object SyncStats. A node
+//     created WithStorage is durable: each object keeps a segmented,
+//     checksummed pack log on disk, recovers it (verified) on reopen,
+//     and compacts it whenever the store garbage-collects.
 //
 //   - Certification is executable: Registered.Certify explores the
 //     replicated store's transition system and checks the paper's proof
