@@ -18,9 +18,11 @@ import (
 
 func main() {
 	data := flag.String("data", "", "storage directory; the demo resumes the conversation across restarts")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence for -data (records between index checkpoints; 0 keeps the default, negative disables)")
+	verify := flag.Bool("verify-on-open", false, "with -data, eagerly verify the whole recovered pack at open instead of the lazy default")
 	flag.Parse()
 	if *data != "" {
-		durable(*data)
+		durable(*data, *ckptEvery, *verify)
 		return
 	}
 
@@ -71,8 +73,15 @@ func main() {
 
 // durable runs the restartable variant: one durable node, one channel,
 // one new message per run, full history printed from the recovered DAG.
-func durable(dir string) {
-	node, err := peepul.NewNode("alice", 1, peepul.WithStorage(dir))
+func durable(dir string, ckptEvery int, verify bool) {
+	opts := []peepul.NodeOption{peepul.WithStorage(dir)}
+	if ckptEvery != 0 {
+		opts = append(opts, peepul.WithCheckpointEvery(ckptEvery))
+	}
+	if verify {
+		opts = append(opts, peepul.WithVerifyOnOpen(true))
+	}
+	node, err := peepul.NewNode("alice", 1, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -106,7 +115,8 @@ func durable(dir string) {
 		fmt.Printf("  [t=%d] %s\n", entry.T, entry.Msg)
 	}
 	if st, ok := room.StorageStats(); ok {
-		fmt.Printf("\non disk: %d segment(s), %d bytes — kill and rerun to resume\n", st.Segments, st.Bytes)
+		fmt.Printf("\non disk: %d segment(s), %d bytes, recovered via %s — kill and rerun to resume\n",
+			st.Segments, st.Bytes, st.RecoveryMode)
 	}
 }
 

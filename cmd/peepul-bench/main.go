@@ -14,7 +14,10 @@
 // The dag, space and durable figures additionally write their rows as
 // JSON (default BENCH_dag.json / BENCH_space.json / BENCH_durable.json,
 // see -dag-out / -space-out / -durable-out) so CI can archive the perf
-// trajectory.
+// trajectory. -durable-flat-factor N turns the durable figure into a
+// regression gate: the run fails if recovery at the deepest swept
+// history takes more than N times the shallowest — checkpointed
+// recovery is supposed to be flat in depth.
 //
 // Output is row-oriented, one row per plotted point, matching the series
 // of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
@@ -40,6 +43,7 @@ func main() {
 	dagOut := flag.String("dag-out", "BENCH_dag.json", "output path for the DAG-scaling JSON (-fig dag)")
 	spaceOut := flag.String("space-out", "BENCH_space.json", "output path for the space JSON (-fig space)")
 	durableOut := flag.String("durable-out", "BENCH_durable.json", "output path for the durability JSON (-fig durable)")
+	durableFlat := flag.Float64("durable-flat-factor", 0, "fail (exit 1) if recovery at the deepest swept history exceeds this multiple of the shallowest; 0 disables (-fig durable)")
 	flag.Parse()
 
 	if *typ != "" {
@@ -138,6 +142,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *durableOut, len(rows))
+		if *durableFlat > 0 {
+			factor, dt := bench.DurableFlatFactor(rows)
+			fmt.Printf("recovery flatness: worst deepest/shallowest ratio %.2fx (%s), limit %.2fx\n", factor, dt, *durableFlat)
+			if factor > *durableFlat {
+				fmt.Fprintf(os.Stderr, "recovery is not flat: %s recovers %.2fx slower at the deepest history than the shallowest (limit %.2fx)\n", dt, factor, *durableFlat)
+				os.Exit(1)
+			}
+		}
 	})
 
 	switch *fig {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -25,15 +26,18 @@ import (
 //     under FsyncNever (flush to the OS each commit), and persistent
 //     store under FsyncAlways (one fsync per commit — measured over a
 //     capped operation count, since the cost is depth-independent);
-//   - recovery time: disk.Open's segment replay plus
-//     store.OpenRecovered's validation and VerifyPack — the time from
-//     process start to a serving replica;
+//   - recovery time, two ways: the default open (checkpoint seek plus
+//     lazy state install — flat in history depth) and a forced full
+//     replay with eager verification (the pre-checkpoint behaviour,
+//     linear in depth) — the flat-vs-linear gap is the point of the
+//     checkpointed-recovery work;
 //   - the on-disk footprint (segments, bytes, records) against the
 //     store's resident packed bytes — the append-only log's overhead
 //     over the live set before compaction;
 //   - post-recovery deep-pull latency: the same constant diamond merge
-//     the DAG benchmark times (BENCH_dag.json), run on the recovered
-//     store — durability must not regress merge cost.
+//     the DAG benchmark times (BENCH_dag.json), run cold on the
+//     lazily-recovered store — durability (and lazy recovery) must not
+//     regress merge cost.
 
 // DurableRow is one (datatype, history) measurement.
 type DurableRow struct {
@@ -49,10 +53,17 @@ type DurableRow struct {
 	ApplyDiskNs  int64 `json:"apply_disk_ns"`
 	ApplyFsyncNs int64 `json:"apply_fsync_ns"`
 	FsyncOps     int   `json:"fsync_ops"`
-	// RecoveryNs is the full reopen: segment replay, prefix validation,
-	// VerifyPack. RecoveredRecords is how many records replayed.
-	RecoveryNs       int64 `json:"recovery_ns"`
-	RecoveredRecords int64 `json:"recovered_records"`
+	// RecoveryNs is the default reopen — checkpoint seek, suffix replay,
+	// lazy state install — timed end to end (disk.Open plus
+	// store.OpenRecovered). RecoveryMode reports how that open recovered
+	// ("checkpoint", "replay" or "cold") and RecoveredRecords how many
+	// records it replayed. FullReplayNs times the same directory under a
+	// forced full replay with eager verification — the pre-checkpoint
+	// recovery path, linear in history depth.
+	RecoveryNs       int64  `json:"recovery_ns"`
+	RecoveryMode     string `json:"recovery_mode"`
+	RecoveredRecords int64  `json:"recovered_records"`
+	FullReplayNs     int64  `json:"full_replay_ns"`
 	// On-disk footprint vs the store's resident packed bytes.
 	DiskBytes     int64   `json:"disk_bytes"`
 	Segments      int     `json:"segments"`
@@ -73,6 +84,10 @@ var DurableLogNs = []int{100, 1000, 10000}
 // durableFsyncOpsCap bounds how many fsync-per-commit operations the
 // FsyncAlways figure averages over.
 const durableFsyncOpsCap = 128
+
+// durableRecoveryAttempts is how many reopen cycles the recovery
+// measurement runs, reporting the fastest.
+const durableRecoveryAttempts = 3
 
 // Durable runs the durability benchmark over the given sweeps.
 func Durable(ns, logNs []int, seed int64) []DurableRow {
@@ -184,17 +199,60 @@ func durableRun[S, Op, Val any](
 	row.ApplyFsyncNs = time.Since(start).Nanoseconds() / int64(max(row.FsyncOps, 1))
 	lf.Close()
 
-	// Recovery: reopen the FsyncNever history from disk, end to end.
+	// Full replay first: reopen the FsyncNever history with checkpoint
+	// seek disabled and eager verification — the recovery cost before
+	// checkpoints existed, linear in history.
 	start = time.Now()
-	l2, rec2, err := disk.Open(dir)
+	lr, recr, err := disk.Open(dir, disk.WithFullReplay())
 	if err != nil {
 		panic(err)
 	}
-	s2, err := store.OpenRecovered(impl, codec, "main", 0, &rec2.State, store.WithPersister(l2))
-	if err != nil {
+	if _, err := store.OpenRecovered(impl, codec, "main", 0, &recr.State,
+		store.WithPersister(lr), store.WithVerifyOnOpen(true)); err != nil {
 		panic(err)
 	}
-	row.RecoveryNs = time.Since(start).Nanoseconds()
+	row.FullReplayNs = time.Since(start).Nanoseconds()
+	if err := lr.Close(); err != nil {
+		panic(err)
+	}
+
+	// Recovery: the default reopen — checkpoint seek, suffix replay, lazy
+	// state install — timed end to end. The history build and full replay
+	// above leave the heap deep in collector debt, and on a single-core
+	// runner a lone timed open inherits whatever mark work the collector
+	// owes — measuring setup, not recovery. So the measurement collects
+	// first and takes the best of a few reopen cycles, the usual
+	// minimum-of-N discipline for isolating an operation's intrinsic cost.
+	// The cycles are idempotent: a checkpoint-seek reopen replays a
+	// zero-length suffix, so its Close writes no new checkpoint.
+	runtime.GC()
+	var (
+		l2   *disk.Log
+		rec2 *disk.Recovered
+		s2   *store.Store[S, Op, Val]
+	)
+	for attempt := 0; attempt < durableRecoveryAttempts; attempt++ {
+		if l2 != nil {
+			if err := l2.Close(); err != nil {
+				panic(err)
+			}
+		}
+		start = time.Now()
+		la, reca, err := disk.Open(dir)
+		if err != nil {
+			panic(err)
+		}
+		sa, err := store.OpenRecovered(impl, codec, "main", 0, &reca.State, store.WithPersister(la))
+		if err != nil {
+			panic(err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		l2, rec2, s2 = la, reca, sa
+		if attempt == 0 || ns < row.RecoveryNs {
+			row.RecoveryNs = ns
+		}
+	}
+	row.RecoveryMode = rec2.Mode
 	row.RecoveredRecords = rec2.Records
 	st := l2.Stats()
 	row.DiskBytes = st.Bytes
@@ -223,6 +281,43 @@ func durableRun[S, Op, Val any](
 	row.DeepPullNs = time.Since(start).Nanoseconds()
 	l2.Close()
 	return row
+}
+
+// DurableFlatFactor measures how flat recovery time is across history
+// depth: for each datatype it takes the ratio of the default recovery
+// time at the deepest swept history to the shallowest, and returns the
+// worst such ratio with the datatype that produced it. A recovery path
+// truly independent of depth yields a factor near 1; the pre-checkpoint
+// linear replay yields the depth ratio itself (~100x on the full sweep).
+// CI gates on this via peepul-bench's -durable-flat-factor flag.
+func DurableFlatFactor(rows []DurableRow) (worst float64, datatype string) {
+	type span struct {
+		minH, maxH   int
+		minNs, maxNs int64
+	}
+	spans := map[string]*span{}
+	for _, r := range rows {
+		sp, ok := spans[r.Datatype]
+		if !ok {
+			spans[r.Datatype] = &span{minH: r.History, maxH: r.History, minNs: r.RecoveryNs, maxNs: r.RecoveryNs}
+			continue
+		}
+		if r.History < sp.minH {
+			sp.minH, sp.minNs = r.History, r.RecoveryNs
+		}
+		if r.History > sp.maxH {
+			sp.maxH, sp.maxNs = r.History, r.RecoveryNs
+		}
+	}
+	for dt, sp := range spans {
+		if sp.minH == sp.maxH || sp.minNs <= 0 {
+			continue
+		}
+		if f := float64(sp.maxNs) / float64(sp.minNs); f > worst {
+			worst, datatype = f, dt
+		}
+	}
+	return worst, datatype
 }
 
 // WriteDurableJSON renders rows as the BENCH_durable.json document: one

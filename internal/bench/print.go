@@ -94,17 +94,19 @@ func PrintSpace(w io.Writer, rows []SpaceRow) {
 }
 
 // PrintDurable renders the durability table: per-operation commit
-// latency in memory vs on disk vs with per-commit fsync, recovery time,
-// and the on-disk footprint against the resident packed bytes.
+// latency in memory vs on disk vs with per-commit fsync, recovery time
+// (the default checkpoint-seeking open and a forced full replay), and
+// the on-disk footprint against the resident packed bytes.
 func PrintDurable(w io.Writer, rows []DurableRow) {
 	fmt.Fprintln(w, "Durable: disk-backed commit latency, recovery time, on-disk footprint")
-	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %10s %10s %10s %6s %10s\n",
-		"datatype", "#ops", "mem/op", "disk/op", "fsync/op", "recovery", "disk", "resident", "segs", "deep-pull")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %10s %-10s %10s %10s %10s %6s %10s\n",
+		"datatype", "#ops", "mem/op", "disk/op", "fsync/op", "recovery", "mode", "replay", "disk", "resident", "segs", "deep-pull")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %8d %10s %10s %10s %10s %10s %10s %6d %10s\n",
+		fmt.Fprintf(w, "%-16s %8d %10s %10s %10s %10s %-10s %10s %10s %10s %6d %10s\n",
 			r.Datatype, r.History,
 			fmtDur(time.Duration(r.ApplyMemNs)), fmtDur(time.Duration(r.ApplyDiskNs)),
 			fmtDur(time.Duration(r.ApplyFsyncNs)), fmtDur(time.Duration(r.RecoveryNs)),
+			r.RecoveryMode, fmtDur(time.Duration(r.FullReplayNs)),
 			fmtBytes(r.DiskBytes), fmtBytes(r.ResidentBytes), r.Segments,
 			fmtDur(time.Duration(r.DeepPullNs)))
 	}

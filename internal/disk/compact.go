@@ -24,7 +24,6 @@ package disk
 // only until the next GC.
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
 
@@ -49,7 +48,7 @@ func (l *Log) Compact(rs *store.RecoveredState) error {
 	if err != nil {
 		return err
 	}
-	written, err := writeCompacted(f, l.meta, rs)
+	written, nrec, locs, err := writeCompacted(f, l.meta, rs, newSeq)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -95,37 +94,79 @@ func (l *Log) Compact(rs *store.RecoveredState) error {
 	l.size = written
 	l.sealed, l.nseal = 0, 0
 	l.stats.Compactions++
+
+	// The shadow index is rebuilt from the live set. rs aliases the
+	// store's own maps on this path, so every map is copied, never kept.
+	sh := newShadow()
+	for h, c := range rs.Commits {
+		sh.commits[h] = c
+	}
+	sh.objects = locs
+	for name, b := range rs.Branches {
+		sh.branches[name] = b
+	}
+	sh.nextID = rs.NextID
+	l.shadow = sh
+	l.sinceCkpt = nrec
+
+	// Cap the rewrite with a checkpoint: the compacted segment is as deep
+	// as this log's history gets, and the checkpoint (heading the next
+	// segment) lets the following open skip straight past it.
+	if l.opts.CheckpointEvery > 0 {
+		if err := l.checkpointLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// writeCompacted streams the live state as framed records and returns
-// the bytes written (header included).
-func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState) (int64, error) {
+// writeCompacted streams the live state as framed records. It returns
+// the bytes written (header included), the record count, and each pack
+// object's location within the new segment — the entries the rebuilt
+// shadow index (and the post-compaction checkpoint) carries.
+func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState, seq int) (int64, int64, map[store.Hash]objLoc, error) {
 	w := newSegWriter(f)
 	written := int64(0)
+	nrec := int64(0)
+	locs := make(map[store.Hash]objLoc, len(rs.Objects))
 	emit := func(record []byte) error {
-		if len(record) > maxRecordBytes {
-			return fmt.Errorf("disk: %d-byte record exceeds the %d replay limit", len(record), maxRecordBytes)
+		if err := checkRecordSize(record); err != nil {
+			return err
 		}
 		framed := appendFrame(nil, record)
 		if _, err := w.Write(framed); err != nil {
 			return err
 		}
 		written += int64(len(framed))
+		nrec++
 		return nil
 	}
+	emitObject := func(h store.Hash, o store.ObjectRecord) error {
+		loc := objLoc{
+			base: o.Base, delta: o.Delta, size: o.Size, depth: o.Depth,
+			stored: len(o.Data), seg: seq, off: written,
+		}
+		if err := emit(encodeObject(h, o)); err != nil {
+			return err
+		}
+		locs[h] = loc
+		return nil
+	}
+	fail := func(err error) (int64, int64, map[store.Hash]objLoc, error) {
+		return 0, 0, nil, err
+	}
 	if _, err := w.WriteString(segMagic); err != nil {
-		return 0, err
+		return fail(err)
 	}
 	written += int64(len(segMagic))
 
 	for k, v := range meta {
 		if err := emit(encodeMeta(k, v)); err != nil {
-			return 0, err
+			return fail(err)
 		}
 	}
 	if err := emit(encodeNextID(rs.NextID)); err != nil {
-		return 0, err
+		return fail(err)
 	}
 	// Objects in chain order: snapshots first, then each delta after its
 	// base. Deltas whose base is outside the set (impossible for a
@@ -149,15 +190,15 @@ func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState
 			continue
 		}
 		emitted[h] = true
-		if err := emit(encodeObject(h, rs.Objects[h])); err != nil {
-			return 0, err
+		if err := emitObject(h, rs.Objects[h]); err != nil {
+			return fail(err)
 		}
 		stack = append(stack, children[h]...)
 	}
 	for h, o := range rs.Objects {
 		if !emitted[h] {
-			if err := emit(encodeObject(h, o)); err != nil {
-				return 0, err
+			if err := emitObject(h, o); err != nil {
+				return fail(err)
 			}
 		}
 	}
@@ -184,7 +225,7 @@ func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState
 		h := ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
 		if err := emit(encodeCommit(h, rs.Commits[h])); err != nil {
-			return 0, err
+			return fail(err)
 		}
 		done++
 		for _, d := range dependents[h] {
@@ -199,15 +240,15 @@ func writeCompacted(f *os.File, meta map[string]string, rs *store.RecoveredState
 		for h, c := range rs.Commits {
 			if waiting[h] > 0 {
 				if err := emit(encodeCommit(h, c)); err != nil {
-					return 0, err
+					return fail(err)
 				}
 			}
 		}
 	}
 	for name, b := range rs.Branches {
 		if err := emit(encodeBranch(name, b)); err != nil {
-			return 0, err
+			return fail(err)
 		}
 	}
-	return written, w.Flush()
+	return written, nrec, locs, w.Flush()
 }

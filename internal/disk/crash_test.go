@@ -30,9 +30,9 @@ import (
 
 // buildRandomHistory drives a persistent store through a random but
 // Ψ_lca-sound workload and returns it (its log closed, ready to damage).
-func buildRandomHistory(t *testing.T, dir string, rng *rand.Rand) *store.Store[mlog.State, mlog.Op, mlog.Val] {
+func buildRandomHistory(t *testing.T, dir string, rng *rand.Rand, opts ...disk.Option) *store.Store[mlog.State, mlog.Op, mlog.Val] {
 	t.Helper()
-	s, l, _ := openLogStore(t, dir, disk.WithSegmentBytes(4<<10))
+	s, l, _ := openLogStore(t, dir, append([]disk.Option{disk.WithSegmentBytes(4 << 10)}, opts...)...)
 	if err := s.Fork("main", "dev"); err != nil {
 		t.Fatal(err)
 	}
@@ -172,6 +172,73 @@ func isAncestor(s *store.Store[mlog.State, mlog.Op, mlog.Val], a, b store.Hash) 
 	return false
 }
 
+// checkRecoveryProperties asserts the durability contract on a recovered
+// store: (2) every recovered head exists in the undamaged original —
+// recovery can lose history, never invent it; (3) heads landed on
+// ancestors of their original positions; (4) the recovered replica
+// converges with the undamaged peer over ordinary delta sync and its
+// pack verifies clean afterwards. ((1), recovery succeeding at all, is
+// openLogStore's job — it fatals otherwise.)
+func checkRecoveryProperties(t *testing.T, what string, orig, s2 *store.Store[mlog.State, mlog.Op, mlog.Val]) {
+	t.Helper()
+	origHead, err := orig.HeadHash("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recHead, err := s2.HeadHash("main")
+	if err != nil {
+		t.Fatalf("%s: recovered store lost branch main: %v", what, err)
+	}
+	missing := 0
+	for _, b := range s2.Branches() {
+		h, err := s2.HeadHash(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := orig.Commit(h); !ok && s2.NumCommits() > 1 {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%s: recovered a head the original never committed", what)
+	}
+	if !isAncestor(orig, recHead, origHead) {
+		t.Fatalf("%s: recovered head %v is not a prefix of original %v", what, recHead, origHead)
+	}
+
+	// Convergence: cut the export at the recovered frontier, graft, pull
+	// — the recovered replica must land exactly on the original head
+	// state.
+	f, err := s2.Frontier("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, head, err := orig.ExportSincePacked("main", f.HaveSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Import("remote/orig", delta, head); err != nil {
+		t.Fatalf("%s: import after recovery: %v", what, err)
+	}
+	if err := s2.Pull("main", "remote/orig"); err != nil {
+		t.Fatalf("%s: pull after recovery: %v", what, err)
+	}
+	got, err := s2.Head("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Head("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got, want) {
+		t.Fatalf("%s: recovered replica did not converge with undamaged peer", what)
+	}
+	if err := s2.VerifyPack(); err != nil {
+		t.Fatalf("%s: VerifyPack after convergence: %v", what, err)
+	}
+}
+
 func TestCrashRecoveryProperty(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
 		seed := seed
@@ -180,80 +247,113 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				rng := rand.New(rand.NewSource(seed*31 + int64(mode)))
 				dir := filepath.Join(t.TempDir(), "log")
 				orig := buildRandomHistory(t, dir, rng)
-				origHead, err := orig.HeadHash("main")
-				if err != nil {
-					t.Fatal(err)
-				}
 
 				what := injure(t, dir, rng, mode)
 
-				// (1) Recovery must succeed: disk.Open truncates the
-				// damage, store.OpenRecovered validates the prefix and
-				// runs VerifyPack.
-				s2, l2, rec := openLogStore(t, dir, disk.WithSegmentBytes(4<<10))
+				// Recovery must succeed: disk.Open truncates the damage
+				// (retrying past a damaged checkpoint), and the store
+				// verifies the recovered prefix at open.
+				s2, l2, _ := openLogStore(t, dir, disk.WithSegmentBytes(4<<10))
 				defer l2.Close()
+				checkRecoveryProperties(t, what, orig, s2)
+			}
+		})
+	}
+}
 
-				// (2) Prefix property: every recovered commit exists in
-				// the undamaged store — recovery can lose history, never
-				// invent it. (GC'd commits cannot resurface: compaction
-				// deletes their records before the workload's final sync
-				// re-snapshots the live set.)
-				recHead, err := s2.HeadHash("main")
-				if err != nil {
-					t.Fatalf("%s: recovered store lost branch main: %v", what, err)
-				}
-				missing := 0
-				for _, b := range s2.Branches() {
-					h, err := s2.HeadHash(b)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if _, ok := orig.Commit(h); !ok && s2.NumCommits() > 1 {
-						missing++
-					}
-				}
-				if missing > 0 {
-					t.Fatalf("%s: recovered a head the original never committed", what)
-				}
-				// (3) Heads landed on ancestors of their original
-				// positions.
-				if !isAncestor(orig, recHead, origHead) {
-					t.Fatalf("%s: recovered head %v is not a prefix of original %v", what, recHead, origHead)
-				}
+// injureCheckpoint damages checkpoint-bearing state specifically: the
+// newest segment's head record is a checkpoint after a clean close, and
+// older segments hold the bytes its index references.
+func injureCheckpoint(t *testing.T, dir string, rng *rand.Rand, mode int) string {
+	t.Helper()
+	segs := segmentFiles(t, dir)
+	last := segs[len(segs)-1]
+	const hdr = 8 + 8 // segment magic + frame header
+	switch mode {
+	case 0: // truncate inside the checkpoint record: a torn checkpoint write
+		info, err := os.Stat(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := info.Size() - hdr
+		if limit <= 0 {
+			return "checkpoint too small to truncate"
+		}
+		cut := hdr + rng.Int63n(limit)
+		if err := os.Truncate(last, cut); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("truncate checkpoint %s at %d", filepath.Base(last), cut)
+	case 1: // flip a bit inside the checkpoint record's payload
+		f, err := os.OpenFile(last, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var lenb [4]byte
+		if _, err := f.ReadAt(lenb[:], 8); err != nil {
+			t.Fatal(err)
+		}
+		length := int64(lenb[0])<<24 | int64(lenb[1])<<16 | int64(lenb[2])<<8 | int64(lenb[3])
+		off := hdr + rng.Int63n(max(length, 1))
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 1 << uint(rng.Intn(8))
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("flip bit at %d inside checkpoint %s", off, filepath.Base(last))
+	default: // flip a bit in the oldest segment: bytes the checkpoint indexes
+		first := segs[0]
+		info, err := os.Stat(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() <= 8 {
+			return "first segment empty"
+		}
+		off := 8 + rng.Int63n(info.Size()-8)
+		f, err := os.OpenFile(first, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 1 << uint(rng.Intn(8))
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("flip bit at %d of indexed segment %s", off, filepath.Base(first))
+	}
+}
 
-				// (4) Convergence with the undamaged peer over delta
-				// sync: cut the export at the recovered frontier, graft,
-				// pull — the recovered replica must land exactly on the
-				// original head state.
-				f, err := s2.Frontier("main")
-				if err != nil {
-					t.Fatal(err)
-				}
-				delta, head, err := orig.ExportSincePacked("main", f.HaveSet())
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := s2.Import("remote/orig", delta, head); err != nil {
-					t.Fatalf("%s: import after recovery: %v", what, err)
-				}
-				if err := s2.Pull("main", "remote/orig"); err != nil {
-					t.Fatalf("%s: pull after recovery: %v", what, err)
-				}
-				got, err := s2.Head("main")
-				if err != nil {
-					t.Fatal(err)
-				}
-				want, err := orig.Head("main")
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !statesEqual(got, want) {
-					t.Fatalf("%s: recovered replica did not converge with undamaged peer", what)
-				}
-				if err := s2.VerifyPack(); err != nil {
-					t.Fatalf("%s: VerifyPack after convergence: %v", what, err)
-				}
-				_ = rec
+// TestCrashCheckpointDamage: damage aimed at the checkpoint machinery —
+// a torn or bit-flipped checkpoint record, or corruption in the older
+// bytes a checkpoint's index references — must still recover to a
+// verified prefix that re-converges over delta sync. The first two fall
+// back inside disk.Open (probe an older checkpoint or replay segments);
+// the third passes disk.Open but fails the store's verification, driving
+// openLogStore's full-replay ladder rung.
+func TestCrashCheckpointDamage(t *testing.T) {
+	opts := []disk.Option{disk.WithCheckpointEvery(4)}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			for mode := 0; mode < 3; mode++ {
+				rng := rand.New(rand.NewSource(seed*37 + int64(mode)))
+				dir := filepath.Join(t.TempDir(), "log")
+				orig := buildRandomHistory(t, dir, rng, opts...)
+
+				what := injureCheckpoint(t, dir, rng, mode)
+
+				s2, l2, _ := openLogStore(t, dir, append([]disk.Option{disk.WithSegmentBytes(4 << 10)}, opts...)...)
+				defer l2.Close()
+				checkRecoveryProperties(t, what, orig, s2)
 			}
 		})
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -78,11 +79,24 @@ type Options struct {
 	SegmentBytes int64
 	// Fsync is the append-path fsync policy.
 	Fsync Policy
+	// CheckpointEvery is the checkpoint cadence in mutations (Flush
+	// calls): once that many mutations accumulate since the last
+	// checkpoint, the next Flush seals the active segment and writes an
+	// index checkpoint at the head of a fresh one. Checkpoints are also
+	// written after every compaction and on clean Close. Zero or negative
+	// disables checkpointing entirely.
+	CheckpointEvery int
+	// FullReplay makes Open ignore checkpoints and replay every segment
+	// front to back — the recovery-of-last-resort mode the fallback
+	// ladder reopens with when a checkpoint-seeded open fails
+	// verification.
+	FullReplay bool
 }
 
-// DefaultOptions returns 64 MiB segments and FsyncNever.
+// DefaultOptions returns 64 MiB segments, FsyncNever, and a checkpoint
+// every 1024 mutations.
 func DefaultOptions() Options {
-	return Options{SegmentBytes: 64 << 20, Fsync: FsyncNever}
+	return Options{SegmentBytes: 64 << 20, Fsync: FsyncNever, CheckpointEvery: 1024}
 }
 
 // Option adjusts log construction.
@@ -97,6 +111,21 @@ func WithSegmentBytes(n int64) Option {
 // WithFsync sets the append-path fsync policy.
 func WithFsync(p Policy) Option {
 	return func(o *Options) { o.Fsync = p }
+}
+
+// WithCheckpointEvery sets the checkpoint cadence in mutations; zero or
+// negative disables checkpointing (every open replays segments). The
+// cadence is a floor, not an exact period: on deep histories checkpoints
+// self-throttle until the un-checkpointed suffix is a quarter of the
+// index, keeping total checkpoint bytes linear in the log (see
+// maybeCheckpointLocked). Clean closes always checkpoint.
+func WithCheckpointEvery(n int) Option {
+	return func(o *Options) { o.CheckpointEvery = n }
+}
+
+// WithFullReplay makes Open ignore checkpoints and replay every segment.
+func WithFullReplay() Option {
+	return func(o *Options) { o.FullReplay = true }
 }
 
 // Stats is a snapshot of the log's accounting.
@@ -118,6 +147,15 @@ type Stats struct {
 	// completed log rewrites.
 	Fsyncs      int64
 	Compactions int64
+	// Checkpoints counts checkpoint records written this session;
+	// CheckpointAge is the number of records appended (or replayed) since
+	// the last checkpoint — the suffix the next open must replay.
+	Checkpoints   int64
+	CheckpointAge int64
+	// RecoveryMode reports how Open rebuilt the state: "checkpoint"
+	// (seeked to an index snapshot), "replay" (scanned segments), or
+	// "cold" (nothing to recover).
+	RecoveryMode string
 }
 
 // Recovered is what Open replayed from an existing directory: the
@@ -135,7 +173,21 @@ type Recovered struct {
 	// discarded after it.
 	TruncatedBytes  int64
 	DroppedSegments int
+	// Mode is how the state was rebuilt: ModeCheckpoint, ModeReplay or
+	// ModeCold.
+	Mode string
 }
+
+// Recovery modes, as reported by Recovered.Mode and Stats.RecoveryMode.
+const (
+	// ModeCheckpoint: Open seeked to the newest valid checkpoint and
+	// replayed only the records after it.
+	ModeCheckpoint = "checkpoint"
+	// ModeReplay: no usable checkpoint; every segment was scanned.
+	ModeReplay = "replay"
+	// ModeCold: the directory held no records at all.
+	ModeCold = "cold"
+)
 
 func newRecovered() *Recovered {
 	return &Recovered{
@@ -166,14 +218,30 @@ type Log struct {
 	meta     map[string]string
 	closed   bool
 	closeErr error
+
+	// shadow mirrors the durable contents in index form so a checkpoint
+	// can be serialized at any moment (checkpoint.go); mutsSince and
+	// sinceCkpt drive the checkpoint cadence and the CheckpointAge stat;
+	// mode is how the last Open rebuilt the state.
+	shadow    shadowState
+	mutsSince int
+	sinceCkpt int64
+	mode      string
 }
 
-// Open opens (creating if needed) the pack log in dir and replays it.
-// The returned Recovered holds everything the log contained up to the
-// first torn or corrupted record; the suffix past that point has been
-// truncated on disk (and any later segments deleted), so a second Open
-// of the same directory replays identically. Stray temporary files from
-// an interrupted compaction are removed.
+// Open opens (creating if needed) the pack log in dir and recovers it.
+// Recovery seeks: the newest segment whose head record is a valid
+// checkpoint supplies the full index (commits, object locations — their
+// bytes stay on disk behind lazy loaders — branches, metadata), and only
+// the records after it replay, so open time is flat in history depth.
+// With no usable checkpoint (or WithFullReplay), every segment is
+// scanned — concurrently, one goroutine per segment bounded by
+// GOMAXPROCS — and applied in order. Either way the returned Recovered
+// holds everything the log contained up to the first torn or corrupted
+// record; the suffix past that point has been truncated on disk (and any
+// later segments deleted), so a second Open of the same directory
+// recovers identically. Stray temporary files from an interrupted
+// compaction or checkpoint are removed.
 func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 	o := DefaultOptions()
 	for _, opt := range opts {
@@ -199,18 +267,70 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, opts: o, meta: rec.Meta}
+	l := &Log{dir: dir, opts: o, meta: rec.Meta, shadow: newShadow()}
 
-	live := seqs[:0]
-	for i, seq := range seqs {
-		path := filepath.Join(dir, segName(seq))
-		good, torn, err := scanSegment(path, rec)
-		if err != nil {
-			return nil, nil, fmt.Errorf("disk: replaying %s: %w", path, err)
+	// Checkpoint seek: probe segment heads newest-first (one record read
+	// each); the first valid checkpoint supplies the index, and scanning
+	// starts at that segment, just past the checkpoint's frame.
+	start, ckEnd := 0, int64(0)
+	var ck *checkpoint
+	if !o.FullReplay {
+		for i := len(seqs) - 1; i >= 0; i-- {
+			if c, end, ok := probeCheckpoint(filepath.Join(dir, segName(seqs[i]))); ok {
+				ck, ckEnd, start = c, end, i
+				break
+			}
 		}
-		if !torn {
-			live = append(live, seq)
-			l.sealed += good
+	}
+	var keep []int
+	if ck != nil {
+		l.attachCheckpoint(rec, ck)
+		rec.Records++ // the checkpoint record itself
+		// Segments before the checkpoint are never scanned; they stay
+		// live as the lazy loaders' backing store.
+		for _, seq := range seqs[:start] {
+			info, err := os.Stat(filepath.Join(dir, segName(seq)))
+			if err != nil {
+				return nil, nil, err
+			}
+			keep = append(keep, seq)
+			l.sealed += info.Size()
+		}
+	}
+
+	// Scan the remaining segments concurrently, then apply their records
+	// in sequence order — records are idempotent upserts, but prefix
+	// consistency (and the torn-tail cut) is defined by append order.
+	scans := seqs[start:]
+	results := make([]segScan, len(scans))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, seq := range scans {
+		from := int64(0)
+		if ck != nil && i == 0 {
+			from = ckEnd
+		}
+		wg.Add(1)
+		go func(i, seq int, from int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = scanSegmentOps(filepath.Join(dir, segName(seq)), seq, from)
+		}(i, seq, from)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		path := filepath.Join(dir, segName(res.seq))
+		if res.err != nil {
+			return nil, nil, fmt.Errorf("disk: replaying %s: %w", path, res.err)
+		}
+		for j := range res.ops {
+			l.applyOp(rec, res.seq, &res.ops[j])
+		}
+		if !res.torn {
+			keep = append(keep, res.seq)
+			l.sealed += res.good
 			continue
 		}
 		// Torn or corrupt: keep the clean prefix of this segment, drop
@@ -220,21 +340,21 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		rec.TruncatedBytes += info.Size() - good
-		if good < int64(len(segMagic)) {
+		rec.TruncatedBytes += info.Size() - res.good
+		if res.good < int64(len(segMagic)) {
 			// Nothing usable (bad or missing header): remove the file.
 			if err := os.Remove(path); err != nil {
 				return nil, nil, err
 			}
 		} else {
-			if err := os.Truncate(path, good); err != nil {
+			if err := os.Truncate(path, res.good); err != nil {
 				return nil, nil, err
 			}
-			live = append(live, seq)
-			l.sealed += good
+			keep = append(keep, res.seq)
+			l.sealed += res.good
 		}
-		for _, later := range seqs[i+1:] {
-			laterPath := filepath.Join(dir, segName(later))
+		for _, later := range results[i+1:] {
+			laterPath := filepath.Join(dir, segName(later.seq))
 			if info, err := os.Stat(laterPath); err == nil {
 				rec.TruncatedBytes += info.Size()
 			}
@@ -251,7 +371,7 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 
 	// The last surviving segment becomes the active one; with none, a
 	// fresh segment 1 is created.
-	if len(live) == 0 {
+	if len(keep) == 0 {
 		if err := l.startSegment(1); err != nil {
 			return nil, nil, err
 		}
@@ -260,7 +380,7 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 			return nil, nil, err
 		}
 	} else {
-		seq := live[len(live)-1]
+		seq := keep[len(keep)-1]
 		path := filepath.Join(dir, segName(seq))
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -273,13 +393,64 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 		}
 		l.f, l.w, l.seq, l.size = f, newSegWriter(f), seq, info.Size()
 		l.sealed -= info.Size()
-		l.nseal = len(live) - 1
+		l.nseal = len(keep) - 1
 	}
 	rec.State.NextID = max(rec.State.NextID, maxBranchReplica(rec)+1)
+	l.shadow.nextID = rec.State.NextID
+	switch {
+	case ck != nil:
+		l.mode = ModeCheckpoint
+	case rec.Records > 0:
+		l.mode = ModeReplay
+	default:
+		l.mode = ModeCold
+	}
+	rec.Mode = l.mode
 	l.stats.RecoveredRecords = rec.Records
 	l.stats.TruncatedBytes = rec.TruncatedBytes
 	l.stats.DroppedSegments = rec.DroppedSegments
 	return l, rec, nil
+}
+
+// applyOp replays one decoded record into rec and the shadow index.
+func (l *Log) applyOp(rec *Recovered, seq int, op *scanOp) {
+	switch op.kind {
+	case recMeta:
+		rec.Meta[op.name] = op.value
+	case recCommit:
+		rec.State.Commits[op.hash] = op.commit
+		l.shadow.commits[op.hash] = op.commit
+	case recObject:
+		rec.State.Objects[op.hash] = op.object
+		l.shadow.objects[op.hash] = objLoc{
+			base: op.object.Base, delta: op.object.Delta, size: op.object.Size,
+			depth: op.object.Depth, stored: len(op.object.Data), seg: seq, off: op.off,
+		}
+	case recBranch:
+		rec.State.Branches[op.name] = op.branch
+		l.shadow.branches[op.name] = op.branch
+	case recBranchDel:
+		delete(rec.State.Branches, op.name)
+		delete(l.shadow.branches, op.name)
+	case recNextID:
+		if op.id > rec.State.NextID {
+			rec.State.NextID = op.id
+		}
+		if op.id > l.shadow.nextID {
+			l.shadow.nextID = op.id
+		}
+	case recCheckpoint:
+		// Only reachable during a full replay — the seek path consumes
+		// its checkpoint before scanning. Install-if-absent semantics
+		// make it a no-op for everything the scan already supplied.
+		l.mergeCheckpoint(rec, op.ckpt)
+	}
+	rec.Records++
+	if op.kind == recCheckpoint {
+		l.sinceCkpt = 0
+	} else {
+		l.sinceCkpt++
+	}
 }
 
 func maxBranchReplica(rec *Recovered) int {
@@ -302,45 +473,40 @@ func (l *Log) startSegment(seq int) error {
 	return nil
 }
 
-// append frames and writes one record, rotating first if the active
-// segment is full.
-func (l *Log) append(record []byte) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.appendLocked(record)
-}
-
-func (l *Log) appendLocked(record []byte) error {
+// appendLocked frames and writes one record, rotating first if the
+// active segment is full. It returns the segment and offset the record's
+// frame landed at — the coordinates the shadow index (and so every
+// checkpoint) records for lazy object loads.
+func (l *Log) appendLocked(record []byte) (seg int, off int64, err error) {
 	if l.closed {
-		return ErrClosed
+		return 0, 0, ErrClosed
 	}
 	if l.f == nil {
-		return errors.New("disk: log has no active segment (failed compaction)")
+		return 0, 0, errors.New("disk: log has no active segment (failed compaction)")
 	}
-	// Refuse records recovery would reject: writing one would make the
-	// next open treat it as corruption and truncate everything after it.
-	// Surfacing the error here makes the owning store fail-stop instead.
-	if len(record) > maxRecordBytes {
-		return fmt.Errorf("disk: %d-byte record exceeds the %d replay limit", len(record), maxRecordBytes)
+	if err := checkRecordSize(record); err != nil {
+		return 0, 0, err
 	}
 	framed := appendFrame(nil, record)
 	if l.size > int64(len(segMagic)) && l.size+int64(len(framed)) > l.opts.SegmentBytes {
 		if err := l.sealLocked(); err != nil {
-			return err
+			return 0, 0, err
 		}
 		if err := l.startSegment(l.seq + 1); err != nil {
-			return err
+			return 0, 0, err
 		}
 		if err := syncDir(l.dir); err != nil {
-			return err
+			return 0, 0, err
 		}
 	}
+	seg, off = l.seq, l.size
 	if _, err := l.w.Write(framed); err != nil {
-		return err
+		return 0, 0, err
 	}
 	l.size += int64(len(framed))
 	l.stats.Records++
-	return nil
+	l.sinceCkpt++
+	return seg, off, nil
 }
 
 // sealLocked flushes, fsyncs and closes the active segment. Sealed
@@ -364,27 +530,67 @@ func (l *Log) sealLocked() error {
 
 // AppendCommit implements store.Persister.
 func (l *Log) AppendCommit(h store.Hash, c store.Commit) error {
-	return l.append(encodeCommit(h, c))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, _, err := l.appendLocked(encodeCommit(h, c)); err != nil {
+		return err
+	}
+	l.shadow.commits[h] = c
+	return nil
 }
 
 // AppendObject implements store.Persister.
 func (l *Log) AppendObject(h store.Hash, o store.ObjectRecord) error {
-	return l.append(encodeObject(h, o))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seg, off, err := l.appendLocked(encodeObject(h, o))
+	if err != nil {
+		return err
+	}
+	stored := len(o.Data)
+	if o.Data == nil {
+		stored = o.Stored
+	}
+	l.shadow.objects[h] = objLoc{
+		base: o.Base, delta: o.Delta, size: o.Size, depth: o.Depth,
+		stored: stored, seg: seg, off: off,
+	}
+	return nil
 }
 
 // AppendBranch implements store.Persister.
 func (l *Log) AppendBranch(name string, b store.BranchRecord) error {
-	return l.append(encodeBranch(name, b))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, _, err := l.appendLocked(encodeBranch(name, b)); err != nil {
+		return err
+	}
+	l.shadow.branches[name] = b
+	return nil
 }
 
 // AppendBranchDelete implements store.Persister.
 func (l *Log) AppendBranchDelete(name string) error {
-	return l.append(encodeBranchDelete(name))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, _, err := l.appendLocked(encodeBranchDelete(name)); err != nil {
+		return err
+	}
+	delete(l.shadow.branches, name)
+	return nil
 }
 
 // AppendNextID implements store.Persister.
 func (l *Log) AppendNextID(id int) error {
-	return l.append(encodeNextID(id))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, _, err := l.appendLocked(encodeNextID(id)); err != nil {
+		return err
+	}
+	if id > l.shadow.nextID {
+		l.shadow.nextID = id
+	}
+	return nil
 }
 
 // SetMeta records a key/value pair describing the log (e.g. the object's
@@ -392,7 +598,7 @@ func (l *Log) AppendNextID(id int) error {
 func (l *Log) SetMeta(key, value string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.appendLocked(encodeMeta(key, value)); err != nil {
+	if _, _, err := l.appendLocked(encodeMeta(key, value)); err != nil {
 		return err
 	}
 	l.meta[key] = value
@@ -408,10 +614,23 @@ func (l *Log) Meta(key string) (string, bool) {
 }
 
 // Flush implements store.Persister: push buffered records to the OS and,
-// under FsyncAlways, to stable storage.
+// under FsyncAlways, to stable storage. Flush marks the end of one store
+// mutation, so it is also the checkpoint cadence's clock: every
+// CheckpointEvery mutations, the batch lands in a fresh segment headed
+// by an index checkpoint.
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return errors.New("disk: log has no active segment (failed compaction)")
+	}
+	l.mutsSince++
+	if err := l.maybeCheckpointLocked(); err != nil {
+		return err
+	}
 	return l.flushLocked()
 }
 
@@ -460,11 +679,23 @@ func (l *Log) Close() error {
 	if l.closed {
 		return l.closeErr
 	}
+	// A clean close checkpoints first when anything accumulated since the
+	// last one, so the next open seeks instead of replaying — an orderly
+	// restart recovers in flat time regardless of session length. Errors
+	// fall through to the normal close path and are reported once.
+	var ckErr error
+	if l.f != nil && l.opts.CheckpointEvery > 0 && l.sinceCkpt > 0 && len(l.shadow.branches) > 0 {
+		ckErr = l.checkpointLocked()
+	}
 	l.closed = true
 	if l.f == nil {
-		return nil
+		l.closeErr = ckErr
+		return ckErr
 	}
 	err := l.w.Flush()
+	if err == nil {
+		err = ckErr
+	}
 	if serr := l.f.Sync(); err == nil {
 		err = serr
 	}
@@ -491,6 +722,8 @@ func (l *Log) Stats() Stats {
 	} else {
 		st.Segments, st.Bytes = l.nseal+1, l.sealed+l.size
 	}
+	st.CheckpointAge = l.sinceCkpt
+	st.RecoveryMode = l.mode
 	return st
 }
 

@@ -13,7 +13,12 @@ import (
 )
 
 // openLogStore opens (or reopens) a persistent mergeable-log store in
-// dir and returns it with its log.
+// dir and returns it with its log. It opens with full pack verification
+// and drives the same recovery ladder the replica layer uses: a
+// checkpoint-seeded open whose index fails verification (a checkpoint
+// can reference bytes that crash damage corrupted behind it) is retried
+// once with a forced full replay, which truncates at the damage and
+// recovers the clean prefix.
 func openLogStore(t *testing.T, dir string, opts ...disk.Option) (*store.Store[mlog.State, mlog.Op, mlog.Val], *disk.Log, *disk.Recovered) {
 	t.Helper()
 	l, rec, err := disk.Open(dir, opts...)
@@ -21,7 +26,18 @@ func openLogStore(t *testing.T, dir string, opts ...disk.Option) (*store.Store[m
 		t.Fatalf("disk.Open: %v", err)
 	}
 	s, err := store.OpenRecovered[mlog.State, mlog.Op, mlog.Val](
-		mlog.Log{}, wire.MLog{}, "main", 0, &rec.State, store.WithPersister(l))
+		mlog.Log{}, wire.MLog{}, "main", 0, &rec.State,
+		store.WithPersister(l), store.WithVerifyOnOpen(true))
+	if err != nil && rec.Mode == disk.ModeCheckpoint {
+		l.Close()
+		l, rec, err = disk.Open(dir, append(append([]disk.Option(nil), opts...), disk.WithFullReplay())...)
+		if err != nil {
+			t.Fatalf("disk.Open (full replay): %v", err)
+		}
+		s, err = store.OpenRecovered[mlog.State, mlog.Op, mlog.Val](
+			mlog.Log{}, wire.MLog{}, "main", 0, &rec.State,
+			store.WithPersister(l), store.WithVerifyOnOpen(true))
+	}
 	if err != nil {
 		t.Fatalf("store.OpenRecovered: %v", err)
 	}
@@ -279,6 +295,147 @@ func TestFsyncAlways(t *testing.T) {
 		t.Fatalf("FsyncAlways recorded %d fsyncs for 5 mutations", st.Fsyncs)
 	}
 	l.Close()
+}
+
+// TestTmpSweep: stray temporary files left by a crashed compaction or
+// checkpoint are removed on open, and the log recovers normally around
+// them.
+func TestTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, l, _ := openLogStore(t, dir)
+	for i := 0; i < 5; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	want := headMsgs(t, s, "main")
+	l.Close()
+
+	tmp := filepath.Join(dir, "seg-00000099.log.tmp")
+	if err := os.WriteFile(tmp, []byte("half a compacted segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, l2, _ := openLogStore(t, dir)
+	defer l2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stray tmp file survived open: %v", err)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("recovery around a stray tmp file lost state")
+	}
+}
+
+// TestCheckpointSeek: a log written past its checkpoint cadence reopens
+// by seeking to the newest checkpoint — a clean close replays exactly one
+// record (the close checkpoint), whatever the history depth — and every
+// lazily indexed object still verifies and reads back.
+func TestCheckpointSeek(t *testing.T) {
+	dir := t.TempDir()
+	opts := []disk.Option{disk.WithCheckpointEvery(8), disk.WithSegmentBytes(4 << 10)}
+	s, l, _ := openLogStore(t, dir, opts...)
+	for i := 0; i < 50; i++ {
+		appendMsg(t, s, "main", "a message long enough to exercise delta chains")
+	}
+	if st := l.Stats(); st.Checkpoints == 0 {
+		t.Fatalf("no checkpoints after 50 mutations at cadence 8: %+v", st)
+	}
+	want := headMsgs(t, s, "main")
+	wantCommits := s.NumCommits()
+	l.Close()
+
+	s2, l2, rec := openLogStore(t, dir, opts...)
+	defer l2.Close()
+	if rec.Mode != disk.ModeCheckpoint {
+		t.Fatalf("recovered in mode %q, want %q", rec.Mode, disk.ModeCheckpoint)
+	}
+	if rec.Records != 1 {
+		t.Fatalf("replayed %d records after a clean close, want just the checkpoint", rec.Records)
+	}
+	st := l2.Stats()
+	if st.RecoveryMode != disk.ModeCheckpoint {
+		t.Fatalf("Stats().RecoveryMode = %q, want %q", st.RecoveryMode, disk.ModeCheckpoint)
+	}
+	if st.CheckpointAge != 0 {
+		t.Fatalf("CheckpointAge = %d just after a checkpoint-seeded open", st.CheckpointAge)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("checkpoint recovery lost state")
+	}
+	if n := s2.NumCommits(); n != wantCommits {
+		t.Fatalf("checkpoint recovery has %d commits, want %d", n, wantCommits)
+	}
+	// VerifyPack walks every chain, forcing each lazy object through its
+	// on-disk re-read and CRC check.
+	if err := s2.VerifyPack(); err != nil {
+		t.Fatalf("VerifyPack over lazily recovered objects: %v", err)
+	}
+	// The age ticks with new records and the log stays writable.
+	appendMsg(t, s2, "main", "after seek")
+	if st := l2.Stats(); st.CheckpointAge == 0 {
+		t.Fatalf("CheckpointAge did not advance with new records")
+	}
+}
+
+// TestCheckpointDisabled: cadence 0 turns checkpoints off; every open is
+// a full segment replay.
+func TestCheckpointDisabled(t *testing.T) {
+	dir := t.TempDir()
+	opts := []disk.Option{disk.WithCheckpointEvery(0)}
+	s, l, _ := openLogStore(t, dir, opts...)
+	for i := 0; i < 20; i++ {
+		appendMsg(t, s, "main", "m")
+	}
+	if st := l.Stats(); st.Checkpoints != 0 {
+		t.Fatalf("checkpoints written while disabled: %+v", st)
+	}
+	want := headMsgs(t, s, "main")
+	l.Close()
+
+	s2, l2, rec := openLogStore(t, dir, opts...)
+	defer l2.Close()
+	if rec.Mode != disk.ModeReplay {
+		t.Fatalf("recovered in mode %q, want %q", rec.Mode, disk.ModeReplay)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("replay recovery lost state")
+	}
+}
+
+// TestFullReplayMatchesCheckpoint: WithFullReplay ignores checkpoints
+// and lands on exactly the same state the seek path recovers.
+func TestFullReplayMatchesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := []disk.Option{disk.WithCheckpointEvery(8), disk.WithSegmentBytes(4 << 10)}
+	s, l, _ := openLogStore(t, dir, opts...)
+	for i := 0; i < 40; i++ {
+		appendMsg(t, s, "main", "a message long enough to exercise delta chains")
+	}
+	want := headMsgs(t, s, "main")
+	wantHead, _ := s.HeadHash("main")
+	wantCommits := s.NumCommits()
+	l.Close()
+
+	s2, l2, rec := openLogStore(t, dir, append(append([]disk.Option(nil), opts...), disk.WithFullReplay())...)
+	if rec.Mode != disk.ModeReplay {
+		t.Fatalf("full replay reported mode %q", rec.Mode)
+	}
+	if got := headMsgs(t, s2, "main"); !statesEqual(got, want) {
+		t.Fatalf("full replay recovered different state")
+	}
+	if h, _ := s2.HeadHash("main"); h != wantHead {
+		t.Fatalf("full replay head %v, want %v", h, wantHead)
+	}
+	if n := s2.NumCommits(); n != wantCommits {
+		t.Fatalf("full replay has %d commits, want %d", n, wantCommits)
+	}
+	l2.Close()
+
+	s3, l3, rec3 := openLogStore(t, dir, opts...)
+	defer l3.Close()
+	if rec3.Mode != disk.ModeCheckpoint {
+		t.Fatalf("seek reopen reported mode %q", rec3.Mode)
+	}
+	if h, _ := s3.HeadHash("main"); h != wantHead {
+		t.Fatalf("seek recovery head %v, want %v", h, wantHead)
+	}
 }
 
 // TestClosedLog: appends after Close fail, and the owning store surfaces

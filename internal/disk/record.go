@@ -34,6 +34,10 @@ const (
 	recBranchDel byte = 5
 	// recNextID advances the replica-id allocator floor.
 	recNextID byte = 6
+	// recCheckpoint is a full index snapshot — commits, object locations,
+	// branches, metadata, allocator floor — written as the first record of
+	// a fresh segment so Open can seek past history (checkpoint.go).
+	recCheckpoint byte = 7
 )
 
 func encodeMeta(key, value string) []byte {
@@ -96,76 +100,81 @@ func frame(kind byte, body []byte) []byte {
 	return append(payload, body...)
 }
 
-// applyRecord replays one checksummed payload into rec. Errors mean the
-// payload does not parse as its declared kind — with the checksum
+// scanOp is one decoded record, tagged with the offset its frame starts
+// at within its segment — replay applies ops in order, checkpoints index
+// object ops by that position. Only the fields for the record's kind are
+// populated.
+type scanOp struct {
+	kind   byte
+	off    int64
+	hash   store.Hash
+	commit store.Commit
+	object store.ObjectRecord
+	name   string
+	value  string
+	branch store.BranchRecord
+	id     int
+	ckpt   *checkpoint
+}
+
+// decodeRecord parses one checksummed payload into a scanOp. Errors mean
+// the payload does not parse as its declared kind — with the checksum
 // already verified that indicates a format mismatch, which recovery
-// treats exactly like corruption: truncate here.
-func applyRecord(rec *Recovered, payload []byte) error {
+// treats exactly like corruption: truncate here. Decoded fields never
+// alias payload (the wire reader copies), so the caller may reuse its
+// buffer.
+func decodeRecord(payload []byte, off int64) (scanOp, error) {
+	op := scanOp{off: off}
 	if len(payload) == 0 {
-		return fmt.Errorf("empty record")
+		return op, fmt.Errorf("empty record")
 	}
-	kind, body := payload[0], payload[1:]
+	op.kind = payload[0]
+	body := payload[1:]
 	r := wire.NewReader(body)
-	switch kind {
+	switch op.kind {
 	case recMeta:
-		key := r.String()
-		value := r.String()
-		if err := r.Close(); err != nil {
-			return err
-		}
-		rec.Meta[key] = value
+		op.name = r.String()
+		op.value = r.String()
 	case recCommit:
-		h := r.Hash()
-		var c store.Commit
+		op.hash = r.Hash()
 		np := r.Len(len(store.Hash{}))
 		for i := 0; i < np; i++ {
-			c.Parents = append(c.Parents, r.Hash())
+			op.commit.Parents = append(op.commit.Parents, r.Hash())
 		}
-		c.State = r.Hash()
-		c.Gen = int(r.Int64())
-		c.Time = r.Timestamp()
-		if err := r.Close(); err != nil {
-			return err
-		}
-		rec.State.Commits[h] = c
+		op.commit.State = r.Hash()
+		op.commit.Gen = int(r.Int64())
+		op.commit.Time = r.Timestamp()
 	case recObject:
-		h := r.Hash()
-		var o store.ObjectRecord
-		o.Delta = r.Bool()
-		o.Base = r.Hash()
-		o.Size = int(r.Int64())
-		o.Depth = int(r.Int64())
-		o.Data = r.Bytes()
-		if err := r.Close(); err != nil {
-			return err
-		}
-		rec.State.Objects[h] = o
+		op.hash = r.Hash()
+		op.object.Delta = r.Bool()
+		op.object.Base = r.Hash()
+		op.object.Size = int(r.Int64())
+		op.object.Depth = int(r.Int64())
+		op.object.Data = r.Bytes()
 	case recBranch:
-		name := r.String()
-		var b store.BranchRecord
-		b.Head = r.Hash()
-		b.Replica = int(r.Int64())
-		b.Clock = r.Int64()
-		if err := r.Close(); err != nil {
-			return err
-		}
-		rec.State.Branches[name] = b
+		op.name = r.String()
+		op.branch.Head = r.Hash()
+		op.branch.Replica = int(r.Int64())
+		op.branch.Clock = r.Int64()
 	case recBranchDel:
-		name := r.String()
-		if err := r.Close(); err != nil {
-			return err
-		}
-		delete(rec.State.Branches, name)
+		op.name = r.String()
 	case recNextID:
-		id := int(r.Int64())
-		if err := r.Close(); err != nil {
-			return err
+		op.id = int(r.Int64())
+	case recCheckpoint:
+		// decodeCheckpoint adopts its index sections by reference, and the
+		// scan loop reuses its payload buffer across records — this is the
+		// one kind that must copy.
+		ck, err := decodeCheckpoint(append([]byte(nil), body...))
+		if err != nil {
+			return op, err
 		}
-		if id > rec.State.NextID {
-			rec.State.NextID = id
-		}
+		op.ckpt = ck
+		return op, nil
 	default:
-		return fmt.Errorf("unknown record kind %d", kind)
+		return op, fmt.Errorf("unknown record kind %d", op.kind)
 	}
-	return nil
+	if err := r.Close(); err != nil {
+		return op, err
+	}
+	return op, nil
 }

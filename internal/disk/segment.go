@@ -73,6 +73,18 @@ func listSegments(dir string) ([]int, error) {
 	return seqs, nil
 }
 
+// checkRecordSize refuses records recovery would reject: writing one
+// would make the next open treat it as corruption and truncate
+// everything after it. Surfacing the error at write time makes the
+// owning store fail-stop instead. (Shared by the append path and
+// compaction's emitter — the bound must be one number.)
+func checkRecordSize(record []byte) error {
+	if len(record) > maxRecordBytes {
+		return fmt.Errorf("disk: %d-byte record exceeds the %d replay limit", len(record), maxRecordBytes)
+	}
+	return nil
+}
+
 // appendFrame appends one framed record to buf: length, checksum,
 // payload.
 func appendFrame(buf, payload []byte) []byte {
@@ -84,14 +96,29 @@ func appendFrame(buf, payload []byte) []byte {
 // framedLen is the on-disk size of a payload once framed.
 func framedLen(payload []byte) int64 { return int64(8 + len(payload)) }
 
-// scanSegment replays one segment file into rec. It returns the number
-// of bytes that parsed cleanly (header included) and whether the file
-// ended mid-record or failed a checksum — the torn-tail signal. I/O
-// errors other than EOF surface as err.
-func scanSegment(path string, rec *Recovered) (good int64, torn bool, err error) {
+// segScan is one segment's decoded contents: its records in append
+// order, the number of bytes that parsed cleanly (header included), and
+// whether the file ended mid-record or failed a checksum — the torn-tail
+// signal. Scans are independent per segment, so Open runs them
+// concurrently and applies the results in sequence order.
+type segScan struct {
+	seq  int
+	ops  []scanOp
+	good int64
+	torn bool
+	err  error
+}
+
+// scanSegmentOps decodes the segment at path from byte offset from
+// (clamped to just past the magic header, which is always verified).
+// A non-zero from lets the checkpoint path skip the already-decoded
+// head record. I/O errors other than EOF surface as err.
+func scanSegmentOps(path string, seq int, from int64) segScan {
+	res := segScan{seq: seq}
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, false, err
+		res.err = err
+		return res
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
@@ -99,31 +126,53 @@ func scanSegment(path string, rec *Recovered) (good int64, torn bool, err error)
 	var magic [len(segMagic)]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, true, nil
+			res.torn = true
+			return res
 		}
-		return 0, false, err
+		res.err = err
+		return res
 	}
 	if string(magic[:]) != segMagic {
-		return 0, true, nil
+		res.torn = true
+		return res
 	}
-	good = int64(len(segMagic))
+	res.good = int64(len(segMagic))
+	if from > res.good {
+		// Seek, don't read: the skipped prefix is the checkpoint record the
+		// probe already decoded, megabytes the scan would otherwise pull
+		// through its buffer just to discard. The probe's frame read proves
+		// the file extends to from; a shorter file is a torn prefix.
+		if st, err := f.Stat(); err != nil || st.Size() < from {
+			res.torn = true
+			return res
+		}
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			res.err = err
+			return res
+		}
+		r.Reset(f)
+		res.good = from
+	}
 
 	var hdr [8]byte
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if err == io.EOF {
-				return good, false, nil // clean end of segment
+				return res // clean end of segment
 			}
 			if err == io.ErrUnexpectedEOF {
-				return good, true, nil
+				res.torn = true
+				return res
 			}
-			return good, false, err
+			res.err = err
+			return res
 		}
 		length := binary.BigEndian.Uint32(hdr[0:4])
 		sum := binary.BigEndian.Uint32(hdr[4:8])
 		if length > maxRecordBytes {
-			return good, true, nil
+			res.torn = true
+			return res
 		}
 		if cap(payload) < int(length) {
 			payload = make([]byte, length)
@@ -131,22 +180,52 @@ func scanSegment(path string, rec *Recovered) (good int64, torn bool, err error)
 		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return good, true, nil
+				res.torn = true
+				return res
 			}
-			return good, false, err
+			res.err = err
+			return res
 		}
 		if crc32.Checksum(payload, castagnoli) != sum {
-			return good, true, nil
+			res.torn = true
+			return res
 		}
-		if err := applyRecord(rec, payload); err != nil {
+		op, err := decodeRecord(payload, res.good)
+		if err != nil {
 			// The checksum passed but the payload does not parse: a
 			// format mismatch is handled like corruption — keep the
 			// prefix, drop the rest.
-			return good, true, nil
+			res.torn = true
+			return res
 		}
-		good += framedLen(payload)
-		rec.Records++
+		res.ops = append(res.ops, op)
+		res.good += framedLen(payload)
 	}
+}
+
+// readFrameAt reads and checksum-verifies the single framed record at
+// offset off, returning its payload and the offset just past the frame.
+// It is the random-access complement to scanSegmentOps: checkpoint
+// probing reads a segment's head record with it, lazy object loads
+// re-read one record mid-file.
+func readFrameAt(f io.ReaderAt, off int64) (payload []byte, end int64, err error) {
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if length > maxRecordBytes {
+		return nil, 0, fmt.Errorf("frame at %d announces %d bytes", off, length)
+	}
+	payload = make([]byte, length)
+	if _, err := f.ReadAt(payload, off+8); err != nil {
+		return nil, 0, err
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("frame at %d fails its checksum", off)
+	}
+	return payload, off + 8 + int64(length), nil
 }
 
 // newSegWriter wraps a segment file in the log's standard write buffer.

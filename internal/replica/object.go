@@ -73,17 +73,43 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 		return to, nil
 	}
 
-	log, rec, err := disk.Open(n.cfg.objectDir(object), n.cfg.logOptions()...)
+	// The recovery ladder: open normally (checkpoint seek with lazy
+	// state, falling back to segment replay inside disk.Open), and if the
+	// recovered index fails store-level validation, reopen once with a
+	// forced full replay — the checkpoint may index bytes that a crash
+	// damaged behind it, and a full replay truncates at the damage and
+	// recovers the clean prefix instead.
+	dir := n.cfg.objectDir(object)
+	logOpts := n.cfg.logOptions()
+	log, rec, err := disk.Open(dir, logOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: opening storage for %q: %v", ErrObject, object, err)
 	}
-	fail := func(err error) (*TypedObject[S, Op, Val], error) {
+	st, err := openRecoveredStore(n, log, rec, object, datatype, impl, codec)
+	if err != nil && rec.Mode == disk.ModeCheckpoint {
+		log.Close()
+		log, rec, err = disk.Open(dir, append(append([]disk.Option(nil), logOpts...), disk.WithFullReplay())...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening storage for %q: %v", ErrObject, object, err)
+		}
+		st, err = openRecoveredStore(n, log, rec, object, datatype, impl, codec)
+	}
+	if err != nil {
 		log.Close()
 		return nil, err
 	}
+	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st, log: log}
+	n.objects[object] = &objectEntry{obj: to, log: log}
+	return to, nil
+}
+
+// openRecoveredStore checks the log's datatype guard (stamping it on
+// first open) and builds the object's store from the recovered state —
+// one rung of Ensure's recovery ladder.
+func openRecoveredStore[S, Op, Val any](n *Node, log *disk.Log, rec *disk.Recovered, object, datatype string, impl core.MRDT[S, Op, Val], codec store.Codec[S]) (*store.Store[S, Op, Val], error) {
 	if dt, ok := log.Meta("datatype"); ok {
 		if dt != datatype {
-			return fail(fmt.Errorf("%w: storage for %q holds datatype %s, want %s", ErrObject, object, dt, datatype))
+			return nil, fmt.Errorf("%w: storage for %q holds datatype %s, want %s", ErrObject, object, dt, datatype)
 		}
 	} else {
 		// Record the datatype *before* the store writes its first
@@ -91,17 +117,18 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 		// no type guard. (A meta-less log with recovered branches —
 		// pre-guard or damaged — gets the guard stamped now.)
 		if err := log.SetMeta("datatype", datatype); err != nil {
-			return fail(fmt.Errorf("%w: storage for %q: %v", ErrObject, object, err))
+			return nil, fmt.Errorf("%w: storage for %q: %v", ErrObject, object, err)
 		}
 	}
-	st, err := store.OpenRecovered(impl, codec, n.name, n.replicaID*64, &rec.State,
-		append(append([]store.Option(nil), n.cfg.storeOpts...), store.WithPersister(log))...)
-	if err != nil {
-		return fail(fmt.Errorf("%w: recovering %q: %v", ErrObject, object, err))
+	storeOpts := append(append([]store.Option(nil), n.cfg.storeOpts...), store.WithPersister(log))
+	if n.cfg.verifyOnOpen {
+		storeOpts = append(storeOpts, store.WithVerifyOnOpen(true))
 	}
-	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st, log: log}
-	n.objects[object] = &objectEntry{obj: to, log: log}
-	return to, nil
+	st, err := store.OpenRecovered(impl, codec, n.name, n.replicaID*64, &rec.State, storeOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recovering %q: %v", ErrObject, object, err)
+	}
+	return st, nil
 }
 
 // Datatype returns the object's registered datatype name.

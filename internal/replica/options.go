@@ -18,6 +18,12 @@ type nodeConfig struct {
 	storageDir string
 	fsync      disk.Policy
 	segBytes   int64
+	// checkpointEvery overrides the log's checkpoint cadence when ckptSet
+	// (zero and below disable checkpoints); verifyOnOpen turns the full
+	// pack verification back on at open time.
+	checkpointEvery int
+	ckptSet         bool
+	verifyOnOpen    bool
 }
 
 // NodeOption adjusts node construction.
@@ -48,6 +54,25 @@ func WithFsync(p disk.Policy) NodeOption {
 // node's object logs; it has no effect without WithStorage.
 func WithSegmentBytes(n int64) NodeOption {
 	return func(c *nodeConfig) { c.segBytes = n }
+}
+
+// WithCheckpointEvery sets the checkpoint cadence of the node's object
+// logs: after n mutations (a floor — deep logs throttle to geometric
+// spacing) the log writes an index checkpoint, so reopening seeks past
+// history instead of replaying it. Zero or negative disables
+// checkpointing. It has no effect without WithStorage.
+func WithCheckpointEvery(n int) NodeOption {
+	return func(c *nodeConfig) { c.checkpointEvery, c.ckptSet = n, true }
+}
+
+// WithVerifyOnOpen makes every object open fully verify its recovered
+// pack — reassembling and decoding each retained state — before the
+// object is handed out, failing at open instead of on first read. The
+// default (off) validates the commit index only and leaves state bytes
+// on disk until used, which is what keeps reopening flat in history
+// depth. It has no effect without WithStorage.
+func WithVerifyOnOpen(v bool) NodeOption {
+	return func(c *nodeConfig) { c.verifyOnOpen = v }
 }
 
 // objectDirName maps an object name to a filesystem-safe directory name:
@@ -83,6 +108,9 @@ func (c *nodeConfig) logOptions() []disk.Option {
 	opts := []disk.Option{disk.WithFsync(c.fsync)}
 	if c.segBytes > 0 {
 		opts = append(opts, disk.WithSegmentBytes(c.segBytes))
+	}
+	if c.ckptSet {
+		opts = append(opts, disk.WithCheckpointEvery(c.checkpointEvery))
 	}
 	return opts
 }

@@ -90,13 +90,13 @@ func (s *Store[S, Op, Val]) export(b string, have []Hash, packed bool) ([]Export
 	var lastHash Hash
 	var lastEnc []byte
 	for _, h := range order {
-		c := s.commits[h]
+		c := s.commitAtLocked(h)
 		ec := ExportedCommit{
 			Parents: append([]Hash(nil), c.Parents...),
 			Gen:     c.Gen,
 			Time:    c.Time,
 		}
-		obj := s.objects[c.State]
+		obj, _ := s.objLocked(c.State)
 		switch parentState, hasParent := s.parentState(c); {
 		case packed && hasParent && c.State == parentState:
 			// A deduplicated no-op commit pins exactly its parent's
@@ -104,7 +104,11 @@ func (s *Store[S, Op, Val]) export(b string, have []Hash, packed bool) ([]Export
 			// stored chain (based elsewhere) would force a full ship.
 			ec.Patch = delta.Identity(obj.size)
 		case packed && hasParent && obj.delta && obj.base == parentState:
-			ec.Patch = append([]byte(nil), obj.data...)
+			patch, err := obj.bytes()
+			if err != nil {
+				return nil, Hash{}, err
+			}
+			ec.Patch = append([]byte(nil), patch...)
 		default:
 			enc, err := s.materializeHintLocked(c.State, lastHash, lastEnc)
 			if err != nil {
@@ -123,7 +127,7 @@ func (s *Store[S, Op, Val]) parentState(c Commit) (Hash, bool) {
 	if len(c.Parents) == 0 {
 		return Hash{}, false
 	}
-	return s.commits[c.Parents[0]].State, true
+	return s.commitAtLocked(c.Parents[0]).State, true
 }
 
 // topoOrder returns the ancestors of head (inclusive) with every commit
@@ -147,7 +151,7 @@ func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash 
 		switch state[h] {
 		case 0:
 			state[h] = 1
-			for _, p := range s.commits[h].Parents {
+			for _, p := range s.commitAtLocked(h).Parents {
 				if state[p] == 0 && !cut[p] {
 					stack = append(stack, p)
 				}
@@ -193,7 +197,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		// one gets a rejected import instead of silently wrong merges.
 		wantGen := 1
 		for _, p := range ec.Parents {
-			pc, known := s.commits[p]
+			pc, known := s.commitLocked(p)
 			if !known {
 				return fmt.Errorf("%w: commit %d references unknown parent %v", ErrBadImport, i, p)
 			}
@@ -210,7 +214,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		var chainBase Hash
 		var patch []byte
 		if len(ec.Parents) > 0 {
-			chainBase = s.commits[ec.Parents[0]].State
+			chainBase = s.commitAtLocked(ec.Parents[0]).State
 		}
 		if ec.Patch != nil {
 			if ec.State != nil {
@@ -235,7 +239,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		// a non-canonical encoding would give one logical state two
 		// content addresses and fork identical histories forever.
 		st := sha256.Sum256(enc)
-		if _, known := s.objects[st]; !known {
+		if !s.objExistsLocked(st) {
 			state, err := s.codec.Decode(enc)
 			if err != nil {
 				return fmt.Errorf("%w: commit %d state: %v", ErrBadImport, i, err)
@@ -254,7 +258,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 		}
 		s.putCommit(Commit{Parents: append([]Hash(nil), ec.Parents...), State: st, Gen: ec.Gen, Time: ec.Time})
 	}
-	if _, ok := s.commits[head]; !ok {
+	if !s.commitExistsLocked(head) {
 		return fmt.Errorf("%w: advertised head %v not present after import", ErrBadImport, head)
 	}
 	if _, ok := s.heads[name]; !ok {
@@ -275,7 +279,7 @@ func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head H
 	// branch to an already-known head), but head commits always carry the
 	// largest timestamp of their history, so observing the head covers
 	// whatever arrived through other tracking branches.
-	maxT := s.commits[head].Time
+	maxT := s.commitAtLocked(head).Time
 	for _, ec := range commits {
 		if ec.Time > maxT {
 			maxT = ec.Time

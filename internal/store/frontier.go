@@ -45,7 +45,7 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 	if !ok {
 		return Frontier{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	headGen := s.commits[head].Gen
+	headGen := s.commitAtLocked(head).Gen
 	sparseCap := s.opts.FrontierMaxHave / 4
 	if sparseCap < 1 && s.opts.FrontierMaxHave > 1 {
 		sparseCap = 1
@@ -59,7 +59,7 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 		h := queue[0]
 		queue = queue[1:]
 		if h != head {
-			switch d := headGen - s.commits[h].Gen; {
+			switch d := headGen - s.commitAtLocked(h).Gen; {
 			case d <= s.opts.FrontierDense:
 				if len(dense) < denseCap {
 					dense = append(dense, h)
@@ -70,7 +70,7 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 				}
 			}
 		}
-		for _, p := range s.commits[h].Parents {
+		for _, p := range s.commitAtLocked(h).Parents {
 			if !seen[p] {
 				seen[p] = true
 				queue = append(queue, p)

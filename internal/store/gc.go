@@ -21,6 +21,12 @@ func (s *Store[S, Op, Val]) GC() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// The sweep iterates the full commit map, rewrites the object set in
+	// place (depth fixes, deletions) and ends in a log compaction that
+	// invalidates frozen (segment, offset) positions, so a
+	// checkpoint-recovered index must dissolve into the maps first.
+	s.thawLocked()
+
 	live := make(map[Hash]bool)
 	for _, head := range s.heads {
 		for h := range s.ancestors(head) {
@@ -106,7 +112,11 @@ func (s *Store[S, Op, Val]) GC() int {
 	// counting return stays useful, and the next mutation surfaces the
 	// error.
 	if p := s.opts.Persister; p != nil && s.persistErr == nil {
-		if err := p.Compact(s.liveStateLocked()); err != nil {
+		rs, err := s.liveStateLocked()
+		if err == nil {
+			err = p.Compact(rs)
+		}
+		if err != nil {
 			s.persistErr = err
 		}
 	}
@@ -117,7 +127,7 @@ func (s *Store[S, Op, Val]) GC() int {
 func (s *Store[S, Op, Val]) NumCommits() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.commits)
+	return s.numCommitsLocked()
 }
 
 // DeleteBranch removes a branch head (its commits become collectable once

@@ -43,24 +43,25 @@ func (s *Store[S, Op, Val]) foldBases(cands []Hash, rec func(a, b Hash) (Hash, e
 		if err != nil {
 			return Hash{}, err
 		}
-		vbaseState, err := s.stateLocked(s.commits[vbase].State)
+		baseCommit, nextCommit := s.commitAtLocked(base), s.commitAtLocked(next)
+		vbaseState, err := s.stateLocked(s.commitAtLocked(vbase).State)
 		if err != nil {
 			return Hash{}, err
 		}
-		baseState, err := s.stateLocked(s.commits[base].State)
+		baseState, err := s.stateLocked(baseCommit.State)
 		if err != nil {
 			return Hash{}, err
 		}
-		nextState, err := s.stateLocked(s.commits[next].State)
+		nextState, err := s.stateLocked(nextCommit.State)
 		if err != nil {
 			return Hash{}, err
 		}
 		merged := s.impl.Merge(vbaseState, baseState, nextState)
-		gen := s.commits[base].Gen
-		if g := s.commits[next].Gen; g > gen {
-			gen = g
+		gen := baseCommit.Gen
+		if nextCommit.Gen > gen {
+			gen = nextCommit.Gen
 		}
-		st := s.putState(merged, s.commits[base].State)
+		st := s.putState(merged, baseCommit.State)
 		base = s.putCommit(Commit{
 			Parents: []Hash{base, next},
 			State:   st,
@@ -88,7 +89,7 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 	if a == b {
 		return []Hash{a}
 	}
-	p := newPainter(s.commits, flagStale)
+	p := newPainter(s.commitAtLocked, flagStale)
 	p.add(a, flagP1)
 	p.add(b, flagP2)
 	var maximal []Hash
@@ -98,7 +99,7 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 			maximal = append(maximal, h)
 			f |= flagStale
 		}
-		for _, par := range s.commits[h].Parents {
+		for _, par := range s.commitAtLocked(h).Parents {
 			p.add(par, f)
 		}
 	}
@@ -123,22 +124,23 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 // commits cannot reach the base going down). Total cost is O(region),
 // not O(n²).
 func (s *Store[S, Op, Val]) soundBase(base, a, b Hash) bool {
-	baseGen := s.commits[base].Gen
-	p := newPainter(s.commits, flagBase)
+	baseGen := s.commitAtLocked(base).Gen
+	p := newPainter(s.commitAtLocked, flagBase)
 	p.add(base, flagBase)
 	p.add(a, flagHead)
 	p.add(b, flagHead)
 	memo := make(map[Hash]bool)
 	for p.active() {
 		h, f := p.pop()
+		parents := s.commitAtLocked(h).Parents
 		if f&flagBase != 0 {
 			// Inside the base's history: exempt, and everything below is
 			// too, so only the base color continues downward.
 			f = flagBase
-		} else if len(s.commits[h].Parents) == 1 && !s.descendsWithin(h, base, baseGen, memo) {
+		} else if len(parents) == 1 && !s.descendsWithin(h, base, baseGen, memo) {
 			return false
 		}
-		for _, par := range s.commits[h].Parents {
+		for _, par := range parents {
 			p.add(par, f)
 		}
 	}
@@ -156,7 +158,7 @@ func (s *Store[S, Op, Val]) descendsWithin(h, base Hash, baseGen int, memo map[H
 		if x == base {
 			return true, true
 		}
-		if s.commits[x].Gen <= baseGen {
+		if s.commitAtLocked(x).Gen <= baseGen {
 			return false, true
 		}
 		v, ok := memo[x]
@@ -173,7 +175,7 @@ func (s *Store[S, Op, Val]) descendsWithin(h, base Hash, baseGen int, memo map[H
 			continue
 		}
 		settled, verdict := true, false
-		for _, par := range s.commits[cur].Parents {
+		for _, par := range s.commitAtLocked(cur).Parents {
 			v, ok := decided(par)
 			if !ok {
 				stack = append(stack, par)

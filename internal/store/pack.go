@@ -29,7 +29,8 @@ var ErrCorruptPack = errors.New("store: corrupt pack object")
 // packObject is one stored state encoding.
 type packObject struct {
 	// data is the full encoding when delta is false, the patch against
-	// base's encoding when delta is true.
+	// base's encoding when delta is true. nil for a lazily recovered
+	// object whose bytes are still on disk; bytes() loads it on first use.
 	data []byte
 	// base is the state hash the patch chains to (zero for snapshots).
 	base Hash
@@ -41,6 +42,38 @@ type packObject struct {
 	// depth is the number of patches between this object and its chain's
 	// snapshot; snapshots are depth 0.
 	depth int
+	// stored is the length of the stored bytes (== len(data) once
+	// resident); recovery records it so PackStats stays exact without
+	// forcing lazy objects off disk.
+	stored int
+	// load fetches the stored bytes of a lazily recovered object from the
+	// durable log; nil when data is resident. once/loadErr make the fetch
+	// race-safe under the store's shared read lock.
+	load    func() ([]byte, error)
+	once    sync.Once
+	loadErr error
+}
+
+// bytes returns the object's stored bytes, fetching them from the
+// durable log on first use for lazily recovered objects. Safe under the
+// store's read lock: sync.Once publishes data with a happens-before edge
+// for every concurrent reader.
+func (o *packObject) bytes() ([]byte, error) {
+	if o.load == nil {
+		return o.data, nil
+	}
+	o.once.Do(func() {
+		data, err := o.load()
+		if err != nil {
+			o.loadErr = fmt.Errorf("%w: %v", ErrCorruptPack, err)
+			return
+		}
+		o.data = data
+	})
+	if o.loadErr != nil {
+		return nil, o.loadErr
+	}
+	return o.data, nil
 }
 
 // PackStats is a snapshot of the pack layer's space accounting.
@@ -64,17 +97,29 @@ func (s *Store[S, Op, Val]) PackStats() PackStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var ps PackStats
-	for _, o := range s.objects {
+	add := func(delta bool, stored, size, depth int) {
 		ps.Objects++
-		if o.delta {
+		if delta {
 			ps.Deltas++
 		} else {
 			ps.Snapshots++
 		}
-		ps.PackedBytes += int64(len(o.data))
-		ps.FullBytes += int64(o.size)
-		if o.depth > ps.MaxDepth {
-			ps.MaxDepth = o.depth
+		ps.PackedBytes += int64(stored)
+		ps.FullBytes += int64(size)
+		if depth > ps.MaxDepth {
+			ps.MaxDepth = depth
+		}
+	}
+	for _, o := range s.objects {
+		add(o.delta, o.stored, o.size, o.depth)
+	}
+	if s.frozen != nil {
+		for i, n := 0, s.frozen.NumObjects(); i < n; i++ {
+			h, fo := s.frozen.ObjectAt(i)
+			if _, shadowed := s.objects[h]; shadowed {
+				continue
+			}
+			add(fo.Delta, fo.Stored, fo.Size, fo.Depth)
 		}
 	}
 	return ps
@@ -177,20 +222,27 @@ func (s *Store[S, Op, Val]) materializeHintLocked(h Hash, hintHash Hash, hintEnc
 			enc = cached
 			break
 		}
-		obj, ok := s.objects[cur]
+		obj, ok := s.objLocked(cur)
 		if !ok {
 			return nil, fmt.Errorf("%w: missing object %v in chain of %v", ErrCorruptPack, cur, h)
 		}
 		if !obj.delta {
-			enc = obj.data
+			var err error
+			enc, err = obj.bytes()
+			if err != nil {
+				return nil, err
+			}
 			break
 		}
 		chain = append(chain, obj)
 		cur = obj.base
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
-		var err error
-		enc, err = delta.Apply(enc, chain[i].data)
+		patch, err := chain[i].bytes()
+		if err != nil {
+			return nil, err
+		}
+		enc, err = delta.Apply(enc, patch)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v (chain of %v)", ErrCorruptPack, err, h)
 		}
@@ -231,14 +283,14 @@ func (s *Store[S, Op, Val]) stateLocked(h Hash) (S, error) {
 // (a patch that arrived over the wire) and is reused instead of being
 // recomputed; packLocked owns both slices. Callers hold the write lock.
 func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []byte) {
-	if _, ok := s.objects[h]; ok {
+	if s.objExistsLocked(h) {
 		return
 	}
 	obj := &packObject{size: len(enc)}
 	// States beyond the patch format's target limit always snapshot:
 	// Apply rejects larger announced targets (its allocation bound), so
 	// chaining them would make the state unreadable.
-	if bo, ok := s.objects[base]; ok && base != h && len(enc) <= delta.MaxTarget &&
+	if bo, ok := s.objLocked(base); ok && base != h && len(enc) <= delta.MaxTarget &&
 		bo.depth+1 < s.opts.SnapshotEvery {
 		if patch == nil {
 			if baseEnc, err := s.materializeLocked(base); err == nil {
@@ -252,6 +304,7 @@ func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []by
 	if !obj.delta {
 		obj.data = enc
 	}
+	obj.stored = len(obj.data)
 	s.objects[h] = obj
 	s.persistObjectLocked(h, obj)
 	// The freshly packed encoding is the likeliest next chain base.
@@ -275,9 +328,12 @@ func (s *Store[S, Op, Val]) packLocked(h Hash, enc []byte, base Hash, patch []by
 func (s *Store[S, Op, Val]) VerifyPack() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// A whole-pack walk needs every object, including frozen entries the
+	// map does not hold; materialize the combined index once up front.
+	objects := s.allObjectsLocked()
 	children := make(map[Hash][]Hash)
 	var roots []Hash
-	for h, obj := range s.objects {
+	for h, obj := range objects {
 		if obj.delta {
 			children[obj.base] = append(children[obj.base], h)
 		} else {
@@ -285,7 +341,7 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 		}
 	}
 	verify := func(h Hash, enc []byte) error {
-		obj := s.objects[h]
+		obj := objects[h]
 		if sha256.Sum256(enc) != h {
 			return fmt.Errorf("%w: object %v reassembles to a different hash", ErrCorruptPack, h)
 		}
@@ -297,13 +353,17 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 		}
 		return nil
 	}
-	reached := make(map[Hash]bool, len(s.objects))
+	reached := make(map[Hash]bool, len(objects))
 	type frame struct {
 		h   Hash
 		enc []byte
 	}
 	for _, root := range roots {
-		stack := []frame{{h: root, enc: s.objects[root].data}}
+		rootEnc, err := objects[root].bytes()
+		if err != nil {
+			return err
+		}
+		stack := []frame{{h: root, enc: rootEnc}}
 		if err := verify(root, stack[0].enc); err != nil {
 			return err
 		}
@@ -312,7 +372,11 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, child := range children[top.h] {
-				enc, err := delta.Apply(top.enc, s.objects[child].data)
+				patch, err := objects[child].bytes()
+				if err != nil {
+					return err
+				}
+				enc, err := delta.Apply(top.enc, patch)
 				if err != nil {
 					return fmt.Errorf("%w: %v (chain of %v)", ErrCorruptPack, err, child)
 				}
@@ -324,17 +388,17 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 			}
 		}
 	}
-	if len(reached) != len(s.objects) {
+	if len(reached) != len(objects) {
 		// Some delta's chain never reaches a snapshot: its base is either
 		// absent or part of a base cycle. Diagnose the first one exactly.
-		for h := range s.objects {
+		for h := range objects {
 			if reached[h] {
 				continue
 			}
 			onPath := map[Hash]bool{h: true}
 			for cur := h; ; {
-				base := s.objects[cur].base
-				if _, ok := s.objects[base]; !ok {
+				base := objects[cur].base
+				if _, ok := objects[base]; !ok {
 					return fmt.Errorf("%w: missing object %v in chain of %v", ErrCorruptPack, base, h)
 				}
 				if onPath[base] {
@@ -346,11 +410,11 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 		}
 	}
 	for b, head := range s.heads {
-		c, ok := s.commits[head]
+		c, ok := s.commitLocked(head)
 		if !ok {
 			return fmt.Errorf("%w: branch %s heads a missing commit", ErrCorruptPack, b)
 		}
-		if _, ok := s.objects[c.State]; !ok {
+		if _, ok := objects[c.State]; !ok {
 			return fmt.Errorf("%w: branch %s pins a missing state", ErrCorruptPack, b)
 		}
 	}
@@ -363,11 +427,11 @@ func (s *Store[S, Op, Val]) VerifyPack() error {
 func (s *Store[S, Op, Val]) StateSize(c Hash) (int, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	cm, ok := s.commits[c]
+	cm, ok := s.commitLocked(c)
 	if !ok {
 		return 0, false
 	}
-	obj, ok := s.objects[cm.State]
+	obj, ok := s.objLocked(cm.State)
 	if !ok {
 		return 0, false
 	}

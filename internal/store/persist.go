@@ -23,12 +23,26 @@ import (
 // ObjectRecord is the persisted form of one pack object: the stored
 // bytes (snapshot or patch), the chain base for patches, and the
 // recorded full size and chain depth, exactly as pack.go keeps them.
+//
+// A checkpoint-recovered record may carry its stored bytes lazily: Data
+// is nil, Stored records the on-disk length, and Load fetches (and
+// CRC-verifies) the bytes from the durable log on first use. The store
+// installs such records as lazy pack objects, so opening a deep history
+// costs the index, not the state bytes.
 type ObjectRecord struct {
 	Data  []byte
 	Base  Hash
 	Delta bool
 	Size  int
 	Depth int
+	// Stored is the stored-byte length when Data is nil (lazy); ignored
+	// (recomputed from Data) otherwise.
+	Stored int
+	// Load fetches the stored bytes from the durable log; nil when Data
+	// is resident. Implementations must verify integrity (the disk log
+	// re-checks the record's CRC) and must stay callable until the store
+	// compacts — compaction forces every live object resident first.
+	Load func() ([]byte, error)
 }
 
 // BranchRecord is the persisted form of one branch: its head commit and
@@ -49,6 +63,12 @@ type RecoveredState struct {
 	Objects  map[Hash]ObjectRecord
 	Branches map[string]BranchRecord
 	NextID   int
+	// Frozen, when non-nil, is the checkpoint's index in serialized form
+	// (frozen.go): Commits and Objects then hold only the replayed suffix
+	// — records appended after the checkpoint, which shadow the frozen
+	// sections. Compact never receives a frozen index; the store
+	// dissolves it before compacting.
+	Frozen *FrozenIndex
 }
 
 // Persister receives every durable mutation of a store. Append* calls
@@ -83,7 +103,7 @@ func (s *Store[S, Op, Val]) persistCommitLocked(h Hash, c Commit) {
 func (s *Store[S, Op, Val]) persistObjectLocked(h Hash, o *packObject) {
 	if p := s.opts.Persister; p != nil && s.persistErr == nil {
 		err := p.AppendObject(h, ObjectRecord{
-			Data: o.data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth,
+			Data: o.data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth, Stored: o.stored,
 		})
 		if err != nil {
 			s.persistErr = err
@@ -149,24 +169,31 @@ func (s *Store[S, Op, Val]) FlushStorage() error {
 //
 // A non-empty rs is installed and then validated: every branch head must
 // resolve, every reachable commit's parents and state object must be
-// present, the generation invariant must hold, and VerifyPack must pass
-// (every retained object reassembles to its content address and
-// decodes). Recovery therefore either lands on a self-consistent DAG or
-// fails loudly; it never half-loads. When recovering, replicaBase only
-// acts as a floor for the replica-id allocator — recovered branches keep
-// the ids they were created with.
+// present, and the generation invariant must hold — an O(commit index)
+// walk that never touches state bytes. State objects install lazily:
+// records carrying a Load hook keep their bytes on disk until first
+// read, and nothing is decoded at open. With WithVerifyOnOpen(true),
+// VerifyPack additionally reassembles and decodes every retained object
+// before the store is handed out (the pre-lazy behaviour — crash tests
+// and tools use it to fail at open instead of first read). When
+// recovering, replicaBase only acts as a floor for the replica-id
+// allocator — recovered branches keep the ids they were created with.
 func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], main string, replicaBase int, rs *RecoveredState, opts ...Option) (*Store[S, Op, Val], error) {
 	o := DefaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	nc, no := 0, 0
+	if rs != nil {
+		nc, no = len(rs.Commits), len(rs.Objects)
+	}
 	s := &Store[S, Op, Val]{
 		impl:    impl,
 		codec:   codec,
 		opts:    o,
-		objects: make(map[Hash]*packObject),
+		objects: make(map[Hash]*packObject, no+1),
 		cache:   newStateCache[S](o.StateCacheSize),
-		commits: make(map[Hash]Commit),
+		commits: make(map[Hash]Commit, nc+1),
 		heads:   make(map[string]Hash),
 		clocks:  make(map[string]*clock.Clock),
 	}
@@ -197,7 +224,16 @@ func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], m
 		return s, nil
 	}
 
+	// With a frozen index, nothing decodes per entry at open: commits and
+	// objects alike resolve by binary search over the index's raw
+	// sections, and only the replayed suffix lands in the maps (skipping
+	// hashes the index already holds, keeping map and index disjoint so
+	// counts stay exact). Open time is O(suffix), flat in history.
+	s.frozen = rs.Frozen
 	for h, c := range rs.Commits {
+		if s.frozen != nil && s.frozen.HasCommit(h) {
+			continue
+		}
 		s.commits[h] = Commit{
 			Parents: append([]Hash(nil), c.Parents...),
 			State:   c.State,
@@ -206,9 +242,14 @@ func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], m
 		}
 	}
 	for h, or := range rs.Objects {
-		s.objects[h] = &packObject{
+		obj := &packObject{
 			data: or.Data, base: or.Base, delta: or.Delta, size: or.Size, depth: or.Depth,
+			stored: len(or.Data), load: or.Load,
 		}
+		if or.Data == nil && or.Load != nil {
+			obj.stored = or.Stored
+		}
+		s.objects[h] = obj
 	}
 	maxReplica := -1
 	for name, b := range rs.Branches {
@@ -227,11 +268,22 @@ func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], m
 	if _, ok := s.heads[main]; !ok {
 		return nil, fmt.Errorf("%w: recovered state has no branch %q (log belongs to another node?)", ErrCorruptPack, main)
 	}
-	if err := s.validateRecovered(); err != nil {
+	if rs.Frozen != nil {
+		// Checkpoint recovery validates heads only: the index arrived
+		// under a CRC-verified frame, every chain re-checks its content
+		// address at first materialization, and the recovery ladder
+		// (internal/replica) reopens with a full replay when a checkpoint
+		// turns out bad — so open stays flat instead of O(history).
+		if err := s.validateHeads(); err != nil {
+			return nil, err
+		}
+	} else if err := s.validateRecovered(); err != nil {
 		return nil, err
 	}
-	if err := s.VerifyPack(); err != nil {
-		return nil, err
+	if o.VerifyOnOpen {
+		if err := s.VerifyPack(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -256,7 +308,7 @@ func (s *Store[S, Op, Val]) validateRecovered() error {
 		h := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		c := s.commits[h]
-		if _, ok := s.objects[c.State]; !ok {
+		if !s.objExistsLocked(c.State) {
 			return fmt.Errorf("%w: commit %v pins missing state %v", ErrCorruptPack, h, c.State)
 		}
 		wantGen := 1
@@ -280,10 +332,29 @@ func (s *Store[S, Op, Val]) validateRecovered() error {
 	return nil
 }
 
+// validateHeads checks that every branch head resolves to a present
+// commit pinning a present state object — the O(heads) validation
+// checkpoint recoveries run in place of the full closure walk.
+func (s *Store[S, Op, Val]) validateHeads() error {
+	for b, head := range s.heads {
+		c, ok := s.commitLocked(head)
+		if !ok {
+			return fmt.Errorf("%w: branch %s heads missing commit %v", ErrCorruptPack, b, head)
+		}
+		if !s.objExistsLocked(c.State) {
+			return fmt.Errorf("%w: branch %s pins missing state %v", ErrCorruptPack, b, c.State)
+		}
+	}
+	return nil
+}
+
 // liveStateLocked assembles the store's current durable contents for a
 // persister's Compact. The maps are shared with the store; the persister
-// reads them synchronously under the store's write lock.
-func (s *Store[S, Op, Val]) liveStateLocked() *RecoveredState {
+// reads them synchronously under the store's write lock. Lazily
+// recovered objects are forced resident here — compaction rewrites (and
+// then deletes) the segments their bytes live in, so every live object
+// must be in memory before the persister starts.
+func (s *Store[S, Op, Val]) liveStateLocked() (*RecoveredState, error) {
 	rs := &RecoveredState{
 		Commits:  s.commits,
 		Objects:  make(map[Hash]ObjectRecord, len(s.objects)),
@@ -291,11 +362,15 @@ func (s *Store[S, Op, Val]) liveStateLocked() *RecoveredState {
 		NextID:   s.nextID,
 	}
 	for h, o := range s.objects {
-		rs.Objects[h] = ObjectRecord{Data: o.data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth}
+		data, err := o.bytes()
+		if err != nil {
+			return nil, err
+		}
+		rs.Objects[h] = ObjectRecord{Data: data, Base: o.base, Delta: o.delta, Size: o.size, Depth: o.depth, Stored: o.stored}
 	}
 	for b, head := range s.heads {
 		c := s.clocks[b]
 		rs.Branches[b] = BranchRecord{Head: head, Replica: c.Replica(), Clock: c.Now()}
 	}
-	return rs
+	return rs, nil
 }

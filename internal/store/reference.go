@@ -15,7 +15,7 @@ func (s *Store[S, Op, Val]) ancestors(h Hash) map[Hash]bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range s.commits[cur].Parents {
+		for _, p := range s.commitAtLocked(cur).Parents {
 			if !seen[p] {
 				seen[p] = true
 				stack = append(stack, p)
@@ -58,7 +58,7 @@ func (s *Store[S, Op, Val]) refMaximalCommonAncestors(a, b Hash) []Hash {
 		best := -1
 		var bestH Hash
 		for _, h := range common {
-			if g := s.commits[h].Gen; g > best {
+			if g := s.commitAtLocked(h).Gen; g > best {
 				best, bestH = g, h
 			}
 		}
@@ -109,7 +109,7 @@ func (s *Store[S, Op, Val]) refOpDescendsFromBase(h, base Hash, baseAnc map[Hash
 	if baseAnc[h] {
 		return true // inside the base's history
 	}
-	c := s.commits[h]
+	c := s.commitAtLocked(h)
 	if len(c.Parents) != 1 {
 		return true // root or merge commit: creates no event
 	}

@@ -71,6 +71,15 @@ type Options struct {
 	// Persister, when non-nil, receives every durable mutation (see
 	// persist.go). nil keeps the store purely in-memory.
 	Persister Persister
+	// VerifyOnOpen makes OpenRecovered run VerifyPack — the full
+	// chain-forest reassembly and decode of every recovered state object
+	// — before handing the store out. Off by default: recovery installs
+	// the commit and pack index without touching state bytes (O(live
+	// index), flat in history), the CRC framing of the durable log
+	// already guards integrity, and materialize re-verifies every chain
+	// it reassembles on first read. Tests and crash-injection properties
+	// turn it on to fail at open instead of first read.
+	VerifyOnOpen bool
 }
 
 // DefaultOptions returns the store defaults: frontier sampling dense for
@@ -120,6 +129,12 @@ func WithSnapshotEvery(n int) Option {
 // below one are clamped to one so the hot head state is always cached.
 func WithStateCacheSize(n int) Option {
 	return func(o *Options) { o.StateCacheSize = max(n, 1) }
+}
+
+// WithVerifyOnOpen controls whether OpenRecovered runs VerifyPack on the
+// recovered state (default false — lazy open; see Options.VerifyOnOpen).
+func WithVerifyOnOpen(v bool) Option {
+	return func(o *Options) { o.VerifyOnOpen = v }
 }
 
 // WithPersister attaches a durable log (e.g. internal/disk's segmented
@@ -182,6 +197,11 @@ type Store[S, Op, Val any] struct {
 	codec   Codec[S]
 	opts    Options
 	objects map[Hash]*packObject
+	// frozen is a checkpoint's object index kept in serialized form
+	// (frozen.go): entries not shadowed by the objects map resolve
+	// through it by binary search and materialize lazily. nil except
+	// after a checkpoint recovery; GC thaws and drops it.
+	frozen  *FrozenIndex
 	cache   *stateCache[S]
 	commits map[Hash]Commit
 	heads   map[string]Hash
@@ -271,17 +291,18 @@ func (s *Store[S, Op, Val]) Apply(b string, op Op) (Val, error) {
 	if !ok {
 		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	cur, err := s.stateLocked(s.commits[head].State)
+	hc := s.commitAtLocked(head)
+	cur, err := s.stateLocked(hc.State)
 	if err != nil {
 		return zero, err
 	}
 	t := s.clocks[b].Tick()
 	next, val := s.impl.Do(op, cur, t)
-	st := s.putState(next, s.commits[head].State)
+	st := s.putState(next, hc.State)
 	s.heads[b] = s.putCommit(Commit{
 		Parents: []Hash{head},
 		State:   st,
-		Gen:     s.commits[head].Gen + 1,
+		Gen:     hc.Gen + 1,
 		Time:    t,
 	})
 	s.persistBranchLocked(b)
@@ -300,7 +321,7 @@ func (s *Store[S, Op, Val]) Head(b string) (S, error) {
 	if !ok {
 		return zero, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	return s.stateLocked(s.commits[head].State)
+	return s.stateLocked(s.commitAtLocked(head).State)
 }
 
 // HeadHash returns the commit hash at the head of branch b.
@@ -323,7 +344,8 @@ func (s *Store[S, Op, Val]) Size(b string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
-	return s.objects[s.commits[head].State].size, nil
+	obj, _ := s.objLocked(s.commitAtLocked(head).State)
+	return obj.size, nil
 }
 
 // Pull merges branch src into branch dst (the MERGE rule). Degenerate
@@ -373,28 +395,29 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	if !s.soundBase(base, hd, hs) {
 		return fmt.Errorf("%w: pull %s <- %s", ErrUnsoundMerge, dst, src)
 	}
-	baseState, err := s.stateLocked(s.commits[base].State)
+	dc, sc := s.commitAtLocked(hd), s.commitAtLocked(hs)
+	baseState, err := s.stateLocked(s.commitAtLocked(base).State)
 	if err != nil {
 		return err
 	}
-	dstState, err := s.stateLocked(s.commits[hd].State)
+	dstState, err := s.stateLocked(dc.State)
 	if err != nil {
 		return err
 	}
-	srcState, err := s.stateLocked(s.commits[hs].State)
+	srcState, err := s.stateLocked(sc.State)
 	if err != nil {
 		return err
 	}
 	merged := s.impl.Merge(baseState, dstState, srcState)
 	t := s.clocks[dst].Tick()
-	gen := s.commits[hd].Gen
-	if g := s.commits[hs].Gen; g > gen {
-		gen = g
+	gen := dc.Gen
+	if sc.Gen > gen {
+		gen = sc.Gen
 	}
 	// The merge commit's first parent is dst's head: the pack layer
 	// chains the merged state against it, and packed exports ship that
 	// patch to peers that hold the parent.
-	st := s.putState(merged, s.commits[hd].State)
+	st := s.putState(merged, dc.State)
 	s.heads[dst] = s.putCommit(Commit{
 		Parents: []Hash{hd, hs},
 		State:   st,
@@ -426,8 +449,7 @@ func (s *Store[S, Op, Val]) Sync(a, b string) error {
 func (s *Store[S, Op, Val]) Commit(h Hash) (Commit, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c, ok := s.commits[h]
-	return c, ok
+	return s.commitLocked(h)
 }
 
 // putState packs state, chained against the base state hash (its commit
@@ -453,7 +475,7 @@ func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Gen))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Time))
 	h := sha256.Sum256(buf)
-	if _, ok := s.commits[h]; ok {
+	if s.commitExistsLocked(h) {
 		return h // already present: content addressing makes it identical
 	}
 	s.commits[h] = c

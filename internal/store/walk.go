@@ -84,7 +84,10 @@ func (q *genHeap) pop() genItem {
 // flag that makes a queued commit irrelevant to termination: the walk is
 // done when every queued commit carries it.
 type painter struct {
-	commits     map[Hash]Commit
+	// commit resolves a hash to its commit — a bound store accessor, so
+	// the walk reads through the frozen checkpoint index as well as the
+	// mutable map.
+	commit      func(Hash) Commit
 	flags       map[Hash]uint8
 	inQueue     map[Hash]bool
 	queue       genHeap
@@ -92,9 +95,9 @@ type painter struct {
 	interesting int // queued commits whose flags lack the boring bit
 }
 
-func newPainter(commits map[Hash]Commit, boring uint8) *painter {
+func newPainter(commit func(Hash) Commit, boring uint8) *painter {
 	return &painter{
-		commits: commits,
+		commit:  commit,
 		flags:   make(map[Hash]uint8),
 		inQueue: make(map[Hash]bool),
 		boring:  boring,
@@ -113,7 +116,7 @@ func (p *painter) add(h Hash, f uint8) {
 	}
 	p.flags[h] = merged
 	if !seen {
-		p.queue.push(genItem{h: h, gen: p.commits[h].Gen})
+		p.queue.push(genItem{h: h, gen: p.commit(h).Gen})
 		p.inQueue[h] = true
 		if merged&p.boring == 0 {
 			p.interesting++

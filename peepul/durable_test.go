@@ -62,6 +62,62 @@ func TestDurableRestartResume(t *testing.T) {
 	}
 }
 
+// TestStorageStatsCheckpoint: StorageStats reports the checkpoint
+// machinery — checkpoints written at the configured cadence, the age of
+// the newest one (records since it), and how the last open recovered:
+// "cold" for a fresh directory, "checkpoint" after a clean restart.
+func TestStorageStatsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	n, err := peepul.NewNode("alice", 1,
+		peepul.WithStorage(dir), peepul.WithCheckpointEvery(4), peepul.WithVerifyOnOpen(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := peepul.Open(n, peepul.MLog, "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := log.StorageStats(); !ok || st.RecoveryMode != "cold" {
+		t.Fatalf("fresh durable object: RecoveryMode = %q ok=%v, want cold", st.RecoveryMode, ok)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := log.Do(peepul.MLogOp{Kind: peepul.MLogAppend, Msg: "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := log.StorageStats()
+	if !ok {
+		t.Fatal("durable object reported no storage")
+	}
+	if st.Checkpoints == 0 {
+		t.Fatalf("no checkpoints after 10 ops at cadence 4: %+v", st)
+	}
+	if st.CheckpointAge == 0 || st.CheckpointAge >= st.Records {
+		t.Fatalf("CheckpointAge = %d with %d records — expected a mid-session age between the two", st.CheckpointAge, st.Records)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := peepul.NewNode("alice", 1,
+		peepul.WithStorage(dir), peepul.WithCheckpointEvery(4), peepul.WithVerifyOnOpen(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	log2, err := peepul.Open(n2, peepul.MLog, "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := log2.StorageStats()
+	if st2.RecoveryMode != "checkpoint" {
+		t.Fatalf("after clean restart: RecoveryMode = %q, want checkpoint", st2.RecoveryMode)
+	}
+	if st2.CheckpointAge != 0 {
+		t.Fatalf("after clean restart: CheckpointAge = %d, want 0 (close wrote a final checkpoint)", st2.CheckpointAge)
+	}
+}
+
 // TestDurableDatatypeMismatch: reopening an object directory under a
 // different datatype must fail loudly, never merge incompatible states.
 func TestDurableDatatypeMismatch(t *testing.T) {

@@ -74,9 +74,34 @@ const (
 // WithStorage.
 func WithFsync(p FsyncPolicy) NodeOption { return replica.WithFsync(p) }
 
+// WithCheckpointEvery sets the checkpoint cadence of a durable node's
+// object logs: every n operations the log seals its segment and writes
+// an index checkpoint (the full commit/pack index, no state bytes), so
+// reopening the node seeks to the checkpoint and replays only the records
+// after it — flat-time restart however deep the history. Checkpoints are
+// also written after compaction and on clean close. The cadence is a
+// floor: since each checkpoint snapshots the whole index, deep logs
+// throttle to geometric spacing so checkpoint bytes stay linear in the
+// log (a clean close still checkpoints, so clean reopens stay flat).
+// The default cadence is 1024; zero or negative disables checkpoints
+// entirely. No effect without WithStorage.
+func WithCheckpointEvery(n int) NodeOption { return replica.WithCheckpointEvery(n) }
+
+// WithVerifyOnOpen(true) restores eager verification: every recovered
+// object's pack is fully reassembled and decoded at open, so corruption
+// fails the open instead of a later read. The default (false) validates
+// the commit index and leaves state bytes on disk until first use —
+// the lazy open that keeps restart time independent of history size.
+// (Before checkpointed recovery existed, the eager behaviour was
+// unconditional.) No effect without WithStorage.
+func WithVerifyOnOpen(v bool) NodeOption { return replica.WithVerifyOnOpen(v) }
+
 // StorageStats is the pack-log accounting of one durable object: live
 // segments and bytes on disk, records appended and recovered, what
-// recovery truncated, fsyncs and compactions.
+// recovery truncated, fsyncs and compactions, checkpoints written, the
+// records accumulated since the last checkpoint (CheckpointAge — the
+// suffix the next open replays), and how the last open recovered
+// (RecoveryMode: "checkpoint", "replay" or "cold").
 type StorageStats = disk.Stats
 
 // Node is one replica hosting a set of named replicated objects. Create
