@@ -7,14 +7,15 @@
 //	peepul-bench -fig dag        # DAG scaling: merge cost vs history length
 //	peepul-bench -fig space      # pack layer: resident + sync bytes vs full snapshots
 //	peepul-bench -fig durable    # disk log: commit latency, recovery time, footprint
+//	peepul-bench -fig mesh       # always-on fleets: converge/propagate latency, idle cost
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
 //
-// The dag, space and durable figures additionally write their rows as
-// JSON (default BENCH_dag.json / BENCH_space.json / BENCH_durable.json,
-// see -dag-out / -space-out / -durable-out) so CI can archive the perf
-// trajectory. -durable-flat-factor N turns the durable figure into a
+// The dag, space, durable and mesh figures additionally write their rows
+// as JSON (default BENCH_dag.json / BENCH_space.json / BENCH_durable.json
+// / BENCH_mesh.json, see -dag-out / -space-out / -durable-out /
+// -mesh-out) so CI can archive the perf trajectory. -durable-flat-factor N turns the durable figure into a
 // regression gate: the run fails if recovery at the deepest swept
 // history takes more than N times the shallowest — checkpointed
 // recovery is supposed to be flat in depth.
@@ -29,13 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/peepul"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
@@ -43,6 +45,7 @@ func main() {
 	dagOut := flag.String("dag-out", "BENCH_dag.json", "output path for the DAG-scaling JSON (-fig dag)")
 	spaceOut := flag.String("space-out", "BENCH_space.json", "output path for the space JSON (-fig space)")
 	durableOut := flag.String("durable-out", "BENCH_durable.json", "output path for the durability JSON (-fig durable)")
+	meshOut := flag.String("mesh-out", "BENCH_mesh.json", "output path for the always-on fleet JSON (-fig mesh)")
 	durableFlat := flag.Float64("durable-flat-factor", 0, "fail (exit 1) if recovery at the deepest swept history exceeds this multiple of the shallowest; 0 disables (-fig durable)")
 	flag.Parse()
 
@@ -66,6 +69,7 @@ func main() {
 	dagNs, dagMeshNs := bench.DagNs, bench.DagMeshNs
 	spaceNs, spaceLogNs := bench.SpaceNs, bench.SpaceLogNs
 	durableNs, durableLogNs := bench.DurableNs, bench.DurableLogNs
+	meshRingNs, meshFullNs, meshSteady := bench.MeshRingNs, bench.MeshFullNs, bench.MeshSteadyWindow
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
@@ -77,6 +81,9 @@ func main() {
 		spaceLogNs = []int{100, 1000, 5000}
 		durableNs = []int{100, 1000, 10000}
 		durableLogNs = []int{100, 1000, 5000}
+		meshRingNs = []int{4, 8}
+		meshFullNs = []int{4}
+		meshSteady = 300 * time.Millisecond
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -152,8 +159,25 @@ func main() {
 		}
 	})
 
+	run("mesh", func() {
+		rows := bench.Mesh(meshRingNs, meshFullNs, meshSteady)
+		bench.PrintMesh(os.Stdout, rows)
+		f, err := os.Create(*meshOut)
+		if err == nil {
+			err = bench.WriteMeshJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *meshOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *meshOut, len(rows))
+	})
+
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

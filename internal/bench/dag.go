@@ -211,10 +211,8 @@ func dagCrissCross(history int) DagRow {
 // sequential two-way exchanges (ship, merge, ship back, fast-forward) —
 // twice. The first pass accumulates every operation into the last edge's
 // merge; the second pass fast-forwards the lagging peers to it, so each
-// round starts from full convergence. (Operations on stale heads would
-// make the next round's merges Ψ_lca-unsound — the store *refuses* such
-// pulls — which is the same no-interleaved-ops discipline the replica
-// sync protocol follows.)
+// round starts from full convergence and the rows measure steady-state
+// exchange cost rather than a growing backlog.
 func meshRound(peers []*dagPeer, timer *time.Duration) {
 	for _, p := range peers {
 		dagApply(p.s, "main")

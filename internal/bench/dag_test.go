@@ -7,9 +7,9 @@ import (
 )
 
 // TestDagScenarios runs every DAG-scaling scenario at toy sizes: the
-// point is that the histories build without Ψ_lca refusals (the
-// criss-cross rounds in particular must resolve through virtual bases)
-// and that the JSON document round-trips.
+// point is that the histories build cleanly (the criss-cross rounds in
+// particular must resolve through virtual bases) and that the JSON
+// document round-trips.
 func TestDagScenarios(t *testing.T) {
 	rows := Dag([]int{16, 64}, []int{24})
 	if len(rows) != 2*2+2 {

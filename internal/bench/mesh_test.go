@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestMeshFleets runs both fleet topologies at toy sizes: live TCP
+// nodes, daemon-only replication, real convergence — plus the JSON
+// round-trip CI archives.
+func TestMeshFleets(t *testing.T) {
+	rows := Mesh([]int{3}, []int{3}, 150*time.Millisecond)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes != 3 || r.Writes != 3*meshWritesPerNode {
+			t.Fatalf("%s: unexpected shape %+v", r.Topology, r)
+		}
+		if r.ConvergeNs <= 0 || r.PropagateNs <= 0 {
+			t.Fatalf("%s: non-positive timings %+v", r.Topology, r)
+		}
+		if r.SteadyBytes < 0 {
+			t.Fatalf("%s: negative steady bytes %+v", r.Topology, r)
+		}
+	}
+	if rows[0].Topology != "ring" || rows[1].Topology != "full" {
+		t.Fatalf("topologies = %s, %s", rows[0].Topology, rows[1].Topology)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMeshJSON(&buf, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench string    `json:"bench"`
+		Rows  []MeshRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "mesh" || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON round-trip lost rows: %+v", doc)
+	}
+}

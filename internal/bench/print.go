@@ -77,6 +77,22 @@ func PrintDag(w io.Writer, rows []DagRow) {
 	}
 }
 
+// PrintMesh renders the always-on fleet table: convergence and
+// propagation wall times plus the steady-state wire cost of keeping a
+// converged fleet converged (frontier-only re-syncs — the bytes/sec
+// column should stay small and history-independent).
+func PrintMesh(w io.Writer, rows []MeshRow) {
+	fmt.Fprintln(w, "Mesh: always-on daemon fleets, no SyncWith (converge / propagate / idle cost)")
+	fmt.Fprintf(w, "%8s %7s %8s %12s %12s %12s %14s\n",
+		"topo", "nodes", "writes", "converge", "propagate", "idle-window", "idle-rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8s %7d %8d %12s %12s %12s %12s/s\n",
+			r.Topology, r.Nodes, r.Writes,
+			fmtDur(time.Duration(r.ConvergeNs)), fmtDur(time.Duration(r.PropagateNs)),
+			fmtDur(time.Duration(r.SteadyWindowNs)), fmtBytes(int64(r.SteadyBytesPerSec)))
+	}
+}
+
 // PrintSpace renders the space table: resident object bytes and sync
 // bytes, packed (delta-chained pack layer) vs the pre-pack full-snapshot
 // format, with cold materialize latency and allocations per operation.

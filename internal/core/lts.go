@@ -193,12 +193,11 @@ func (l *LTS[S, Op, Val]) CanMerge(dst, src BranchID) bool {
 // PsiLCASound reports whether a merge of src into dst satisfies the store
 // property Ψ_lca (Table 1): every event in the LCA is visible to every
 // event on either branch outside the LCA. The paper's Φ_merge obligation
-// assumes Ψ_lca, so Ψ_lca-violating merges — which arise under asymmetric
-// gossip (a branch pulls a peer that previously pulled it, with
-// interleaved local operations) — sit outside the verified envelope. The
-// certification explorer only takes merges for which this holds; the
-// production store (internal/store) detects the same condition on the
-// commit DAG and refuses such merges rather than corrupting state.
+// assumes Ψ_lca, so the certification explorer only takes merges for
+// which this holds. The production store (internal/store) maintains the
+// property by construction: the merge base it hands the data type is the
+// join of every maximal common ancestor of the two heads, whose events
+// are exactly the events common to both branches.
 func (l *LTS[S, Op, Val]) PsiLCASound(dst, src BranchID) bool {
 	hd, ok1 := l.heads[dst]
 	hs, ok2 := l.heads[src]

@@ -1,0 +1,516 @@
+// Package mesh is the always-on replication engine: the background
+// daemon that keeps a node converged with its peers without the
+// application ever calling SyncWith. The paper's system model (and every
+// deployment of it) assumes replicas that gossip continuously; this
+// package supplies that loop as a supervisor per configured peer.
+//
+// Each peer gets one supervisor goroutine running jittered anti-entropy
+// rounds: every Interval (± up to Jitter) the supervisor syncs every
+// shared object with the peer through the same negotiate-and-ship-missing
+// code path a manual SyncWith uses. Between rounds, local commits are
+// pushed immediately: the replica layer calls NotifyCommit on every local
+// operation and every remote-merge head move, the engine enqueues the
+// object in a bounded per-peer outbox (bursts coalesce — the outbox is a
+// set, and the supervisor waits PushDelay before draining it), and the
+// supervisor runs a push round covering only the dirty objects. An outbox
+// that overflows OutboxSize degrades to a full round, never drops a
+// commit.
+//
+// Failure handling is per peer: a failed dial or sync exchange doubles
+// the retry delay (BackoffMin up to BackoffMax) and halves the peer's
+// health score; a success resets the backoff instantly and recovers the
+// score halfway to 1 — fast recovery, so one blip does not linger. While
+// a peer is backing off, pushes to it are suppressed (the outbox keeps
+// accumulating) and the backoff timer owns the retry. Close cancels the
+// engine context — aborting any in-flight dial or exchange — and drains
+// every supervisor before returning, so a peer that is down can never
+// wedge node shutdown.
+//
+// The engine knows nothing of the sync protocol: it drives a Syncer (the
+// replica node) and consumes the per-round Report, including which
+// objects the peer turned out not to host — those are skipped by later
+// pushes until a full anti-entropy round observes the peer hosting them
+// (the subscription model: interest is learned from the wire, not
+// configured).
+package mesh
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report is what one sync exchange with a peer cost and found out.
+// The replica layer fills it from its per-call byte and commit counters.
+type Report struct {
+	BytesSent   int64
+	BytesRecv   int64
+	CommitsSent int64
+	CommitsRecv int64
+	// Missed lists the requested objects the peer answered "not hosted"
+	// (or "different datatype") for; the engine uses it to learn peer
+	// interest so pushes skip objects the peer does not subscribe to.
+	Missed []string
+}
+
+// Syncer runs one sync exchange with the peer at addr. objects narrows
+// the exchange to the named objects (a push round); nil means every
+// object the node hosts (an anti-entropy round). The context aborts an
+// in-flight dial or exchange — engine shutdown cancels it. The Report
+// must be valid (best-effort counters) even when err is non-nil.
+type Syncer interface {
+	MeshSync(ctx context.Context, addr string, objects []string) (Report, error)
+}
+
+// Config tunes the engine. The zero value of any field selects its
+// default; DefaultConfig lists them.
+type Config struct {
+	// Interval is the anti-entropy round period per peer.
+	Interval time.Duration
+	// Jitter is the maximum random addition to each round's delay,
+	// de-synchronizing supervisors so a fleet does not dial in lockstep.
+	// Negative disables jitter; zero selects the default Interval/4.
+	Jitter time.Duration
+	// BackoffMin is the retry delay after the first failure; each further
+	// consecutive failure doubles it up to BackoffMax.
+	BackoffMin time.Duration
+	// BackoffMax caps the retry delay.
+	BackoffMax time.Duration
+	// PushDelay is how long a supervisor waits after a commit
+	// notification before draining the outbox, so a burst of commits
+	// coalesces into one push round. Negative disables the wait.
+	PushDelay time.Duration
+	// OutboxSize bounds the per-peer outbox (distinct dirty objects); an
+	// overflowing outbox degrades to a full anti-entropy round.
+	OutboxSize int
+}
+
+// DefaultConfig returns the engine defaults: 2s rounds with up to 500ms
+// of jitter, backoff 250ms doubling to 30s, 5ms push coalescing, and a
+// 64-object outbox.
+func DefaultConfig() Config {
+	return Config{
+		Interval:   2 * time.Second,
+		Jitter:     500 * time.Millisecond,
+		BackoffMin: 250 * time.Millisecond,
+		BackoffMax: 30 * time.Second,
+		PushDelay:  5 * time.Millisecond,
+		OutboxSize: 64,
+	}
+}
+
+// withDefaults resolves zero fields to the defaults.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	switch {
+	case c.Jitter < 0:
+		c.Jitter = 0
+	case c.Jitter == 0:
+		c.Jitter = c.Interval / 4
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = d.BackoffMin
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = max(d.BackoffMax, c.BackoffMin)
+	}
+	switch {
+	case c.PushDelay < 0:
+		c.PushDelay = 0
+	case c.PushDelay == 0:
+		c.PushDelay = d.PushDelay
+	}
+	if c.OutboxSize <= 0 {
+		c.OutboxSize = d.OutboxSize
+	}
+	return c
+}
+
+// PeerStats is a snapshot of one peer's supervisor state.
+type PeerStats struct {
+	// Addr is the peer's dial address.
+	Addr string
+	// Rounds counts completed anti-entropy rounds; Pushes counts
+	// completed push-on-commit rounds.
+	Rounds int64
+	Pushes int64
+	// Failures counts failed exchanges; ConsecutiveFailures is the
+	// current failing streak (zero for a healthy peer).
+	Failures            int64
+	ConsecutiveFailures int
+	// Backoff is the current retry delay (zero when healthy) and Score
+	// the peer's health in (0, 1]: halved per failure, recovered halfway
+	// to 1 per success.
+	Backoff time.Duration
+	Score   float64
+	// Wire cost accumulated across this peer's exchanges, both
+	// directions, client side.
+	BytesSent   int64
+	BytesRecv   int64
+	CommitsSent int64
+	CommitsRecv int64
+	// LastConverged is when the last exchange completed successfully
+	// (zero before the first); LastError is the most recent failure
+	// message, cleared on success.
+	LastConverged time.Time
+	LastError     string
+}
+
+// Engine runs one supervisor per peer. Create with New, wire commits in
+// with NotifyCommit, and Close to drain. Safe for concurrent use.
+type Engine struct {
+	syncer Syncer
+	cfg    Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex
+	peers  map[string]*peer
+	closed bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New creates an engine driving s. No goroutines start until AddPeer.
+func New(s Syncer, cfg Config) *Engine {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		syncer: s,
+		cfg:    cfg.withDefaults(),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		peers:  make(map[string]*peer),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// peer is one supervised peer: its outbox, failure state and counters,
+// all guarded by mu except the channels.
+type peer struct {
+	addr    string
+	kick    chan struct{} // cap 1: commit notifications, naturally coalescing
+	removed chan struct{} // closed by RemovePeer
+
+	mu sync.Mutex
+	// outbox is the set of dirty objects awaiting a push; full records an
+	// overflow (the next push degrades to a full round).
+	outbox map[string]struct{}
+	full   bool
+	// uninterested is the learned non-subscription set: objects the peer
+	// answered HelloMiss for on its most recent probe.
+	uninterested map[string]struct{}
+	stats        PeerStats
+	removeOnce   sync.Once
+}
+
+// AddPeer registers addr and starts its supervisor. Re-adding a present
+// peer (or adding after Close) is a no-op.
+func (e *Engine) AddPeer(addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	if _, ok := e.peers[addr]; ok {
+		return
+	}
+	p := &peer{
+		addr:    addr,
+		kick:    make(chan struct{}, 1),
+		removed: make(chan struct{}),
+		stats:   PeerStats{Addr: addr, Score: 1},
+	}
+	e.peers[addr] = p
+	e.wg.Add(1)
+	go e.supervise(p)
+}
+
+// RemovePeer stops addr's supervisor (cancelling nothing in flight —
+// the current exchange, if any, finishes or fails on its own) and
+// forgets the peer. Removing an unknown peer is a no-op.
+func (e *Engine) RemovePeer(addr string) {
+	e.mu.Lock()
+	p, ok := e.peers[addr]
+	if ok {
+		delete(e.peers, addr)
+	}
+	e.mu.Unlock()
+	if ok {
+		p.removeOnce.Do(func() { close(p.removed) })
+	}
+}
+
+// Peers returns the supervised peer addresses, sorted.
+func (e *Engine) Peers() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.peers))
+	for addr := range e.peers {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots every peer's supervisor state, keyed by address.
+func (e *Engine) Stats() map[string]PeerStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]PeerStats, len(e.peers))
+	for addr, p := range e.peers {
+		p.mu.Lock()
+		out[addr] = p.stats
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// PeerStats snapshots one peer's state; ok is false for unknown peers.
+func (e *Engine) PeerStats(addr string) (PeerStats, bool) {
+	e.mu.RLock()
+	p, ok := e.peers[addr]
+	e.mu.RUnlock()
+	if !ok {
+		return PeerStats{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats, true
+}
+
+// NotifyCommit records that object changed locally (a commit or a
+// remote-merge head move) and kicks every peer's supervisor for an
+// immediate push. Peers known not to host the object are skipped; peers
+// in backoff accumulate the object for their next retry instead of being
+// dialled while failing.
+func (e *Engine) NotifyCommit(object string) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	for _, p := range e.peers {
+		p.enqueue(object, e.cfg.OutboxSize)
+	}
+}
+
+// enqueue adds object to the outbox (degrading to a full round on
+// overflow) and kicks the supervisor.
+func (p *peer) enqueue(object string, limit int) {
+	p.mu.Lock()
+	if _, skip := p.uninterested[object]; skip {
+		p.mu.Unlock()
+		return
+	}
+	if !p.full {
+		if p.outbox == nil {
+			p.outbox = make(map[string]struct{})
+		}
+		if len(p.outbox) >= limit {
+			p.outbox, p.full = nil, true
+		} else {
+			p.outbox[object] = struct{}{}
+		}
+	}
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// takeOutbox drains the outbox: the dirty object names (nil with
+// full=true after an overflow — sync everything) and resets it.
+func (p *peer) takeOutbox() (objects []string, full bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	full = p.full
+	for o := range p.outbox {
+		objects = append(objects, o)
+	}
+	p.outbox, p.full = nil, false
+	return objects, full
+}
+
+// inBackoff reports whether the peer is on a failing streak.
+func (p *peer) inBackoff() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.ConsecutiveFailures > 0
+}
+
+// Close stops every supervisor, cancels any in-flight exchange, and
+// waits for the drain. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	close(e.done)
+	e.wg.Wait()
+}
+
+// jitter returns a uniform duration in [0, max).
+func (e *Engine) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return time.Duration(e.rng.Int63n(int64(max)))
+}
+
+// supervise is one peer's daemon loop: an initial probe round almost
+// immediately (jitter only), then anti-entropy every Interval+jitter,
+// push rounds on kicks, and backoff-timed retries while failing.
+func (e *Engine) supervise(p *peer) {
+	defer e.wg.Done()
+	timer := time.NewTimer(e.jitter(e.cfg.Jitter) + e.cfg.Interval/16)
+	defer timer.Stop()
+	for {
+		push := false
+		select {
+		case <-e.done:
+			return
+		case <-p.removed:
+			return
+		case <-timer.C:
+		case <-p.kick:
+			// Coalesce the burst: commits arriving within PushDelay join
+			// this push instead of paying one round each.
+			if d := e.cfg.PushDelay; d > 0 {
+				coalesce := time.NewTimer(d)
+				select {
+				case <-e.done:
+					coalesce.Stop()
+					return
+				case <-p.removed:
+					coalesce.Stop()
+					return
+				case <-coalesce.C:
+				}
+			}
+			if p.inBackoff() {
+				// A failing peer is the backoff timer's job; the outbox
+				// keeps accumulating until the retry succeeds.
+				continue
+			}
+			push = true
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		var objects []string
+		if push {
+			var full bool
+			objects, full = p.takeOutbox()
+			if full || len(objects) == 0 {
+				objects = nil // overflow (or spurious kick): full round
+			}
+		}
+		err := e.round(p, objects, push)
+		timer.Reset(e.nextDelay(p, err))
+	}
+}
+
+// round runs one exchange and folds its outcome into the peer's state.
+func (e *Engine) round(p *peer, objects []string, push bool) error {
+	rep, err := e.syncer.MeshSync(e.ctx, p.addr, objects)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &p.stats
+	st.BytesSent += rep.BytesSent
+	st.BytesRecv += rep.BytesRecv
+	st.CommitsSent += rep.CommitsSent
+	st.CommitsRecv += rep.CommitsRecv
+	if err != nil {
+		st.Failures++
+		st.ConsecutiveFailures++
+		st.Score /= 2
+		st.LastError = err.Error()
+		st.Backoff = e.backoff(st.ConsecutiveFailures)
+		return err
+	}
+	if push {
+		st.Pushes++
+	} else {
+		st.Rounds++
+	}
+	st.ConsecutiveFailures = 0
+	st.Backoff = 0
+	st.Score += (1 - st.Score) / 2
+	st.LastError = ""
+	st.LastConverged = time.Now()
+	// Learn interest from the misses: a full round probed everything, so
+	// its miss list replaces the set; a push round only refreshes the
+	// objects it asked about.
+	if objects == nil {
+		p.uninterested = nil
+		for _, o := range rep.Missed {
+			if p.uninterested == nil {
+				p.uninterested = make(map[string]struct{})
+			}
+			p.uninterested[o] = struct{}{}
+		}
+	} else {
+		missed := make(map[string]struct{}, len(rep.Missed))
+		for _, o := range rep.Missed {
+			missed[o] = struct{}{}
+		}
+		for _, o := range objects {
+			if _, m := missed[o]; m {
+				if p.uninterested == nil {
+					p.uninterested = make(map[string]struct{})
+				}
+				p.uninterested[o] = struct{}{}
+			} else {
+				delete(p.uninterested, o)
+			}
+		}
+	}
+	return nil
+}
+
+// backoff is the retry delay for the n-th consecutive failure:
+// BackoffMin doubling per failure, capped at BackoffMax.
+func (e *Engine) backoff(n int) time.Duration {
+	d := e.cfg.BackoffMin
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= e.cfg.BackoffMax {
+			return e.cfg.BackoffMax
+		}
+	}
+	return min(d, e.cfg.BackoffMax)
+}
+
+// nextDelay schedules the supervisor's next wake-up: the jittered round
+// interval when healthy, the current backoff (plus a fraction of jitter)
+// when failing.
+func (e *Engine) nextDelay(p *peer, err error) time.Duration {
+	if err != nil {
+		p.mu.Lock()
+		d := p.stats.Backoff
+		p.mu.Unlock()
+		return d + e.jitter(e.cfg.Jitter/4+1)
+	}
+	return e.cfg.Interval + e.jitter(e.cfg.Jitter)
+}

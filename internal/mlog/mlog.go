@@ -68,27 +68,34 @@ func (Log) Do(op Op, s State, t core.Timestamp) (State, Val) {
 	}
 }
 
-// Merge implements Figure 7: sort((a − lca) @ (b − lca)) @ lca. The two
-// diffs are the branches' new prefixes (both already newest-first), so the
-// sort is a linear two-way merge, and every new entry has a larger
-// timestamp than every LCA entry.
+// Merge implements Figure 7's specification — the merged log holds every
+// entry of both branches, ordered by strictly decreasing timestamp — as
+// a linear two-way sorted merge of a and b, deduplicated by timestamp.
+// Timestamps are globally unique (Ψ_ts), so an equal-timestamp pair is
+// one entry seen from both branches, and the LCA's entries are a subset
+// of each side's: the union needs no explicit lca term. Working on the
+// whole lists rather than diffing against the LCA keeps the merge exact
+// even when gossip has interleaved entry timestamps across the branches
+// and the LCA is no longer a contiguous suffix of either side.
 func (Log) Merge(lca, a, b State) State {
-	da := a[:len(a)-len(lca)]
-	db := b[:len(b)-len(lca)]
-	out := make(State, 0, len(da)+len(db)+len(lca))
+	out := make(State, 0, len(a)+len(b))
 	i, j := 0, 0
-	for i < len(da) && j < len(db) {
-		if da[i].T > db[j].T {
-			out = append(out, da[i])
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].T > b[j].T:
+			out = append(out, a[i])
 			i++
-		} else {
-			out = append(out, db[j])
+		case a[i].T < b[j].T:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
 			j++
 		}
 	}
-	out = append(out, da[i:]...)
-	out = append(out, db[j:]...)
-	out = append(out, lca...)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 

@@ -10,7 +10,11 @@
 // concurrently enqueued elements.
 package queue
 
-import "repro/internal/core"
+import (
+	"slices"
+
+	"repro/internal/core"
+)
 
 // OpKind distinguishes queue operations.
 type OpKind int
@@ -140,10 +144,16 @@ func (Queue) Do(op Op, s State, t core.Timestamp) (State, Val) {
 //
 //	merge_s l a b = intersection l a b @ union (diff_s a l) (diff_s b l)
 //
-// where intersection keeps the elements of the LCA that neither branch has
-// dequeued, diff_s extracts the elements newly enqueued on a branch, and
-// union interleaves the two new suffixes by enqueue timestamp. All passes
-// are linear because every queue list is ascending in enqueue timestamp.
+// where intersection keeps the elements of the LCA that neither branch
+// has dequeued (in LCA order), diff_s extracts the elements a branch
+// enqueued since the LCA, and union orders the two branches' new
+// elements by enqueue timestamp. Membership is decided by the enqueue
+// timestamp, which is globally unique (Ψ_ts): an LCA element absent from
+// a branch was dequeued there and stays dequeued, an element absent from
+// the LCA is new on its branch. Deciding by identity rather than by the
+// positional suffix walks of Appendix B keeps the merge exact even when
+// gossip has interleaved enqueue timestamps across branches and the LCA
+// is no longer a timestamp-contiguous prefix of both sides.
 func (Queue) Merge(lca, a, b State) State {
 	l, as, bs := lca.ToSlice(), a.ToSlice(), b.ToSlice()
 	merged := mergeSlices(l, as, bs)
@@ -151,12 +161,47 @@ func (Queue) Merge(lca, a, b State) State {
 }
 
 func mergeSlices(l, a, b []Pair) []Pair {
-	ixn := intersection(l, a, b)
-	da := diffS(a, l)
-	db := diffS(b, l)
-	out := make([]Pair, 0, len(ixn)+len(da)+len(db))
-	out = append(out, ixn...)
-	return append(out, union(da, db)...)
+	aSet, bSet, lSet := tsSet(a), tsSet(b), tsSet(l)
+	out := make([]Pair, 0, len(a)+len(b))
+	// intersection: LCA elements neither branch dequeued, in LCA order.
+	for _, p := range l {
+		if aSet[p.T] && bSet[p.T] {
+			out = append(out, p)
+		}
+	}
+	return append(out, union(diff(a, lSet), diff(b, lSet))...)
+}
+
+func tsSet(ps []Pair) map[core.Timestamp]bool {
+	set := make(map[core.Timestamp]bool, len(ps))
+	for _, p := range ps {
+		set[p.T] = true
+	}
+	return set
+}
+
+// diff returns the elements of a not in the LCA — the branch's new
+// enqueues — sorted by enqueue timestamp (Appendix B's diff_s). The sort
+// is a no-op in ordered histories, where the new elements are already an
+// ascending suffix.
+func diff(a []Pair, l map[core.Timestamp]bool) []Pair {
+	var out []Pair
+	for _, p := range a {
+		if !l[p.T] {
+			out = append(out, p)
+		}
+	}
+	slices.SortFunc(out, func(x, y Pair) int {
+		switch {
+		case x.T < y.T:
+			return -1
+		case x.T > y.T:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
 }
 
 // union merges two timestamp-sorted lists of newly enqueued elements
@@ -175,40 +220,5 @@ func union(l1, l2 []Pair) []Pair {
 	}
 	out = append(out, l1[i:]...)
 	out = append(out, l2[j:]...)
-	return out
-}
-
-// diffS returns the suffix of a consisting of elements newer than anything
-// in l — the elements enqueued on the branch since the LCA (Appendix B's
-// diff_s).
-func diffS(a, l []Pair) []Pair {
-	i, j := 0, 0
-	for i < len(a) && j < len(l) {
-		if l[j].T < a[i].T {
-			j++
-		} else {
-			i++
-			j++
-		}
-	}
-	return a[i:]
-}
-
-// intersection returns the longest prefix of l that both a and b retain —
-// the LCA elements dequeued by neither branch (Appendix B's intersection).
-func intersection(l, a, b []Pair) []Pair {
-	var out []Pair
-	i, j, k := 0, 0, 0
-	for i < len(l) && j < len(a) && k < len(b) {
-		if l[i].T < a[j].T || l[i].T < b[k].T {
-			// The LCA element was dequeued on some branch; drop it.
-			i++
-		} else {
-			out = append(out, l[i])
-			i++
-			j++
-			k++
-		}
-	}
 	return out
 }

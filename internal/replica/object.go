@@ -1,7 +1,9 @@
 package replica
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -38,6 +40,9 @@ type Object interface {
 type TypedObject[S, Op, Val any] struct {
 	datatype string
 	branch   string
+	object   string
+	node     *Node
+	entry    *objectEntry
 	st       *store.Store[S, Op, Val]
 	log      *disk.Log // nil on in-memory nodes
 }
@@ -68,8 +73,10 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 	// object.
 	if n.cfg.storageDir == "" {
 		st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.cfg.storeOpts...)
-		to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st}
-		n.objects[object] = &objectEntry{obj: to}
+		to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, object: object, node: n, st: st}
+		e := &objectEntry{obj: to, watchers: newWatcherSet()}
+		to.entry = e
+		n.objects[object] = e
 		return to, nil
 	}
 
@@ -98,8 +105,10 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 		log.Close()
 		return nil, err
 	}
-	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, st: st, log: log}
-	n.objects[object] = &objectEntry{obj: to, log: log}
+	to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, object: object, node: n, st: st, log: log}
+	e := &objectEntry{obj: to, log: log, watchers: newWatcherSet()}
+	to.entry = e
+	n.objects[object] = e
 	return to, nil
 }
 
@@ -141,9 +150,58 @@ func (o *TypedObject[S, Op, Val]) Branch() string { return o.branch }
 // node's branch carries its state).
 func (o *TypedObject[S, Op, Val]) Store() *store.Store[S, Op, Val] { return o.st }
 
-// Do applies an operation on the node's branch with a fresh timestamp.
+// Do applies an operation on the node's branch with a fresh timestamp
+// and notifies the node's mesh daemon, which pushes the commit to
+// interested peers (bursts coalesce into one push). Do takes the node's
+// sync freeze: if an exchange is mid-flight, the commit waits for its
+// integrate, so the exchange's reply always merges against the head it
+// was computed for.
 func (o *TypedObject[S, Op, Val]) Do(op Op) (Val, error) {
-	return o.st.Apply(o.branch, op)
+	o.node.syncMu.Lock()
+	v, err := o.st.Apply(o.branch, op)
+	o.node.syncMu.Unlock()
+	if err == nil {
+		o.node.engine.NotifyCommit(o.object)
+	}
+	return v, err
+}
+
+// PullLocal merges local branch src into dst under the node's sync
+// freeze, so a pull that lands on the node branch cannot slip inside an
+// exchange's export-to-integrate window. A pull that moves the node
+// branch notifies the mesh daemon like any other commit.
+func (o *TypedObject[S, Op, Val]) PullLocal(dst, src string) error {
+	o.node.syncMu.Lock()
+	err := o.st.Pull(dst, src)
+	o.node.syncMu.Unlock()
+	if err == nil && dst == o.branch {
+		o.node.engine.NotifyCommit(o.object)
+	}
+	return err
+}
+
+// SyncLocal converges two local branches atomically under the node's
+// sync freeze (see PullLocal); involving the node branch notifies the
+// mesh daemon.
+func (o *TypedObject[S, Op, Val]) SyncLocal(a, b string) error {
+	o.node.syncMu.Lock()
+	err := o.st.Sync(a, b)
+	o.node.syncMu.Unlock()
+	if err == nil && (a == o.branch || b == o.branch) {
+		o.node.engine.NotifyCommit(o.object)
+	}
+	return err
+}
+
+// Watch returns a channel of this object's remote-merge head moves:
+// one event per sync exchange that changed the node branch's head with
+// a peer's commits. Local Do calls never produce events. Delivery is
+// non-blocking with drop-oldest semantics (buffer of 16): a slow
+// consumer sees the newest moves, not the stalest. The channel closes
+// when ctx is cancelled or the node closes, and the watcher detaches
+// without leaking a goroutine.
+func (o *TypedObject[S, Op, Val]) Watch(ctx context.Context) <-chan WatchEvent {
+	return o.entry.watchers.add(ctx)
 }
 
 // State returns the current state of the node's branch.
@@ -169,12 +227,30 @@ func (o *TypedObject[S, Op, Val]) ExportSince(have []store.Hash, packed bool) ([
 	return o.st.ExportSince(o.branch, have)
 }
 
-// Integrate implements Object.
+// Integrate implements Object. A pull that moves the node branch's head
+// fires the object's watchers and re-notifies the mesh daemon: the news
+// a merge brought in is itself pushed onward, so commits cascade
+// hop-by-hop through ring and mesh topologies instead of waiting out a
+// full anti-entropy round per hop. (The cascade terminates: once peers
+// converge, re-syncs ship zero commits and move no heads.)
 func (o *TypedObject[S, Op, Val]) Integrate(track string, commits []store.ExportedCommit, head store.Hash) error {
+	before, _ := o.st.HeadHash(o.branch)
 	if err := o.st.Import(track, commits, head); err != nil {
 		return err
 	}
-	return o.st.Pull(o.branch, track)
+	// Even a failing Pull (a storage error, say) may have moved the head
+	// before reporting — any movement is real news and must still fan
+	// out to watchers and peers.
+	pullErr := o.st.Pull(o.branch, track)
+	if after, err := o.st.HeadHash(o.branch); err == nil && after != before {
+		o.entry.watchers.broadcast(WatchEvent{
+			Object: o.object,
+			From:   strings.TrimPrefix(track, "remote/"),
+			Head:   after,
+		})
+		o.node.engine.NotifyCommit(o.object)
+	}
+	return pullErr
 }
 
 // FlushStorage implements Object.

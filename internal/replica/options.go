@@ -7,8 +7,10 @@ package replica
 import (
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/disk"
+	"repro/internal/mesh"
 	"repro/internal/store"
 )
 
@@ -24,6 +26,15 @@ type nodeConfig struct {
 	checkpointEvery int
 	ckptSet         bool
 	verifyOnOpen    bool
+	// peers seeds the mesh engine's supervised peer set; the mesh*
+	// fields tune its cadence (zero values keep the engine defaults,
+	// meshJitterSet distinguishes "explicitly no jitter" from unset).
+	peers          []string
+	meshInterval   time.Duration
+	meshJitter     time.Duration
+	meshJitterSet  bool
+	meshBackoffMin time.Duration
+	meshBackoffMax time.Duration
 }
 
 // NodeOption adjusts node construction.
@@ -73,6 +84,50 @@ func WithCheckpointEvery(n int) NodeOption {
 // depth. It has no effect without WithStorage.
 func WithVerifyOnOpen(v bool) NodeOption {
 	return func(c *nodeConfig) { c.verifyOnOpen = v }
+}
+
+// WithPeers seeds the node's always-on sync daemon with peer addresses:
+// from construction on, a supervisor goroutine per address runs jittered
+// anti-entropy rounds and receives push-on-commit notifications, with
+// exponential backoff while a peer is unreachable. Equivalent to calling
+// AddPeer for each address right after NewNode.
+func WithPeers(addrs ...string) NodeOption {
+	return func(c *nodeConfig) { c.peers = append(c.peers, addrs...) }
+}
+
+// WithMeshInterval sets the daemon's anti-entropy round period per peer
+// (default 2s). Zero and below keep the default.
+func WithMeshInterval(d time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.meshInterval = d }
+}
+
+// WithMeshJitter caps the random addition to each round's delay (default
+// a quarter of the interval). Zero disables jitter entirely.
+func WithMeshJitter(d time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.meshJitter, c.meshJitterSet = d, true }
+}
+
+// WithMeshBackoff sets the daemon's failure retry window: min is the
+// delay after a first failure, doubling per consecutive failure up to
+// max (defaults 250ms and 30s). Non-positive values keep the defaults.
+func WithMeshBackoff(min, max time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.meshBackoffMin, c.meshBackoffMax = min, max }
+}
+
+// meshConfig assembles the mesh engine configuration.
+func (c *nodeConfig) meshConfig() mesh.Config {
+	mc := mesh.Config{
+		Interval:   c.meshInterval,
+		BackoffMin: c.meshBackoffMin,
+		BackoffMax: c.meshBackoffMax,
+	}
+	if c.meshJitterSet {
+		mc.Jitter = c.meshJitter
+		if c.meshJitter == 0 {
+			mc.Jitter = -1 // explicit zero means "no jitter", not "default"
+		}
+	}
+	return mc
 }
 
 // objectDirName maps an object name to a filesystem-safe directory name:

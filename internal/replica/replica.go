@@ -20,12 +20,39 @@
 // achieve. A re-sync of an already-converged pair therefore costs
 // O(frontier) bytes, not O(history). Peers that do not speak the frontier
 // negotiation (or fail it before it starts) are handled by falling back to
-// the legacy v1 one-shot full-history exchange. The store's Ψ_lca
-// soundness discipline applies verbatim: unsound merges are refused,
-// fast-forwards adopt commits.
+// the legacy v1 one-shot full-history exchange. Merging is the store's
+// job and keeps its guarantees verbatim: every pull merges over a base
+// carrying exactly the operations common to both heads (Ψ_lca by
+// construction), and fast-forwards adopt commits.
+//
+// Replication can be always-on: every node embeds an internal/mesh
+// engine. Peers configured with WithPeers (or added with AddPeer) get a
+// supervisor goroutine running jittered anti-entropy rounds through the
+// same syncPeer code path a manual SyncWith uses, local commits and
+// remote-merge head moves are pushed to interested peers immediately,
+// and failures back off exponentially per peer. Watch exposes the merge
+// path's head moves as a notification channel.
+//
+// Concurrency discipline: an exchange must integrate the peer's reply
+// against the same head it exported — an operation slipped into that
+// window would make the reply merge against a moved head, minting merge
+// commits the peer has never seen and forcing another full round to
+// reconcile them. The node therefore holds syncMu across the whole
+// client exchange and takes it for every local commit (Do) and inbound
+// merge, freezing the branch for the exchange's duration. Two nodes
+// syncing each other simultaneously would deadlock on that discipline,
+// so lock acquisition is tie-broken by node name: a server asked to
+// merge by a client whose name sorts after its own only try-locks,
+// answering
+// "busy" when the node is itself mid-exchange — the client retries its
+// round later, and no waits-for cycle can form because every blocking
+// edge goes from a smaller to a larger name. Exchanges additionally
+// serialize per peer address, so a daemon round and a manual SyncWith
+// to the same peer never duplicate each other's transfer.
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/mesh"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -49,6 +77,25 @@ var ErrObject = errors.New("replica: object error")
 // errFallback marks a failed v2 negotiation; SyncWith retries with the
 // legacy full-history protocol.
 var errFallback = errors.New("replica: delta negotiation unavailable")
+
+// ErrPeerBusy reports that the peer declined to merge because it was
+// mid-exchange itself and the deadlock tie-break told it not to wait.
+// The state is momentary: a retry (the mesh daemon's next round, or the
+// caller repeating SyncWith) succeeds once the peer's exchange ends.
+var ErrPeerBusy = errors.New("replica: peer busy")
+
+// busyMsg is the wire form of ErrPeerBusy, recognized by both protocol
+// versions' clients.
+const busyMsg = "busy: node is mid-exchange, retry"
+
+// Merge-lock patience: how long a handler on the busy-reject side of the
+// name tie-break keeps try-locking before answering busy. Long enough to
+// ride out other handlers' brief merge sections, far shorter than a
+// client exchange it must not wait for.
+const (
+	mergeLockPatience = 25 * time.Millisecond
+	mergeLockPoll     = 250 * time.Microsecond
+)
 
 // SyncStats counts sync traffic across both client and server roles.
 // The node's aggregate stats cover both directions of every connection
@@ -112,16 +159,18 @@ func countPatches(commits []store.ExportedCommit) int64 {
 // syncIdleTimeout bounds how long one read or write of a sync exchange
 // may stall. A peer that keeps making progress can transfer arbitrarily
 // much; one that goes silent errors out instead of wedging the node
-// (handlers and SyncWith serialize on syncMu, so an unbounded stall
-// would block every later sync on the node).
+// (exchanges serialize per peer address, so an unbounded stall would
+// block every later sync with that peer).
 const syncIdleTimeout = 30 * time.Second
 
 // countedConn counts the bytes crossing a connection into the node's
-// aggregate stats and the stats of the object whose exchange is in
-// flight, and refreshes the idle deadline on every read and write.
+// aggregate stats, the stats of the object whose exchange is in flight,
+// and (client side) the per-exchange counters the mesh engine attributes
+// to one peer; it refreshes the idle deadline on every read and write.
 type countedConn struct {
 	net.Conn
 	total *syncStats
+	call  *syncStats // one exchange's counters; nil on inbound handlers
 	obj   atomic.Pointer[syncStats]
 }
 
@@ -129,6 +178,9 @@ func (c *countedConn) Read(p []byte) (int, error) {
 	c.Conn.SetReadDeadline(time.Now().Add(syncIdleTimeout))
 	n, err := c.Conn.Read(p)
 	c.total.bytesRecv.Add(int64(n))
+	if c.call != nil {
+		c.call.bytesRecv.Add(int64(n))
+	}
 	if s := c.obj.Load(); s != nil {
 		s.bytesRecv.Add(int64(n))
 	}
@@ -139,18 +191,34 @@ func (c *countedConn) Write(p []byte) (int, error) {
 	c.Conn.SetWriteDeadline(time.Now().Add(syncIdleTimeout))
 	n, err := c.Conn.Write(p)
 	c.total.bytesSent.Add(int64(n))
+	if c.call != nil {
+		c.call.bytesSent.Add(int64(n))
+	}
 	if s := c.obj.Load(); s != nil {
 		s.bytesSent.Add(int64(n))
 	}
 	return n, err
 }
 
-// objectEntry pairs a hosted object with its sync counters and, on
-// durable nodes, its pack log.
+// dialTimeout bounds a sync dial to a peer; context cancellation (node
+// close, peer removal) aborts earlier.
+const dialTimeout = 10 * time.Second
+
+// dialPeer opens a sync connection, honouring ctx for both the dial and
+// — via the returned stop func's AfterFunc registration in the caller —
+// the life of the exchange.
+func dialPeer(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: dialTimeout}
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// objectEntry pairs a hosted object with its sync counters, its Watch
+// subscribers and, on durable nodes, its pack log.
 type objectEntry struct {
-	obj   Object
-	log   *disk.Log
-	stats syncStats
+	obj      Object
+	log      *disk.Log
+	stats    syncStats
+	watchers *watcherSet
 }
 
 // Node is one replica hosting a set of named MRDT objects. It is safe
@@ -163,7 +231,24 @@ type Node struct {
 	mu      sync.Mutex // guards objects
 	objects map[string]*objectEntry
 
-	syncMu sync.Mutex // serializes sync exchanges on this node
+	// syncMu freezes the node's branches for the duration of a client
+	// exchange: syncPeer holds it from first export to last integrate,
+	// and every other head-moving path — Do, local-branch pulls, inbound
+	// handler merges — takes it too, so replies always integrate against
+	// the head that was exported (see the package comment); handlers
+	// avoid the resulting cross-node deadlock with the name tie-break in
+	// acquireMergeLock.
+	syncMu sync.Mutex
+
+	// peerMus serializes whole exchanges per peer address, so a manual
+	// SyncWith and a mesh daemon round to the same peer never run
+	// concurrently (and never duplicate each other's transfer), while
+	// exchanges with different peers overlap freely.
+	peerMus sync.Map // addr -> *sync.Mutex
+
+	// engine is the always-on sync daemon; it has no peers (and spawns
+	// no goroutines) until WithPeers or AddPeer names some.
+	engine *mesh.Engine
 
 	total    syncStats
 	fullOnly atomic.Bool
@@ -205,7 +290,35 @@ func NewNode(name string, replicaID int, opts ...NodeOption) (*Node, error) {
 	for _, opt := range opts {
 		opt(&n.cfg)
 	}
+	n.engine = mesh.New(n, n.cfg.meshConfig())
+	for _, addr := range n.cfg.peers {
+		n.engine.AddPeer(addr)
+	}
 	return n, nil
+}
+
+// AddPeer registers addr with the node's always-on sync daemon: a
+// supervisor goroutine starts anti-entropy rounds against it immediately
+// and receives push-on-commit notifications. Unreachable peers are
+// retried with exponential backoff. Adding a present peer is a no-op.
+func (n *Node) AddPeer(addr string) { n.engine.AddPeer(addr) }
+
+// RemovePeer stops the daemon's supervision of addr. Removing an unknown
+// peer is a no-op.
+func (n *Node) RemovePeer(addr string) { n.engine.RemovePeer(addr) }
+
+// Peers returns the daemon's supervised peer addresses, sorted.
+func (n *Node) Peers() []string { return n.engine.Peers() }
+
+// MeshStats snapshots the daemon's per-peer state: rounds, pushes,
+// failures, backoff, health score, wire cost and last-converged time,
+// keyed by peer address.
+func (n *Node) MeshStats() map[string]mesh.PeerStats { return n.engine.Stats() }
+
+// PeerMeshStats snapshots one peer's daemon state; ok is false for
+// addresses the daemon does not supervise.
+func (n *Node) PeerMeshStats(addr string) (mesh.PeerStats, bool) {
+	return n.engine.PeerStats(addr)
 }
 
 // Name returns the node's name.
@@ -297,12 +410,15 @@ func (n *Node) Addr() string {
 	return n.ln.Addr().String()
 }
 
-// Close stops serving, waits for in-flight handlers, then flushes and
-// closes every object's pack log, so a durable node's on-disk state is
-// complete the moment Close returns. Close is idempotent: second and
-// later calls are no-ops returning the first call's error.
+// Close drains the mesh daemon (cancelling any in-flight round — a peer
+// that is down cannot wedge shutdown), stops serving, waits for in-flight
+// handlers, detaches every watcher, then flushes and closes every
+// object's pack log, so a durable node's on-disk state is complete the
+// moment Close returns. Close is idempotent: second and later calls are
+// no-ops returning the first call's error.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
+		n.engine.Close()
 		close(n.closed)
 		if n.ln != nil {
 			n.closeErr = n.ln.Close()
@@ -311,6 +427,7 @@ func (n *Node) Close() error {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		for _, e := range n.objects {
+			e.watchers.shutdown()
 			if e.log == nil {
 				continue
 			}
@@ -343,6 +460,32 @@ func (n *Node) serve() {
 			defer conn.Close()
 			n.handle(&countedConn{Conn: conn, total: &n.total})
 		}()
+	}
+}
+
+// acquireMergeLock takes syncMu for an inbound merge on behalf of the
+// named client, or reports false to answer busy. A server whose name
+// sorts above the client's blocks outright; one whose name sorts below
+// (or ties — a misconfigured fleet syncing itself) only try-locks, with
+// a little patience to ride out other handlers' brief merge sections.
+// Every blocking edge therefore goes from a smaller to a larger name,
+// so the waits-for graph of a fleet of mutually-syncing nodes cannot
+// contain a cycle: simultaneous exchanges resolve with one side's
+// round answered busy and retried, never with a distributed deadlock.
+func (n *Node) acquireMergeLock(client string) bool {
+	if n.name > client {
+		n.syncMu.Lock()
+		return true
+	}
+	deadline := time.Now().Add(mergeLockPatience)
+	for {
+		if n.syncMu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(mergeLockPoll)
 	}
 }
 
@@ -451,7 +594,10 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		return false
 	}
 
-	n.syncMu.Lock()
+	if !n.acquireMergeLock(hello.Node) {
+		fail(busyMsg)
+		return false
+	}
 	err = e.obj.Integrate("remote/"+hello.Node, commits, head)
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
@@ -528,7 +674,10 @@ func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 		return
 	}
 
-	n.syncMu.Lock()
+	if !n.acquireMergeLock(peer) {
+		fail(busyMsg)
+		return
+	}
 	err = e.obj.Integrate("remote/"+peer, commits, head)
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
@@ -561,17 +710,65 @@ func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 // capabilities), then the legacy full-history protocol, one connection
 // per object.
 func (n *Node) SyncWith(addr string) error {
-	n.syncMu.Lock()
-	defer n.syncMu.Unlock()
-	names := n.Objects()
+	_, err := n.syncPeer(context.Background(), addr, nil)
+	return err
+}
+
+// MeshSync implements mesh.Syncer: it is the daemon's entry into the
+// exact code path SyncWith uses, restricted to the named objects (nil
+// means every hosted object) and abortable through ctx. The returned
+// Report is meaningful even on error — partial byte counts still feed
+// the per-peer mesh stats.
+func (n *Node) MeshSync(ctx context.Context, addr string, objects []string) (mesh.Report, error) {
+	return n.syncPeer(ctx, addr, objects)
+}
+
+// peerLock returns the mutex serializing exchanges with addr: a manual
+// SyncWith and a daemon round aimed at the same peer take turns instead
+// of running duplicate concurrent sessions.
+func (n *Node) peerLock(addr string) *sync.Mutex {
+	mu, _ := n.peerMus.LoadOrStore(addr, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
+// syncPeer runs one client exchange with addr over the negotiation
+// ladder, serialized per peer address. Each object's exchange holds the
+// node-wide syncMu from the export of its frontier to the integrate of
+// the peer's reply: the branch a hello advertises must not move until
+// the reply is merged back, or the integrate lands on a moved head and
+// the pair needs another round to reconcile (see the package comment).
+// Local commits and inbound merges wait that window out; a peer
+// simultaneously syncing us gets the acquireMergeLock tie-break instead
+// of a deadlock. Dials stay outside the freeze, so an unreachable peer
+// costs its supervisor a dial timeout but never stalls the node's
+// commits.
+func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mesh.Report, error) {
+	lock := n.peerLock(addr)
+	lock.Lock()
+	defer lock.Unlock()
+	names := objects
+	if names == nil {
+		names = n.Objects()
+	}
+	var call syncStats
+	report := func(missed []string) mesh.Report {
+		s := call.snapshot()
+		return mesh.Report{
+			BytesSent:   s.BytesSent,
+			BytesRecv:   s.BytesRecv,
+			CommitsSent: s.CommitsSent,
+			CommitsRecv: s.CommitsRecv,
+			Missed:      missed,
+		}
+	}
 	if len(names) == 0 {
-		return nil
+		return report(nil), nil
 	}
 	if !n.fullOnly.Load() {
 		if _, plain := n.plainPeers.Load(addr); !plain {
-			err := n.syncDelta(addr, names, true)
+			missed, err := n.syncDelta(ctx, addr, names, true, &call)
 			if err == nil || !errors.Is(err, errFallback) {
-				return err
+				return report(missed), err
 			}
 			// The peer refused the capability hello outright (and closed
 			// the session): remember that and retry the pre-capability
@@ -579,51 +776,67 @@ func (n *Node) SyncWith(addr string) error {
 			// entirely.
 			n.plainPeers.Store(addr, struct{}{})
 		}
-		err := n.syncDelta(addr, names, false)
+		missed, err := n.syncDelta(ctx, addr, names, false, &call)
 		if err == nil || !errors.Is(err, errFallback) {
-			return err
+			return report(missed), err
 		}
 		n.total.fallbacks.Add(1)
 	}
 	for _, object := range names {
-		if err := n.syncFull(addr, object, len(names) == 1); err != nil {
-			return err
+		if err := n.syncFull(ctx, addr, object, len(names) == 1, &call); err != nil {
+			return report(nil), err
 		}
 	}
-	return nil
+	return report(nil), nil
 }
 
 // syncDelta runs the client side of a v2 session: one connection, one
 // negotiate-and-ship-missing exchange per object. withCaps selects the
 // packed dialect (capability hello, patch commits when the peer acks
 // them). A failure of the first hello is reported as errFallback (the
-// peer predates the dialect); failures after that are real errors.
-func (n *Node) syncDelta(addr string, names []string, withCaps bool) error {
-	conn, err := net.Dial("tcp", addr)
+// peer predates the dialect); failures after that are real errors. The
+// returned list names the objects the peer answered with a miss — the
+// mesh daemon uses it to learn which objects a peer is interested in.
+func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withCaps bool, call *syncStats) ([]string, error) {
+	conn, err := dialPeer(ctx, addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer conn.Close()
-	c := &countedConn{Conn: conn, total: &n.total}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	c := &countedConn{Conn: conn, total: &n.total, call: call}
 
+	var missed []string
 	for i, object := range names {
 		e, ok := n.entry(object)
 		if !ok {
 			continue // removed concurrently; nothing to sync
 		}
 		c.obj.Store(&e.stats)
-		if err := n.syncObjectDelta(c, object, e, i == 0, withCaps); err != nil {
-			return err
+		miss, err := n.syncObjectDelta(c, object, e, i == 0, withCaps)
+		if err != nil {
+			return missed, err
+		}
+		if miss {
+			missed = append(missed, object)
 		}
 	}
-	return nil
+	return missed, nil
 }
 
-// syncObjectDelta negotiates and transfers one object on an open session.
-func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first, withCaps bool) error {
+// syncObjectDelta negotiates and transfers one object on an open
+// session. It reports miss=true when the peer answered the hello with
+// "object not hosted here" (the session stays usable for the next
+// object). The node's syncMu is held for the whole call — network
+// round-trips included — because the frontier the hello advertises is a
+// promise that the branch will stand still until the reply is merged.
+func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first, withCaps bool) (miss bool, _ error) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
 	mine, err := e.obj.Frontier()
 	if err != nil {
-		return err
+		return false, err
 	}
 	hello := wire.Hello{Node: n.name, Object: object, Datatype: e.obj.Datatype(), Frontier: mine}
 	if withCaps {
@@ -633,33 +846,32 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 	}
 	if err != nil {
 		if first {
-			return fmt.Errorf("%w: %v", errFallback, err)
+			return false, fmt.Errorf("%w: %v", errFallback, err)
 		}
-		return err
+		return false, err
 	}
 	kind, fields, err := wire.ReadMsg(c)
 	switch {
 	case err != nil:
 		if first {
-			return fmt.Errorf("%w: %v", errFallback, err)
+			return false, fmt.Errorf("%w: %v", errFallback, err)
 		}
-		return err
+		return false, err
 	case kind == wire.FrameHelloMiss:
-		// Peer does not host this object (or hosts it as another type):
-		// skip it, the session stays usable for the next object.
+		// Peer does not host this object (or hosts it as another type).
 		n.total.misses.Add(1)
 		e.stats.misses.Add(1)
-		return nil
+		return true, nil
 	case kind == wire.FrameErr:
 		if first {
-			return fmt.Errorf("%w: peer refused hello", errFallback)
+			return false, fmt.Errorf("%w: peer refused hello", errFallback)
 		}
-		return fmt.Errorf("%w: peer refused hello for object %s", ErrProtocol, object)
+		return false, fmt.Errorf("%w: peer refused hello for object %s", ErrProtocol, object)
 	case kind != wire.FrameHelloAck || (len(fields) != 1 && len(fields) != 2):
 		if first {
-			return fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
+			return false, fmt.Errorf("%w: unexpected reply kind %d", errFallback, kind)
 		}
-		return fmt.Errorf("%w: unexpected reply kind %d", ErrProtocol, kind)
+		return false, fmt.Errorf("%w: unexpected reply kind %d", ErrProtocol, kind)
 	}
 	// The peer speaks the packed dialect iff it echoed a capability field
 	// (it never volunteers one to a pre-capability hello).
@@ -667,24 +879,24 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 	if len(fields) == 2 {
 		caps, err := wire.DecodeCaps(fields[1])
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrProtocol, err)
+			return false, fmt.Errorf("%w: %v", ErrProtocol, err)
 		}
 		peerPatch = withCaps && caps&wire.CapPatch != 0
 	}
 	ack, err := wire.DecodeHello(fields[0])
 	if err != nil {
 		if first {
-			return fmt.Errorf("%w: %v", errFallback, err)
+			return false, fmt.Errorf("%w: %v", errFallback, err)
 		}
-		return err
+		return false, err
 	}
 	if ack.Object != object {
-		return fmt.Errorf("%w: peer acked object %q, want %q", ErrProtocol, ack.Object, object)
+		return false, fmt.Errorf("%w: peer acked object %q, want %q", ErrProtocol, ack.Object, object)
 	}
 
 	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet(), peerPatch)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if peerPatch {
 		err = wire.WriteDeltaPacked(c, commits, head)
@@ -692,18 +904,21 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		err = wire.WriteDelta(c, commits, head)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	reply, replyHead, err := wire.ReadDelta(c)
 	if err != nil {
 		var pe *wire.PeerError
 		if errors.As(err, &pe) {
-			return fmt.Errorf("%w: peer: %s", ErrProtocol, pe.Msg)
+			if pe.Msg == busyMsg {
+				return false, fmt.Errorf("%w: %s", ErrPeerBusy, object)
+			}
+			return false, fmt.Errorf("%w: peer: %s", ErrProtocol, pe.Msg)
 		}
-		return err
+		return false, err
 	}
 	if err := e.obj.Integrate("remote/"+ack.Node, reply, replyHead); err != nil {
-		return err
+		return false, err
 	}
 	for _, s := range []*syncStats{&n.total, &e.stats} {
 		s.deltaSyncs.Add(1)
@@ -712,7 +927,7 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		s.patchesSent.Add(countPatches(commits))
 		s.patchesRecv.Add(countPatches(reply))
 	}
-	return nil
+	return false, nil
 }
 
 // syncFull runs the client side of the legacy v1 exchange for one
@@ -722,14 +937,14 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 // resolve and type-check it; if the peer refuses it and this node hosts
 // a single object, the original two-field form is retried on a fresh
 // connection for interop with pre-multi-object peers.
-func (n *Node) syncFull(addr string, object string, sole bool) error {
+func (n *Node) syncFull(ctx context.Context, addr string, object string, sole bool, call *syncStats) error {
 	e, ok := n.entry(object)
 	if !ok {
 		return nil
 	}
-	err := n.syncFullOnce(addr, object, e, true)
+	err := n.syncFullOnce(ctx, addr, object, e, true, call)
 	if err != nil && sole && errors.Is(err, errLegacyRequest) {
-		return n.syncFullOnce(addr, object, e, false)
+		return n.syncFullOnce(ctx, addr, object, e, false, call)
 	}
 	return err
 }
@@ -744,19 +959,24 @@ var errLegacyRequest = errors.New("replica: peer cannot parse request")
 
 // syncFullOnce runs one v1 exchange on its own connection, using the
 // named request form when named is true.
-func (n *Node) syncFullOnce(addr, object string, e *objectEntry, named bool) error {
-	commits, head, err := e.obj.Export()
-	if err != nil {
-		return err
-	}
-	conn, err := net.Dial("tcp", addr)
+func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectEntry, named bool, call *syncStats) error {
+	conn, err := dialPeer(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	c := &countedConn{Conn: conn, total: &n.total}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	c := &countedConn{Conn: conn, total: &n.total, call: call}
 	c.obj.Store(&e.stats)
 
+	// As in syncObjectDelta, the branch freezes from export to integrate.
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	commits, head, err := e.obj.Export()
+	if err != nil {
+		return err
+	}
 	payload := wire.EncodeCommitList(commits, head)
 	if named {
 		err = wire.WriteMsg(c, wire.FrameSyncRequest,
@@ -778,6 +998,9 @@ func (n *Node) syncFullOnce(addr, object string, e *objectEntry, named bool) err
 		}
 		if msg == "bad request" {
 			return fmt.Errorf("%w: %w", ErrProtocol, errLegacyRequest)
+		}
+		if msg == busyMsg {
+			return fmt.Errorf("%w: %s", ErrPeerBusy, object)
 		}
 		return fmt.Errorf("%w: peer: %s", ErrProtocol, msg)
 	}

@@ -9,10 +9,9 @@ import (
 
 // DAG-scaling benchmarks: the generation-guided walks must cost
 // O(divergence) regardless of history length, where the retained
-// reference implementations grow linearly (LCA) or worse (soundness
-// check). Run with
+// reference implementations grow linearly with history. Run with
 //
-//	go test ./internal/store -bench 'PullDeepHistory|SoundBase|LCA' -benchtime 1x
+//	go test ./internal/store -bench 'PullDeepHistory|ExclusiveOps|LCA' -benchtime 1x
 //
 // and compare across history= sub-benchmarks: the fast rows stay flat,
 // the Ref rows grow with history.
@@ -70,30 +69,32 @@ func diamond(history, divergence int) (*Store[int64, counter.Op, counter.Val], H
 	return s, base, a, b
 }
 
-func BenchmarkStoreSoundBase(b *testing.B) {
+func BenchmarkStoreExclusiveOps(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
 			b.ReportAllocs()
-			s, base, x, y := diamond(history, 8)
+			s, _, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if !s.soundBase(base, x, y) {
-					b.Fatal("diamond must be sound")
+				xo, yo := s.exclusiveOps(x, y)
+				if len(xo) != 8 || len(yo) != 8 {
+					b.Fatal("diamond sides must each hold their own ops")
 				}
 			}
 		})
 	}
 }
 
-func BenchmarkStoreSoundBaseRef(b *testing.B) {
+func BenchmarkStoreExclusiveOpsRef(b *testing.B) {
 	for _, history := range benchHistories {
 		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
 			b.ReportAllocs()
-			s, base, x, y := diamond(history, 8)
+			s, _, x, y := diamond(history, 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if !s.refSoundBase(base, x, y) {
-					b.Fatal("diamond must be sound")
+				xo, yo := s.refExclusiveOps(x, y)
+				if len(xo) != 8 || len(yo) != 8 {
+					b.Fatal("diamond sides must each hold their own ops")
 				}
 			}
 		})

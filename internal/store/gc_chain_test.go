@@ -48,11 +48,9 @@ func TestGCDeltaChainsRandomDAGs(t *testing.T) {
 					a := branches[rng.Intn(len(branches))]
 					b := branches[rng.Intn(len(branches))]
 					if a != b {
-						// Random pulls may legitimately violate Ψ_lca;
-						// the store refuses those, which is fine here —
-						// the DAG got its merge commits from the ones it
-						// accepts.
-						_ = s.Sync(a, b)
+						if err := s.Sync(a, b); err != nil {
+							t.Fatal(err)
+						}
 					}
 				case r == 2 && len(branches) > 3:
 					i := 1 + rng.Intn(len(branches)-1) // never delete main

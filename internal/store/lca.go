@@ -17,6 +17,15 @@ var ErrNoCommonAncestor = errors.New("store: no common ancestor")
 // merging the candidates, as in Git's recursive merge strategy. The
 // virtual commit is recorded in the DAG (but on no branch), so nested
 // criss-crosses terminate.
+//
+// The returned base is what makes every pull satisfy Ψ_lca: a commit
+// reachable from both heads is a common ancestor, every common ancestor
+// is dominated by a maximal one, and the fold joins all maximal ones —
+// so the base's operation set is exactly the intersection of the heads'
+// operation sets. The data type merges are verified against precisely
+// that property (the base carries the common information, no more, no
+// less), so any pair of heads may be merged over it, whatever order
+// gossip delivered their histories in.
 func (s *Store[S, Op, Val]) lca(a, b Hash) (Hash, error) {
 	return s.foldBases(s.maximalCommonAncestors(a, b), s.lca)
 }
@@ -106,91 +115,33 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 	return maximal
 }
 
-// soundBase reports whether the three-way merge of heads a and b over
-// base satisfies Ψ_lca on the commit DAG: every operation commit reachable
-// from either head but not from the base must descend from the base.
-// Operation commits are the only event creators, so this is exactly "every
-// event outside the LCA observed every event in the LCA".
-//
-// One two-color walk decides this: flagBase paints the base's ancestry,
-// flagHead paints the heads' reachability, both descending in generation
-// order so flags are final at pop time. A commit popped with flagBase is
-// inside the base's history and exempt, and so is everything beneath it;
-// the walk stops when only such commits remain queued. A commit popped
-// with flagHead alone is in the merge region proper, and if it is an
-// operation commit it must descend from the base — checked by a memoized
-// descent search that never expands commits at or below the base's
-// generation (an ancestor's generation is strictly smaller, so such
-// commits cannot reach the base going down). Total cost is O(region),
-// not O(n²).
-func (s *Store[S, Op, Val]) soundBase(base, a, b Hash) bool {
-	baseGen := s.commitAtLocked(base).Gen
-	p := newPainter(s.commitAtLocked, flagBase)
-	p.add(base, flagBase)
-	p.add(a, flagHead)
-	p.add(b, flagHead)
-	memo := make(map[Hash]bool)
+// exclusiveOps partitions the operation commits of the divergence region
+// of a and b: those reachable only from a and those reachable only from
+// b. Operation commits reachable from both are shared history and
+// reported by neither side; merge commits create no events and are never
+// reported. The walk is the merge-base paint (generation-ordered, common
+// ancestry goes stale), so both slices come back in non-increasing
+// generation order and the cost is O(divergence).
+func (s *Store[S, Op, Val]) exclusiveOps(a, b Hash) (aOps, bOps []Hash) {
+	p := newPainter(s.commitAtLocked, flagStale)
+	p.add(a, flagP1)
+	p.add(b, flagP2)
 	for p.active() {
 		h, f := p.pop()
-		parents := s.commitAtLocked(h).Parents
-		if f&flagBase != 0 {
-			// Inside the base's history: exempt, and everything below is
-			// too, so only the base color continues downward.
-			f = flagBase
-		} else if len(parents) == 1 && !s.descendsWithin(h, base, baseGen, memo) {
-			return false
+		c := s.commitAtLocked(h)
+		if f&flagStale == 0 && f&(flagP1|flagP2) == flagP1|flagP2 {
+			f |= flagStale
 		}
-		for _, par := range parents {
+		if f&flagStale == 0 && len(c.Parents) == 1 {
+			if f&flagP1 != 0 {
+				aOps = append(aOps, h)
+			} else {
+				bOps = append(bOps, h)
+			}
+		}
+		for _, par := range c.Parents {
 			p.add(par, f)
 		}
 	}
-	return true
-}
-
-// descendsWithin reports whether base is an ancestor of h, exploring only
-// commits above base's generation (ancestors have strictly smaller
-// generations, so anything at or below baseGen other than base itself
-// cannot reach it). memo is shared across the queries of one soundBase
-// call, so the merge region is traversed once overall. The walk is
-// iterative; region depth does not grow the stack.
-func (s *Store[S, Op, Val]) descendsWithin(h, base Hash, baseGen int, memo map[Hash]bool) bool {
-	decided := func(x Hash) (verdict, known bool) {
-		if x == base {
-			return true, true
-		}
-		if s.commitAtLocked(x).Gen <= baseGen {
-			return false, true
-		}
-		v, ok := memo[x]
-		return v, ok
-	}
-	if v, ok := decided(h); ok {
-		return v
-	}
-	stack := []Hash{h}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		if _, ok := decided(cur); ok {
-			stack = stack[:len(stack)-1]
-			continue
-		}
-		settled, verdict := true, false
-		for _, par := range s.commitAtLocked(cur).Parents {
-			v, ok := decided(par)
-			if !ok {
-				stack = append(stack, par)
-				settled = false
-				break
-			}
-			if v {
-				verdict = true
-				break
-			}
-		}
-		if settled {
-			memo[cur] = verdict
-			stack = stack[:len(stack)-1]
-		}
-	}
-	return memo[h]
+	return aOps, bOps
 }

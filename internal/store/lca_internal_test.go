@@ -138,23 +138,27 @@ func TestLCACrissCrossVirtualBase(t *testing.T) {
 	}
 }
 
-func TestSoundBaseDetectsForeignOps(t *testing.T) {
+func TestExclusiveOpsPartition(t *testing.T) {
 	s := newInternalCounterStore()
 	root := s.heads["main"]
-	base := commitChain(s, root, 1)
-	a := commitChain(s, base, 1)
-	b := commitChain(s, root, 1) // forked before base: concurrent with it
-	m := mergeCommit(s, a, b, 0)
-	// Merging m with a descendant of base over base: b's op commit does
-	// not descend from base.
-	if s.soundBase(base, m, commitChain(s, base, 1)) {
-		t.Fatal("soundBase must reject ops concurrent with the base")
+	base := commitChain(s, root, 2)
+	shared := commitChain(s, base, 1) // op below both heads: reported by neither
+	a1 := commitChain(s, shared, 2)
+	b1 := commitChain(s, shared, 1)
+	m := mergeCommit(s, a1, b1, 0) // merge commit: creates no event
+	a := commitChain(s, m, 1)
+	aOps, bOps := s.exclusiveOps(a, b1)
+	// a's side: its own two ops above shared, plus the op atop the merge.
+	// b1's ops are reachable from a through the merge, so b has none.
+	if len(aOps) != 3 || len(bOps) != 0 {
+		t.Fatalf("exclusiveOps = %d/%d ops, want 3/0", len(aOps), len(bOps))
 	}
-	// A clean diamond is sound.
-	x := commitChain(s, base, 2)
-	y := commitChain(s, base, 3)
-	if !s.soundBase(base, x, y) {
-		t.Fatal("soundBase must accept a clean diamond")
+	aOps, bOps = s.exclusiveOps(a1, b1)
+	if len(aOps) != 2 || len(bOps) != 1 {
+		t.Fatalf("exclusiveOps(a1, b1) = %d/%d ops, want 2/1", len(aOps), len(bOps))
+	}
+	if x, y := s.exclusiveOps(a, a); x != nil || y != nil {
+		t.Fatal("exclusiveOps(x, x) must be empty")
 	}
 }
 

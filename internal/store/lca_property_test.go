@@ -137,7 +137,22 @@ func TestLCANestedCrissCrossMatchesReference(t *testing.T) {
 	}
 }
 
-func TestSoundBaseMatchesReferenceOnRandomDAGs(t *testing.T) {
+// TestMergeBaseCarriesExactCommonOps is the executable statement of
+// Ψ_lca: on arbitrary DAGs — including criss-crosses whose base is a
+// virtual fold commit — the merge base lca returns must carry exactly
+// the operation commits reachable from both heads, no more and no less.
+// Every pull hands the data type merge such a base, which is what makes
+// the three-way merges exact whatever order gossip built the history in.
+func TestMergeBaseCarriesExactCommonOps(t *testing.T) {
+	opsOf := func(s *Store[int64, counter.Op, counter.Val], h Hash) map[Hash]bool {
+		out := map[Hash]bool{}
+		for anc := range s.ancestors(h) {
+			if len(s.commitAtLocked(anc).Parents) == 1 {
+				out[anc] = true
+			}
+		}
+		return out
+	}
 	for seed := int64(200); seed <= 230; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		s := newInternalCounterStore()
@@ -145,23 +160,45 @@ func TestSoundBaseMatchesReferenceOnRandomDAGs(t *testing.T) {
 		for k := 0; k < 40; k++ {
 			a := hashes[r.Intn(len(hashes))]
 			b := hashes[r.Intn(len(hashes))]
-			var base Hash
-			if k%2 == 0 {
-				// Realistic bases: the actual merge base of the pair.
-				var err error
-				base, err = s.lca(a, b)
-				if err != nil {
-					t.Fatal(err)
-				}
-			} else {
-				// Adversarial bases: any commit at all.
-				base = hashes[r.Intn(len(hashes))]
+			base, err := s.lca(a, b)
+			if err != nil {
+				t.Fatal(err)
 			}
-			fast := s.soundBase(base, a, b)
-			ref := s.refSoundBase(base, a, b)
-			if fast != ref {
-				t.Fatalf("seed %d: soundBase(%v, %v, %v) = %v, reference says %v",
-					seed, base, a, b, fast, ref)
+			aOps, bOps, baseOps := opsOf(s, a), opsOf(s, b), opsOf(s, base)
+			for h := range baseOps {
+				if !aOps[h] || !bOps[h] {
+					t.Fatalf("seed %d: base op %v not common to both heads", seed, h)
+				}
+			}
+			for h := range aOps {
+				if bOps[h] && !baseOps[h] {
+					t.Fatalf("seed %d: common op %v missing from the base", seed, h)
+				}
+			}
+		}
+	}
+}
+
+func TestExclusiveOpsMatchReferenceOnRandomDAGs(t *testing.T) {
+	for seed := int64(300); seed <= 330; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := newInternalCounterStore()
+		hashes := randomDAG(s, r, 50)
+		for k := 0; k < 40; k++ {
+			a := hashes[r.Intn(len(hashes))]
+			b := hashes[r.Intn(len(hashes))]
+			fastA, fastB := s.exclusiveOps(a, b)
+			refA, refB := s.refExclusiveOps(a, b)
+			if !sameHashSet(fastA, refA) || !sameHashSet(fastB, refB) {
+				t.Fatalf("seed %d: exclusiveOps(%v, %v) diverges from reference", seed, a, b)
+			}
+			// The fast walk promises strictly decreasing generation order.
+			for _, side := range [][]Hash{fastA, fastB} {
+				for i := 1; i < len(side); i++ {
+					if s.commits[side[i]].Gen > s.commits[side[i-1]].Gen {
+						t.Fatalf("seed %d: exclusiveOps not generation-sorted", seed)
+					}
+				}
 			}
 		}
 	}

@@ -2,11 +2,11 @@ package store
 
 // Reference implementations of the DAG queries, retained from before the
 // generation-guided rewrite (lca.go, walk.go). They materialize full
-// ancestor sets — O(history) per query, O(n²) for the soundness check —
-// and serve as the executable specification: the randomized-DAG property
-// tests (lca_property_test.go) require the fast walks to agree with
-// these on every seed. GC keeps using ancestors() directly, where the
-// full reachability set is the point of the computation.
+// ancestor sets — O(history) per query — and serve as the executable
+// specification: the randomized-DAG property tests
+// (lca_property_test.go) require the fast walks to agree with these on
+// every seed. GC keeps using ancestors() directly, where the full
+// reachability set is the point of the computation.
 
 // ancestors returns the set of commits reachable from h, including h.
 func (s *Store[S, Op, Val]) ancestors(h Hash) map[Hash]bool {
@@ -87,31 +87,19 @@ func (s *Store[S, Op, Val]) refMaximalCommonAncestors(a, b Hash) []Hash {
 	return maximal
 }
 
-// refSoundBase is the full-set Ψ_lca check: every operation commit
-// reachable from either head but not from the base must descend from the
-// base, decided with one ancestor-set materialization per checked commit.
-func (s *Store[S, Op, Val]) refSoundBase(base, a, b Hash) bool {
-	baseAnc := s.ancestors(base)
-	for h := range s.ancestors(a) {
-		if !s.refOpDescendsFromBase(h, base, baseAnc) {
-			return false
+// refExclusiveOps is the full-set counterpart of exclusiveOps: set
+// difference over materialized ancestor sets, operation commits only.
+func (s *Store[S, Op, Val]) refExclusiveOps(a, b Hash) (aOps, bOps []Hash) {
+	aAnc, bAnc := s.ancestors(a), s.ancestors(b)
+	for h := range aAnc {
+		if !bAnc[h] && len(s.commitAtLocked(h).Parents) == 1 {
+			aOps = append(aOps, h)
 		}
 	}
-	for h := range s.ancestors(b) {
-		if !s.refOpDescendsFromBase(h, base, baseAnc) {
-			return false
+	for h := range bAnc {
+		if !aAnc[h] && len(s.commitAtLocked(h).Parents) == 1 {
+			bOps = append(bOps, h)
 		}
 	}
-	return true
-}
-
-func (s *Store[S, Op, Val]) refOpDescendsFromBase(h, base Hash, baseAnc map[Hash]bool) bool {
-	if baseAnc[h] {
-		return true // inside the base's history
-	}
-	c := s.commitAtLocked(h)
-	if len(c.Parents) != 1 {
-		return true // root or merge commit: creates no event
-	}
-	return s.ancestors(h)[base]
+	return aOps, bOps
 }

@@ -14,6 +14,7 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -167,21 +168,6 @@ var (
 	// ErrLastBranch is returned by DeleteBranch when asked to remove the
 	// only remaining branch.
 	ErrLastBranch = errors.New("store: cannot delete the last branch")
-
-	// ErrUnsoundMerge is returned by Pull when the requested three-way
-	// merge violates the store property Ψ_lca that the paper's
-	// correctness theorem assumes: some operation in the merge region
-	// does not causally descend from the merge base (it entered a branch
-	// through an earlier merge with a third party, or through asymmetric
-	// ping-pong pulls with interleaved local operations). Data type
-	// merges are verified only under Ψ_lca — e.g. the mergeable log's
-	// merge diffs by timestamp suffix, which is sound exactly when new
-	// events carry larger timestamps than every LCA event — so the store
-	// refuses the merge instead of silently corrupting state. Replicas
-	// converge soundly by synchronizing pairwise with no interleaved
-	// operations (Sync), which reduces every pull to a diamond-shaped
-	// merge or a fast-forward.
-	ErrUnsoundMerge = errors.New("store: merge base does not causally dominate the merge region (Ψ_lca)")
 )
 
 // Store is a single-object replicated datastore for one MRDT. It is safe
@@ -349,13 +335,29 @@ func (s *Store[S, Op, Val]) Size(b string) (int, error) {
 }
 
 // Pull merges branch src into branch dst (the MERGE rule). Degenerate
-// cases avoid the data type merge entirely: if the LCA is src's head the
-// pull is a no-op, and if it is dst's head the pull fast-forwards by
-// adopting src's head commit. Otherwise a three-way merge of the two heads
-// over their lowest common ancestor is committed with both heads as
-// parents — but only if the merge region causally descends from the base
-// (Ψ_lca); see ErrUnsoundMerge. dst's clock observes src's so that later
-// operations on dst carry larger timestamps than everything merged in.
+// cases avoid the data type merge entirely:
+//
+//   - If the merge base is src's head, dst already has everything: the
+//     pull is a no-op. When the two heads carry identical operation sets
+//     under different merge commits — replicas that absorbed the same
+//     operations through different exchanges — the pull instead elects
+//     the smaller head hash as the canonical commit, so gossiping
+//     replicas converge to one head, not just one state.
+//   - If the merge base is dst's head, the pull fast-forwards by
+//     adopting src's head commit. Likewise when dst's exclusive commits
+//     are all merges (merges create no operations): adopting src's head
+//     loses nothing, and declining to mint a fresh merge commit is what
+//     lets repeated gossip rounds terminate instead of chasing each
+//     other's heads forever.
+//
+// Otherwise a three-way merge of the two heads over their merge base is
+// committed with both heads as parents. The base handed to the data type
+// merge is the join of every maximal common ancestor (see lca), so its
+// operation set is exactly the intersection of the heads' — the Ψ_lca
+// property the data type merges are verified against holds by
+// construction, for any divergence shape arbitrary-order gossip
+// produces. dst's clock observes src's so that later operations on dst
+// carry larger timestamps than everything merged in.
 func (s *Store[S, Op, Val]) Pull(dst, src string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -366,13 +368,13 @@ func (s *Store[S, Op, Val]) Pull(dst, src string) error {
 }
 
 func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
-	hd, ok := s.heads[dst]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoBranch, dst)
-	}
 	hs, ok := s.heads[src]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoBranch, src)
+	}
+	hd, ok := s.heads[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBranch, dst)
 	}
 	if hd == hs {
 		return nil // already identical
@@ -386,16 +388,43 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	}
 	s.clocks[dst].Observe(clock.Pack(s.clocks[src].Now(), 0))
 	if base == hd {
-		// Fast-forward: dst has no exclusive history; adopting src's head
-		// commit is exact and keeps the DAG transparent for future LCAs.
+		// Fast-forward: dst has no exclusive history; adopting src's
+		// head commit is exact and keeps the DAG transparent for
+		// future LCAs.
 		s.heads[dst] = hs
 		s.persistBranchLocked(dst)
 		return nil
 	}
-	if !s.soundBase(base, hd, hs) {
-		return fmt.Errorf("%w: pull %s <- %s", ErrUnsoundMerge, dst, src)
+	// Heads that differ without differing in operations are convergence
+	// bookkeeping, not merges: minting a merge commit for them would
+	// move the heads forever without bringing them together.
+	dstOps, srcOps := s.exclusiveOps(hd, hs)
+	if len(srcOps) == 0 {
+		if len(dstOps) == 0 && bytes.Compare(hs[:], hd[:]) < 0 {
+			// Identical operation sets under different merge commits:
+			// elect the smaller hash as the canonical head, so every
+			// replica converges to one commit, not just one state.
+			s.heads[dst] = hs
+			s.persistBranchLocked(dst)
+		}
+		return nil // src has no operations dst lacks
 	}
-	dc, sc := s.commitAtLocked(hd), s.commitAtLocked(hs)
+	if len(dstOps) == 0 {
+		// Semantic fast-forward: src's head carries every operation
+		// dst has (dst's exclusive commits are merges, which create
+		// no events), so adopting it loses nothing.
+		s.heads[dst] = hs
+		s.persistBranchLocked(dst)
+		return nil
+	}
+	return s.mergeHeadsLocked(dst, hd, hs, base)
+}
+
+// mergeHeadsLocked commits the three-way merge of dst's head hd with
+// commit other over base, and advances dst to the merge commit. The
+// caller has already observed the source clock.
+func (s *Store[S, Op, Val]) mergeHeadsLocked(dst string, hd, other, base Hash) error {
+	dc, oc := s.commitAtLocked(hd), s.commitAtLocked(other)
 	baseState, err := s.stateLocked(s.commitAtLocked(base).State)
 	if err != nil {
 		return err
@@ -404,22 +433,25 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	if err != nil {
 		return err
 	}
-	srcState, err := s.stateLocked(sc.State)
+	otherState, err := s.stateLocked(oc.State)
 	if err != nil {
 		return err
 	}
-	merged := s.impl.Merge(baseState, dstState, srcState)
+	merged := s.impl.Merge(baseState, dstState, otherState)
+	// The merge commit's timestamp must dominate its whole ancestry;
+	// the absorbed head's own timestamp bounds everything it carries.
+	s.clocks[dst].Observe(oc.Time)
 	t := s.clocks[dst].Tick()
 	gen := dc.Gen
-	if sc.Gen > gen {
-		gen = sc.Gen
+	if oc.Gen > gen {
+		gen = oc.Gen
 	}
 	// The merge commit's first parent is dst's head: the pack layer
 	// chains the merged state against it, and packed exports ship that
 	// patch to peers that hold the parent.
 	st := s.putState(merged, dc.State)
 	s.heads[dst] = s.putCommit(Commit{
-		Parents: []Hash{hd, hs},
+		Parents: []Hash{hd, other},
 		State:   st,
 		Gen:     gen + 1,
 		Time:    t,
@@ -428,11 +460,11 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	return nil
 }
 
-// Sync converges two branches atomically: a pulls b (a diamond-shaped
-// three-way merge over their last common point), then b fast-forwards to
-// the merge commit. No operation can interleave between the two pulls, so
-// repeated Sync rounds keep every merge inside the Ψ_lca envelope for the
-// synchronizing pair. After Sync the two branches hold equal states.
+// Sync converges two branches atomically: a pulls b (a three-way merge
+// over their merge base), then b adopts the result — no operation can
+// interleave between the two pulls, so the second leg is always a
+// fast-forward or election, never a second data type merge. After Sync
+// the two branches hold equal heads.
 func (s *Store[S, Op, Val]) Sync(a, b string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -112,40 +112,126 @@ func TestStoreRepeatedSyncRounds(t *testing.T) {
 	}
 }
 
-func TestStoreUnsoundMergeDetected(t *testing.T) {
+func TestStorePullCompletesAsymmetricPingPong(t *testing.T) {
 	// Asymmetric ping-pong with an interleaved local operation: main pulls
 	// dev, then dev — which performed an operation concurrently with
-	// main's — pulls main back. The base of that pull (dev's pre-op head)
-	// does not causally dominate main's exclusive operation, so Ψ_lca is
-	// violated and the store must refuse rather than hand the data type a
-	// merge outside its verified envelope.
+	// main's — pulls main back. The merge base of that back-pull (dev's
+	// pre-op head) does not causally dominate main's exclusive operation,
+	// but it still carries exactly the common operations, so the merge
+	// counts everything once and the pair converges.
 	s := counterStore()
 	inc(t, s, "main", 1)
 	s.Fork("main", "dev")
 	inc(t, s, "main", 2)
 	inc(t, s, "dev", 4)
 	if err := s.Pull("main", "dev"); err != nil {
-		t.Fatal(err) // diamond: sound
+		t.Fatal(err) // plain diamond
 	}
 	inc(t, s, "dev", 8) // interleaved local op on dev
-	err := s.Pull("dev", "main")
-	if !errors.Is(err, store.ErrUnsoundMerge) {
-		t.Fatalf("Pull = %v, want ErrUnsoundMerge", err)
+	if err := s.Pull("dev", "main"); err != nil {
+		t.Fatal(err)
 	}
-	// The exclusion is permanent for this pair: dev's new operation did
-	// not observe main's exclusive operation and vice versa, so no merge
-	// base can causally dominate the region in either direction. The
-	// verified envelope requires converging via Sync *before* adding local
-	// operations on the pulled-from side (see TestStoreSyncDiscipline).
-	if err := s.Pull("main", "dev"); !errors.Is(err, store.ErrUnsoundMerge) {
-		t.Fatalf("reverse Pull = %v, want ErrUnsoundMerge", err)
+	d, _ := s.Head("dev")
+	if d != 15 { // 1+2+4+8, each counted once
+		t.Fatalf("dev = %d, want 15", d)
+	}
+	// The reverse direction brings main no new operations; it converges by
+	// semantic fast-forward onto dev's completed head.
+	if err := s.Pull("main", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	hm, _ := s.HeadHash("main")
+	hd, _ := s.HeadHash("dev")
+	m, _ := s.Head("main")
+	if m != 15 || hm != hd {
+		t.Fatalf("main = %d head %v, want 15 at dev's head %v", m, hm, hd)
+	}
+}
+
+func TestStoreGossipOrderCompletion(t *testing.T) {
+	// Ring gossip applied in "backwards" edge order with one interleaved
+	// operation: b2 syncs b1 before b1 has absorbed main's chain, then
+	// commits locally, then syncs b1 again — so main's root-forked chain
+	// arrives behind a merge that does not dominate it. The pulls merge
+	// over the exact common base and the ring converges to identical
+	// heads.
+	s := counterStore()
+	s.Fork("main", "b1")
+	s.Fork("main", "b2")
+	for i, b := range []string{"main", "b1", "b2"} {
+		for j := 0; j < 3; j++ {
+			inc(t, s, b, int64(i+1))
+		}
+	}
+	if err := s.Sync("b2", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync("b1", "main"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "b2", 1)
+	if err := s.Sync("b2", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := s.Head("b2")
+	v1, _ := s.Head("b1")
+	h2, _ := s.HeadHash("b2")
+	h1, _ := s.HeadHash("b1")
+	if v2 != 19 || v1 != 19 || h1 != h2 { // 3·1 + 3·2 + 3·3 + 1
+		t.Fatalf("b2=%d b1=%d heads equal=%v, want 19/19/true", v2, v1, h1 == h2)
+	}
+}
+
+func TestStoreEntangledTimestampsMergeExactly(t *testing.T) {
+	// Deliberately interleaved Lamport timestamps: main commits an
+	// operation just after merging aux's pumped-clock chain, so old's
+	// long offline chain carries timestamps both below and above main's
+	// operation; srv merges old's chain behind main's back and commits on
+	// top. The merge bases here are nowhere near timestamp-contiguous
+	// with the regions above them — exactly the shape that breaks
+	// positional suffix diffs — and the pulls must still count every
+	// operation exactly once.
+	s := counterStore()
+	if err := s.Fork("main", "aux"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fork("main", "old"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 1)
+	for i := 0; i < 10; i++ {
+		inc(t, s, "aux", 1) // pump aux's clock to ~10
+	}
+	if err := s.Pull("main", "aux"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fork("main", "srv"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "main", 1) // main's interleaved op, timestamp ~12
+	for i := 0; i < 15; i++ {
+		inc(t, s, "old", 1) // offline chain, timestamps 1..15
+	}
+	if err := s.Pull("srv", "old"); err != nil {
+		t.Fatal(err)
+	}
+	inc(t, s, "srv", 1) // srv's op atop the entangled merge
+	if err := s.Sync("main", "srv"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Head("main")
+	v, _ := s.Head("srv")
+	hm, _ := s.HeadHash("main")
+	hv, _ := s.HeadHash("srv")
+	if m != 28 || v != 28 || hm != hv { // 1 + 10 + 1 + 15 + 1, each once
+		t.Fatalf("main=%d srv=%d heads equal=%v, want 28/28/true", m, v, hm == hv)
 	}
 }
 
 func TestStoreSyncDiscipline(t *testing.T) {
-	// The same workload as TestStoreUnsoundMergeDetected, but converging
-	// with atomic Sync at each exchange: every merge stays inside the
-	// Ψ_lca envelope and the replicas converge exactly.
+	// The ping-pong workload converging with atomic Sync at each
+	// exchange: both legs of every exchange happen with no interleaved
+	// operation, so each is one plain diamond merge.
 	s := counterStore()
 	inc(t, s, "main", 1)
 	s.Fork("main", "dev")

@@ -1,9 +1,10 @@
 package store
 
-// Generation-guided DAG walks. Both the merge-base search and the Ψ_lca
-// soundness check are flag-propagation walks over the commit DAG that
-// visit commits in strictly non-increasing generation order, which gives
-// them two properties the old full-ancestor-set implementations lacked:
+// Generation-guided DAG walks. The merge-base search and the exclusive
+// operation partition are flag-propagation walks over the commit DAG
+// that visit commits in strictly non-increasing generation order, which
+// gives them two properties the old full-ancestor-set implementations
+// lacked:
 //
 //   - Flag completeness at pop: every path from a walk source down to a
 //     commit consists of commits with strictly larger generations, so by
@@ -11,26 +12,20 @@ package store
 //     reached it. Decisions made at pop time are final.
 //
 //   - Early termination: the walk stops as soon as every queued commit
-//     carries the walk's "boring" flag (STALE for the merge-base search,
-//     BASE for the soundness check), so it never descends past the
-//     region the query is actually about — cost is O(divergence), not
-//     O(history).
+//     carries the walk's "boring" flag (STALE), so it never descends
+//     past the region the query is actually about — cost is
+//     O(divergence), not O(history).
 //
 // The retained full-set implementations in reference.go are the
 // executable specification; property tests require the two to agree on
 // randomized DAGs.
 
-// Flag bits carried by painted commits. The merge-base search paints
-// flagP1/flagP2 down from the two tips and marks common ancestors'
-// histories flagStale; the soundness check paints flagHead down from the
-// merge heads and flagBase down from the merge base.
+// Flag bits carried by painted commits: the walks paint flagP1/flagP2
+// down from the two tips and mark common ancestors' histories flagStale.
 const (
 	flagP1    uint8 = 1 << iota // reachable from the first tip
 	flagP2                      // reachable from the second tip
 	flagStale                   // ancestor of an already-found common ancestor
-
-	flagHead = flagP1 // soundBase: reachable from a merge head
-	flagBase = flagP2 // soundBase: ancestor of the merge base (inclusive)
 )
 
 // genItem is one queued commit keyed by its generation number.

@@ -51,6 +51,9 @@ type (
 	ChatOp = chat.Op
 	// ChatVal is a chat operation's return value.
 	ChatVal = chat.Val
+	// ChatState is the chat state: an α-map from channel names to
+	// mergeable logs (bindings sorted by channel, entries newest first).
+	ChatState = chat.State
 )
 
 // Operation kinds of the flagship datatypes.

@@ -1,0 +1,78 @@
+package peepul
+
+// Always-on replication: the public face of the internal/mesh engine.
+// A node given peers (WithPeers at construction, AddPeer later) keeps
+// itself converged without any application SyncWith calls — one
+// supervisor goroutine per peer runs jittered anti-entropy rounds,
+// local commits are pushed to interested peers immediately (bursts
+// coalesce), and unreachable peers are retried with exponential
+// backoff. Watch turns remote-merge head moves into a channel, so a UI
+// or cache reacts to replication instead of polling state.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/replica"
+)
+
+// WithPeers seeds the node's always-on sync daemon: from construction
+// on, every address gets a supervisor goroutine running anti-entropy
+// rounds and receiving push-on-commit notifications. Equivalent to
+// calling AddPeer for each address right after NewNode.
+func WithPeers(addrs ...string) NodeOption { return replica.WithPeers(addrs...) }
+
+// WithMeshInterval sets the daemon's anti-entropy round period per peer
+// (default 2s). Zero and below keep the default.
+func WithMeshInterval(d time.Duration) NodeOption { return replica.WithMeshInterval(d) }
+
+// WithMeshJitter caps the random addition to each round's delay
+// (default a quarter of the interval), de-synchronizing a fleet's
+// supervisors. Zero disables jitter entirely.
+func WithMeshJitter(d time.Duration) NodeOption { return replica.WithMeshJitter(d) }
+
+// WithMeshBackoff sets the daemon's failure retry window: min after a
+// first failure, doubling per consecutive failure up to max (defaults
+// 250ms and 30s). Non-positive values keep the defaults.
+func WithMeshBackoff(min, max time.Duration) NodeOption { return replica.WithMeshBackoff(min, max) }
+
+// AddPeer registers addr with the node's sync daemon and starts
+// supervising it immediately. Adding a present peer is a no-op.
+func (n *Node) AddPeer(addr string) { n.rn.AddPeer(addr) }
+
+// RemovePeer stops the daemon's supervision of addr. Removing an
+// unknown peer is a no-op.
+func (n *Node) RemovePeer(addr string) { n.rn.RemovePeer(addr) }
+
+// Peers returns the daemon's supervised peer addresses, sorted.
+func (n *Node) Peers() []string { return n.rn.Peers() }
+
+// MeshStats is a snapshot of one peer's daemon state: anti-entropy
+// rounds and pushes completed, failures and the backoff they earned,
+// a health score (1 = healthy, halved per failure), wire cost, the
+// last time an exchange completed, and the last error.
+type MeshStats = mesh.PeerStats
+
+// MeshStats snapshots the daemon's per-peer state, keyed by address.
+func (n *Node) MeshStats() map[string]MeshStats { return n.rn.MeshStats() }
+
+// PeerMeshStats snapshots one peer's daemon state; ok is false for
+// addresses the daemon does not supervise.
+func (n *Node) PeerMeshStats(addr string) (MeshStats, bool) { return n.rn.PeerMeshStats(addr) }
+
+// WatchEvent reports one remote-merge head move of a watched object: a
+// sync exchange with peer From moved the node branch's head to Head.
+type WatchEvent = replica.WatchEvent
+
+// Watch returns a channel of this object's remote-merge head moves.
+// Events fire when a sync exchange (daemon round, push, or manual
+// SyncWith — as client or server) changes the node branch's head with a
+// peer's commits; local Do calls never produce events. Delivery never
+// blocks replication: a slow consumer's buffer drops its oldest events
+// first, so the newest head move is always the one waiting. The channel
+// closes when ctx is cancelled or the node closes; either way the
+// watcher detaches without leaking a goroutine.
+func (h *Handle[S, Op, Val]) Watch(ctx context.Context) <-chan WatchEvent {
+	return h.obj.Watch(ctx)
+}

@@ -221,17 +221,20 @@ func (h *Handle[S, Op, Val]) StateOf(branch string) (S, error) {
 }
 
 // Pull merges branch src into branch dst (the MERGE rule): a three-way
-// MRDT merge over the branches' lowest common ancestor, refused if it
-// would violate the store's Ψ_lca soundness discipline.
+// MRDT merge over a base carrying exactly the branches' common
+// operations (the store's Ψ_lca guarantee). A pull onto the node branch
+// waits out any in-flight sync exchange and is pushed to mesh peers
+// like a Do.
 func (h *Handle[S, Op, Val]) Pull(dst, src string) error {
-	return h.obj.Store().Pull(dst, src)
+	return h.obj.PullLocal(dst, src)
 }
 
 // Sync converges two local branches atomically: a pulls b, then b
 // fast-forwards to the merge commit. After Sync both branches hold equal
-// states.
+// states. Like Pull, involving the node branch coordinates with the
+// node's sync exchanges and notifies mesh peers.
 func (h *Handle[S, Op, Val]) Sync(a, b string) error {
-	return h.obj.Store().Sync(a, b)
+	return h.obj.SyncLocal(a, b)
 }
 
 // Stats returns the object's sync counters on this node.

@@ -1,0 +1,214 @@
+package peepul_test
+
+// Watch semantics at the public API: events fire on remote merges and
+// never on local commits, slow consumers lose oldest-first but always
+// see the newest head, and watchers detach — without leaking their
+// goroutine — on context cancellation or node close.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/peepul"
+)
+
+// watchPair builds two listening counter nodes with no mesh peers, so
+// every merge in these tests is driven by an explicit SyncWith.
+func watchPair(t *testing.T) (n1, n2 *peepul.Node, h1, h2 *peepul.Handle[peepul.CounterPNState, peepul.CounterOp, peepul.CounterVal]) {
+	t.Helper()
+	mk := func(name string, id int) (*peepul.Node, *peepul.Handle[peepul.CounterPNState, peepul.CounterOp, peepul.CounterVal]) {
+		n, err := peepul.NewNode(name, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		h, err := peepul.Open(n, peepul.PNCounter, "hits")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		return n, h
+	}
+	n1, h1 = mk("w1", 1)
+	n2, h2 = mk("w2", 2)
+	return n1, n2, h1, h2
+}
+
+// TestWatchFiresOnRemoteMergeOnly: the server's merge of a peer's
+// commits fires its watcher (From names the peer); the client whose own
+// state the peer merely adopted sees nothing; local Do never fires.
+func TestWatchFiresOnRemoteMergeOnly(t *testing.T) {
+	n1, n2, h1, h2 := watchPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := h1.Watch(ctx)
+	w2 := h2.Watch(ctx)
+
+	// A local commit fires no watcher.
+	if _, err := h1.Do(peepul.CounterOp{Kind: peepul.CounterInc, N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-w1:
+		t.Fatalf("local Do produced a watch event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Syncing moves n2's head with n1's commits: n2's watcher fires with
+	// the peer's name. n1 only fast-forwarded the peer to its own head,
+	// so the reply moves nothing and n1's watcher stays silent.
+	if err := n1.SyncWith(n2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-w2:
+		if ev.From != "w1" || ev.Object != "hits" {
+			t.Fatalf("watch event = %+v, want From=w1 Object=hits", ev)
+		}
+		if head, err := h2.Store().HeadHash(h2.Branch()); err != nil || ev.Head != head {
+			t.Fatalf("event head %x, branch head %x (err %v)", ev.Head, head, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no watch event on the merging side")
+	}
+	select {
+	case ev := <-w1:
+		t.Fatalf("fast-forwarded-to client got a watch event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The reverse flow fires n1's watcher with From=w2.
+	if _, err := h2.Do(peepul.CounterOp{Kind: peepul.CounterInc, N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.SyncWith(n2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-w1:
+		if ev.From != "w2" {
+			t.Fatalf("event From = %q, want w2", ev.From)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no watch event after merging the peer's commit")
+	}
+}
+
+// TestWatchDropsOldestUnderSlowConsumer: an unread watcher holds the
+// newest events, not the stalest — the last event drained always names
+// the branch's final head.
+func TestWatchDropsOldestUnderSlowConsumer(t *testing.T) {
+	n1, n2, h1, h2 := watchPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := h1.Watch(ctx)
+
+	// 20 remote merges, none consumed: more than the watch buffer holds.
+	const merges = 20
+	for i := 0; i < merges; i++ {
+		if _, err := h2.Do(peepul.CounterOp{Kind: peepul.CounterInc, N: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n1.SyncWith(n2.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var drained []peepul.WatchEvent
+	for {
+		select {
+		case ev := <-w:
+			drained = append(drained, ev)
+			continue
+		default:
+		}
+		break
+	}
+	if len(drained) == 0 || len(drained) >= merges {
+		t.Fatalf("drained %d events, want some but fewer than %d (drop-oldest)", len(drained), merges)
+	}
+	head, err := h1.Store().HeadHash(h1.Branch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := drained[len(drained)-1]; last.Head != head {
+		t.Fatalf("newest drained event head %x, want current branch head %x", last.Head, head)
+	}
+}
+
+// TestWatchCancelDetaches: cancelling a watcher's context closes its
+// channel and releases its goroutine; the object keeps working and
+// other watchers keep firing.
+func TestWatchCancelDetaches(t *testing.T) {
+	n1, n2, h1, h2 := watchPair(t)
+	before := runtime.NumGoroutine()
+
+	const watchers = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	chans := make([]<-chan peepul.WatchEvent, watchers)
+	for i := range chans {
+		chans[i] = h2.Watch(ctx)
+	}
+	cancel()
+	for _, w := range chans {
+		select {
+		case _, ok := <-w:
+			if ok {
+				t.Fatal("cancelled watcher delivered an event")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled watcher's channel never closed")
+		}
+	}
+	// The detach goroutines exit; poll because close-to-exit is async.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines %d after cancel, want back to %d", got, before)
+	}
+
+	// A fresh watcher on the same object still fires.
+	w := h2.Watch(context.Background())
+	if _, err := h1.Do(peepul.CounterOp{Kind: peepul.CounterInc, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.SyncWith(n2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher added after a cancel never fired")
+	}
+}
+
+// TestWatchClosesOnNodeClose: closing the node closes every watcher
+// channel.
+func TestWatchClosesOnNodeClose(t *testing.T) {
+	n, err := peepul.NewNode("solo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := peepul.Open(n, peepul.PNCounter, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.Watch(context.Background())
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-w:
+		if ok {
+			t.Fatal("closing node delivered an event instead of closing the channel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher channel still open after node close")
+	}
+}
