@@ -8,17 +8,22 @@
 //	peepul-bench -fig space      # pack layer: resident + sync bytes vs full snapshots
 //	peepul-bench -fig durable    # disk log: commit latency, recovery time, footprint
 //	peepul-bench -fig mesh       # always-on fleets: converge/propagate latency, idle cost
+//	peepul-bench -fig recon      # set reconciliation vs sampled-frontier negotiation
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
 //
-// The dag, space, durable and mesh figures additionally write their rows
-// as JSON (default BENCH_dag.json / BENCH_space.json / BENCH_durable.json
-// / BENCH_mesh.json, see -dag-out / -space-out / -durable-out /
-// -mesh-out) so CI can archive the perf trajectory. -durable-flat-factor N turns the durable figure into a
+// The dag, space, durable, mesh and recon figures additionally write
+// their rows as JSON (default BENCH_dag.json / BENCH_space.json /
+// BENCH_durable.json / BENCH_mesh.json / BENCH_recon.json, see -dag-out
+// / -space-out / -durable-out / -mesh-out / -recon-out) so CI can
+// archive the perf trajectory. -durable-flat-factor N turns the durable figure into a
 // regression gate: the run fails if recovery at the deepest swept
 // history takes more than N times the shallowest — checkpointed
-// recovery is supposed to be flat in depth.
+// recovery is supposed to be flat in depth. -recon-gate turns the recon
+// figure into a regression gate: the run fails unless the converged
+// re-sync at the deepest swept history ships zero commits within a
+// constant byte ceiling.
 //
 // Output is row-oriented, one row per plotted point, matching the series
 // of Figures 12–15 and Table 3 (as Table 3′, the certification-effort
@@ -37,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
@@ -46,7 +51,9 @@ func main() {
 	spaceOut := flag.String("space-out", "BENCH_space.json", "output path for the space JSON (-fig space)")
 	durableOut := flag.String("durable-out", "BENCH_durable.json", "output path for the durability JSON (-fig durable)")
 	meshOut := flag.String("mesh-out", "BENCH_mesh.json", "output path for the always-on fleet JSON (-fig mesh)")
+	reconOut := flag.String("recon-out", "BENCH_recon.json", "output path for the set-reconciliation JSON (-fig recon)")
 	durableFlat := flag.Float64("durable-flat-factor", 0, "fail (exit 1) if recovery at the deepest swept history exceeds this multiple of the shallowest; 0 disables (-fig durable)")
+	reconGate := flag.Bool("recon-gate", false, "fail (exit 1) unless the converged recon re-sync at the deepest swept history ships 0 commits within a constant byte ceiling (-fig recon)")
 	flag.Parse()
 
 	if *typ != "" {
@@ -70,6 +77,7 @@ func main() {
 	spaceNs, spaceLogNs := bench.SpaceNs, bench.SpaceLogNs
 	durableNs, durableLogNs := bench.DurableNs, bench.DurableLogNs
 	meshRingNs, meshFullNs, meshSteady := bench.MeshRingNs, bench.MeshFullNs, bench.MeshSteadyWindow
+	reconNs := bench.ReconNs
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
@@ -84,6 +92,7 @@ func main() {
 		meshRingNs = []int{4, 8}
 		meshFullNs = []int{4}
 		meshSteady = 300 * time.Millisecond
+		reconNs = bench.ReconQuickNs
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -176,8 +185,32 @@ func main() {
 		fmt.Printf("wrote %s (%d rows)\n", *meshOut, len(rows))
 	})
 
+	run("recon", func() {
+		rows := bench.Recon(reconNs, *seed)
+		bench.PrintRecon(os.Stdout, rows)
+		f, err := os.Create(*reconOut)
+		if err == nil {
+			err = bench.WriteReconJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *reconOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *reconOut, len(rows))
+		if *reconGate {
+			if err := bench.ReconGateErr(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "recon gate: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("recon gate: converged re-sync is O(1) at the deepest history")
+		}
+	})
+
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -49,6 +49,14 @@ type MeshRow struct {
 	// SteadyBytesPerSec is SteadyBytes normalized by the window — the
 	// cost of keeping a converged fleet converged.
 	SteadyBytesPerSec float64 `json:"steady_bytes_per_sec"`
+	// BaselineSteadyBytes is the same idle window measured on an
+	// identical fleet with recon disabled — the sampled-frontier
+	// anti-entropy cost the span probe replaces. Recon's SteadyBytes
+	// should sit strictly below it: a converged round is one fingerprint
+	// compare instead of a frontier sample per object.
+	BaselineSteadyBytes int64 `json:"baseline_steady_bytes"`
+	// BaselineSteadyBytesPerSec normalizes BaselineSteadyBytes by the window.
+	BaselineSteadyBytesPerSec float64 `json:"baseline_steady_bytes_per_sec"`
 }
 
 // MeshRingNs is the fleet-size sweep of the ring topology.
@@ -64,14 +72,23 @@ const MeshSteadyWindow = 800 * time.Millisecond
 
 const meshWritesPerNode = 3
 
-// Mesh runs the fleet scenarios over their sweeps.
+// Mesh runs the fleet scenarios over their sweeps. Every fleet runs
+// twice — recon negotiation, then the frontier baseline — so each row
+// carries its own steady-state comparison.
 func Mesh(ringNs, fullNs []int, steady time.Duration) []MeshRow {
 	var rows []MeshRow
+	measure := func(topology string, n int) {
+		row := meshFleet(topology, n, steady, true)
+		base := meshFleet(topology, n, steady, false)
+		row.BaselineSteadyBytes = base.SteadyBytes
+		row.BaselineSteadyBytesPerSec = base.SteadyBytesPerSec
+		rows = append(rows, row)
+	}
 	for _, n := range ringNs {
-		rows = append(rows, meshFleet("ring", n, steady))
+		measure("ring", n)
 	}
 	for _, n := range fullNs {
-		rows = append(rows, meshFleet("full", n, steady))
+		measure("full", n)
 	}
 	return rows
 }
@@ -85,7 +102,7 @@ type meshNode struct {
 // takes the row's three measurements. The daemon interval is tightened
 // well below the default so the benchmark measures the engine, not the
 // idle period.
-func meshFleet(topology string, n int, steady time.Duration) MeshRow {
+func meshFleet(topology string, n int, steady time.Duration, recon bool) MeshRow {
 	fleet := make([]meshNode, n)
 	for i := range fleet {
 		node, err := peepul.NewNode(fmt.Sprintf("bench-m%d", i), i+1,
@@ -96,6 +113,7 @@ func meshFleet(topology string, n int, steady time.Duration) MeshRow {
 			panic(err)
 		}
 		defer node.Close()
+		node.SetReconEnabled(recon)
 		h, err := peepul.Open(node, peepul.PNCounter, "hits")
 		if err != nil {
 			panic(err)
@@ -144,8 +162,12 @@ func meshFleet(topology string, n int, steady time.Duration) MeshRow {
 	convergeNs := time.Since(start).Nanoseconds()
 
 	// Steady state: a converged fleet keeps gossiping frontiers. Let any
-	// in-flight exchanges settle, then charge an idle window.
-	time.Sleep(100 * time.Millisecond)
+	// in-flight exchanges settle before charging the idle window — heads
+	// converge a few rounds before commit *sets* do (reconciliation
+	// keeps shipping tracking-branch stragglers until every pair's
+	// fingerprint trees agree), and the window should measure keeping a
+	// converged fleet converged, not the tail of convergence.
+	time.Sleep(400 * time.Millisecond)
 	before := meshWireBytes(fleet)
 	time.Sleep(steady)
 	steadyBytes := meshWireBytes(fleet) - before

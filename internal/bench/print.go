@@ -83,13 +83,14 @@ func PrintDag(w io.Writer, rows []DagRow) {
 // column should stay small and history-independent).
 func PrintMesh(w io.Writer, rows []MeshRow) {
 	fmt.Fprintln(w, "Mesh: always-on daemon fleets, no SyncWith (converge / propagate / idle cost)")
-	fmt.Fprintf(w, "%8s %7s %8s %12s %12s %12s %14s\n",
-		"topo", "nodes", "writes", "converge", "propagate", "idle-window", "idle-rate")
+	fmt.Fprintf(w, "%8s %7s %8s %12s %12s %12s %14s %14s\n",
+		"topo", "nodes", "writes", "converge", "propagate", "idle-window", "idle-rate", "frontier-rate")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%8s %7d %8d %12s %12s %12s %12s/s\n",
+		fmt.Fprintf(w, "%8s %7d %8d %12s %12s %12s %12s/s %12s/s\n",
 			r.Topology, r.Nodes, r.Writes,
 			fmtDur(time.Duration(r.ConvergeNs)), fmtDur(time.Duration(r.PropagateNs)),
-			fmtDur(time.Duration(r.SteadyWindowNs)), fmtBytes(int64(r.SteadyBytesPerSec)))
+			fmtDur(time.Duration(r.SteadyWindowNs)), fmtBytes(int64(r.SteadyBytesPerSec)),
+			fmtBytes(int64(r.BaselineSteadyBytesPerSec)))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/recon"
 	"repro/internal/store"
 )
 
@@ -29,6 +30,40 @@ type Object interface {
 	// Integrate installs a peer's (possibly partial) history under a
 	// tracking branch and pulls it into the node's branch.
 	Integrate(track string, commits []store.ExportedCommit, head store.Hash) error
+	// IntegrateExact is Integrate for the reconciliation dialect: it
+	// additionally reports how many of the shipped commits were already
+	// present (redundant re-ships — zero when the negotiation resolved
+	// the exact diff), which shipped commits were freshly installed
+	// (commits the peer provably holds, excluded from any reply), and
+	// which commits the exchange minted locally (merge commits a reply
+	// must ship on top of the peer's want list).
+	IntegrateExact(track string, commits []store.ExportedCommit, head store.Hash) (redundant int, fresh, minted []store.Hash, err error)
+	// Head returns the node branch's current head hash.
+	Head() (store.Hash, error)
+	// HasCommit reports whether the object's store holds commit h.
+	HasCommit(h store.Hash) bool
+	// ReconRoot, ReconRange, ReconItems and ReconSelect expose the
+	// store's fingerprint tree to the reconciliation protocol: the
+	// fingerprint and count of the whole commit set or a hash range
+	// [x, y), the range's members, and its k-th member (the split-point
+	// oracle of the recursive descent).
+	ReconRoot() (recon.Fingerprint, int)
+	ReconRange(x, y recon.Item) (recon.Fingerprint, int)
+	ReconItems(x, y recon.Item, max int) []recon.Item
+	ReconSelect(x, y recon.Item, k int) (recon.Item, bool)
+	// ExportSet exports exactly the given commit set (plus the branch
+	// head as graft point) — the ship phase after a reconciliation
+	// resolved the precise missing commits.
+	ExportSet(ship map[store.Hash]bool, packed bool) ([]store.ExportedCommit, store.Hash, error)
+	// BeginInstallCapture / EndInstallCapture / ExportSetCapture expose
+	// the store's install-capture tokens: a reconciliation session arms
+	// a capture before its first probe and exports through it, so
+	// commits a concurrent local Apply installs mid-descent still reach
+	// the ship set atomically with the exported head (store.Store has
+	// the full contract).
+	BeginInstallCapture() int
+	EndInstallCapture(token int) []store.Hash
+	ExportSetCapture(ship map[store.Hash]bool, token int, skip map[store.Hash]bool, packed bool) ([]store.ExportedCommit, store.Hash, error)
 	// FlushStorage pushes buffered persistence out and surfaces any
 	// sticky storage error; a no-op on in-memory objects.
 	FlushStorage() error
@@ -234,14 +269,28 @@ func (o *TypedObject[S, Op, Val]) ExportSince(have []store.Hash, packed bool) ([
 // full anti-entropy round per hop. (The cascade terminates: once peers
 // converge, re-syncs ship zero commits and move no heads.)
 func (o *TypedObject[S, Op, Val]) Integrate(track string, commits []store.ExportedCommit, head store.Hash) error {
+	_, _, _, err := o.IntegrateExact(track, commits, head)
+	return err
+}
+
+// IntegrateExact implements Object. The captured import and pull
+// variants separate the two kinds of news an exchange creates — commits
+// the peer shipped that were already present (redundant), and commits
+// the pull minted locally (merges the peer has never seen) — with each
+// record cut inside the store's own critical section, so concurrent
+// local Applies can never blur the attribution (their commits land only
+// in the session-long capture the reconciliation handlers hold).
+func (o *TypedObject[S, Op, Val]) IntegrateExact(track string, commits []store.ExportedCommit, head store.Hash) (int, []store.Hash, []store.Hash, error) {
 	before, _ := o.st.HeadHash(o.branch)
-	if err := o.st.Import(track, commits, head); err != nil {
-		return err
+	fresh, importErr := o.st.ImportCaptured(track, commits, head)
+	if importErr != nil {
+		return 0, nil, nil, importErr
 	}
+	redundant := len(commits) - len(fresh)
 	// Even a failing Pull (a storage error, say) may have moved the head
 	// before reporting — any movement is real news and must still fan
 	// out to watchers and peers.
-	pullErr := o.st.Pull(o.branch, track)
+	minted, pullErr := o.st.PullCaptured(o.branch, track)
 	if after, err := o.st.HeadHash(o.branch); err == nil && after != before {
 		o.entry.watchers.broadcast(WatchEvent{
 			Object: o.object,
@@ -250,7 +299,51 @@ func (o *TypedObject[S, Op, Val]) Integrate(track string, commits []store.Export
 		})
 		o.node.engine.NotifyCommit(o.object)
 	}
-	return pullErr
+	return redundant, fresh, minted, pullErr
+}
+
+// Head implements Object.
+func (o *TypedObject[S, Op, Val]) Head() (store.Hash, error) {
+	return o.st.HeadHash(o.branch)
+}
+
+// HasCommit implements Object.
+func (o *TypedObject[S, Op, Val]) HasCommit(h store.Hash) bool { return o.st.HasCommit(h) }
+
+// ReconRoot implements Object.
+func (o *TypedObject[S, Op, Val]) ReconRoot() (recon.Fingerprint, int) { return o.st.ReconRoot() }
+
+// ReconRange implements Object.
+func (o *TypedObject[S, Op, Val]) ReconRange(x, y recon.Item) (recon.Fingerprint, int) {
+	return o.st.ReconRange(x, y)
+}
+
+// ReconItems implements Object.
+func (o *TypedObject[S, Op, Val]) ReconItems(x, y recon.Item, max int) []recon.Item {
+	return o.st.ReconItems(x, y, max)
+}
+
+// ReconSelect implements Object.
+func (o *TypedObject[S, Op, Val]) ReconSelect(x, y recon.Item, k int) (recon.Item, bool) {
+	return o.st.ReconSelect(x, y, k)
+}
+
+// ExportSet implements Object.
+func (o *TypedObject[S, Op, Val]) ExportSet(ship map[store.Hash]bool, packed bool) ([]store.ExportedCommit, store.Hash, error) {
+	return o.st.ExportSet(o.branch, ship, packed)
+}
+
+// BeginInstallCapture implements Object.
+func (o *TypedObject[S, Op, Val]) BeginInstallCapture() int { return o.st.BeginInstallCapture() }
+
+// EndInstallCapture implements Object.
+func (o *TypedObject[S, Op, Val]) EndInstallCapture(token int) []store.Hash {
+	return o.st.EndInstallCapture(token)
+}
+
+// ExportSetCapture implements Object.
+func (o *TypedObject[S, Op, Val]) ExportSetCapture(ship map[store.Hash]bool, token int, skip map[store.Hash]bool, packed bool) ([]store.ExportedCommit, store.Hash, error) {
+	return o.st.ExportSetCapture(o.branch, ship, token, skip, packed)
 }
 
 // FlushStorage implements Object.

@@ -53,6 +53,7 @@ package replica
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -64,6 +65,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mesh"
+	"repro/internal/recon"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -120,6 +122,15 @@ type SyncStats struct {
 	// binary patches rather than full states — the packed dialect's win.
 	PatchesSent int64
 	PatchesRecv int64
+	// RangesSent and RangesRecv count reconciliation range probes, by
+	// role: probes this node issued as a client and probes it answered
+	// as a server. A converged pair exchanges exactly one per re-sync.
+	RangesSent int64
+	RangesRecv int64
+	// RedundantCommits counts received commits that were already present
+	// — re-ships a sampled frontier failed to subtract. The
+	// reconciliation dialect's contract is to keep this at zero.
+	RedundantCommits int64
 }
 
 type syncStats struct {
@@ -128,20 +139,25 @@ type syncStats struct {
 	deltaSyncs, fullSyncs    atomic.Int64
 	fallbacks, misses        atomic.Int64
 	patchesSent, patchesRecv atomic.Int64
+	rangesSent, rangesRecv   atomic.Int64
+	redundantCommits         atomic.Int64
 }
 
 func (s *syncStats) snapshot() SyncStats {
 	return SyncStats{
-		BytesSent:   s.bytesSent.Load(),
-		BytesRecv:   s.bytesRecv.Load(),
-		CommitsSent: s.commitsSent.Load(),
-		CommitsRecv: s.commitsRecv.Load(),
-		DeltaSyncs:  s.deltaSyncs.Load(),
-		FullSyncs:   s.fullSyncs.Load(),
-		Fallbacks:   s.fallbacks.Load(),
-		Misses:      s.misses.Load(),
-		PatchesSent: s.patchesSent.Load(),
-		PatchesRecv: s.patchesRecv.Load(),
+		BytesSent:        s.bytesSent.Load(),
+		BytesRecv:        s.bytesRecv.Load(),
+		CommitsSent:      s.commitsSent.Load(),
+		CommitsRecv:      s.commitsRecv.Load(),
+		DeltaSyncs:       s.deltaSyncs.Load(),
+		FullSyncs:        s.fullSyncs.Load(),
+		Fallbacks:        s.fallbacks.Load(),
+		Misses:           s.misses.Load(),
+		PatchesSent:      s.patchesSent.Load(),
+		PatchesRecv:      s.patchesRecv.Load(),
+		RangesSent:       s.rangesSent.Load(),
+		RangesRecv:       s.rangesRecv.Load(),
+		RedundantCommits: s.redundantCommits.Load(),
 	}
 }
 
@@ -252,12 +268,24 @@ type Node struct {
 
 	total    syncStats
 	fullOnly atomic.Bool
+	// reconOff disables the reconciliation dialect on both roles: the
+	// node neither advertises nor echoes wire.CapRecon, so pairings
+	// converge on the frontier-sampling dialect. Benchmarks use it as
+	// the baseline switch; tests use it to pin the downgrade ladder.
+	reconOff atomic.Bool
 	// plainPeers remembers addresses that rejected the capability hello,
 	// so periodic re-syncs with a pre-capability peer skip the doomed
 	// probe connection instead of paying it every round. Like the
 	// fullOnly switch it is best-effort session state: a peer upgraded
 	// in place keeps getting the plain dialect until this node restarts.
 	plainPeers sync.Map // addr -> struct{}
+	// reconPeers remembers addresses that echoed wire.CapRecon, the
+	// confidence gate for the two cheap openings of the recon dialect —
+	// the whole-node span probe and head-only hello frontiers. Both
+	// degrade safely when the memo goes stale (a span refusal clears it
+	// and the round retries; a head-only frontier only costs re-shipped
+	// commits), so like plainPeers it is best-effort session state.
+	reconPeers sync.Map // addr -> struct{}
 
 	ln        net.Listener
 	closed    chan struct{}
@@ -366,6 +394,14 @@ func (n *Node) ObjectStats(object string) SyncStats {
 // protocol (the serving side always speaks both). Benchmarks use it to
 // compare protocols; tests use it to pin down the fallback path.
 func (n *Node) SetFullSyncOnly(v bool) { n.fullOnly.Store(v) }
+
+// SetReconEnabled switches the set-reconciliation dialect on or off
+// (default on) for both roles: disabled, the node negotiates the
+// frontier-sampling dialects instead. Benchmarks use it to compare
+// negotiation strategies; tests use it to pin the downgrade ladder.
+func (n *Node) SetReconEnabled(v bool) { n.reconOff.Store(!v) }
+
+func (n *Node) reconEnabled() bool { return !n.reconOff.Load() }
 
 // entry returns the object entry for object, if hosted.
 func (n *Node) entry(object string) (*objectEntry, bool) {
@@ -489,12 +525,46 @@ func (n *Node) acquireMergeLock(client string) bool {
 	}
 }
 
+// reconSession is the per-connection state of a reconciliation-dialect
+// exchange: set by a hello that negotiated wire.CapRecon, consulted by
+// the probe and want frames that follow on the same session, reset by
+// the next hello. Sessions are single-goroutine, so no locking. token
+// is a store install capture armed at the hello ack and consumed by the
+// want handler's export: local commits installed while the descent is
+// in flight (an Apply takes only the store lock, not the merge lock)
+// would otherwise be invisible to both the probes and the want list,
+// and a reply minted on top of them would graft onto commits the client
+// has never heard of.
+type reconSession struct {
+	active    bool
+	e         *objectEntry
+	hello     wire.Hello
+	peerPatch bool
+	token     int
+}
+
+// release ends a live session's install capture (a no-op when the want
+// handler's export already consumed it) and resets the session.
+func (rs *reconSession) release() {
+	if rs.active {
+		rs.e.obj.EndInstallCapture(rs.token)
+	}
+	*rs = reconSession{}
+}
+
 // handle serves one inbound sync session. A session is a sequence of
 // per-object exchanges on a single connection: each v2 hello negotiates
-// and delta-syncs one named object, and the session ends when the client
-// hangs up. A v1 request gets the legacy one-shot exchange and closes the
-// session.
+// and delta-syncs one named object — a hello that negotiated the recon
+// dialect is instead followed by range probes and a want/delta finish on
+// the same session — and the session ends when the client hangs up. A
+// whole-node span probe may open a session (one frame confirms a
+// converged pair). A v1 request gets the legacy one-shot exchange and
+// closes the session.
 func (n *Node) handle(conn *countedConn) {
+	var rs reconSession
+	// A dropped connection or protocol error can abandon a session
+	// mid-descent; its install capture must not keep recording forever.
+	defer rs.release()
 	for {
 		kind, fields, err := wire.ReadMsg(conn)
 		if err != nil {
@@ -507,9 +577,23 @@ func (n *Node) handle(conn *countedConn) {
 		}
 		switch kind {
 		case wire.FrameHello:
-			if !n.handleHello(conn, fields) {
+			rs.release()
+			if !n.handleHello(conn, fields, &rs) {
 				return
 			}
+		case wire.FrameReconSpan:
+			if !n.handleReconSpan(conn, fields) {
+				return
+			}
+		case wire.FrameReconFP:
+			if !n.handleReconProbe(conn, fields, &rs) {
+				return
+			}
+		case wire.FrameReconWant:
+			if !n.handleReconWant(conn, fields, &rs) {
+				return
+			}
+			rs.release()
 		case wire.FrameSyncRequest:
 			n.handleFull(conn, fields)
 			return
@@ -520,22 +604,25 @@ func (n *Node) handle(conn *countedConn) {
 	}
 }
 
-// handleHello serves one object's v2 exchange: answer with the local
-// frontier (or a miss for unhosted objects), read the client's
-// missing-commit delta, merge it, and stream back the commits the
-// client's frontier does not dominate. A two-field hello carries the
-// client's capability set; the ack then carries ours, and a client that
-// advertised wire.CapPatch exchanges packed (delta-state) commit chunks
-// in both directions. One-field hellos are the pre-capability dialect
-// and get full-state chunks. The return value reports whether the
-// session may continue with further hellos.
-func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
+// handleHello serves one object's v2 negotiation: answer with the local
+// frontier (or a miss for unhosted objects) and, in the classic dialects,
+// read the client's missing-commit delta, merge it, and stream back the
+// commits the client's frontier does not dominate. A two-field hello
+// carries the client's capability set; the ack then carries ours. A
+// client that advertised wire.CapPatch exchanges packed (delta-state)
+// commit chunks in both directions; one that advertised wire.CapRecon
+// (and found it echoed) instead follows up with range-fingerprint probes
+// — this handler only arms the session state and returns after the ack,
+// the probe and want frames are dispatched by handle. One-field hellos
+// are the pre-capability dialect and get full-state chunks. The return
+// value reports whether the session may continue.
+func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
 	if len(fields) != 1 && len(fields) != 2 {
 		fail("bad hello")
 		return false
 	}
-	peerPatch := false
+	peerPatch, peerRecon := false, false
 	if len(fields) == 2 {
 		caps, err := wire.DecodeCaps(fields[1])
 		if err != nil {
@@ -543,6 +630,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 			return false
 		}
 		peerPatch = caps&wire.CapPatch != 0
+		peerRecon = caps&wire.CapRecon != 0 && n.reconEnabled()
 	}
 	hello, err := wire.DecodeHello(fields[0])
 	if err != nil {
@@ -577,16 +665,38 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		fail(err.Error())
 		return false
 	}
+	if peerRecon {
+		// The probes resolve the exact diff, so the sampled have-set is
+		// dead weight in this dialect; the head still rides along for the
+		// client's converged-pair shortcut.
+		mine.Have = nil
+	}
 	ack := wire.Hello{Node: n.name, Object: hello.Object, Datatype: hello.Datatype, Frontier: mine}
-	var ackErr error
+	caps := uint64(0)
 	if peerPatch {
+		caps |= wire.CapPatch
+	}
+	if peerRecon {
+		caps |= wire.CapRecon
+	}
+	var ackErr error
+	if caps != 0 {
 		ackErr = wire.WriteMsg(conn, wire.FrameHelloAck,
-			wire.EncodeHello(ack), wire.EncodeCaps(wire.CapPatch))
+			wire.EncodeHello(ack), wire.EncodeCaps(caps))
 	} else {
 		ackErr = wire.WriteMsg(conn, wire.FrameHelloAck, wire.EncodeHello(ack))
 	}
 	if ackErr != nil {
 		return false
+	}
+	if peerRecon {
+		// Arm the session's install capture before the first probe can
+		// arrive: every commit a concurrent local Apply installs from
+		// here on joins the want handler's reply, however the descent
+		// races it.
+		*rs = reconSession{active: true, e: e, hello: hello, peerPatch: peerPatch,
+			token: e.obj.BeginInstallCapture()}
+		return true
 	}
 	commits, head, err := wire.ReadDelta(conn)
 	if err != nil {
@@ -598,7 +708,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		fail(busyMsg)
 		return false
 	}
-	err = e.obj.Integrate("remote/"+hello.Node, commits, head)
+	redundant, _, _, err := e.obj.IntegrateExact("remote/"+hello.Node, commits, head)
 	var reply []store.ExportedCommit
 	var replyHead store.Hash
 	if err == nil {
@@ -618,6 +728,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		s.commitsSent.Add(int64(len(reply)))
 		s.patchesRecv.Add(countPatches(commits))
 		s.patchesSent.Add(countPatches(reply))
+		s.redundantCommits.Add(int64(redundant))
 	}
 	// Commits are immutable, so the materialized reply stays valid even
 	// if another exchange advances the branch while it streams out.
@@ -625,6 +736,184 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte) bool {
 		return wire.WriteDeltaPacked(conn, reply, replyHead) == nil
 	}
 	return wire.WriteDelta(conn, reply, replyHead) == nil
+}
+
+// reconItemsCap is the range size below which a probed server
+// enumerates the range instead of splitting it: recursion stops once
+// enumeration is cheaper than more round trips.
+const reconItemsCap = 64
+
+// handleReconProbe answers one range-fingerprint probe. The answer needs
+// no merge lock — it reads a consistent snapshot of the fingerprint tree
+// under the store's read lock, and the client's own sync freeze keeps
+// its side still; a range another exchange grows mid-descent surfaces as
+// a re-negotiation next round, never as corruption.
+func (n *Node) handleReconProbe(conn *countedConn, fields [][]byte, rs *reconSession) bool {
+	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	if !rs.active || len(fields) != 1 {
+		fail("recon probe outside a recon exchange")
+		return false
+	}
+	rr, err := wire.DecodeReconRange(fields[0])
+	if err != nil {
+		fail(err.Error())
+		return false
+	}
+	n.total.rangesRecv.Add(1)
+	rs.e.stats.rangesRecv.Add(1)
+	fp, count := rs.e.obj.ReconRange(rr.X, rr.Y)
+	switch {
+	case fp == rr.FP && count == rr.Count:
+		return wire.WriteMsg(conn, wire.FrameReconMatch) == nil
+	case count == 0:
+		return wire.WriteMsg(conn, wire.FrameReconEmptyRange) == nil
+	case count <= reconItemsCap:
+		items := rs.e.obj.ReconItems(rr.X, rr.Y, count)
+		return wire.WriteMsg(conn, wire.FrameReconItems, wire.EncodeReconItems(items)) == nil
+	default:
+		// Split at the median item; both halves are non-empty because
+		// count > reconItemsCap ≥ 2, so the descent strictly shrinks.
+		mid, ok := rs.e.obj.ReconSelect(rr.X, rr.Y, count/2)
+		if !ok {
+			fail("recon split lost the range")
+			return false
+		}
+		fpLo, cLo := rs.e.obj.ReconRange(rr.X, mid)
+		fpHi, cHi := rs.e.obj.ReconRange(mid, rr.Y)
+		sp := wire.ReconSplit{Mid: mid, FPLo: fpLo, CountLo: cLo, FPHi: fpHi, CountHi: cHi}
+		return wire.WriteMsg(conn, wire.FrameReconSplit, wire.EncodeReconSplit(sp)) == nil
+	}
+}
+
+// handleReconWant finishes a recon exchange: read the client's want list
+// and its delta of commits we lack, merge, and reply with exactly the
+// wanted commits plus whatever merge commits the pull minted — commits
+// the client cannot have, grafted onto commits it provably has, so the
+// reply re-ships nothing.
+func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSession) bool {
+	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	if !rs.active || len(fields) != 1 {
+		fail("recon want outside a recon exchange")
+		return false
+	}
+	want, err := wire.DecodeReconWant(fields[0])
+	if err != nil {
+		fail(err.Error())
+		return false
+	}
+	commits, head, err := wire.ReadDelta(conn)
+	if err != nil {
+		fail(err.Error())
+		return false
+	}
+	e := rs.e
+	if !n.acquireMergeLock(rs.hello.Node) {
+		fail(busyMsg)
+		return false
+	}
+	redundant, fresh, minted, err := e.obj.IntegrateExact("remote/"+rs.hello.Node, commits, head)
+	var reply []store.ExportedCommit
+	var replyHead store.Hash
+	if err == nil {
+		ship := make(map[store.Hash]bool, len(want)+len(minted))
+		for _, h := range want {
+			ship[h] = true
+		}
+		for _, h := range minted {
+			ship[h] = true
+		}
+		// The session capture holds everything installed since the hello
+		// ack: the integrate's own installs plus any commits local Applies
+		// raced in mid-descent. The latter must ship — the client's want
+		// list cannot name them, yet the reply head reaches them — while
+		// the client's just-imported delta (fresh) must not bounce back.
+		skip := make(map[store.Hash]bool, len(fresh))
+		for _, h := range fresh {
+			skip[h] = true
+		}
+		reply, replyHead, err = e.obj.ExportSetCapture(ship, rs.token, skip, rs.peerPatch)
+	}
+	n.syncMu.Unlock()
+	if err != nil {
+		fail(err.Error())
+		return false
+	}
+	// Count the exchange before the reply streams out: the client may
+	// read its own stats the moment its SyncWith returns, and this
+	// handler goroutine has no happens-before edge past the write.
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.deltaSyncs.Add(1)
+		s.commitsRecv.Add(int64(len(commits)))
+		s.commitsSent.Add(int64(len(reply)))
+		s.patchesRecv.Add(countPatches(commits))
+		s.patchesSent.Add(countPatches(reply))
+		s.redundantCommits.Add(int64(redundant))
+	}
+	if rs.peerPatch {
+		return wire.WriteDeltaPacked(conn, reply, replyHead) == nil
+	}
+	return wire.WriteDelta(conn, reply, replyHead) == nil
+}
+
+// handleReconSpan answers a whole-node span probe: fold a fingerprint
+// over every hosted object and reply FrameReconMatch when it equals the
+// prober's — one frame confirming a converged pair — or our own span
+// when it does not (the prober then runs per-object exchanges).
+func (n *Node) handleReconSpan(conn *countedConn, fields [][]byte) bool {
+	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	if !n.reconEnabled() || len(fields) != 1 {
+		fail("bad request")
+		return false
+	}
+	probe, err := wire.DecodeReconSpan(fields[0])
+	if err != nil {
+		fail(err.Error())
+		return false
+	}
+	conn.obj.Store(nil)
+	n.total.rangesRecv.Add(1)
+	names := n.Objects()
+	mine := n.nodeSpan(names)
+	if mine == probe {
+		// Mirror the client's accounting: a matching span completes one
+		// converged exchange per hosted object.
+		for _, name := range names {
+			if e, ok := n.entry(name); ok {
+				e.stats.deltaSyncs.Add(1)
+			}
+			n.total.deltaSyncs.Add(1)
+		}
+		return wire.WriteMsg(conn, wire.FrameReconMatch) == nil
+	}
+	return wire.WriteMsg(conn, wire.FrameReconSpan, wire.EncodeReconSpan(mine)) == nil
+}
+
+// nodeSpan folds the named objects into one digest: per object, the
+// commit-set fingerprint XOR a domain-separated hash of the object's
+// name and branch head. Equal spans mean the pair agrees on object
+// names, commit sets and heads all at once; the count (total commits)
+// guards the XOR against the trivial collision of swapped sets.
+func (n *Node) nodeSpan(names []string) wire.ReconSpan {
+	var sp wire.ReconSpan
+	for _, name := range names {
+		e, ok := n.entry(name)
+		if !ok {
+			continue
+		}
+		root, count := e.obj.ReconRoot()
+		head, _ := e.obj.Head()
+		h := sha256.New()
+		h.Write([]byte("peepul-recon-span\x00"))
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write(head[:])
+		var fold recon.Fingerprint
+		copy(fold[:], h.Sum(nil))
+		sp.FP.Xor(root)
+		sp.FP.Xor(fold)
+		sp.Count += count
+	}
+	return sp
 }
 
 // handleFull serves the legacy v1 exchange: import the client's whole
@@ -766,7 +1055,17 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mes
 	}
 	if !n.fullOnly.Load() {
 		if _, plain := n.plainPeers.Load(addr); !plain {
-			missed, err := n.syncDelta(ctx, addr, names, true, &call)
+			// The whole-node span probe is only worth a frame when every
+			// hosted object is in scope (the server folds over all of its
+			// objects) and the peer is memo-known to speak recon.
+			spanOK := objects == nil
+			missed, err := n.syncDelta(ctx, addr, names, true, spanOK, &call)
+			if errors.Is(err, errSpanRetry) {
+				// The peer refused the span probe (downgraded in place);
+				// the memo is already cleared — retry the same dialect on
+				// a fresh connection, without the span opening.
+				missed, err = n.syncDelta(ctx, addr, names, true, false, &call)
+			}
 			if err == nil || !errors.Is(err, errFallback) {
 				return report(missed), err
 			}
@@ -776,7 +1075,7 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mes
 			// entirely.
 			n.plainPeers.Store(addr, struct{}{})
 		}
-		missed, err := n.syncDelta(ctx, addr, names, false, &call)
+		missed, err := n.syncDelta(ctx, addr, names, false, false, &call)
 		if err == nil || !errors.Is(err, errFallback) {
 			return report(missed), err
 		}
@@ -790,14 +1089,27 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mes
 	return report(nil), nil
 }
 
+// errSpanRetry marks a span probe the peer refused: the recon memo was
+// stale and has been cleared; the caller retries the session without the
+// span opening.
+var errSpanRetry = errors.New("replica: span probe refused")
+
 // syncDelta runs the client side of a v2 session: one connection, one
 // negotiate-and-ship-missing exchange per object. withCaps selects the
-// packed dialect (capability hello, patch commits when the peer acks
-// them). A failure of the first hello is reported as errFallback (the
-// peer predates the dialect); failures after that are real errors. The
-// returned list names the objects the peer answered with a miss — the
-// mesh daemon uses it to learn which objects a peer is interested in.
-func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withCaps bool, call *syncStats) ([]string, error) {
+// capability dialects (capability hello; patch commits and range
+// reconciliation when the peer acks them). When spanOK and the peer is
+// memo-known to speak recon, the session opens with a whole-node span
+// probe: a match ends the round after two frames — the converged mesh
+// pair's steady-state cost. A failure of the first hello is reported as
+// errFallback (the peer predates the dialect); failures after that are
+// real errors. The returned list names the objects the peer answered
+// with a miss — the mesh daemon uses it to learn which objects a peer
+// is interested in.
+func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withCaps, spanOK bool, call *syncStats) ([]string, error) {
+	reconKnown := false
+	if withCaps && n.reconEnabled() {
+		_, reconKnown = n.reconPeers.Load(addr)
+	}
 	conn, err := dialPeer(ctx, addr)
 	if err != nil {
 		return nil, err
@@ -807,6 +1119,15 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 	defer stop()
 	c := &countedConn{Conn: conn, total: &n.total, call: call}
 
+	if reconKnown && spanOK {
+		done, err := n.syncSpan(c, addr, names)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, nil
+		}
+	}
 	var missed []string
 	for i, object := range names {
 		e, ok := n.entry(object)
@@ -814,7 +1135,7 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 			continue // removed concurrently; nothing to sync
 		}
 		c.obj.Store(&e.stats)
-		miss, err := n.syncObjectDelta(c, object, e, i == 0, withCaps)
+		miss, err := n.syncObjectDelta(c, addr, object, e, i == 0, withCaps, reconKnown)
 		if err != nil {
 			return missed, err
 		}
@@ -825,22 +1146,71 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 	return missed, nil
 }
 
+// syncSpan opens a session with the whole-node span probe, under the
+// sync freeze so the digest cannot move between fold and answer. It
+// reports done=true when the peer's span matched (nothing to sync
+// anywhere), and errSpanRetry — after clearing the recon memo — when
+// the peer refused the frame.
+func (n *Node) syncSpan(c *countedConn, addr string, names []string) (done bool, _ error) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	n.total.rangesSent.Add(1)
+	sp := n.nodeSpan(names)
+	if err := wire.WriteMsg(c, wire.FrameReconSpan, wire.EncodeReconSpan(sp)); err != nil {
+		return false, err
+	}
+	kind, _, err := wire.ReadMsg(c)
+	switch {
+	case err != nil, kind == wire.FrameErr:
+		n.reconPeers.Delete(addr)
+		return false, errSpanRetry
+	case kind == wire.FrameReconMatch:
+		// One converged exchange per object, resolved in aggregate: the
+		// per-object counters tick exactly as if each object had run its
+		// own (trivial) exchange.
+		for _, name := range names {
+			if e, ok := n.entry(name); ok {
+				e.stats.deltaSyncs.Add(1)
+			}
+			n.total.deltaSyncs.Add(1)
+		}
+		return true, nil
+	case kind == wire.FrameReconSpan:
+		return false, nil // differs somewhere; run the per-object ladder
+	default:
+		return false, fmt.Errorf("%w: unexpected span reply kind %d", ErrProtocol, kind)
+	}
+}
+
 // syncObjectDelta negotiates and transfers one object on an open
 // session. It reports miss=true when the peer answered the hello with
 // "object not hosted here" (the session stays usable for the next
 // object). The node's syncMu is held for the whole call — network
 // round-trips included — because the frontier the hello advertises is a
 // promise that the branch will stand still until the reply is merged.
-func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, first, withCaps bool) (miss bool, _ error) {
+// A peer that echoes wire.CapRecon gets the reconciliation exchange
+// instead of the frontier-delta one, on the same session.
+func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEntry, first, withCaps, reconKnown bool) (miss bool, _ error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
 	mine, err := e.obj.Frontier()
 	if err != nil {
 		return false, err
 	}
+	if reconKnown {
+		// A memo-known recon peer resolves the diff by probing, so the
+		// sampled have-set is dead weight; keep only the head. Should the
+		// memo prove stale (the peer downgraded in place), the classic
+		// exchange still works off the bare head — it just re-ships more.
+		mine.Have = nil
+	}
 	hello := wire.Hello{Node: n.name, Object: object, Datatype: e.obj.Datatype(), Frontier: mine}
 	if withCaps {
-		err = wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello), wire.EncodeCaps(wire.CapPatch))
+		caps := wire.CapPatch
+		if n.reconEnabled() {
+			caps |= wire.CapRecon
+		}
+		err = wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello), wire.EncodeCaps(caps))
 	} else {
 		err = wire.WriteMsg(c, wire.FrameHello, wire.EncodeHello(hello))
 	}
@@ -873,15 +1243,17 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		}
 		return false, fmt.Errorf("%w: unexpected reply kind %d", ErrProtocol, kind)
 	}
-	// The peer speaks the packed dialect iff it echoed a capability field
-	// (it never volunteers one to a pre-capability hello).
-	peerPatch := false
+	// The peer speaks the packed (and recon) dialects iff it echoed them
+	// in a capability field (it never volunteers one to a pre-capability
+	// hello).
+	peerPatch, peerRecon := false, false
 	if len(fields) == 2 {
 		caps, err := wire.DecodeCaps(fields[1])
 		if err != nil {
 			return false, fmt.Errorf("%w: %v", ErrProtocol, err)
 		}
 		peerPatch = withCaps && caps&wire.CapPatch != 0
+		peerRecon = withCaps && caps&wire.CapRecon != 0 && n.reconEnabled()
 	}
 	ack, err := wire.DecodeHello(fields[0])
 	if err != nil {
@@ -892,6 +1264,10 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 	}
 	if ack.Object != object {
 		return false, fmt.Errorf("%w: peer acked object %q, want %q", ErrProtocol, ack.Object, object)
+	}
+	if peerRecon {
+		n.reconPeers.Store(addr, struct{}{})
+		return false, n.syncObjectRecon(c, object, e, ack, peerPatch)
 	}
 
 	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet(), peerPatch)
@@ -917,7 +1293,8 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		}
 		return false, err
 	}
-	if err := e.obj.Integrate("remote/"+ack.Node, reply, replyHead); err != nil {
+	redundant, _, _, err := e.obj.IntegrateExact("remote/"+ack.Node, reply, replyHead)
+	if err != nil {
 		return false, err
 	}
 	for _, s := range []*syncStats{&n.total, &e.stats} {
@@ -926,8 +1303,172 @@ func (n *Node) syncObjectDelta(c *countedConn, object string, e *objectEntry, fi
 		s.commitsRecv.Add(int64(len(reply)))
 		s.patchesSent.Add(countPatches(commits))
 		s.patchesRecv.Add(countPatches(reply))
+		s.redundantCommits.Add(int64(redundant))
 	}
 	return false, nil
+}
+
+// syncObjectRecon runs the client side of one object's reconciliation
+// exchange, after the hello ack echoed wire.CapRecon. The client drives
+// a lock-step descent over hash ranges: probe a range with its local
+// fingerprint and count, and on mismatch either receive the server's
+// items (small ranges — diffed locally into want and ship lists) or a
+// split into two fingerprinted halves (matching halves are discarded
+// locally, differing ones probed in turn). The descent terminates — every
+// split strictly halves the server's range — and resolves the exact
+// symmetric difference in O(diff · log n) frames. A want list and one
+// delta in each direction then ship precisely the missing commits; the
+// server's reply adds only the merge commits its pull minted. The
+// caller holds syncMu throughout, so the local set stands still.
+func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ack wire.Hello, peerPatch bool) error {
+	type keyRange struct{ x, y recon.Item }
+	work := []keyRange{{}} // the zero pair spans the whole keyspace
+	var want []store.Hash
+	ship := make(map[store.Hash]bool)
+	// The node's sync freeze keeps other exchanges out, but a local
+	// Apply takes only the store lock and can land a commit after its
+	// range was already compared. Capture everything installed during
+	// the descent and fold it into the ship set atomically with the
+	// export — otherwise the shipped head could reach commits the
+	// export's pruning hid from the peer. The deferred end is a no-op
+	// once the export consumes the token.
+	token := e.obj.BeginInstallCapture()
+	defer e.obj.EndInstallCapture(token)
+	shipRange := func(x, y recon.Item) {
+		for _, it := range e.obj.ReconItems(x, y, -1) {
+			ship[it.Addr()] = true
+		}
+	}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		fp, count := e.obj.ReconRange(r.x, r.y)
+		probe := wire.ReconRange{X: r.x, Y: r.y, FP: fp, Count: count}
+		if err := wire.WriteMsg(c, wire.FrameReconFP, wire.EncodeReconRange(probe)); err != nil {
+			return err
+		}
+		n.total.rangesSent.Add(1)
+		e.stats.rangesSent.Add(1)
+		kind, fields, err := wire.ReadMsg(c)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case wire.FrameReconMatch:
+			// Identical fingerprint and count: the range agrees.
+		case wire.FrameReconEmptyRange:
+			// The server holds nothing here: everything local is news.
+			shipRange(r.x, r.y)
+		case wire.FrameReconItems:
+			if len(fields) != 1 {
+				return fmt.Errorf("%w: recon items without payload", ErrProtocol)
+			}
+			items, err := wire.DecodeReconItems(fields[0])
+			if err != nil {
+				return err
+			}
+			theirs := make(map[recon.Item]bool, len(items))
+			for _, it := range items {
+				theirs[it] = true
+				if !e.obj.HasCommit(it.Addr()) {
+					want = append(want, it.Addr())
+				}
+			}
+			for _, it := range e.obj.ReconItems(r.x, r.y, -1) {
+				if !theirs[it] {
+					ship[it.Addr()] = true
+				}
+			}
+		case wire.FrameReconSplit:
+			if len(fields) != 1 {
+				return fmt.Errorf("%w: recon split without payload", ErrProtocol)
+			}
+			sp, err := wire.DecodeReconSplit(fields[0])
+			if err != nil {
+				return err
+			}
+			halves := []struct {
+				x, y  recon.Item
+				fp    recon.Fingerprint
+				count int
+			}{
+				{r.x, sp.Mid, sp.FPLo, sp.CountLo},
+				{sp.Mid, r.y, sp.FPHi, sp.CountHi},
+			}
+			for _, half := range halves {
+				lfp, lcount := e.obj.ReconRange(half.x, half.y)
+				switch {
+				case lfp == half.fp && lcount == half.count:
+					// This half agrees; only the other one descends.
+				case half.count == 0:
+					shipRange(half.x, half.y)
+				default:
+					work = append(work, keyRange{half.x, half.y})
+				}
+			}
+		case wire.FrameErr:
+			msg := "unspecified"
+			if len(fields) > 0 {
+				msg = string(fields[0])
+			}
+			return fmt.Errorf("%w: peer: %s", ErrProtocol, msg)
+		default:
+			return fmt.Errorf("%w: unexpected kind %d in recon descent", ErrProtocol, kind)
+		}
+	}
+	// Converged shortcut: equal sets and equal heads need no delta phase
+	// at all — the whole re-sync was the root probe. (Equal sets with
+	// differing branch heads still run the empty-delta exchange below,
+	// which resolves the heads by pulling each other's.)
+	localHead, err := e.obj.Head()
+	if err != nil {
+		return err
+	}
+	if len(want) == 0 && len(ship) == 0 && ack.Frontier.Head == localHead {
+		for _, s := range []*syncStats{&n.total, &e.stats} {
+			s.deltaSyncs.Add(1)
+		}
+		return nil
+	}
+	if err := wire.WriteMsg(c, wire.FrameReconWant, wire.EncodeReconWant(want)); err != nil {
+		return err
+	}
+	commits, head, err := e.obj.ExportSetCapture(ship, token, nil, peerPatch)
+	if err != nil {
+		return err
+	}
+	if peerPatch {
+		err = wire.WriteDeltaPacked(c, commits, head)
+	} else {
+		err = wire.WriteDelta(c, commits, head)
+	}
+	if err != nil {
+		return err
+	}
+	reply, replyHead, err := wire.ReadDelta(c)
+	if err != nil {
+		var pe *wire.PeerError
+		if errors.As(err, &pe) {
+			if pe.Msg == busyMsg {
+				return fmt.Errorf("%w: %s", ErrPeerBusy, object)
+			}
+			return fmt.Errorf("%w: peer: %s", ErrProtocol, pe.Msg)
+		}
+		return err
+	}
+	redundant, _, _, err := e.obj.IntegrateExact("remote/"+ack.Node, reply, replyHead)
+	if err != nil {
+		return err
+	}
+	for _, s := range []*syncStats{&n.total, &e.stats} {
+		s.deltaSyncs.Add(1)
+		s.commitsSent.Add(int64(len(commits)))
+		s.commitsRecv.Add(int64(len(reply)))
+		s.patchesSent.Add(countPatches(commits))
+		s.patchesRecv.Add(countPatches(reply))
+		s.redundantCommits.Add(int64(redundant))
+	}
+	return nil
 }
 
 // syncFull runs the client side of the legacy v1 exchange for one

@@ -82,6 +82,13 @@ func (s *Store[S, Op, Val]) export(b string, have []Hash, packed bool) ([]Export
 		}
 	}
 	order := s.topoOrderSince(head, cut)
+	commits, err := s.exportOrderLocked(order, packed)
+	return commits, head, err
+}
+
+// exportOrderLocked materializes the commits of a parents-first order
+// into the wire form. Callers must hold s.mu (read or write).
+func (s *Store[S, Op, Val]) exportOrderLocked(order []Hash, packed bool) ([]ExportedCommit, error) {
 	out := make([]ExportedCommit, 0, len(order))
 	// The walk materializes states in topological order, so the previous
 	// result is almost always the next commit's chain base; carrying it
@@ -106,20 +113,20 @@ func (s *Store[S, Op, Val]) export(b string, have []Hash, packed bool) ([]Export
 		case packed && hasParent && obj.delta && obj.base == parentState:
 			patch, err := obj.bytes()
 			if err != nil {
-				return nil, Hash{}, err
+				return nil, err
 			}
 			ec.Patch = append([]byte(nil), patch...)
 		default:
 			enc, err := s.materializeHintLocked(c.State, lastHash, lastEnc)
 			if err != nil {
-				return nil, Hash{}, err
+				return nil, err
 			}
 			lastHash, lastEnc = c.State, enc
 			ec.State = append([]byte(nil), enc...)
 		}
 		out = append(out, ec)
 	}
-	return out, head, nil
+	return out, nil
 }
 
 // parentState returns the state hash of c's first parent, if any.
@@ -190,6 +197,24 @@ func (s *Store[S, Op, Val]) topoOrderSince(head Hash, cut map[Hash]bool) []Hash 
 func (s *Store[S, Op, Val]) Import(name string, commits []ExportedCommit, head Hash) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.importLocked(name, commits, head)
+}
+
+// ImportCaptured is Import returning the hashes of the commits the
+// batch freshly installed (already-present re-ships excluded), in
+// installation order. The record is cut inside Import's own critical
+// section, so a concurrent Apply can never leak into it — the exactness
+// the reconciliation dialect's redundancy accounting and reply skip set
+// depend on.
+func (s *Store[S, Op, Val]) ImportCaptured(name string, commits []ExportedCommit, head Hash) ([]Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok := s.beginInstallCaptureLocked()
+	err := s.importLocked(name, commits, head)
+	return s.endInstallCaptureLocked(tok), err
+}
+
+func (s *Store[S, Op, Val]) importLocked(name string, commits []ExportedCommit, head Hash) error {
 	for i, ec := range commits {
 		// The generation-guided DAG walks (lca.go) are only correct under
 		// the invariant Gen = 1 + max parent generation, so a transferred

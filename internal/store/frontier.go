@@ -46,9 +46,17 @@ func (s *Store[S, Op, Val]) Frontier(b string) (Frontier, error) {
 		return Frontier{}, fmt.Errorf("%w: %s", ErrNoBranch, b)
 	}
 	headGen := s.commitAtLocked(head).Gen
-	sparseCap := s.opts.FrontierMaxHave / 4
-	if sparseCap < 1 && s.opts.FrontierMaxHave > 1 {
-		sparseCap = 1
+	// A quarter of the budget, rounded up, goes to the sparse tail —
+	// rounding up rather than down so tiny budgets (2 and 3, where the
+	// quarter truncates to zero) still reserve a deep-cut slot — while
+	// the dense window always keeps at least one slot, so a budget of 1
+	// spends it on the freshest ancestor rather than a deep one.
+	sparseCap := (s.opts.FrontierMaxHave + 3) / 4
+	if sparseCap > s.opts.FrontierMaxHave-1 {
+		sparseCap = s.opts.FrontierMaxHave - 1
+	}
+	if sparseCap < 0 {
+		sparseCap = 0
 	}
 	denseCap := s.opts.FrontierMaxHave - sparseCap
 	var dense, sparse []Hash

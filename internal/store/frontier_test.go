@@ -92,6 +92,55 @@ func TestFrontierSparseTailReserved(t *testing.T) {
 	}
 }
 
+// TestFrontierTinyBudgets pins the rounding of the sparse reservation.
+// The quarter is taken rounded up — budgets of 2 and 3, where a floored
+// quarter is zero, must still reserve one deep-cut slot — while a budget
+// of 1 spends its only slot on the dense window.
+func TestFrontierTinyBudgets(t *testing.T) {
+	for _, tc := range []struct {
+		maxHave               int
+		wantDense, wantSparse int
+	}{
+		{1, 1, 0},
+		{2, 1, 1},
+		{3, 2, 1},
+	} {
+		s := store.New[int64, counter.Op, counter.Val](
+			counter.IncCounter{}, wire.IncCounter{}, "main",
+			store.WithFrontierDense(16), store.WithFrontierMaxHave(tc.maxHave))
+		// Deep enough that dense candidates overflow any tiny budget and
+		// sparse power-of-two ancestors exist (32, 64 beyond the window).
+		for i := 0; i < 100; i++ {
+			inc(t, s, "main", 1)
+		}
+		f, err := s.Frontier("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Have) > tc.maxHave {
+			t.Fatalf("MaxHave=%d: sample size %d exceeds budget", tc.maxHave, len(f.Have))
+		}
+		head, _ := s.HeadHash("main")
+		headCommit, _ := s.Commit(head)
+		dense, sparse := 0, 0
+		for _, h := range f.Have {
+			c, ok := s.Commit(h)
+			if !ok {
+				t.Fatal("Have contains an unknown commit")
+			}
+			if headCommit.Gen-c.Gen <= 16 {
+				dense++
+			} else {
+				sparse++
+			}
+		}
+		if dense != tc.wantDense || sparse != tc.wantSparse {
+			t.Fatalf("MaxHave=%d: dense=%d sparse=%d, want dense=%d sparse=%d",
+				tc.maxHave, dense, sparse, tc.wantDense, tc.wantSparse)
+		}
+	}
+}
+
 func TestFrontierUnknownBranch(t *testing.T) {
 	s := counterStore()
 	if _, err := s.Frontier("nope"); err == nil {

@@ -1,5 +1,7 @@
 package store
 
+import "repro/internal/recon"
+
 // GC discards history that no future merge can need, the role the paper
 // assigns to the MRDT middleware ("the MRDT middleware garbage collects
 // the causal histories when appropriate", §1.1). A commit must be retained
@@ -87,9 +89,12 @@ func (s *Store[S, Op, Val]) GC() int {
 	}
 
 	collected := 0
-	for h := range s.commits {
+	for h, c := range s.commits {
 		if !live[h] {
 			delete(s.commits, h)
+			if s.rtree != nil {
+				s.rtree.Remove(recon.MakeItem(uint64(c.Gen), h))
+			}
 			collected++
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/recon"
 )
 
 // Hash is a content address: the SHA-256 of an encoded object.
@@ -193,6 +194,16 @@ type Store[S, Op, Val any] struct {
 	heads   map[string]Hash
 	clocks  map[string]*clock.Clock
 	nextID  int
+	// rtree mirrors the commit-hash set for range-fingerprint set
+	// reconciliation (recon.go). Built lazily on the first recon query —
+	// so open time stays flat in history — and kept exact by putCommit
+	// and GC from then on.
+	rtree *recon.Tree
+	// installLogs records every commit putCommit newly installs, one
+	// log per live capture token (BeginInstallCapture /
+	// EndInstallCapture); installSeq mints the tokens.
+	installLogs map[int][]Hash
+	installSeq  int
 	// persistErr is the sticky persistence failure (persist.go): once a
 	// Persister call fails, every later mutation reports it.
 	persistErr error
@@ -367,6 +378,22 @@ func (s *Store[S, Op, Val]) Pull(dst, src string) error {
 	return s.finishPersistLocked()
 }
 
+// PullCaptured is Pull returning the hashes of the commits the pull
+// minted (the merge commits a reconciliation reply must ship on top of
+// the peer's want list). Like ImportCaptured, the record is cut inside
+// the pull's own critical section, immune to concurrent Applies.
+func (s *Store[S, Op, Val]) PullCaptured(dst, src string) ([]Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok := s.beginInstallCaptureLocked()
+	err := s.pullLocked(dst, src)
+	minted := s.endInstallCaptureLocked(tok)
+	if err != nil {
+		return minted, err
+	}
+	return minted, s.finishPersistLocked()
+}
+
 func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 	hs, ok := s.heads[src]
 	if !ok {
@@ -511,6 +538,12 @@ func (s *Store[S, Op, Val]) putCommit(c Commit) Hash {
 		return h // already present: content addressing makes it identical
 	}
 	s.commits[h] = c
+	if s.rtree != nil {
+		s.rtree.Add(recon.MakeItem(uint64(c.Gen), h))
+	}
+	for tok := range s.installLogs {
+		s.installLogs[tok] = append(s.installLogs[tok], h)
+	}
 	s.persistCommitLocked(h, c)
 	return h
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/recon"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -69,6 +70,62 @@ func FuzzReadMsg(f *testing.F) {
 		}
 		if !bytes.Equal(buf.Bytes(), data[:total]) {
 			t.Fatalf("re-encoded message differs from input prefix")
+		}
+	})
+}
+
+// FuzzDecodeRecon: the recon payloads are decoded from untrusted peers
+// in the probe loop, often many per sync, so arbitrary bytes must
+// produce a clean ErrMalformed — never a panic, never an allocation
+// sized by a hostile count. One fuzz target drives all five codecs: the
+// decoders share the length-validating reader, and feeding each the
+// others' valid encodings exercises exactly the cross-kind confusion a
+// buggy peer would produce.
+func FuzzDecodeRecon(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(wire.EncodeReconRange(wire.ReconRange{
+		X: recon.MakeItem(1, [32]byte{1}), Y: recon.MakeItem(2, [32]byte{2}), Count: 7,
+	}))
+	f.Add(wire.EncodeReconSplit(wire.ReconSplit{
+		Mid: recon.MakeItem(3, [32]byte{3}), CountLo: 1, CountHi: 2,
+	}))
+	f.Add(wire.EncodeReconItems([]recon.Item{{4}, {5}}))
+	f.Add(wire.EncodeReconWant([]store.Hash{{6}}))
+	f.Add(wire.EncodeReconSpan(wire.ReconSpan{Count: 9}))
+	// Hostile count: announces MaxDeltaCommits hashes backed by none.
+	hostile := binary.BigEndian.AppendUint32(nil, wire.MaxDeltaCommits)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rr, err := wire.DecodeReconRange(data); err == nil {
+			if !bytes.Equal(wire.EncodeReconRange(rr), data) {
+				t.Fatal("decoded range does not re-encode to its input")
+			}
+		}
+		if sp, err := wire.DecodeReconSplit(data); err == nil {
+			if !bytes.Equal(wire.EncodeReconSplit(sp), data) {
+				t.Fatal("decoded split does not re-encode to its input")
+			}
+		}
+		if items, err := wire.DecodeReconItems(data); err == nil {
+			if len(items) > wire.MaxReconItems {
+				t.Fatalf("decoder admitted %d items past the cap", len(items))
+			}
+			if !bytes.Equal(wire.EncodeReconItems(items), data) {
+				t.Fatal("decoded items do not re-encode to their input")
+			}
+		}
+		if want, err := wire.DecodeReconWant(data); err == nil {
+			if len(want) > wire.MaxDeltaCommits {
+				t.Fatalf("decoder admitted %d wants past the cap", len(want))
+			}
+			if !bytes.Equal(wire.EncodeReconWant(want), data) {
+				t.Fatal("decoded want does not re-encode to its input")
+			}
+		}
+		if sp, err := wire.DecodeReconSpan(data); err == nil {
+			if !bytes.Equal(wire.EncodeReconSpan(sp), data) {
+				t.Fatal("decoded span does not re-encode to its input")
+			}
 		}
 	})
 }

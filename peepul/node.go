@@ -162,6 +162,12 @@ func (n *Node) ObjectStats(object string) SyncStats { return n.rn.ObjectStats(ob
 // protocol; benchmarks use it to compare against delta sync.
 func (n *Node) SetFullSyncOnly(v bool) { n.rn.SetFullSyncOnly(v) }
 
+// SetReconEnabled switches the range-fingerprint set-reconciliation
+// dialect on or off (default on) for both sync roles; disabled, the
+// node negotiates the sampled-frontier dialects instead. Benchmarks use
+// it to compare negotiation strategies.
+func (n *Node) SetReconEnabled(v bool) { n.rn.SetReconEnabled(v) }
+
 // Open returns a typed handle on node n's object named object,
 // creating the object with datatype d if it does not exist yet
 // (get-or-create, like opening a key in an Irmin repository). Re-opening
