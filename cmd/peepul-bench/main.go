@@ -9,14 +9,16 @@
 //	peepul-bench -fig durable    # disk log: commit latency, recovery time, footprint
 //	peepul-bench -fig mesh       # always-on fleets: converge/propagate latency, idle cost
 //	peepul-bench -fig recon      # set reconciliation vs sampled-frontier negotiation
+//	peepul-bench -fig chaos      # fault recovery: converge-after-heal vs loss and partitions
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
 //
-// The dag, space, durable, mesh and recon figures additionally write
-// their rows as JSON (default BENCH_dag.json / BENCH_space.json /
-// BENCH_durable.json / BENCH_mesh.json / BENCH_recon.json, see -dag-out
-// / -space-out / -durable-out / -mesh-out / -recon-out) so CI can
+// The dag, space, durable, mesh, recon and chaos figures additionally
+// write their rows as JSON (default BENCH_dag.json / BENCH_space.json /
+// BENCH_durable.json / BENCH_mesh.json / BENCH_recon.json /
+// BENCH_chaos.json, see -dag-out
+// / -space-out / -durable-out / -mesh-out / -recon-out / -chaos-out) so CI can
 // archive the perf trajectory. -durable-flat-factor N turns the durable figure into a
 // regression gate: the run fails if recovery at the deepest swept
 // history takes more than N times the shallowest — checkpointed
@@ -42,7 +44,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
@@ -52,6 +54,7 @@ func main() {
 	durableOut := flag.String("durable-out", "BENCH_durable.json", "output path for the durability JSON (-fig durable)")
 	meshOut := flag.String("mesh-out", "BENCH_mesh.json", "output path for the always-on fleet JSON (-fig mesh)")
 	reconOut := flag.String("recon-out", "BENCH_recon.json", "output path for the set-reconciliation JSON (-fig recon)")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the fault-recovery JSON (-fig chaos)")
 	durableFlat := flag.Float64("durable-flat-factor", 0, "fail (exit 1) if recovery at the deepest swept history exceeds this multiple of the shallowest; 0 disables (-fig durable)")
 	reconGate := flag.Bool("recon-gate", false, "fail (exit 1) unless the converged recon re-sync at the deepest swept history ships 0 commits within a constant byte ceiling (-fig recon)")
 	flag.Parse()
@@ -78,6 +81,8 @@ func main() {
 	durableNs, durableLogNs := bench.DurableNs, bench.DurableLogNs
 	meshRingNs, meshFullNs, meshSteady := bench.MeshRingNs, bench.MeshFullNs, bench.MeshSteadyWindow
 	reconNs := bench.ReconNs
+	chaosNodes := bench.ChaosNodes
+	chaosLosses, chaosPartitions := bench.ChaosLossRates, bench.ChaosPartitions
 	if *quick {
 		fig12Ns = []int{500, 1000, 1500}
 		fig13Ns = []int{5000, 10000, 20000}
@@ -93,6 +98,9 @@ func main() {
 		meshFullNs = []int{4}
 		meshSteady = 300 * time.Millisecond
 		reconNs = bench.ReconQuickNs
+		chaosNodes = 4
+		chaosLosses = []float64{0, 0.25}
+		chaosPartitions = []time.Duration{0, 150 * time.Millisecond}
 		if *scale == 1.0 {
 			*scale = 0.1
 		}
@@ -209,8 +217,25 @@ func main() {
 		}
 	})
 
+	run("chaos", func() {
+		rows := bench.Chaos(chaosNodes, chaosLosses, chaosPartitions, *seed)
+		bench.PrintChaos(os.Stdout, rows)
+		f, err := os.Create(*chaosOut)
+		if err == nil {
+			err = bench.WriteChaosJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *chaosOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *chaosOut, len(rows))
+	})
+
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

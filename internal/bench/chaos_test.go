@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChaosFleets runs a toy loss × partition sweep: live fleets over
+// the fault net, real heal-and-recover measurements — plus the JSON
+// round-trip CI archives.
+func TestChaosFleets(t *testing.T) {
+	rows := Chaos(3, []float64{0, 0.25}, []time.Duration{0, 80 * time.Millisecond}, 1)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes != 3 || r.Writes != 3*meshWritesPerNode {
+			t.Fatalf("unexpected shape %+v", r)
+		}
+		if r.ConvergeNs <= 0 || r.HorizonMs <= 0 {
+			t.Fatalf("non-positive timings %+v", r)
+		}
+		if r.TotalBytes <= 0 {
+			t.Fatalf("fleet synced zero bytes %+v", r)
+		}
+		if r.RedundantCommits < 0 {
+			t.Fatalf("negative redundant commits %+v", r)
+		}
+	}
+	if rows[0].LossRate != 0 || rows[0].PartitionMs != 0 {
+		t.Fatalf("first row is not the zero-fault baseline: %+v", rows[0])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChaosJSON(&buf, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench string     `json:"bench"`
+		Rows  []ChaosRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "chaos" || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON round-trip lost rows: %+v", doc)
+	}
+}

@@ -94,6 +94,19 @@ func PrintMesh(w io.Writer, rows []MeshRow) {
 	}
 }
 
+// PrintChaos renders the chaos table: recovery latency and wasted
+// transfer per fault mix, against the zero-fault baseline row.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintln(w, "Chaos: fleet recovery after drops and rolling partitions (converge after heal / wasted transfer)")
+	fmt.Fprintf(w, "%7s %6s %10s %8s %9s %12s %10s %10s\n",
+		"nodes", "loss", "partition", "writes", "horizon", "converge", "bytes", "redundant")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %5.0f%% %9dms %8d %8dms %12s %10s %10d\n",
+			r.Nodes, r.LossRate*100, r.PartitionMs, r.Writes, r.HorizonMs,
+			fmtDur(time.Duration(r.ConvergeNs)), fmtBytes(r.TotalBytes), r.RedundantCommits)
+	}
+}
+
 // PrintSpace renders the space table: resident object bytes and sync
 // bytes, packed (delta-chained pack layer) vs the pre-pack full-snapshot
 // format, with cold materialize latency and allocations per operation.

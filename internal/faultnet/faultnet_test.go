@@ -1,0 +1,309 @@
+package faultnet
+
+// Unit tests of the fault layer itself, over tiny echo servers: clean
+// pass-through, owner resolution, deterministic drops, partitions that
+// sever live connections and heal, asymmetric blocks, corruption, cuts,
+// latency pacing, and the delivery tap.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoNode listens on a transport and echoes every byte back.
+func echoNode(t *testing.T, n *Net, name string) net.Listener {
+	t.Helper()
+	ln, err := n.Transport(name).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln
+}
+
+func dial(t *testing.T, n *Net, from, addr string) net.Conn {
+	t.Helper()
+	conn, err := n.Transport(from).Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func roundTrip(conn net.Conn, msg []byte) ([]byte, error) {
+	if _, err := conn.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestCleanLinkPassesThrough(t *testing.T) {
+	n := New(1)
+	ln := echoNode(t, n, "b")
+	conn := dial(t, n, "a", ln.Addr().String())
+	msg := []byte("hello over a perfect link")
+	got, err := roundTrip(conn, msg)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestDialDropRefusesImmediately(t *testing.T) {
+	n := New(7)
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{DropRate: 1})
+	start := time.Now()
+	_, err := n.Transport("a").Dial(context.Background(), ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial over an always-drop link succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("drop error %v is not a net.Error", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatalf("reset-style drop took %v, want prompt refusal", time.Since(start))
+	}
+	// An unconfigured pair is unaffected.
+	if _, err := roundTrip(dial(t, n, "c", ln.Addr().String()), []byte("ok")); err != nil {
+		t.Fatalf("bystander pair: %v", err)
+	}
+}
+
+func TestBlackholeDialTimesOut(t *testing.T) {
+	n := New(7, WithDialTimeout(50*time.Millisecond))
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{DropRate: 1, Blackhole: true})
+	start := time.Now()
+	_, err := n.Transport("a").Dial(context.Background(), ln.Addr().String())
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed dial error = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("blackholed dial returned after %v, before the timeout", d)
+	}
+}
+
+func TestPartitionSeversLiveConnAndHeals(t *testing.T) {
+	n := New(3)
+	ln := echoNode(t, n, "b")
+	conn := dial(t, n, "a", ln.Addr().String())
+	if _, err := roundTrip(conn, []byte("before")); err != nil {
+		t.Fatalf("pre-partition: %v", err)
+	}
+	n.Partition([]string{"a"}, []string{"b"})
+	if _, err := conn.Write([]byte("during")); err == nil {
+		t.Fatal("write across a reset partition succeeded")
+	}
+	if _, err := n.Transport("a").Dial(context.Background(), ln.Addr().String()); err == nil {
+		t.Fatal("dial across a reset partition succeeded")
+	}
+	n.Heal()
+	if _, err := roundTrip(dial(t, n, "a", ln.Addr().String()), []byte("after")); err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+}
+
+func TestAsymmetricBlock(t *testing.T) {
+	n := New(4)
+	lnB := echoNode(t, n, "b")
+	conn := dial(t, n, "a", lnB.Addr().String())
+	n.Block("a", "b") // a→b severed; b→a untouched
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write along the blocked direction succeeded")
+	}
+	// The reverse direction — c standing in for traffic toward a — flows.
+	if _, err := roundTrip(dial(t, n, "c", lnB.Addr().String()), []byte("ok")); err != nil {
+		t.Fatalf("unblocked direction: %v", err)
+	}
+}
+
+func TestBlackholePartitionStallsUntilHeal(t *testing.T) {
+	n := New(5)
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{Blackhole: true})
+	conn := dial(t, n, "a", ln.Addr().String())
+	n.Partition([]string{"a"}, []string{"b"})
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		n.Heal()
+	}()
+	start := time.Now()
+	if _, err := roundTrip(conn, []byte("stalled")); err != nil {
+		t.Fatalf("stalled write did not resume after heal: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("blackholed write completed in %v, before the heal", d)
+	}
+	// With a deadline, a still-partitioned op times out instead of
+	// hanging forever.
+	conn2 := dial(t, n, "a", ln.Addr().String())
+	n.Partition([]string{"a"}, []string{"b"})
+	conn2.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := conn2.Write([]byte("x")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed write with deadline = %v, want deadline exceeded", err)
+	}
+}
+
+func TestCorruptionFlipsOneBit(t *testing.T) {
+	n := New(11)
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{CorruptRate: 1}) // corrupt a's writes; echo returns them verbatim
+	conn := dial(t, n, "a", ln.Addr().String())
+	msg := bytes.Repeat([]byte("payload "), 8)
+	got, err := roundTrip(conn, msg)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("always-corrupt link delivered clean data")
+	}
+	diff := 0
+	for i := range got {
+		diff += popcount(got[i] ^ msg[i])
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1 per write", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestCutDeliversPrefixThenSevers(t *testing.T) {
+	n := New(13)
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{CutRate: 1})
+	conn := dial(t, n, "a", ln.Addr().String())
+	msg := []byte("this frame will be cut mid-transfer")
+	nw, err := conn.Write(msg)
+	if err == nil {
+		t.Fatal("write over an always-cut link reported success")
+	}
+	if nw >= len(msg) {
+		t.Fatalf("cut wrote %d of %d bytes, want a strict prefix", nw, len(msg))
+	}
+	if _, err := conn.Write([]byte("more")); err == nil {
+		t.Fatal("write after a cut succeeded")
+	}
+}
+
+func TestLatencyPacesTransfers(t *testing.T) {
+	n := New(17)
+	ln := echoNode(t, n, "b")
+	n.SetLink("a", "b", Link{Latency: 30 * time.Millisecond})
+	conn := dial(t, n, "a", ln.Addr().String())
+	start := time.Now()
+	if _, err := conn.Write([]byte("paced")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write with 30ms latency completed in %v", d)
+	}
+}
+
+func TestTapObservesBothDirections(t *testing.T) {
+	var mu sync.Mutex
+	flows := make(map[[2]string][]byte)
+	tap := func(from, to string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := [2]string{from, to}
+		flows[key] = append(flows[key], data...)
+	}
+	n := New(19, WithTap(tap))
+	ln := echoNode(t, n, "b")
+	conn := dial(t, n, "a", ln.Addr().String())
+	msg := []byte("tapped exchange")
+	if _, err := roundTrip(conn, msg); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(flows[[2]string{"a", "b"}], msg) {
+		t.Fatalf("a→b tap = %q, want %q", flows[[2]string{"a", "b"}], msg)
+	}
+	if !bytes.Equal(flows[[2]string{"b", "a"}], msg) {
+		t.Fatalf("b→a tap = %q, want %q", flows[[2]string{"b", "a"}], msg)
+	}
+}
+
+func TestDeterministicDecisionsPerSeed(t *testing.T) {
+	// Same seed, same connection order → identical drop decisions.
+	pattern := func(seed int64) []bool {
+		n := New(seed)
+		ln := echoNode(t, n, "b")
+		n.SetLink("a", "b", Link{DropRate: 0.5})
+		var out []bool
+		for i := 0; i < 16; i++ {
+			conn, err := n.Transport("a").Dial(context.Background(), ln.Addr().String())
+			out = append(out, err != nil)
+			if err == nil {
+				conn.Close()
+			}
+		}
+		return out
+	}
+	p1, p2 := pattern(42), pattern(42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("seed 42 diverged at dial %d: %v vs %v", i, p1, p2)
+		}
+	}
+}
+
+func TestRunScheduleLoopsAndHealsOnCancel(t *testing.T) {
+	n := New(23)
+	echoNode(t, n, "a")
+	echoNode(t, n, "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := []Step{
+		{Hold: 10 * time.Millisecond, Groups: [][]string{{"a"}, {"b"}}},
+		{Hold: 10 * time.Millisecond, Groups: nil},
+	}
+	done := n.RunSchedule(ctx, steps, true)
+	// Let it cycle a few times, then cancel: the net must end healed.
+	time.Sleep(35 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("schedule did not stop on cancel")
+	}
+	if n.isBlocked("a", "b") || n.isBlocked("b", "a") {
+		t.Fatal("net still partitioned after schedule cancel")
+	}
+}

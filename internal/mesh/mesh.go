@@ -16,12 +16,19 @@
 // that overflows OutboxSize degrades to a full round, never drops a
 // commit.
 //
-// Failure handling is per peer: a failed dial or sync exchange doubles
-// the retry delay (BackoffMin up to BackoffMax) and halves the peer's
-// health score; a success resets the backoff instantly and recovers the
-// score halfway to 1 — fast recovery, so one blip does not linger. While
-// a peer is backing off, pushes to it are suppressed (the outbox keeps
-// accumulating) and the backoff timer owns the retry. Close cancels the
+// Failure handling is per peer and classified: a transient failure (a
+// failed dial, a reset — the peer is presumed down) doubles the retry
+// delay (BackoffMin up to BackoffMax) and halves the peer's health
+// score; a success resets the backoff instantly and recovers the score
+// halfway to 1 — fast recovery, so one blip does not linger. A protocol
+// violation (Config.Classify reports FailViolation: corrupt frames, bad
+// hellos, hash mismatches) additionally counts toward quarantine: after
+// QuarantineAfter violations in a row the peer moves to the quarantine
+// schedule (QuarantineMin doubling to QuarantineMax) with the triggering
+// reason recorded in its PeerStats, and stays there until one clean
+// exchange proves it recovered. While a peer is backing off or
+// quarantined, pushes to it are suppressed (the outbox keeps
+// accumulating) and the retry timer owns the schedule. Close cancels the
 // engine context — aborting any in-flight dial or exchange — and drains
 // every supervisor before returning, so a peer that is down can never
 // wedge node shutdown.
@@ -64,6 +71,25 @@ type Syncer interface {
 	MeshSync(ctx context.Context, addr string, objects []string) (Report, error)
 }
 
+// FailureClass is how the supervisor schedules retries after a failed
+// exchange: the engine knows nothing of the sync protocol, so the
+// Config.Classify hook (supplied by the replica layer) maps errors to
+// classes.
+type FailureClass int
+
+const (
+	// FailTransient is ordinary network trouble — refused or timed-out
+	// dials, resets, stalls. The peer is presumed honest and merely
+	// unreachable: the exponential backoff schedule applies.
+	FailTransient FailureClass = iota
+	// FailViolation is a protocol violation — corrupt frames, malformed
+	// payloads, hash mismatches. The bytes arrived and were wrong:
+	// enough violations in a row move the peer into quarantine, a far
+	// slower retry schedule with the triggering reason recorded in
+	// PeerStats.
+	FailViolation
+)
+
 // Config tunes the engine. The zero value of any field selects its
 // default; DefaultConfig lists them.
 type Config struct {
@@ -85,19 +111,36 @@ type Config struct {
 	// OutboxSize bounds the per-peer outbox (distinct dirty objects); an
 	// overflowing outbox degrades to a full anti-entropy round.
 	OutboxSize int
+	// Classify maps a failed exchange's error to its FailureClass. Nil
+	// classifies everything transient (no quarantine).
+	Classify func(error) FailureClass
+	// QuarantineAfter is how many violations in a row — without an
+	// intervening success; transient failures in between do not reset
+	// the streak — move a peer into quarantine.
+	QuarantineAfter int
+	// QuarantineMin is the quarantined retry delay, doubling per further
+	// violation up to QuarantineMax. Both default far above the ordinary
+	// backoff window: a hostile peer is probed occasionally for
+	// recovery, not retried eagerly.
+	QuarantineMin time.Duration
+	QuarantineMax time.Duration
 }
 
 // DefaultConfig returns the engine defaults: 2s rounds with up to 500ms
-// of jitter, backoff 250ms doubling to 30s, 5ms push coalescing, and a
-// 64-object outbox.
+// of jitter, backoff 250ms doubling to 30s, 5ms push coalescing, a
+// 64-object outbox, and quarantine after 3 straight violations with
+// retries from 1m doubling to 15m.
 func DefaultConfig() Config {
 	return Config{
-		Interval:   2 * time.Second,
-		Jitter:     500 * time.Millisecond,
-		BackoffMin: 250 * time.Millisecond,
-		BackoffMax: 30 * time.Second,
-		PushDelay:  5 * time.Millisecond,
-		OutboxSize: 64,
+		Interval:        2 * time.Second,
+		Jitter:          500 * time.Millisecond,
+		BackoffMin:      250 * time.Millisecond,
+		BackoffMax:      30 * time.Second,
+		PushDelay:       5 * time.Millisecond,
+		OutboxSize:      64,
+		QuarantineAfter: 3,
+		QuarantineMin:   time.Minute,
+		QuarantineMax:   15 * time.Minute,
 	}
 }
 
@@ -127,6 +170,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OutboxSize <= 0 {
 		c.OutboxSize = d.OutboxSize
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = d.QuarantineAfter
+	}
+	if c.QuarantineMin <= 0 {
+		c.QuarantineMin = d.QuarantineMin
+	}
+	if c.QuarantineMax < c.QuarantineMin {
+		c.QuarantineMax = max(d.QuarantineMax, c.QuarantineMin)
 	}
 	return c
 }
@@ -159,6 +211,20 @@ type PeerStats struct {
 	// message, cleared on success.
 	LastConverged time.Time
 	LastError     string
+	// Violations counts exchanges that failed with a protocol violation
+	// (as classified by Config.Classify) rather than plain network
+	// trouble; ConsecutiveViolations is the streak since the last
+	// success (transient failures in between do not reset it).
+	Violations            int64
+	ConsecutiveViolations int
+	// Quarantined reports the peer is on the quarantine retry schedule;
+	// Quarantines counts how many times it entered that state. The first
+	// clean exchange lifts the quarantine. QuarantineReason is the error
+	// that triggered the most recent quarantine; it is retained after
+	// recovery as a record of what happened.
+	Quarantined      bool
+	Quarantines      int64
+	QuarantineReason string
 }
 
 // Engine runs one supervisor per peer. Create with New, wire commits in
@@ -446,7 +512,23 @@ func (e *Engine) round(p *peer, objects []string, push bool) error {
 		st.ConsecutiveFailures++
 		st.Score /= 2
 		st.LastError = err.Error()
-		st.Backoff = e.backoff(st.ConsecutiveFailures)
+		if e.cfg.Classify != nil && e.cfg.Classify(err) == FailViolation {
+			st.Violations++
+			st.ConsecutiveViolations++
+			if !st.Quarantined && st.ConsecutiveViolations >= e.cfg.QuarantineAfter {
+				st.Quarantined = true
+				st.Quarantines++
+				st.QuarantineReason = err.Error()
+			}
+		}
+		// A quarantined peer retries on the quarantine schedule whatever
+		// its failures look like now — recovery is declared by a clean
+		// exchange, not by the violations merely pausing.
+		if st.Quarantined {
+			st.Backoff = e.quarantineBackoff(st.ConsecutiveViolations - e.cfg.QuarantineAfter + 1)
+		} else {
+			st.Backoff = e.backoff(st.ConsecutiveFailures)
+		}
 		return err
 	}
 	if push {
@@ -455,6 +537,8 @@ func (e *Engine) round(p *peer, objects []string, push bool) error {
 		st.Rounds++
 	}
 	st.ConsecutiveFailures = 0
+	st.ConsecutiveViolations = 0
+	st.Quarantined = false
 	st.Backoff = 0
 	st.Score += (1 - st.Score) / 2
 	st.LastError = ""
@@ -500,6 +584,19 @@ func (e *Engine) backoff(n int) time.Duration {
 		}
 	}
 	return min(d, e.cfg.BackoffMax)
+}
+
+// quarantineBackoff is the retry delay for the n-th violation past the
+// quarantine threshold: QuarantineMin doubling up to QuarantineMax.
+func (e *Engine) quarantineBackoff(n int) time.Duration {
+	d := e.cfg.QuarantineMin
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= e.cfg.QuarantineMax {
+			return e.cfg.QuarantineMax
+		}
+	}
+	return min(d, e.cfg.QuarantineMax)
 }
 
 // nextDelay schedules the supervisor's next wake-up: the jittered round

@@ -1,0 +1,60 @@
+package replica
+
+// Failure classification: the mesh supervisor treats a peer that is
+// merely unreachable very differently from one that breaks the
+// protocol. This file is the taxonomy — the replica layer knows which
+// error values mean what, the engine only consumes the class.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+
+	"repro/internal/mesh"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// classifyFailure maps one sync-exchange error to the mesh engine's
+// failure taxonomy. Transport trouble — refused or timed-out dials,
+// resets, cut connections, deadlines — is transient: the peer is down
+// or the network is flaky, and the ordinary exponential backoff is the
+// right schedule. Protocol violations — corrupt frames, malformed
+// payloads, bad hellos, hash or canonicality failures on import — mean
+// the bytes arrived and were wrong: the peer (or the path to it) is
+// hostile or broken, and earns quarantine. Network causes are checked
+// first because a framing error wrapping ECONNRESET is a cut wire, not
+// a hostile peer.
+func classifyFailure(err error) mesh.FailureClass {
+	if err == nil || isNetworkCause(err) {
+		return mesh.FailTransient
+	}
+	switch {
+	case errors.Is(err, ErrPeerBusy), errors.Is(err, errFallback):
+		return mesh.FailTransient
+	case errors.Is(err, ErrProtocol),
+		errors.Is(err, wire.ErrFraming),
+		errors.Is(err, wire.ErrMalformed),
+		errors.Is(err, store.ErrBadImport),
+		errors.Is(err, store.ErrCorruptPack):
+		return mesh.FailViolation
+	}
+	return mesh.FailTransient
+}
+
+// isNetworkCause reports whether err's chain contains a transport-level
+// cause: a net.Error (timeouts, resets, refused dials — all *net.OpError
+// values, and os.ErrDeadlineExceeded), a closed connection, a plain or
+// mid-stream EOF, or a cancelled context.
+func isNetworkCause(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

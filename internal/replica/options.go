@@ -35,6 +35,61 @@ type nodeConfig struct {
 	meshJitterSet  bool
 	meshBackoffMin time.Duration
 	meshBackoffMax time.Duration
+	// meshQuar* tune the quarantine schedule for protocol-violating
+	// peers (zero values keep the engine defaults).
+	meshQuarAfter int
+	meshQuarMin   time.Duration
+	meshQuarMax   time.Duration
+	// transport overrides how the node dials and listens (nil = TCP).
+	transport Transport
+	// maxInbound caps concurrent inbound sync sessions; zero selects the
+	// default, negative means unlimited.
+	maxInbound int
+	// syncTO is the per-read/write idle bound of a sync exchange;
+	// sessionTO bounds a whole session (sessionTOSet distinguishes
+	// "explicitly unbounded" from unset).
+	syncTO       time.Duration
+	sessionTO    time.Duration
+	sessionTOSet bool
+}
+
+// defaultMaxInbound is the default cap on concurrent inbound sync
+// sessions.
+const defaultMaxInbound = 64
+
+// transportOrTCP resolves the node's transport.
+func (c *nodeConfig) transportOrTCP() Transport {
+	if c.transport != nil {
+		return c.transport
+	}
+	return TCPTransport{}
+}
+
+// inboundLimit resolves the inbound session cap.
+func (c *nodeConfig) inboundLimit() int {
+	switch {
+	case c.maxInbound > 0:
+		return c.maxInbound
+	case c.maxInbound < 0:
+		return int(^uint(0) >> 1) // effectively unlimited
+	}
+	return defaultMaxInbound
+}
+
+// syncTimeout resolves the per-operation idle bound.
+func (c *nodeConfig) syncTimeout() time.Duration {
+	if c.syncTO > 0 {
+		return c.syncTO
+	}
+	return defaultSyncTimeout
+}
+
+// sessionTimeout resolves the whole-session bound (zero = unbounded).
+func (c *nodeConfig) sessionTimeout() time.Duration {
+	if c.sessionTOSet {
+		return max(c.sessionTO, 0)
+	}
+	return defaultSessionTimeout
 }
 
 // NodeOption adjusts node construction.
@@ -114,12 +169,60 @@ func WithMeshBackoff(min, max time.Duration) NodeOption {
 	return func(c *nodeConfig) { c.meshBackoffMin, c.meshBackoffMax = min, max }
 }
 
+// WithMeshQuarantine tunes how the daemon quarantines protocol-violating
+// peers: after violations in a row without an intervening success (ones
+// the classifier marks — corrupt frames, bad hellos, hash mismatches) a
+// peer moves to the quarantine retry schedule, min doubling to max per
+// further violation (defaults 3, 1m, 15m). Non-positive values keep the
+// defaults. PeerMeshStats reports the state and the recorded reason.
+func WithMeshQuarantine(after int, min, max time.Duration) NodeOption {
+	return func(c *nodeConfig) {
+		c.meshQuarAfter, c.meshQuarMin, c.meshQuarMax = after, min, max
+	}
+}
+
+// WithTransport makes the node dial and listen through t instead of
+// plain TCP — the injection point for fault-injection transports
+// (internal/faultnet) and, later, authenticated ones.
+func WithTransport(t Transport) NodeOption {
+	return func(c *nodeConfig) { c.transport = t }
+}
+
+// WithMaxInbound caps the node's concurrent inbound sync sessions
+// (default 64): connections accepted past the cap are closed promptly
+// and counted in SyncStats.InboundShed, so a dial storm cannot pile up
+// goroutines. Zero keeps the default; negative removes the cap.
+func WithMaxInbound(n int) NodeOption {
+	return func(c *nodeConfig) { c.maxInbound = n }
+}
+
+// WithSyncTimeout bounds how long one read or write of a sync exchange
+// may stall before the connection errors out (default 30s). A peer that
+// keeps making progress can transfer arbitrarily much; one that goes
+// silent is cut off. Zero and below keep the default.
+func WithSyncTimeout(d time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.syncTO = d }
+}
+
+// WithSessionTimeout bounds a whole sync session, client or server side
+// (default 3m). The idle timeout cannot stop a dribbling peer — one
+// byte per idle window is progress forever — and a client exchange
+// holds the node's branch freeze, so this is the hard cap on how long
+// any one peer can hold it. Zero or negative disables the bound.
+func WithSessionTimeout(d time.Duration) NodeOption {
+	return func(c *nodeConfig) { c.sessionTO, c.sessionTOSet = d, true }
+}
+
 // meshConfig assembles the mesh engine configuration.
 func (c *nodeConfig) meshConfig() mesh.Config {
 	mc := mesh.Config{
-		Interval:   c.meshInterval,
-		BackoffMin: c.meshBackoffMin,
-		BackoffMax: c.meshBackoffMax,
+		Interval:        c.meshInterval,
+		BackoffMin:      c.meshBackoffMin,
+		BackoffMax:      c.meshBackoffMax,
+		Classify:        classifyFailure,
+		QuarantineAfter: c.meshQuarAfter,
+		QuarantineMin:   c.meshQuarMin,
+		QuarantineMax:   c.meshQuarMax,
 	}
 	if c.meshJitterSet {
 		mc.Jitter = c.meshJitter

@@ -131,6 +131,9 @@ type SyncStats struct {
 	// — re-ships a sampled frontier failed to subtract. The
 	// reconciliation dialect's contract is to keep this at zero.
 	RedundantCommits int64
+	// InboundShed counts inbound connections closed unserved because the
+	// concurrent-session cap (WithMaxInbound) was reached.
+	InboundShed int64
 }
 
 type syncStats struct {
@@ -141,6 +144,7 @@ type syncStats struct {
 	patchesSent, patchesRecv atomic.Int64
 	rangesSent, rangesRecv   atomic.Int64
 	redundantCommits         atomic.Int64
+	inboundShed              atomic.Int64
 }
 
 func (s *syncStats) snapshot() SyncStats {
@@ -158,6 +162,7 @@ func (s *syncStats) snapshot() SyncStats {
 		RangesSent:       s.rangesSent.Load(),
 		RangesRecv:       s.rangesRecv.Load(),
 		RedundantCommits: s.redundantCommits.Load(),
+		InboundShed:      s.inboundShed.Load(),
 	}
 }
 
@@ -172,26 +177,51 @@ func countPatches(commits []store.ExportedCommit) int64 {
 	return n
 }
 
-// syncIdleTimeout bounds how long one read or write of a sync exchange
-// may stall. A peer that keeps making progress can transfer arbitrarily
-// much; one that goes silent errors out instead of wedging the node
-// (exchanges serialize per peer address, so an unbounded stall would
-// block every later sync with that peer).
-const syncIdleTimeout = 30 * time.Second
+// defaultSyncTimeout bounds how long one read or write of a sync
+// exchange may stall (override with WithSyncTimeout). A peer that keeps
+// making progress can transfer arbitrarily much; one that goes silent
+// errors out instead of wedging the node (exchanges serialize per peer
+// address, so an unbounded stall would block every later sync with that
+// peer).
+const defaultSyncTimeout = 30 * time.Second
+
+// defaultSessionTimeout bounds a whole sync session (override or
+// disable with WithSessionTimeout). The idle timeout alone cannot stop
+// a dribbling peer — one byte per idle window makes progress forever —
+// and a client exchange holds the node's sync freeze, so the session
+// bound is what caps how long a hostile peer can hold syncMu.
+const defaultSessionTimeout = 3 * time.Minute
 
 // countedConn counts the bytes crossing a connection into the node's
 // aggregate stats, the stats of the object whose exchange is in flight,
 // and (client side) the per-exchange counters the mesh engine attributes
-// to one peer; it refreshes the idle deadline on every read and write.
+// to one peer. Every read and write refreshes the idle deadline, capped
+// by the absolute session deadline.
 type countedConn struct {
 	net.Conn
 	total *syncStats
 	call  *syncStats // one exchange's counters; nil on inbound handlers
 	obj   atomic.Pointer[syncStats]
+	// idle is the per-operation stall bound; sessionEnd (zero = none) is
+	// the whole-session deadline no refresh may extend past.
+	idle       time.Duration
+	sessionEnd time.Time
+}
+
+// stamp computes the next operation deadline: now+idle, clipped to the
+// session end.
+func (c *countedConn) stamp() time.Time {
+	d := time.Now().Add(c.idle)
+	if !c.sessionEnd.IsZero() && c.sessionEnd.Before(d) {
+		d = c.sessionEnd
+	}
+	return d
 }
 
 func (c *countedConn) Read(p []byte) (int, error) {
-	c.Conn.SetReadDeadline(time.Now().Add(syncIdleTimeout))
+	if err := c.Conn.SetReadDeadline(c.stamp()); err != nil {
+		return 0, err
+	}
 	n, err := c.Conn.Read(p)
 	c.total.bytesRecv.Add(int64(n))
 	if c.call != nil {
@@ -204,7 +234,9 @@ func (c *countedConn) Read(p []byte) (int, error) {
 }
 
 func (c *countedConn) Write(p []byte) (int, error) {
-	c.Conn.SetWriteDeadline(time.Now().Add(syncIdleTimeout))
+	if err := c.Conn.SetWriteDeadline(c.stamp()); err != nil {
+		return 0, err
+	}
 	n, err := c.Conn.Write(p)
 	c.total.bytesSent.Add(int64(n))
 	if c.call != nil {
@@ -216,16 +248,25 @@ func (c *countedConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// newConn wraps a session connection with the node's byte accounting
+// and deadline policy.
+func (n *Node) newConn(conn net.Conn, call *syncStats) *countedConn {
+	c := &countedConn{Conn: conn, total: &n.total, call: call, idle: n.cfg.syncTimeout()}
+	if d := n.cfg.sessionTimeout(); d > 0 {
+		c.sessionEnd = time.Now().Add(d)
+	}
+	return c
+}
+
 // dialTimeout bounds a sync dial to a peer; context cancellation (node
 // close, peer removal) aborts earlier.
 const dialTimeout = 10 * time.Second
 
-// dialPeer opens a sync connection, honouring ctx for both the dial and
-// — via the returned stop func's AfterFunc registration in the caller —
-// the life of the exchange.
-func dialPeer(ctx context.Context, addr string) (net.Conn, error) {
-	d := net.Dialer{Timeout: dialTimeout}
-	return d.DialContext(ctx, "tcp", addr)
+// dialPeer opens a sync connection through the node's transport,
+// honouring ctx for both the dial and — via the returned stop func's
+// AfterFunc registration in the caller — the life of the exchange.
+func (n *Node) dialPeer(ctx context.Context, addr string) (net.Conn, error) {
+	return n.cfg.transportOrTCP().Dial(ctx, addr)
 }
 
 // objectEntry pairs a hosted object with its sync counters, its Watch
@@ -287,8 +328,13 @@ type Node struct {
 	// commits), so like plainPeers it is best-effort session state.
 	reconPeers sync.Map // addr -> struct{}
 
-	ln        net.Listener
-	closed    chan struct{}
+	ln     net.Listener
+	closed chan struct{}
+	// inbound tracks live inbound session connections so Close can sever
+	// them: a handler parked mid-read would otherwise hold wg.Wait until
+	// its idle deadline fires.
+	inboundMu sync.Mutex
+	inbound   map[net.Conn]struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
@@ -313,6 +359,7 @@ func NewNode(name string, replicaID int, opts ...NodeOption) (*Node, error) {
 		name:      name,
 		replicaID: replicaID,
 		objects:   make(map[string]*objectEntry),
+		inbound:   make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
 	}
 	for _, opt := range opts {
@@ -426,9 +473,10 @@ func (n *Node) soleEntry() (string, *objectEntry, bool) {
 }
 
 // Listen starts serving sync requests on addr ("127.0.0.1:0" picks a free
-// port). The chosen address is available from Addr.
+// port) through the node's transport. The chosen address is available
+// from Addr.
 func (n *Node) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := n.cfg.transportOrTCP().Listen(addr)
 	if err != nil {
 		return err
 	}
@@ -459,6 +507,13 @@ func (n *Node) Close() error {
 		if n.ln != nil {
 			n.closeErr = n.ln.Close()
 		}
+		// Sever live inbound sessions: a handler parked mid-read must not
+		// hold shutdown until its idle deadline.
+		n.inboundMu.Lock()
+		for conn := range n.inbound {
+			conn.Close()
+		}
+		n.inboundMu.Unlock()
 		n.wg.Wait()
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -478,8 +533,13 @@ func (n *Node) Close() error {
 	return n.closeErr
 }
 
+// serve accepts inbound sync sessions, one handler goroutine each, with
+// concurrency capped by a semaphore (WithMaxInbound): a dial storm gets
+// its excess connections closed promptly instead of an unbounded
+// goroutine pile-up (counted in SyncStats.InboundShed).
 func (n *Node) serve() {
 	defer n.wg.Done()
+	sem := make(chan struct{}, n.cfg.inboundLimit())
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
@@ -490,11 +550,27 @@ func (n *Node) serve() {
 				continue
 			}
 		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			n.total.inboundShed.Add(1)
+			conn.Close()
+			continue
+		}
+		n.inboundMu.Lock()
+		n.inbound[conn] = struct{}{}
+		n.inboundMu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			defer conn.Close()
-			n.handle(&countedConn{Conn: conn, total: &n.total})
+			defer func() { <-sem }()
+			defer func() {
+				conn.Close()
+				n.inboundMu.Lock()
+				delete(n.inbound, conn)
+				n.inboundMu.Unlock()
+			}()
+			n.handle(n.newConn(conn, nil))
 		}()
 	}
 }
@@ -1031,7 +1107,7 @@ func (n *Node) peerLock(addr string) *sync.Mutex {
 // of a deadlock. Dials stay outside the freeze, so an unreachable peer
 // costs its supervisor a dial timeout but never stalls the node's
 // commits.
-func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mesh.Report, error) {
+func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (_ mesh.Report, retErr error) {
 	lock := n.peerLock(addr)
 	lock.Lock()
 	defer lock.Unlock()
@@ -1053,6 +1129,16 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (mes
 	if len(names) == 0 {
 		return report(nil), nil
 	}
+	// A protocol violation poisons the rich-dialect memos: the next round
+	// renegotiates from the bottom of the ladder instead of trusting
+	// session state learned from a peer that just broke the protocol.
+	// Transient failures keep the memos — a peer that is merely down
+	// resumes its negotiated dialect on reconnect.
+	defer func() {
+		if retErr != nil && classifyFailure(retErr) == mesh.FailViolation {
+			n.reconPeers.Delete(addr)
+		}
+	}()
 	if !n.fullOnly.Load() {
 		if _, plain := n.plainPeers.Load(addr); !plain {
 			// The whole-node span probe is only worth a frame when every
@@ -1110,14 +1196,14 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 	if withCaps && n.reconEnabled() {
 		_, reconKnown = n.reconPeers.Load(addr)
 	}
-	conn, err := dialPeer(ctx, addr)
+	conn, err := n.dialPeer(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	c := &countedConn{Conn: conn, total: &n.total, call: call}
+	c := n.newConn(conn, call)
 
 	if reconKnown && spanOK {
 		done, err := n.syncSpan(c, addr, names)
@@ -1501,14 +1587,14 @@ var errLegacyRequest = errors.New("replica: peer cannot parse request")
 // syncFullOnce runs one v1 exchange on its own connection, using the
 // named request form when named is true.
 func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectEntry, named bool, call *syncStats) error {
-	conn, err := dialPeer(ctx, addr)
+	conn, err := n.dialPeer(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	c := &countedConn{Conn: conn, total: &n.total, call: call}
+	c := n.newConn(conn, call)
 	c.obj.Store(&e.stats)
 
 	// As in syncObjectDelta, the branch freezes from export to integrate.

@@ -1,0 +1,176 @@
+package wire_test
+
+// Recorded-session fuzz corpus: real sync and recon exchanges between
+// two live nodes, captured byte-for-byte through a faultnet tap, split
+// into frames, and committed as FuzzReadMsg seeds — each frame whole,
+// truncated mid-body, and with a bit flipped. `go test` replays every
+// committed seed through the fuzz target, so the parser is exercised
+// against genuine wire traffic (and hostile mutations of it) on every
+// run, not just synthetic frames.
+//
+// Regenerate with PEEPUL_WRITE_CORPUS=1 go test ./internal/wire
+// -run TestWriteFuzzCorpus after wire-format changes.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/faultnet"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+const corpusDir = "testdata/fuzz/FuzzReadMsg"
+
+// TestRecordedSessionCorpusCommitted guards the committed corpus: the
+// recorded-session seeds must exist and carry the corpus file format.
+func TestRecordedSessionCorpusCommitted(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("recorded-session corpus missing (%v); regenerate with PEEPUL_WRITE_CORPUS=1", err)
+	}
+	sessions := 0
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "go test fuzz v1\n") {
+			t.Fatalf("seed %s is not in go corpus format", e.Name())
+		}
+		if strings.HasPrefix(e.Name(), "session-") {
+			sessions++
+		}
+	}
+	if sessions < 10 {
+		t.Fatalf("only %d recorded-session seeds committed, want a real capture", sessions)
+	}
+}
+
+// TestWriteFuzzCorpus records live sessions and rewrites the seed
+// files. Gated behind PEEPUL_WRITE_CORPUS so ordinary runs never churn
+// testdata.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PEEPUL_WRITE_CORPUS") == "" {
+		t.Skip("set PEEPUL_WRITE_CORPUS=1 to re-record the session corpus")
+	}
+
+	// Tap every byte both directions of every connection.
+	var mu sync.Mutex
+	streams := make(map[[2]string]*bytes.Buffer)
+	tap := func(from, to string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := [2]string{from, to}
+		if streams[key] == nil {
+			streams[key] = &bytes.Buffer{}
+		}
+		streams[key].Write(data)
+	}
+	fn := faultnet.New(1, faultnet.WithTap(tap))
+
+	mk := func(name string, id int) (*replica.Node, *replica.TypedObject[counter.PNState, counter.Op, counter.Val]) {
+		n, err := replica.NewNode(name, id, replica.WithTransport(fn.Transport(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+			n, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n, obj
+	}
+	a, aobj := mk("a", 1)
+	b, bobj := mk("b", 2)
+
+	// Several rounds with commits on both sides: the first exchange runs
+	// the capability hello and delta dialect, later ones negotiate the
+	// recon dialect off the peer memo, so the capture holds hello,
+	// commit, and recon probe/want frames.
+	for i := 0; i < 4; i++ {
+		if _, err := aobj.Do(counter.Op{Kind: counter.Inc, N: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bobj.Do(counter.Op{Kind: counter.Dec, N: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SyncWith(b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SyncWith(a.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Split each direction's stream into frames and emit seed variants.
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(corpusDir, "session-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range old {
+		os.Remove(f)
+	}
+
+	seen := make(map[[32]byte]bool)
+	count := 0
+	emit := func(variant string, data []byte) {
+		if len(data) == 0 || count >= 120 {
+			return
+		}
+		h := sha256.Sum256(data)
+		if seen[h] {
+			return
+		}
+		seen[h] = true
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		name := fmt.Sprintf("session-%s-%x", variant, h[:6])
+		if err := os.WriteFile(filepath.Join(corpusDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, buf := range streams {
+		r := bytes.NewReader(buf.Bytes())
+		for {
+			kind, fields, err := wire.ReadMsg(r)
+			if err != nil {
+				break
+			}
+			var frame bytes.Buffer
+			if err := wire.WriteMsg(&frame, kind, fields...); err != nil {
+				t.Fatal(err)
+			}
+			fb := frame.Bytes()
+			emit("whole", fb)
+			// Truncated mid-frame: the header's promise outlives the bytes.
+			emit("trunc", fb[:len(fb)*3/5])
+			// One bit flipped a third of the way in.
+			flipped := append([]byte(nil), fb...)
+			flipped[len(flipped)/3] ^= 0x10
+			emit("flip", flipped)
+		}
+	}
+	if count < 10 {
+		t.Fatalf("capture produced only %d seeds; sessions did not record", count)
+	}
+	t.Logf("wrote %d recorded-session seeds", count)
+}

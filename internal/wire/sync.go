@@ -164,7 +164,7 @@ func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+		return 0, nil, fmt.Errorf("%w: %w", ErrFraming, err)
 	}
 	kind := FrameKind(hdr[0])
 	count := int(binary.BigEndian.Uint32(hdr[1:]))
@@ -175,15 +175,18 @@ func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 	for i := range fields {
 		var lp [4]byte
 		if _, err := io.ReadFull(r, lp[:]); err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+			return 0, nil, fmt.Errorf("%w: %w", ErrFraming, err)
 		}
 		size := binary.BigEndian.Uint32(lp[:])
 		if size > MaxFieldBytes {
 			return 0, nil, fmt.Errorf("%w: field of %d bytes exceeds limit", ErrFraming, size)
 		}
+		// The cause stays in the chain (%w): callers distinguish a framing
+		// violation over a healthy connection (hostile bytes) from a read
+		// that died of a reset or deadline (plain network trouble).
 		field, err := readField(r, int(size))
 		if err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrFraming, err)
+			return 0, nil, fmt.Errorf("%w: %w", ErrFraming, err)
 		}
 		fields[i] = field
 	}

@@ -1,0 +1,60 @@
+package peepul
+
+// Node hardening knobs: the transport injection point and the bounds
+// that keep one hostile or broken peer from exhausting a node — the
+// inbound session cap, the per-operation idle timeout, and the
+// whole-session deadline. See DESIGN.md, "Failure model & hardening".
+
+import (
+	"time"
+
+	"repro/internal/replica"
+)
+
+// Transport is how a node reaches the network: Dial opens client sync
+// connections, Listen binds the serving listener. The default is plain
+// TCP; tests and benchmarks inject a fault net (internal/faultnet), and
+// future authenticated transports plug in the same way.
+type Transport = replica.Transport
+
+// TCPTransport is the default Transport: plain TCP with a bounded dial.
+type TCPTransport = replica.TCPTransport
+
+// WithTransport makes the node dial and listen through t instead of
+// plain TCP.
+func WithTransport(t Transport) NodeOption { return replica.WithTransport(t) }
+
+// WithMaxInbound caps the node's concurrent inbound sync sessions
+// (default 64): connections accepted past the cap are closed promptly
+// and counted in Stats().InboundShed, so a dial storm can never pile up
+// an unbounded number of handler goroutines. Zero keeps the default;
+// negative removes the cap.
+func WithMaxInbound(n int) NodeOption { return replica.WithMaxInbound(n) }
+
+// WithSyncTimeout bounds how long one read or write of a sync exchange
+// may stall before the connection errors out (default 30s). A peer that
+// keeps making progress can transfer arbitrarily much; one that goes
+// silent is cut off instead of wedging the exchange. Zero and below
+// keep the default.
+func WithSyncTimeout(d time.Duration) NodeOption { return replica.WithSyncTimeout(d) }
+
+// WithSessionTimeout bounds a whole sync session, client or server side
+// (default 3m). The idle timeout cannot stop a dribbling peer — one
+// byte per idle window is progress forever, and a client exchange
+// freezes the node's branches for its duration — so this is the hard
+// cap on how long any single session can run. Zero or negative
+// disables the bound.
+func WithSessionTimeout(d time.Duration) NodeOption { return replica.WithSessionTimeout(d) }
+
+// WithMeshQuarantine tunes how the sync daemon quarantines
+// protocol-violating peers: after `after` violations in a row (corrupt
+// frames, bad hellos, hash mismatches — without an intervening clean
+// exchange) the peer moves to the quarantine retry schedule, min
+// doubling to max per further violation (defaults 3, 1m, 15m).
+// Transient network failures never quarantine: an unreachable peer
+// keeps the ordinary exponential backoff. MeshStats reports the
+// quarantine state and its recorded reason per peer. Non-positive
+// values keep the defaults.
+func WithMeshQuarantine(after int, min, max time.Duration) NodeOption {
+	return replica.WithMeshQuarantine(after, min, max)
+}
