@@ -26,12 +26,13 @@ func main() {
 	data := flag.String("data", "", "storage directory; the demo resumes the conversation across restarts")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence for -data (records between index checkpoints; 0 keeps the default, negative disables)")
 	verify := flag.Bool("verify-on-open", false, "with -data, eagerly verify the whole recovered pack at open instead of the lazy default")
+	debug := flag.String("debug", "", "serve the live debug endpoint (metrics, snapshot, trace, pprof) on this address; the live fleet gives this address to alice and auto-picks ports for the rest")
 	flag.Parse()
 	if *data != "" {
-		durable(*data, *ckptEvery, *verify)
+		durable(*data, *ckptEvery, *verify, *debug)
 		return
 	}
-	live()
+	live(*debug)
 }
 
 type chatNode struct {
@@ -41,14 +42,25 @@ type chatNode struct {
 
 // live runs the always-on fleet: a three-node gossip ring where every
 // replica posts on its own node and the daemon does all the replication.
-func live() {
+func live(debugAddr string) {
 	names := []string{"alice", "bob", "carol"}
 	fleet := make([]chatNode, len(names))
 	for i, name := range names {
-		node, err := peepul.NewNode(name, i+1,
-			peepul.WithMeshInterval(100*time.Millisecond),
-			peepul.WithMeshJitter(25*time.Millisecond),
-			peepul.WithMeshBackoff(20*time.Millisecond, 500*time.Millisecond))
+		opts := []peepul.NodeOption{
+			peepul.WithMeshInterval(100 * time.Millisecond),
+			peepul.WithMeshJitter(25 * time.Millisecond),
+			peepul.WithMeshBackoff(20*time.Millisecond, 500*time.Millisecond),
+		}
+		if debugAddr != "" {
+			// One fixed address can only bind once: alice gets the asked-for
+			// address, the others auto-pick ports on the same interface.
+			addr := debugAddr
+			if i > 0 {
+				addr = "127.0.0.1:0"
+			}
+			opts = append(opts, peepul.WithDebugAddr(addr))
+		}
+		node, err := peepul.NewNode(name, i+1, opts...)
 		if err != nil {
 			panic(err)
 		}
@@ -58,6 +70,9 @@ func live() {
 			panic(err)
 		}
 		must(node.Listen("127.0.0.1:0"))
+		if debugAddr != "" {
+			fmt.Printf("[%s] debug endpoint: http://%s/debug/peepul/snapshot\n", name, node.DebugAddr())
+		}
 		fleet[i] = chatNode{node: node, room: room}
 	}
 	// Close the ring: each node supervises its successor. Exchanges are
@@ -176,13 +191,16 @@ func renderRoom(room *peepul.Handle[peepul.ChatState, peepul.ChatOp, peepul.Chat
 
 // durable runs the restartable variant: one durable node, one channel,
 // one new message per run, full history printed from the recovered DAG.
-func durable(dir string, ckptEvery int, verify bool) {
+func durable(dir string, ckptEvery int, verify bool, debugAddr string) {
 	opts := []peepul.NodeOption{peepul.WithStorage(dir)}
 	if ckptEvery != 0 {
 		opts = append(opts, peepul.WithCheckpointEvery(ckptEvery))
 	}
 	if verify {
 		opts = append(opts, peepul.WithVerifyOnOpen(true))
+	}
+	if debugAddr != "" {
+		opts = append(opts, peepul.WithDebugAddr(debugAddr))
 	}
 	node, err := peepul.NewNode("alice", 1, opts...)
 	if err != nil {

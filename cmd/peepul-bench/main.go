@@ -10,6 +10,7 @@
 //	peepul-bench -fig mesh       # always-on fleets: converge/propagate latency, idle cost
 //	peepul-bench -fig recon      # set reconciliation vs sampled-frontier negotiation
 //	peepul-bench -fig chaos      # fault recovery: converge-after-heal vs loss and partitions
+//	peepul-bench -fig obs        # instrumentation overhead: WithObservability vs disabled
 //	peepul-bench -quick          # reduced sweeps for a fast sanity pass
 //	peepul-bench -seed 7         # different workload seed
 //	peepul-bench -fig table3 -type queue   # certification effort, one type
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos" or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos", "obs" or "all"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (seconds instead of minutes)")
 	scale := flag.Float64("table3-scale", 1.0, "scale factor for Table 3' random-exploration volume")
@@ -55,6 +56,8 @@ func main() {
 	meshOut := flag.String("mesh-out", "BENCH_mesh.json", "output path for the always-on fleet JSON (-fig mesh)")
 	reconOut := flag.String("recon-out", "BENCH_recon.json", "output path for the set-reconciliation JSON (-fig recon)")
 	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the fault-recovery JSON (-fig chaos)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the instrumentation-overhead JSON (-fig obs)")
+	obsGate := flag.Float64("obs-gate", 0, "fail (exit 1) if any instrumented scenario regresses more than this percent over the disabled twin; 0 disables (-fig obs)")
 	durableFlat := flag.Float64("durable-flat-factor", 0, "fail (exit 1) if recovery at the deepest swept history exceeds this multiple of the shallowest; 0 disables (-fig durable)")
 	reconGate := flag.Bool("recon-gate", false, "fail (exit 1) unless the converged recon re-sync at the deepest swept history ships 0 commits within a constant byte ceiling (-fig recon)")
 	flag.Parse()
@@ -81,6 +84,7 @@ func main() {
 	durableNs, durableLogNs := bench.DurableNs, bench.DurableLogNs
 	meshRingNs, meshFullNs, meshSteady := bench.MeshRingNs, bench.MeshFullNs, bench.MeshSteadyWindow
 	reconNs := bench.ReconNs
+	obsNs, obsIters, obsReps := bench.ObsNs, bench.ObsIters, bench.ObsReps
 	chaosNodes := bench.ChaosNodes
 	chaosLosses, chaosPartitions := bench.ChaosLossRates, bench.ChaosPartitions
 	if *quick {
@@ -98,6 +102,7 @@ func main() {
 		meshFullNs = []int{4}
 		meshSteady = 300 * time.Millisecond
 		reconNs = bench.ReconQuickNs
+		obsNs, obsIters, obsReps = bench.ObsQuickNs, bench.ObsQuickIters, bench.ObsQuickReps
 		chaosNodes = 4
 		chaosLosses = []float64{0, 0.25}
 		chaosPartitions = []time.Duration{0, 150 * time.Millisecond}
@@ -217,6 +222,30 @@ func main() {
 		}
 	})
 
+	run("obs", func() {
+		rows := bench.Obs(obsNs, obsIters, obsReps)
+		bench.PrintObs(os.Stdout, rows)
+		f, err := os.Create(*obsOut)
+		if err == nil {
+			err = bench.WriteObsJSON(f, *seed, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *obsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *obsOut, len(rows))
+		if *obsGate > 0 {
+			if err := bench.ObsGateErr(rows, *obsGate); err != nil {
+				fmt.Fprintf(os.Stderr, "obs gate: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("obs gate: instrumentation overhead within %.1f%% on every scenario\n", *obsGate)
+		}
+	})
+
 	run("chaos", func() {
 		rows := bench.Chaos(chaosNodes, chaosLosses, chaosPartitions, *seed)
 		bench.PrintChaos(os.Stdout, rows)
@@ -235,7 +264,7 @@ func main() {
 	})
 
 	switch *fig {
-	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos":
+	case "all", "12", "13", "14", "15", "table3", "sync", "dag", "space", "durable", "mesh", "recon", "chaos", "obs":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -1,0 +1,172 @@
+// Command peepul-stat inspects a running node through its live debug
+// endpoint (peepul.WithDebugAddr). By default it fetches
+// /debug/peepul/snapshot and renders the node's health as tables: the
+// aggregate sync counters with their negotiation-ladder tier split, a
+// per-object row set, the per-peer mesh supervisor state (health score,
+// backoff, quarantine), and the most recent sync-session spans as a
+// timeline.
+//
+// Usage:
+//
+//	peepul-stat -addr 127.0.0.1:6060            # snapshot tables
+//	peepul-stat -addr 127.0.0.1:6060 -trace     # full flight-recorder timeline
+//	peepul-stat -addr 127.0.0.1:6060 -metrics   # raw Prometheus text
+//	peepul-stat -addr 127.0.0.1:6060 -json      # raw snapshot JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+func main() {
+	addr := flag.String("addr", "", "debug endpoint address (host:port) of the node, as set by WithDebugAddr")
+	trace := flag.Bool("trace", false, "print the full flight-recorder timeline instead of the snapshot tables")
+	metrics := flag.Bool("metrics", false, "print the raw Prometheus /metrics text")
+	rawJSON := flag.Bool("json", false, "print the raw JSON of the fetched document")
+	spans := flag.Int("spans", 10, "how many recent sync-session spans the snapshot view prints")
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "peepul-stat: -addr is required (the node's WithDebugAddr address)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	switch {
+	case *metrics:
+		body := fetch(client, *addr, "/metrics")
+		os.Stdout.Write(body)
+	case *trace:
+		body := fetch(client, *addr, "/debug/peepul/trace")
+		if *rawJSON {
+			os.Stdout.Write(body)
+			return
+		}
+		var tr obs.Trace
+		decode(body, &tr)
+		fmt.Print(obs.FormatTrace(tr))
+	default:
+		body := fetch(client, *addr, "/debug/peepul/snapshot")
+		if *rawJSON {
+			os.Stdout.Write(body)
+			return
+		}
+		var snap replica.DebugSnapshot
+		decode(body, &snap)
+		render(snap, *spans)
+	}
+}
+
+func fetch(client *http.Client, addr, path string) []byte {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		fatalf("fetching %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("%s: %s", path, resp.Status)
+	}
+	return body
+}
+
+func decode(body []byte, v any) {
+	if err := json.Unmarshal(body, v); err != nil {
+		fatalf("decoding response: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peepul-stat: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// render prints the snapshot as the standard table set.
+func render(snap replica.DebugSnapshot, maxSpans int) {
+	fmt.Printf("node %s (replica %d)", snap.Node, snap.ReplicaID)
+	if snap.Addr != "" {
+		fmt.Printf("  listening %s", snap.Addr)
+	}
+	fmt.Printf("  snapshot %s\n\n", snap.Time.Format(time.RFC3339))
+
+	s := snap.Stats
+	fmt.Printf("sync: %d delta (%d recon / %d packed / %d plain), %d full (v1 %d), %d fallback(s), %d miss(es)\n",
+		s.DeltaSyncs, s.ReconSessions, s.PackedSessions, s.PlainSessions,
+		s.FullSyncs, s.V1Sessions, s.Fallbacks, s.Misses)
+	fmt.Printf("wire: %d B out / %d B in, %d commit(s) out / %d in, %d redundant, %d shed\n\n",
+		s.BytesSent, s.BytesRecv, s.CommitsSent, s.CommitsRecv,
+		s.RedundantCommits, s.InboundShed)
+
+	if len(snap.Objects) > 0 {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "OBJECT\tDATATYPE\tCOMMITS\tDELTA\tFULL\tBYTES OUT\tBYTES IN\tSEGMENTS")
+		for _, name := range sortedKeys(snap.Objects) {
+			o := snap.Objects[name]
+			seg := "-"
+			if o.Storage != nil {
+				seg = fmt.Sprintf("%d (%d B)", o.Storage.Segments, o.Storage.Bytes)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				name, o.Datatype, o.Commits, o.Stats.DeltaSyncs, o.Stats.FullSyncs,
+				o.Stats.BytesSent, o.Stats.BytesRecv, seg)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+
+	if len(snap.Mesh) > 0 {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "PEER\tSCORE\tROUNDS\tPUSHES\tFAILS\tBACKOFF\tQUARANTINE\tLAST ERROR")
+		for _, addr := range sortedKeys(snap.Mesh) {
+			p := snap.Mesh[addr]
+			quar := "-"
+			if p.Quarantined {
+				quar = "YES: " + p.QuarantineReason
+			} else if p.Quarantines > 0 {
+				quar = fmt.Sprintf("recovered x%d", p.Quarantines)
+			}
+			lastErr := p.LastError
+			if lastErr == "" {
+				lastErr = "-"
+			}
+			fmt.Fprintf(w, "%s\t%.2f\t%d\t%d\t%d\t%s\t%s\t%s\n",
+				addr, p.Score, p.Rounds, p.Pushes, p.Failures, p.Backoff, quar, lastErr)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+
+	if n := len(snap.Spans); n > 0 {
+		if n > maxSpans {
+			snap.Spans = snap.Spans[n-maxSpans:]
+		}
+		fmt.Printf("last %d sync session(s):\n", len(snap.Spans))
+		for _, sp := range snap.Spans {
+			fmt.Println("  " + obs.FormatSpan(sp))
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+// Observability-overhead benchmark (`peepul-bench -fig obs`): the same
+// exchange measured on identical pairs with instrumentation off (the
+// default — every hook is one nil check) and on (WithObservability:
+// registry counters, histograms and flight-recorder spans live). Two
+// scenarios bound the interesting paths:
+//
+//   - deep-pull: a converged pair on a deep shared history takes a
+//     constant fresh divergence per iteration and syncs it — the merge,
+//     pack and wire paths all run, so every instrumentation family is
+//     on the clock;
+//   - converged-resync: the pair re-syncs with nothing to ship — the
+//     O(1) span-probe round where per-session fixed costs (span
+//     allocation, session histograms) weigh the most relative to work.
+//
+// The two modes alternate exchange by exchange on live pairs, so at
+// sample index i both columns sit on identical history depth and
+// identical machine drift (GC phase, CPU frequency, a noisy CI
+// neighbour). The overhead is then the median of the per-index paired
+// ratios — pairing cancels the deep-pull history growth that would
+// skew any column-wise statistic, and the median discards the samples
+// a GC pause or scheduler hiccup poisoned on one side only. Each row
+// reports the median single-exchange wall time; the acceptance bound
+// is OverheadPct under the CI gate (5%).
+
+// ObsRow is one measured (scenario, history, mode) cell.
+type ObsRow struct {
+	// Scenario is "deep-pull" or "converged-resync".
+	Scenario string `json:"scenario"`
+	// History is the shared-history depth in commits at measurement.
+	History int `json:"history"`
+	// Mode is "disabled" (no registry, the default) or "instrumented"
+	// (WithObservability on both nodes).
+	Mode string `json:"mode"`
+	// Iters×Reps is the number of individually timed exchanges the
+	// medians are taken over.
+	Iters int `json:"iters"`
+	Reps  int `json:"reps"`
+	// NsPerSync is the median wall time of one exchange.
+	NsPerSync int64 `json:"ns_per_sync"`
+	// OverheadPct is the instrumented row's regression against its
+	// disabled twin — the median of the per-index paired sample ratios,
+	// in percent (zero on disabled rows).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+// ObsNs is the history-depth sweep of the overhead benchmark.
+var ObsNs = []int{1000, 10000}
+
+// ObsQuickNs keeps one moderate depth for the CI smoke gate.
+var ObsQuickNs = []int{1000}
+
+// Default iteration shape; -quick trims it in the CLI. Many short reps
+// beat few long ones here: the minimum needs a window clear of GC
+// pauses and scheduler noise, and short reps give it more windows.
+const (
+	ObsIters      = 25
+	ObsReps       = 12
+	ObsQuickIters = 15
+	ObsQuickReps  = 10
+)
+
+// obsDivergence is the constant per-side op gap of each deep-pull
+// iteration — the dag benchmark's diamond, kept small so the measured
+// exchange is dominated by fixed path costs, where instrumentation
+// overhead would show.
+const obsDivergence = 8
+
+// Obs measures both scenarios across the sweep, both modes per depth.
+func Obs(ns []int, iters, reps int) []ObsRow {
+	var rows []ObsRow
+	for _, n := range ns {
+		for _, scenario := range []string{"deep-pull", "converged-resync"} {
+			rows = append(rows, obsScenario(scenario, n, iters, reps)...)
+		}
+	}
+	return rows
+}
+
+// obsPair is one live converged pair plus its scenario iteration.
+type obsPair struct {
+	a, b *syncNode
+	iter func()
+}
+
+func (p *obsPair) close() { p.a.Close(); p.b.Close() }
+
+// newObsPair builds a converged pair at the given depth, instrumented
+// or not, and binds the scenario's per-iteration work.
+func newObsPair(scenario string, history int, instrumented bool) *obsPair {
+	var opts []replica.NodeOption
+	if instrumented {
+		opts = append(opts, replica.WithObservability())
+	}
+	a, b := newObsBenchNode("a", 1, opts), newObsBenchNode("b", 2, opts)
+	for i := 0; i < history; i++ {
+		if i%2 == 0 {
+			syncInc(a)
+		} else {
+			syncInc(b)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.SyncWith(b.Addr()); err != nil {
+			panic(err)
+		}
+	}
+	p := &obsPair{a: a, b: b}
+	p.iter = func() {
+		if scenario == "deep-pull" {
+			for i := 0; i < obsDivergence; i++ {
+				syncInc(a)
+				syncInc(b)
+			}
+		}
+		if err := a.SyncWith(b.Addr()); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// obsScenario times both modes on live pairs, alternating exchange by
+// exchange and keeping each mode's best single exchange.
+func obsScenario(scenario string, history, iters, reps int) []ObsRow {
+	disabled := newObsPair(scenario, history, false)
+	defer disabled.close()
+	instrumented := newObsPair(scenario, history, true)
+	defer instrumented.close()
+	disabled.iter() // warm-up: caches, lazy metric resolution, TCP state
+	instrumented.iter()
+
+	one := func(p *obsPair) int64 {
+		start := time.Now()
+		p.iter()
+		return time.Since(start).Nanoseconds()
+	}
+	runtime.GC() // start both columns from a clean heap
+	samples := iters * reps
+	dis, ins := make([]int64, samples), make([]int64, samples)
+	for i := 0; i < samples; i++ {
+		dis[i] = one(disabled)
+		ins[i] = one(instrumented)
+	}
+	ratios := make([]float64, samples)
+	for i := range ratios {
+		ratios[i] = 100 * (float64(ins[i]) - float64(dis[i])) / float64(dis[i])
+	}
+	return []ObsRow{
+		{Scenario: scenario, History: history, Mode: "disabled",
+			Iters: iters, Reps: reps, NsPerSync: medianInt64(dis)},
+		{Scenario: scenario, History: history, Mode: "instrumented",
+			Iters: iters, Reps: reps, NsPerSync: medianInt64(ins),
+			OverheadPct: medianFloat64(ratios)},
+	}
+}
+
+func medianInt64(s []int64) int64 {
+	s = append([]int64(nil), s...)
+	slices.Sort(s)
+	return s[len(s)/2]
+}
+
+func medianFloat64(s []float64) float64 {
+	s = append([]float64(nil), s...)
+	slices.Sort(s)
+	return s[len(s)/2]
+}
+
+// newObsBenchNode is newSyncNode with construction options.
+func newObsBenchNode(name string, id int, opts []replica.NodeOption) *syncNode {
+	n, err := replica.NewNode(name, id, opts...)
+	if err != nil {
+		panic(err)
+	}
+	obj, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	if err != nil {
+		panic(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	return &syncNode{Node: n, obj: obj}
+}
+
+// ObsGateErr validates the overhead bound on a finished run: no
+// instrumented cell may regress more than limitPct over its disabled
+// twin.
+func ObsGateErr(rows []ObsRow, limitPct float64) error {
+	gated := 0
+	for _, r := range rows {
+		if r.Mode != "instrumented" {
+			continue
+		}
+		gated++
+		if r.OverheadPct > limitPct {
+			return fmt.Errorf("%s at history %d: instrumentation overhead %.1f%% exceeds the %.1f%% gate",
+				r.Scenario, r.History, r.OverheadPct, limitPct)
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("no instrumented row to gate on")
+	}
+	return nil
+}
+
+// PrintObs renders the overhead table. Healthy output shows the
+// instrumented column within noise of disabled — single-digit percent
+// at worst.
+func PrintObs(w io.Writer, rows []ObsRow) {
+	fmt.Fprintln(w, "Obs: instrumentation overhead, WithObservability vs disabled")
+	fmt.Fprintf(w, "%-18s %10s %14s %12s %10s\n",
+		"scenario", "#history", "mode", "per-sync", "overhead")
+	for _, r := range rows {
+		overhead := "-"
+		if r.Mode == "instrumented" {
+			overhead = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(w, "%-18s %10d %14s %12s %10s\n",
+			r.Scenario, r.History, r.Mode,
+			fmtDur(time.Duration(r.NsPerSync)), overhead)
+	}
+}
+
+// WriteObsJSON renders rows as the BENCH_obs.json document.
+func WriteObsJSON(w io.Writer, seed int64, rows []ObsRow) error {
+	doc := struct {
+		Bench string   `json:"bench"`
+		Seed  int64    `json:"seed"`
+		Rows  []ObsRow `json:"rows"`
+	}{Bench: "obs", Seed: seed, Rows: rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -409,6 +409,7 @@ func (l *Log) checkpointLocked() error {
 		if err := syncDir(l.dir); err != nil {
 			return err
 		}
+		l.metrics.rotated()
 	}
 	framed := appendFrame(nil, record)
 	if _, err := l.w.Write(framed); err != nil {
@@ -420,12 +421,13 @@ func (l *Log) checkpointLocked() error {
 	}
 	if l.opts.Fsync == FsyncAlways {
 		l.stats.Fsyncs++
-		if err := l.f.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			return err
 		}
 	}
 	l.stats.Records++
 	l.stats.Checkpoints++
+	l.metrics.checkpointed()
 	l.mutsSince = 0
 	l.sinceCkpt = 0
 	return nil

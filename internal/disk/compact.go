@@ -94,6 +94,7 @@ func (l *Log) Compact(rs *store.RecoveredState) error {
 	l.size = written
 	l.sealed, l.nseal = 0, 0
 	l.stats.Compactions++
+	l.metrics.compacted()
 
 	// The shadow index is rebuilt from the live set. rs aliases the
 	// store's own maps on this path, so every map is copied, never kept.

@@ -37,7 +37,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -91,6 +93,9 @@ type Options struct {
 	// ladder reopens with when a checkpoint-seeded open fails
 	// verification.
 	FullReplay bool
+	// Obs, when non-nil, receives the log's metrics (append/fsync
+	// latency, rotations, checkpoints, recovery — see obs.go).
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns 64 MiB segments, FsyncNever, and a checkpoint
@@ -126,6 +131,13 @@ func WithCheckpointEvery(n int) Option {
 // WithFullReplay makes Open ignore checkpoints and replay every segment.
 func WithFullReplay() Option {
 	return func(o *Options) { o.FullReplay = true }
+}
+
+// WithObs attaches an observability registry: the log registers its
+// latency histograms and rotation/checkpoint/recovery counters on it.
+// A nil registry keeps instrumentation disabled.
+func WithObs(reg *obs.Registry) Option {
+	return func(o *Options) { o.Obs = reg }
 }
 
 // Stats is a snapshot of the log's accounting.
@@ -227,6 +239,10 @@ type Log struct {
 	mutsSince int
 	sinceCkpt int64
 	mode      string
+
+	// metrics is the optional instrumentation (obs.go); nil without a
+	// registry.
+	metrics *diskMetrics
 }
 
 // Open opens (creating if needed) the pack log in dir and recovers it.
@@ -262,12 +278,13 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 		}
 	}
 
+	openStart := time.Now()
 	rec := newRecovered()
 	seqs, err := listSegments(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, opts: o, meta: rec.Meta, shadow: newShadow()}
+	l := &Log{dir: dir, opts: o, meta: rec.Meta, shadow: newShadow(), metrics: newDiskMetrics(o.Obs)}
 
 	// Checkpoint seek: probe segment heads newest-first (one record read
 	// each); the first valid checkpoint supplies the index, and scanning
@@ -409,6 +426,7 @@ func Open(dir string, opts ...Option) (*Log, *Recovered, error) {
 	l.stats.RecoveredRecords = rec.Records
 	l.stats.TruncatedBytes = rec.TruncatedBytes
 	l.stats.DroppedSegments = rec.DroppedSegments
+	l.metrics.recovered(l.mode, time.Since(openStart).Nanoseconds())
 	return l, rec, nil
 }
 
@@ -487,6 +505,10 @@ func (l *Log) appendLocked(record []byte) (seg int, off int64, err error) {
 	if err := checkRecordSize(record); err != nil {
 		return 0, 0, err
 	}
+	if m := l.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.appendNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	framed := appendFrame(nil, record)
 	if l.size > int64(len(segMagic)) && l.size+int64(len(framed)) > l.opts.SegmentBytes {
 		if err := l.sealLocked(); err != nil {
@@ -498,6 +520,7 @@ func (l *Log) appendLocked(record []byte) (seg int, off int64, err error) {
 		if err := syncDir(l.dir); err != nil {
 			return 0, 0, err
 		}
+		l.metrics.rotated()
 	}
 	seg, off = l.seq, l.size
 	if _, err := l.w.Write(framed); err != nil {
@@ -646,7 +669,7 @@ func (l *Log) flushLocked() error {
 	}
 	if l.opts.Fsync == FsyncAlways {
 		l.stats.Fsyncs++
-		return l.f.Sync()
+		return l.timedSync()
 	}
 	return nil
 }
@@ -665,7 +688,20 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.stats.Fsyncs++
-	return l.f.Sync()
+	return l.timedSync()
+}
+
+// timedSync fsyncs the active segment, feeding the fsync-latency
+// histogram when instrumentation is attached.
+func (l *Log) timedSync() error {
+	m := l.metrics
+	if m == nil {
+		return l.f.Sync()
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	m.fsyncNs.Observe(time.Since(start).Nanoseconds())
+	return err
 }
 
 // Close flushes, fsyncs and closes the log. Further appends return

@@ -1,0 +1,74 @@
+package disk
+
+// Disk-layer observability: append and fsync latency, segment
+// rotations, checkpoint writes, and how (and how long) recovery-on-open
+// ran. Attached with WithObs; a nil registry leaves l.metrics nil and
+// the append path pays one nil check. Instruments resolve by name, so
+// the several per-object logs of one node share series.
+
+import "repro/internal/obs"
+
+type diskMetrics struct {
+	reg         *obs.Registry
+	appendNs    *obs.Histogram
+	fsyncNs     *obs.Histogram
+	rotations   *obs.Counter
+	checkpoints *obs.Counter
+	compactions *obs.Counter
+	recoveryNs  *obs.Histogram
+}
+
+func newDiskMetrics(reg *obs.Registry) *diskMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &diskMetrics{
+		reg:         reg,
+		appendNs:    reg.Histogram("peepul_disk_append_ns", obs.LatencyBuckets),
+		fsyncNs:     reg.Histogram("peepul_disk_fsync_ns", obs.LatencyBuckets),
+		rotations:   reg.Counter("peepul_disk_segment_rotations_total"),
+		checkpoints: reg.Counter("peepul_disk_checkpoint_writes_total"),
+		compactions: reg.Counter("peepul_disk_compactions_total"),
+		recoveryNs:  reg.Histogram("peepul_disk_recovery_ns", obs.LatencyBuckets),
+	}
+	reg.Describe("peepul_disk_append_ns", "latency of one framed record append (buffered write, rotation included)")
+	reg.Describe("peepul_disk_fsync_ns", "latency of append-path fsync calls")
+	reg.Describe("peepul_disk_segment_rotations_total", "active-segment seals followed by a fresh segment")
+	reg.Describe("peepul_disk_checkpoint_writes_total", "index checkpoints written")
+	reg.Describe("peepul_disk_compactions_total", "completed log compactions")
+	reg.Describe("peepul_disk_recovery_ns", "wall time of recovery-on-open")
+	reg.Describe("peepul_disk_recovery_total", "opens by recovery mode (checkpoint/replay/cold)")
+	return m
+}
+
+// rotated records one segment seal + fresh segment, nil-safely.
+func (m *diskMetrics) rotated() {
+	if m != nil {
+		m.rotations.Inc()
+	}
+}
+
+// checkpointed records one index checkpoint write, nil-safely.
+func (m *diskMetrics) checkpointed() {
+	if m != nil {
+		m.checkpoints.Inc()
+	}
+}
+
+// compacted records one completed compaction, nil-safely.
+func (m *diskMetrics) compacted() {
+	if m != nil {
+		m.compactions.Inc()
+	}
+}
+
+// recovered records one completed open: its duration and its mode. The
+// per-mode counter is resolved here rather than pre-created because the
+// mode is only known after recovery runs, and opens are rare.
+func (m *diskMetrics) recovered(mode string, ns int64) {
+	if m == nil {
+		return
+	}
+	m.recoveryNs.Observe(ns)
+	m.reg.Counter("peepul_disk_recovery_total", "mode", mode).Inc()
+}

@@ -47,6 +47,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Report is what one sync exchange with a peer cost and found out.
@@ -124,6 +126,13 @@ type Config struct {
 	// recovery, not retried eagerly.
 	QuarantineMin time.Duration
 	QuarantineMax time.Duration
+	// Obs, when non-nil, receives the engine's metrics (round outcomes,
+	// overflows, quarantine transitions — see obs.go). Nil disables
+	// instrumentation.
+	Obs *obs.Registry
+	// Recorder, when non-nil, receives lifecycle events: backoff
+	// changes, quarantine enter/lift with the triggering reason.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the engine defaults: 2s rounds with up to 500ms
@@ -244,19 +253,26 @@ type Engine struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// metrics and rec are the optional instrumentation (obs.go); nil
+	// without Config.Obs / Config.Recorder.
+	metrics *meshMetrics
+	rec     *obs.Recorder
 }
 
 // New creates an engine driving s. No goroutines start until AddPeer.
 func New(s Syncer, cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Engine{
-		syncer: s,
-		cfg:    cfg.withDefaults(),
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		peers:  make(map[string]*peer),
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		syncer:  s,
+		cfg:     cfg.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		peers:   make(map[string]*peer),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		metrics: newMeshMetrics(cfg.Obs),
+		rec:     cfg.Recorder,
 	}
 }
 
@@ -312,7 +328,10 @@ func (e *Engine) RemovePeer(addr string) {
 	}
 	e.mu.Unlock()
 	if ok {
-		p.removeOnce.Do(func() { close(p.removed) })
+		p.removeOnce.Do(func() {
+			close(p.removed)
+			e.forget(p)
+		})
 	}
 }
 
@@ -366,17 +385,21 @@ func (e *Engine) NotifyCommit(object string) {
 		return
 	}
 	for _, p := range e.peers {
-		p.enqueue(object, e.cfg.OutboxSize)
+		if p.enqueue(object, e.cfg.OutboxSize) {
+			e.metrics.overflowed()
+			e.event("outbox-overflow", p.addr, "next push degrades to a full round")
+		}
 	}
 }
 
 // enqueue adds object to the outbox (degrading to a full round on
-// overflow) and kicks the supervisor.
-func (p *peer) enqueue(object string, limit int) {
+// overflow) and kicks the supervisor. It reports whether this call
+// overflowed the outbox (the transition, not the steady state).
+func (p *peer) enqueue(object string, limit int) (overflowed bool) {
 	p.mu.Lock()
 	if _, skip := p.uninterested[object]; skip {
 		p.mu.Unlock()
-		return
+		return false
 	}
 	if !p.full {
 		if p.outbox == nil {
@@ -384,6 +407,7 @@ func (p *peer) enqueue(object string, limit int) {
 		}
 		if len(p.outbox) >= limit {
 			p.outbox, p.full = nil, true
+			overflowed = true
 		} else {
 			p.outbox[object] = struct{}{}
 		}
@@ -393,6 +417,7 @@ func (p *peer) enqueue(object string, limit int) {
 	case p.kick <- struct{}{}:
 	default:
 	}
+	return overflowed
 }
 
 // takeOutbox drains the outbox: the dirty object names (nil with
@@ -499,10 +524,15 @@ func (e *Engine) supervise(p *peer) {
 
 // round runs one exchange and folds its outcome into the peer's state.
 func (e *Engine) round(p *peer, objects []string, push bool) error {
+	kind := "full"
+	if push {
+		kind = "push"
+	}
 	rep, err := e.syncer.MeshSync(e.ctx, p.addr, objects)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := &p.stats
+	prevBackoff, prevQuar := st.Backoff, st.Quarantined
 	st.BytesSent += rep.BytesSent
 	st.BytesRecv += rep.BytesRecv
 	st.CommitsSent += rep.CommitsSent
@@ -512,7 +542,9 @@ func (e *Engine) round(p *peer, objects []string, push bool) error {
 		st.ConsecutiveFailures++
 		st.Score /= 2
 		st.LastError = err.Error()
+		outcome := "transient"
 		if e.cfg.Classify != nil && e.cfg.Classify(err) == FailViolation {
+			outcome = "violation"
 			st.Violations++
 			st.ConsecutiveViolations++
 			if !st.Quarantined && st.ConsecutiveViolations >= e.cfg.QuarantineAfter {
@@ -529,10 +561,13 @@ func (e *Engine) round(p *peer, objects []string, push bool) error {
 		} else {
 			st.Backoff = e.backoff(st.ConsecutiveFailures)
 		}
+		e.metrics.round(kind, outcome)
+		e.transitions(p, prevBackoff, prevQuar, st, err)
 		return err
 	}
 	if push {
 		st.Pushes++
+		e.metrics.pushed(len(objects))
 	} else {
 		st.Rounds++
 	}
@@ -570,6 +605,8 @@ func (e *Engine) round(p *peer, objects []string, push bool) error {
 			}
 		}
 	}
+	e.metrics.round(kind, "ok")
+	e.transitions(p, prevBackoff, prevQuar, st, nil)
 	return nil
 }
 

@@ -1,0 +1,135 @@
+package mesh
+
+// Mesh-layer observability: round outcomes by kind, outbox overflows,
+// quarantine transitions, and how many peers are currently backing off
+// or quarantined. Lifecycle transitions (backoff changes, quarantine
+// enter/lift) are additionally emitted as flight-recorder events when a
+// Recorder is configured, so a trace shows *why* a peer went quiet.
+// Both hooks are nil-safe: an unconfigured engine pays nothing.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+type meshMetrics struct {
+	reg         *obs.Registry
+	overflows   *obs.Counter
+	quarEnter   *obs.Counter
+	quarLift    *obs.Counter
+	backingOff  *obs.Gauge
+	quarantined *obs.Gauge
+	pushObjects *obs.Counter
+}
+
+func newMeshMetrics(reg *obs.Registry) *meshMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &meshMetrics{
+		reg:         reg,
+		overflows:   reg.Counter("peepul_mesh_outbox_overflows_total"),
+		quarEnter:   reg.Counter("peepul_mesh_quarantine_transitions_total", "change", "enter"),
+		quarLift:    reg.Counter("peepul_mesh_quarantine_transitions_total", "change", "lift"),
+		backingOff:  reg.Gauge("peepul_mesh_peers_backing_off"),
+		quarantined: reg.Gauge("peepul_mesh_peers_quarantined"),
+		pushObjects: reg.Counter("peepul_mesh_push_objects_total"),
+	}
+	reg.Describe("peepul_mesh_rounds_total", "completed exchanges by kind (full/push) and outcome (ok/transient/violation)")
+	reg.Describe("peepul_mesh_outbox_overflows_total", "outbox overflows degrading the next push to a full round")
+	reg.Describe("peepul_mesh_quarantine_transitions_total", "peers entering and leaving quarantine")
+	reg.Describe("peepul_mesh_peers_backing_off", "peers currently on the backoff schedule")
+	reg.Describe("peepul_mesh_peers_quarantined", "peers currently quarantined")
+	reg.Describe("peepul_mesh_push_objects_total", "objects shipped by push rounds (compare with push-round count for coalescing)")
+	return m
+}
+
+// round records one exchange outcome. The (kind, outcome) counter is
+// resolved by name — rounds run at anti-entropy cadence, so the lookup
+// cost is irrelevant.
+func (m *meshMetrics) round(kind, outcome string) {
+	if m != nil {
+		m.reg.Counter("peepul_mesh_rounds_total", "kind", kind, "outcome", outcome).Inc()
+	}
+}
+
+func (m *meshMetrics) overflowed() {
+	if m != nil {
+		m.overflows.Inc()
+	}
+}
+
+func (m *meshMetrics) pushed(objects int) {
+	if m != nil {
+		m.pushObjects.Add(int64(objects))
+	}
+}
+
+// transitions folds one round's before/after supervisor state into the
+// gauges, the quarantine counters, and the event stream.
+func (e *Engine) transitions(p *peer, prevBackoff time.Duration, prevQuar bool, st *PeerStats, err error) {
+	m := e.metrics
+	if prevQuar != st.Quarantined {
+		if st.Quarantined {
+			if m != nil {
+				m.quarEnter.Inc()
+				m.quarantined.Add(1)
+			}
+			e.event("quarantine-enter", p.addr, st.QuarantineReason)
+		} else {
+			if m != nil {
+				m.quarLift.Inc()
+				m.quarantined.Add(-1)
+			}
+			e.event("quarantine-lift", p.addr, "clean exchange")
+		}
+	}
+	if (prevBackoff > 0) != (st.Backoff > 0) {
+		if m != nil {
+			if st.Backoff > 0 {
+				m.backingOff.Add(1)
+			} else {
+				m.backingOff.Add(-1)
+			}
+		}
+	}
+	if prevBackoff != st.Backoff {
+		if st.Backoff > 0 {
+			detail := fmt.Sprintf("backoff %v after %d consecutive failures", st.Backoff, st.ConsecutiveFailures)
+			if err != nil {
+				detail += ": " + err.Error()
+			}
+			e.event("backoff", p.addr, detail)
+		} else if prevBackoff > 0 {
+			e.event("backoff-reset", p.addr, "exchange succeeded")
+		}
+	}
+}
+
+// event appends one lifecycle event to the flight recorder, nil-safely.
+func (e *Engine) event(kind, peer, detail string) {
+	if e.rec != nil {
+		e.rec.AddEvent(obs.Event{Kind: kind, Peer: peer, Detail: detail})
+	}
+}
+
+// forget clears a removed (or shut-down) peer's contribution to the
+// currently-backing-off / currently-quarantined gauges so they do not
+// drift permanently positive.
+func (e *Engine) forget(p *peer) {
+	m := e.metrics
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	backoff, quar := p.stats.Backoff, p.stats.Quarantined
+	p.mu.Unlock()
+	if backoff > 0 {
+		m.backingOff.Add(-1)
+	}
+	if quar {
+		m.quarantined.Add(-1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/store"
 )
@@ -76,10 +77,21 @@ func TestChaosMeshConvergesAndQuarantinesCorrupter(t *testing.T) {
 			replica.WithSyncTimeout(300*time.Millisecond),
 			replica.WithSessionTimeout(2*time.Second),
 			replica.WithMeshQuarantine(2, 100*time.Millisecond, time.Second),
+			replica.WithObservability(),
 		)
 	}
 	honest := nodes[:9]
 	corrupter := nodes[9]
+	// Forensics on failure: the corrupter's flight recorder and its
+	// supervisor's (n8 — the node that must quarantine it) say which
+	// sessions broke, how they were classified, and when the quarantine
+	// moved.
+	defer func() {
+		if t.Failed() {
+			t.Logf("corrupter flight recorder:\n%s", obs.FormatTrace(corrupter.Trace()))
+			t.Logf("supervisor (n8) flight recorder:\n%s", obs.FormatTrace(nodes[8].Trace()))
+		}
+	}()
 	// Ring supervision: node i keeps node i+1 in sync, so n8 supervises
 	// the corrupter and is the node that must quarantine it.
 	for i, n := range nodes {

@@ -107,7 +107,7 @@ func Ensure[S, Op, Val any](n *Node, object, datatype string, impl core.MRDT[S, 
 	// replica-id block: timestamps are only ever compared within one
 	// object.
 	if n.cfg.storageDir == "" {
-		st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.cfg.storeOpts...)
+		st := store.NewAt(impl, codec, n.name, n.replicaID*64, n.cfg.storeOptions()...)
 		to := &TypedObject[S, Op, Val]{datatype: datatype, branch: n.name, object: object, node: n, st: st}
 		e := &objectEntry{obj: to, watchers: newWatcherSet()}
 		to.entry = e
@@ -164,7 +164,7 @@ func openRecoveredStore[S, Op, Val any](n *Node, log *disk.Log, rec *disk.Recove
 			return nil, fmt.Errorf("%w: storage for %q: %v", ErrObject, object, err)
 		}
 	}
-	storeOpts := append(append([]store.Option(nil), n.cfg.storeOpts...), store.WithPersister(log))
+	storeOpts := append(n.cfg.storeOptions(), store.WithPersister(log))
 	if n.cfg.verifyOnOpen {
 		storeOpts = append(storeOpts, store.WithVerifyOnOpen(true))
 	}

@@ -1,0 +1,286 @@
+package replica_test
+
+// Observability tests: the negotiation-ladder tier counters partition
+// the session stats truthfully, the Stats/Trace/Snapshot surfaces stay
+// race-free under peer churn, and the live debug endpoint serves
+// parseable metrics and a round-trippable snapshot, then shuts down
+// with the node without leaking its goroutines.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+// newObsCounterNode is newCounterNode with construction options.
+func newObsCounterNode(t *testing.T, name string, id int, opts ...replica.NodeOption) *counterNode {
+	t.Helper()
+	n, err := replica.NewNode(name, id, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := replica.Ensure[counter.PNState, counter.Op, counter.Val](
+		n, "counter", "pn-counter", counter.PNCounter{}, wire.PNCounter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return &counterNode{Node: n, obj: obj}
+}
+
+// tiersOf extracts the four ladder-tier counters for assertion messages.
+func tiersOf(s replica.SyncStats) [4]int64 {
+	return [4]int64{s.ReconSessions, s.PackedSessions, s.PlainSessions, s.V1Sessions}
+}
+
+// checkTierPartition: the first three tiers partition DeltaSyncs and v1
+// mirrors FullSyncs — on every node, always.
+func checkTierPartition(t *testing.T, n *counterNode) {
+	t.Helper()
+	s := n.Stats()
+	if got := s.ReconSessions + s.PackedSessions + s.PlainSessions; got != s.DeltaSyncs {
+		t.Fatalf("%s: tier counters %v sum to %d, want DeltaSyncs %d",
+			n.Name(), tiersOf(s), got, s.DeltaSyncs)
+	}
+	if s.V1Sessions != s.FullSyncs {
+		t.Fatalf("%s: V1Sessions %d != FullSyncs %d", n.Name(), s.V1Sessions, s.FullSyncs)
+	}
+}
+
+// TestTierCountersRecon: a default pairing lands on the reconciliation
+// tier and counts nothing anywhere else.
+func TestTierCountersRecon(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	inc(t, a, 5)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*counterNode{a, b} {
+		s := n.Stats()
+		if s.ReconSessions == 0 || s.PackedSessions != 0 || s.PlainSessions != 0 || s.V1Sessions != 0 {
+			t.Fatalf("%s: tiers %v, want only recon sessions", n.Name(), tiersOf(s))
+		}
+		checkTierPartition(t, n)
+	}
+}
+
+// TestTierCountersReconDisabledPeer is the ladder regression pin: a
+// peer with reconciliation switched off must drag the pairing down to
+// exactly the packed-v2 tier — no recon sessions, no plain fallback.
+func TestTierCountersReconDisabledPeer(t *testing.T) {
+	a := newCounterNode(t, "a", 1)
+	b := newCounterNode(t, "b", 2)
+	b.SetReconEnabled(false)
+	inc(t, a, 3)
+	inc(t, b, 4)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*counterNode{a, b} {
+		s := n.Stats()
+		if s.PackedSessions == 0 {
+			t.Fatalf("%s: no packed sessions counted, tiers %v", n.Name(), tiersOf(s))
+		}
+		if s.ReconSessions != 0 || s.PlainSessions != 0 || s.V1Sessions != 0 {
+			t.Fatalf("%s: recon-disabled pairing leaked onto other tiers: %v", n.Name(), tiersOf(s))
+		}
+		checkTierPartition(t, n)
+	}
+}
+
+// TestTierCountersV1: the legacy protocol counts on the v1 tier, and
+// the tier also lands in the session-outcome metric when observability
+// is on.
+func TestTierCountersV1(t *testing.T) {
+	a := newObsCounterNode(t, "a", 1, replica.WithObservability())
+	b := newCounterNode(t, "b", 2)
+	a.SetFullSyncOnly(true)
+	inc(t, a, 2)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.V1Sessions == 0 || s.DeltaSyncs != 0 {
+		t.Fatalf("full-sync-only client: tiers %v, DeltaSyncs %d; want only v1", tiersOf(s), s.DeltaSyncs)
+	}
+	checkTierPartition(t, a)
+	checkTierPartition(t, b)
+	found := false
+	for _, m := range a.Registry().Snapshot() {
+		if m.Name == "peepul_replica_sessions_total" &&
+			m.Labels["tier"] == "v1" && m.Labels["outcome"] == "ok" && m.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registry holds no ok v1 session sample")
+	}
+}
+
+// TestStatsSurfacesRaceFree hammers every read surface — Stats,
+// MeshStats, DebugSnapshot, Trace, the registry snapshot and the
+// Prometheus writer — while peers churn through AddPeer/RemovePeer and
+// sync traffic flows. It asserts nothing beyond "no race, no panic";
+// the race detector is the assertion.
+func TestStatsSurfacesRaceFree(t *testing.T) {
+	a := newObsCounterNode(t, "a", 1, replica.WithObservability(),
+		replica.WithMeshInterval(5*time.Millisecond), replica.WithMeshJitter(time.Millisecond))
+	b := newCounterNode(t, "b", 2)
+	c := newCounterNode(t, "c", 3)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	work := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	work(func() { // peer churn
+		a.AddPeer(b.Addr())
+		time.Sleep(2 * time.Millisecond)
+		a.RemovePeer(b.Addr())
+	})
+	work(func() { // manual sync traffic + commits
+		inc(t, a, 1)
+		_ = a.SyncWith(c.Addr())
+	})
+	work(func() { // every read surface at once
+		_ = a.Stats()
+		_ = a.MeshStats()
+		_ = a.DebugSnapshot()
+		_ = a.Trace()
+		_ = a.Registry().Snapshot()
+		_ = a.Registry().WriteProm(io.Discard)
+	})
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	checkTierPartition(t, a)
+}
+
+// expositionLine is the grammar every non-comment /metrics line must
+// match: name{labels} value.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?\d+$`)
+
+// TestDebugEndpoint drives the full HTTP surface of WithDebugAddr:
+// /healthz answers, /metrics parses line by line and carries live
+// session counters, the snapshot JSON round-trips through its typed
+// struct, the trace renders as text — and closing the node tears the
+// server down without leaking its goroutines.
+func TestDebugEndpoint(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	a := newObsCounterNode(t, "a", 1, replica.WithDebugAddr("127.0.0.1:0"))
+	b := newCounterNode(t, "b", 2)
+	inc(t, a, 7)
+	if err := a.SyncWith(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := client.Get("http://" + a.DebugAddr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz: %q", got)
+	}
+
+	metrics := get("/metrics")
+	sc := bufio.NewScanner(strings.NewReader(metrics))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+	if !strings.Contains(metrics, `peepul_replica_sessions_total{role="client",tier="recon",outcome="ok"}`) {
+		t.Fatalf("scrape is missing the client session counter:\n%s", metrics)
+	}
+
+	var snap replica.DebugSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/peepul/snapshot")), &snap); err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	if snap.Node != "a" || snap.Stats.DeltaSyncs == 0 || len(snap.Metrics) == 0 || len(snap.Spans) == 0 {
+		t.Fatalf("snapshot incomplete: node=%q delta=%d metrics=%d spans=%d",
+			snap.Node, snap.Stats.DeltaSyncs, len(snap.Metrics), len(snap.Spans))
+	}
+	if o, ok := snap.Objects["counter"]; !ok || o.Commits == 0 || o.Datatype != "pn-counter" {
+		t.Fatalf("snapshot object row wrong: %+v (present %v)", o, ok)
+	}
+	reencoded, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again replica.DebugSnapshot
+	if err := json.Unmarshal(reencoded, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, again) {
+		t.Fatal("snapshot does not round-trip through its JSON encoding")
+	}
+
+	trace := get("/debug/peepul/trace?format=text")
+	if !strings.Contains(trace, "client") || !strings.Contains(trace, "recon") {
+		t.Fatalf("text trace shows no recon client session:\n%s", trace)
+	}
+
+	// Teardown: the debug server dies with the node, and nothing —
+	// handler, accept loop, session goroutine — outlives Close.
+	client.CloseIdleConnections()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.DebugAddr() == "" {
+		t.Fatal("DebugAddr forgot its address after Close")
+	}
+	if _, err := client.Get(fmt.Sprintf("http://%s/healthz", a.DebugAddr())); err == nil {
+		t.Fatal("debug endpoint still serving after Close")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, baseline)
+}

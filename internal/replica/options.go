@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -51,6 +52,15 @@ type nodeConfig struct {
 	syncTO       time.Duration
 	sessionTO    time.Duration
 	sessionTOSet bool
+	// obsEnabled turns on the node's metrics registry and flight
+	// recorder (WithObservability, or WithDebugAddr which implies it);
+	// debugAddr, when set, serves the live debug endpoint. obsReg and
+	// obsRec are resolved by NewNode once the options are folded, so
+	// the store, disk and mesh layers all share the node's registry.
+	obsEnabled bool
+	debugAddr  string
+	obsReg     *obs.Registry
+	obsRec     *obs.Recorder
 }
 
 // defaultMaxInbound is the default cap on concurrent inbound sync
@@ -204,6 +214,27 @@ func WithSyncTimeout(d time.Duration) NodeOption {
 	return func(c *nodeConfig) { c.syncTO = d }
 }
 
+// WithObservability turns on the node's flight recorder and metrics
+// registry: every layer — wire framing, store merges, disk appends,
+// mesh rounds, sync sessions — records into one obs.Registry, sync
+// sessions leave trace spans retrievable with Trace, and the registry
+// is exposed through Registry (and, with WithDebugAddr, over HTTP).
+// Off by default; the disabled hot paths pay one nil check per site.
+func WithObservability() NodeOption {
+	return func(c *nodeConfig) { c.obsEnabled = true }
+}
+
+// WithDebugAddr serves the node's debug endpoint on addr ("127.0.0.1:0"
+// picks a free port — read it back with DebugAddr): /metrics in
+// Prometheus text format, /debug/peepul/snapshot (one JSON document
+// unifying sync stats, per-object stats, mesh peer state, the metric
+// registry and the recent trace), /debug/peepul/trace, /healthz, and
+// the net/http/pprof profiles under /debug/pprof/. Implies
+// WithObservability.
+func WithDebugAddr(addr string) NodeOption {
+	return func(c *nodeConfig) { c.debugAddr, c.obsEnabled = addr, true }
+}
+
 // WithSessionTimeout bounds a whole sync session, client or server side
 // (default 3m). The idle timeout cannot stop a dribbling peer — one
 // byte per idle window is progress forever — and a client exchange
@@ -230,7 +261,19 @@ func (c *nodeConfig) meshConfig() mesh.Config {
 			mc.Jitter = -1 // explicit zero means "no jitter", not "default"
 		}
 	}
+	mc.Obs = c.obsReg
+	mc.Recorder = c.obsRec
 	return mc
+}
+
+// storeOptions assembles the store options for one object, including
+// the node's observability registry when enabled.
+func (c *nodeConfig) storeOptions() []store.Option {
+	opts := append([]store.Option(nil), c.storeOpts...)
+	if c.obsReg != nil {
+		opts = append(opts, store.WithObs(c.obsReg))
+	}
+	return opts
 }
 
 // objectDirName maps an object name to a filesystem-safe directory name:
@@ -269,6 +312,9 @@ func (c *nodeConfig) logOptions() []disk.Option {
 	}
 	if c.ckptSet {
 		opts = append(opts, disk.WithCheckpointEvery(c.checkpointEvery))
+	}
+	if c.obsReg != nil {
+		opts = append(opts, disk.WithObs(c.obsReg))
 	}
 	return opts
 }

@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/recon"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -134,6 +135,16 @@ type SyncStats struct {
 	// InboundShed counts inbound connections closed unserved because the
 	// concurrent-session cap (WithMaxInbound) was reached.
 	InboundShed int64
+	// ReconSessions, PackedSessions, PlainSessions and V1Sessions count
+	// completed per-object exchanges by the negotiation-ladder tier they
+	// ran at: range-fingerprint reconciliation, packed (patch-bearing)
+	// delta, plain (full-state) delta, and the legacy v1 full-history
+	// protocol. The first three partition DeltaSyncs; V1Sessions mirrors
+	// FullSyncs. They pin down which rung a pairing actually negotiated.
+	ReconSessions  int64
+	PackedSessions int64
+	PlainSessions  int64
+	V1Sessions     int64
 }
 
 type syncStats struct {
@@ -145,6 +156,24 @@ type syncStats struct {
 	rangesSent, rangesRecv   atomic.Int64
 	redundantCommits         atomic.Int64
 	inboundShed              atomic.Int64
+	reconSessions            atomic.Int64
+	packedSessions           atomic.Int64
+	plainSessions            atomic.Int64
+	v1Sessions               atomic.Int64
+}
+
+// addTier counts one completed per-object exchange at its ladder tier.
+func (s *syncStats) addTier(t tier) {
+	switch t {
+	case tierRecon:
+		s.reconSessions.Add(1)
+	case tierPacked:
+		s.packedSessions.Add(1)
+	case tierPlain:
+		s.plainSessions.Add(1)
+	case tierV1:
+		s.v1Sessions.Add(1)
+	}
 }
 
 func (s *syncStats) snapshot() SyncStats {
@@ -163,7 +192,27 @@ func (s *syncStats) snapshot() SyncStats {
 		RangesRecv:       s.rangesRecv.Load(),
 		RedundantCommits: s.redundantCommits.Load(),
 		InboundShed:      s.inboundShed.Load(),
+		ReconSessions:    s.reconSessions.Load(),
+		PackedSessions:   s.packedSessions.Load(),
+		PlainSessions:    s.plainSessions.Load(),
+		V1Sessions:       s.v1Sessions.Load(),
 	}
+}
+
+// callState is one client exchange's in-flight context: the byte and
+// commit counters feeding the mesh Report, the flight-recorder span,
+// and the ladder tier the exchange settled at. span is nil (and every
+// use of it a no-op) when the node runs without observability.
+type callState struct {
+	stats syncStats
+	span  *spanRec
+	tier  tier
+}
+
+// object records one completed per-object exchange at tier t.
+func (cs *callState) object(t tier) {
+	cs.tier = t
+	cs.span.object(t)
 }
 
 // countPatches reports how many of the commits travel as patches.
@@ -206,6 +255,19 @@ type countedConn struct {
 	// the whole-session deadline no refresh may extend past.
 	idle       time.Duration
 	sessionEnd time.Time
+	// metrics feeds the per-frame wire counters (nil when the node runs
+	// without observability).
+	metrics *nodeMetrics
+}
+
+// FrameRead and FrameWrote implement wire.FrameMeter: the framing layer
+// reports each complete frame's kind and size here.
+func (c *countedConn) FrameRead(kind wire.FrameKind, bytes int) {
+	c.metrics.frame(false, kind, bytes)
+}
+
+func (c *countedConn) FrameWrote(kind wire.FrameKind, bytes int) {
+	c.metrics.frame(true, kind, bytes)
 }
 
 // stamp computes the next operation deadline: now+idle, clipped to the
@@ -251,7 +313,7 @@ func (c *countedConn) Write(p []byte) (int, error) {
 // newConn wraps a session connection with the node's byte accounting
 // and deadline policy.
 func (n *Node) newConn(conn net.Conn, call *syncStats) *countedConn {
-	c := &countedConn{Conn: conn, total: &n.total, call: call, idle: n.cfg.syncTimeout()}
+	c := &countedConn{Conn: conn, total: &n.total, call: call, idle: n.cfg.syncTimeout(), metrics: n.metrics}
 	if d := n.cfg.sessionTimeout(); d > 0 {
 		c.sessionEnd = time.Now().Add(d)
 	}
@@ -338,6 +400,14 @@ type Node struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
+
+	// metrics and rec are the node's observability hooks (obs.go),
+	// allocated by WithObservability / WithDebugAddr; nil by default, in
+	// which case every instrumentation site is one nil check. debug is
+	// the live debug HTTP server (debug.go), nil without WithDebugAddr.
+	metrics *nodeMetrics
+	rec     *obs.Recorder
+	debug   *debugServer
 }
 
 // MaxReplicaID is the largest node id; each node reserves a block of 64
@@ -365,9 +435,21 @@ func NewNode(name string, replicaID int, opts ...NodeOption) (*Node, error) {
 	for _, opt := range opts {
 		opt(&n.cfg)
 	}
+	if n.cfg.obsEnabled {
+		n.cfg.obsReg = obs.NewRegistry()
+		n.cfg.obsRec = obs.NewRecorder()
+		n.metrics = newNodeMetrics(n.cfg.obsReg)
+		n.rec = n.cfg.obsRec
+	}
 	n.engine = mesh.New(n, n.cfg.meshConfig())
 	for _, addr := range n.cfg.peers {
 		n.engine.AddPeer(addr)
+	}
+	if n.cfg.debugAddr != "" {
+		if err := n.startDebug(n.cfg.debugAddr); err != nil {
+			n.engine.Close()
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -504,6 +586,9 @@ func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		n.engine.Close()
 		close(n.closed)
+		if n.debug != nil {
+			n.debug.close()
+		}
 		if n.ln != nil {
 			n.closeErr = n.ln.Close()
 		}
@@ -554,6 +639,9 @@ func (n *Node) serve() {
 		case sem <- struct{}{}:
 		default:
 			n.total.inboundShed.Add(1)
+			if m := n.metrics; m != nil {
+				m.shed.Inc()
+			}
 			conn.Close()
 			continue
 		}
@@ -570,7 +658,10 @@ func (n *Node) serve() {
 				delete(n.inbound, conn)
 				n.inboundMu.Unlock()
 			}()
-			n.handle(n.newConn(conn, nil))
+			// A per-session stat set rides along so the handler's span can
+			// report this session's bytes and commits in isolation.
+			var sess syncStats
+			n.handle(n.newConn(conn, &sess))
 		}()
 	}
 }
@@ -617,6 +708,9 @@ type reconSession struct {
 	hello     wire.Hello
 	peerPatch bool
 	token     int
+	// probes counts the range probes answered this exchange — the
+	// server-side descent depth, observed when the want frame ends it.
+	probes int
 }
 
 // release ends a live session's install capture (a no-op when the want
@@ -637,6 +731,31 @@ func (rs *reconSession) release() {
 // converged pair). A v1 request gets the legacy one-shot exchange and
 // closes the session.
 func (n *Node) handle(conn *countedConn) {
+	start := time.Now()
+	sp := n.newSpan("server", "")
+	// aborted marks a session this side ended on a violation; sessErr
+	// carries the read error when the transport (not the dialect) broke,
+	// so the span and outcome metric report the true failure class.
+	aborted := false
+	var sessErr error
+	defer func() {
+		if aborted && sessErr == nil && sp.failed() == "" {
+			sessErr = fmt.Errorf("%w: session aborted", ErrProtocol)
+		}
+		sp.finish(conn.call, sessErr)
+		if m := n.metrics; m != nil {
+			m.sessionNsServer.Observe(time.Since(start).Nanoseconds())
+			outcome := "ok"
+			if sessErr != nil {
+				outcome = failClassName(classifyFailure(sessErr))
+			} else if c := sp.failed(); c != "" {
+				outcome = c
+			} else if aborted {
+				outcome = "violation"
+			}
+			m.session("server", tierFromName(sp.tierName()), outcome)
+		}
+	}()
 	var rs reconSession
 	// A dropped connection or protocol error can abandon a session
 	// mid-descent; its install capture must not keep recording forever.
@@ -648,33 +767,39 @@ func (n *Node) handle(conn *countedConn) {
 			// a framing violation worth reporting before hanging up.
 			if !errors.Is(err, io.EOF) {
 				wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+				sessErr = err
 			}
 			return
 		}
 		switch kind {
 		case wire.FrameHello:
 			rs.release()
-			if !n.handleHello(conn, fields, &rs) {
+			if !n.handleHello(conn, fields, &rs, sp) {
+				aborted = true
 				return
 			}
 		case wire.FrameReconSpan:
-			if !n.handleReconSpan(conn, fields) {
+			if !n.handleReconSpan(conn, fields, sp) {
+				aborted = true
 				return
 			}
 		case wire.FrameReconFP:
 			if !n.handleReconProbe(conn, fields, &rs) {
+				aborted = true
 				return
 			}
 		case wire.FrameReconWant:
-			if !n.handleReconWant(conn, fields, &rs) {
+			if !n.handleReconWant(conn, fields, &rs, sp) {
+				aborted = true
 				return
 			}
 			rs.release()
 		case wire.FrameSyncRequest:
-			n.handleFull(conn, fields)
+			n.handleFull(conn, fields, sp)
 			return
 		default:
 			wire.WriteMsg(conn, wire.FrameErr, []byte("bad request"))
+			aborted = true
 			return
 		}
 	}
@@ -692,8 +817,9 @@ func (n *Node) handle(conn *countedConn) {
 // the probe and want frames are dispatched by handle. One-field hellos
 // are the pre-capability dialect and get full-state chunks. The return
 // value reports whether the session may continue.
-func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession) bool {
+func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession, sp *spanRec) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	hStart := time.Now()
 	if len(fields) != 1 && len(fields) != 2 {
 		fail("bad hello")
 		return false
@@ -713,6 +839,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession)
 		fail(err.Error())
 		return false
 	}
+	sp.setPeer(hello.Node)
 	// Re-point byte attribution before any reply: traffic of this
 	// exchange must not land on the previous exchange's object.
 	conn.obj.Store(nil)
@@ -772,6 +899,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession)
 		// races it.
 		*rs = reconSession{active: true, e: e, hello: hello, peerPatch: peerPatch,
 			token: e.obj.BeginInstallCapture()}
+		sp.phase("negotiate", hello.Object, hStart)
 		return true
 	}
 	commits, head, err := wire.ReadDelta(conn)
@@ -781,6 +909,7 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession)
 	}
 
 	if !n.acquireMergeLock(hello.Node) {
+		sp.failTransient(busyMsg)
 		fail(busyMsg)
 		return false
 	}
@@ -798,6 +927,10 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession)
 	// Count the exchange before the reply streams out: the client may
 	// read its own stats the moment its SyncWith returns, and this
 	// handler goroutine has no happens-before edge past the write.
+	exTier := tierPlain
+	if peerPatch {
+		exTier = tierPacked
+	}
 	for _, s := range []*syncStats{&n.total, &e.stats} {
 		s.deltaSyncs.Add(1)
 		s.commitsRecv.Add(int64(len(commits)))
@@ -805,7 +938,10 @@ func (n *Node) handleHello(conn *countedConn, fields [][]byte, rs *reconSession)
 		s.patchesRecv.Add(countPatches(commits))
 		s.patchesSent.Add(countPatches(reply))
 		s.redundantCommits.Add(int64(redundant))
+		s.addTier(exTier)
 	}
+	sp.object(exTier)
+	sp.phase("exchange", hello.Object, hStart)
 	// Commits are immutable, so the materialized reply stays valid even
 	// if another exchange advances the branch while it streams out.
 	if peerPatch {
@@ -837,6 +973,10 @@ func (n *Node) handleReconProbe(conn *countedConn, fields [][]byte, rs *reconSes
 	}
 	n.total.rangesRecv.Add(1)
 	rs.e.stats.rangesRecv.Add(1)
+	rs.probes++
+	if m := n.metrics; m != nil {
+		m.rangesServer.Inc()
+	}
 	fp, count := rs.e.obj.ReconRange(rr.X, rr.Y)
 	switch {
 	case fp == rr.FP && count == rr.Count:
@@ -866,8 +1006,9 @@ func (n *Node) handleReconProbe(conn *countedConn, fields [][]byte, rs *reconSes
 // wanted commits plus whatever merge commits the pull minted — commits
 // the client cannot have, grafted onto commits it provably has, so the
 // reply re-ships nothing.
-func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSession) bool {
+func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSession, sp *spanRec) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	wStart := time.Now()
 	if !rs.active || len(fields) != 1 {
 		fail("recon want outside a recon exchange")
 		return false
@@ -884,6 +1025,7 @@ func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSess
 	}
 	e := rs.e
 	if !n.acquireMergeLock(rs.hello.Node) {
+		sp.failTransient(busyMsg)
 		fail(busyMsg)
 		return false
 	}
@@ -924,7 +1066,13 @@ func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSess
 		s.patchesRecv.Add(countPatches(commits))
 		s.patchesSent.Add(countPatches(reply))
 		s.redundantCommits.Add(int64(redundant))
+		s.addTier(tierRecon)
 	}
+	if m := n.metrics; m != nil {
+		m.descent(rs.probes)
+	}
+	sp.object(tierRecon)
+	sp.phase("ship", rs.hello.Object, wStart)
 	if rs.peerPatch {
 		return wire.WriteDeltaPacked(conn, reply, replyHead) == nil
 	}
@@ -935,8 +1083,9 @@ func (n *Node) handleReconWant(conn *countedConn, fields [][]byte, rs *reconSess
 // over every hosted object and reply FrameReconMatch when it equals the
 // prober's — one frame confirming a converged pair — or our own span
 // when it does not (the prober then runs per-object exchanges).
-func (n *Node) handleReconSpan(conn *countedConn, fields [][]byte) bool {
+func (n *Node) handleReconSpan(conn *countedConn, fields [][]byte, sp *spanRec) bool {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	sStart := time.Now()
 	if !n.reconEnabled() || len(fields) != 1 {
 		fail("bad request")
 		return false
@@ -948,6 +1097,9 @@ func (n *Node) handleReconSpan(conn *countedConn, fields [][]byte) bool {
 	}
 	conn.obj.Store(nil)
 	n.total.rangesRecv.Add(1)
+	if m := n.metrics; m != nil {
+		m.rangesServer.Inc()
+	}
 	names := n.Objects()
 	mine := n.nodeSpan(names)
 	if mine == probe {
@@ -956,11 +1108,22 @@ func (n *Node) handleReconSpan(conn *countedConn, fields [][]byte) bool {
 		for _, name := range names {
 			if e, ok := n.entry(name); ok {
 				e.stats.deltaSyncs.Add(1)
+				e.stats.addTier(tierRecon)
 			}
 			n.total.deltaSyncs.Add(1)
+			n.total.addTier(tierRecon)
 		}
+		if m := n.metrics; m != nil {
+			m.spanMatch.Inc()
+		}
+		sp.objects(tierRecon, len(names))
+		sp.phase("span-probe", "", sStart)
 		return wire.WriteMsg(conn, wire.FrameReconMatch) == nil
 	}
+	if m := n.metrics; m != nil {
+		m.spanDiff.Inc()
+	}
+	sp.phase("span-probe", "", sStart)
 	return wire.WriteMsg(conn, wire.FrameReconSpan, wire.EncodeReconSpan(mine)) == nil
 }
 
@@ -998,8 +1161,9 @@ func (n *Node) nodeSpan(names []string) wire.ReconSpan {
 // the two-field form predates object naming and resolves to the node's
 // sole object with no datatype check (pre-multi-object peers cannot send
 // one).
-func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
+func (n *Node) handleFull(conn *countedConn, fields [][]byte, sp *spanRec) {
 	fail := func(msg string) { wire.WriteMsg(conn, wire.FrameErr, []byte(msg)) }
+	fStart := time.Now()
 	var peer, object, datatype string
 	var payload []byte
 	switch len(fields) {
@@ -1040,6 +1204,7 @@ func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 	}
 
 	if !n.acquireMergeLock(peer) {
+		sp.failTransient(busyMsg)
 		fail(busyMsg)
 		return
 	}
@@ -1058,7 +1223,11 @@ func (n *Node) handleFull(conn *countedConn, fields [][]byte) {
 		s.fullSyncs.Add(1)
 		s.commitsRecv.Add(int64(len(commits)))
 		s.commitsSent.Add(int64(len(reply)))
+		s.addTier(tierV1)
 	}
+	sp.setPeer(peer)
+	sp.object(tierV1)
+	sp.phase("exchange", object, fStart)
 	wire.WriteMsg(conn, wire.FrameSyncResponse, wire.EncodeCommitList(reply, replyHead))
 }
 
@@ -1115,9 +1284,9 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (_ m
 	if names == nil {
 		names = n.Objects()
 	}
-	var call syncStats
+	var call callState
 	report := func(missed []string) mesh.Report {
-		s := call.snapshot()
+		s := call.stats.snapshot()
 		return mesh.Report{
 			BytesSent:   s.BytesSent,
 			BytesRecv:   s.BytesRecv,
@@ -1129,6 +1298,19 @@ func (n *Node) syncPeer(ctx context.Context, addr string, objects []string) (_ m
 	if len(names) == 0 {
 		return report(nil), nil
 	}
+	start := time.Now()
+	call.span = n.newSpan("client", addr)
+	defer func() {
+		call.span.finish(&call.stats, retErr)
+		if m := n.metrics; m != nil {
+			m.sessionNsClient.Observe(time.Since(start).Nanoseconds())
+			outcome := "ok"
+			if retErr != nil {
+				outcome = failClassName(classifyFailure(retErr))
+			}
+			m.session("client", call.tier, outcome)
+		}
+	}()
 	// A protocol violation poisons the rich-dialect memos: the next round
 	// renegotiates from the bottom of the ladder instead of trusting
 	// session state learned from a peer that just broke the protocol.
@@ -1191,7 +1373,7 @@ var errSpanRetry = errors.New("replica: span probe refused")
 // real errors. The returned list names the objects the peer answered
 // with a miss — the mesh daemon uses it to learn which objects a peer
 // is interested in.
-func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withCaps, spanOK bool, call *syncStats) ([]string, error) {
+func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withCaps, spanOK bool, call *callState) ([]string, error) {
 	reconKnown := false
 	if withCaps && n.reconEnabled() {
 		_, reconKnown = n.reconPeers.Load(addr)
@@ -1203,10 +1385,10 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	c := n.newConn(conn, call)
+	c := n.newConn(conn, &call.stats)
 
 	if reconKnown && spanOK {
-		done, err := n.syncSpan(c, addr, names)
+		done, err := n.syncSpan(c, addr, names, call)
 		if err != nil {
 			return nil, err
 		}
@@ -1221,7 +1403,7 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 			continue // removed concurrently; nothing to sync
 		}
 		c.obj.Store(&e.stats)
-		miss, err := n.syncObjectDelta(c, addr, object, e, i == 0, withCaps, reconKnown)
+		miss, err := n.syncObjectDelta(c, addr, object, e, i == 0, withCaps, reconKnown, call)
 		if err != nil {
 			return missed, err
 		}
@@ -1237,10 +1419,14 @@ func (n *Node) syncDelta(ctx context.Context, addr string, names []string, withC
 // reports done=true when the peer's span matched (nothing to sync
 // anywhere), and errSpanRetry — after clearing the recon memo — when
 // the peer refused the frame.
-func (n *Node) syncSpan(c *countedConn, addr string, names []string) (done bool, _ error) {
+func (n *Node) syncSpan(c *countedConn, addr string, names []string, call *callState) (done bool, _ error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
+	pStart := time.Now()
 	n.total.rangesSent.Add(1)
+	if m := n.metrics; m != nil {
+		m.rangesClient.Inc()
+	}
 	sp := n.nodeSpan(names)
 	if err := wire.WriteMsg(c, wire.FrameReconSpan, wire.EncodeReconSpan(sp)); err != nil {
 		return false, err
@@ -1257,11 +1443,23 @@ func (n *Node) syncSpan(c *countedConn, addr string, names []string) (done bool,
 		for _, name := range names {
 			if e, ok := n.entry(name); ok {
 				e.stats.deltaSyncs.Add(1)
+				e.stats.addTier(tierRecon)
 			}
 			n.total.deltaSyncs.Add(1)
+			n.total.addTier(tierRecon)
 		}
+		if m := n.metrics; m != nil {
+			m.spanMatch.Inc()
+		}
+		call.tier = tierRecon
+		call.span.objects(tierRecon, len(names))
+		call.span.phase("span-probe", "", pStart)
 		return true, nil
 	case kind == wire.FrameReconSpan:
+		if m := n.metrics; m != nil {
+			m.spanDiff.Inc()
+		}
+		call.span.phase("span-probe", "", pStart)
 		return false, nil // differs somewhere; run the per-object ladder
 	default:
 		return false, fmt.Errorf("%w: unexpected span reply kind %d", ErrProtocol, kind)
@@ -1276,9 +1474,10 @@ func (n *Node) syncSpan(c *countedConn, addr string, names []string) (done bool,
 // promise that the branch will stand still until the reply is merged.
 // A peer that echoes wire.CapRecon gets the reconciliation exchange
 // instead of the frontier-delta one, on the same session.
-func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEntry, first, withCaps, reconKnown bool) (miss bool, _ error) {
+func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEntry, first, withCaps, reconKnown bool, call *callState) (miss bool, _ error) {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
+	negStart := time.Now()
 	mine, err := e.obj.Frontier()
 	if err != nil {
 		return false, err
@@ -1353,9 +1552,12 @@ func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEnt
 	}
 	if peerRecon {
 		n.reconPeers.Store(addr, struct{}{})
-		return false, n.syncObjectRecon(c, object, e, ack, peerPatch)
+		call.span.phase("negotiate", object, negStart)
+		return false, n.syncObjectRecon(c, object, e, ack, peerPatch, call)
 	}
+	call.span.phase("negotiate", object, negStart)
 
+	shipStart := time.Now()
 	commits, head, err := e.obj.ExportSince(ack.Frontier.HaveSet(), peerPatch)
 	if err != nil {
 		return false, err
@@ -1368,6 +1570,8 @@ func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEnt
 	if err != nil {
 		return false, err
 	}
+	call.span.phase("ship", object, shipStart)
+	importStart := time.Now()
 	reply, replyHead, err := wire.ReadDelta(c)
 	if err != nil {
 		var pe *wire.PeerError
@@ -1383,6 +1587,10 @@ func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEnt
 	if err != nil {
 		return false, err
 	}
+	exTier := tierPlain
+	if peerPatch {
+		exTier = tierPacked
+	}
 	for _, s := range []*syncStats{&n.total, &e.stats} {
 		s.deltaSyncs.Add(1)
 		s.commitsSent.Add(int64(len(commits)))
@@ -1390,7 +1598,10 @@ func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEnt
 		s.patchesSent.Add(countPatches(commits))
 		s.patchesRecv.Add(countPatches(reply))
 		s.redundantCommits.Add(int64(redundant))
+		s.addTier(exTier)
 	}
+	call.object(exTier)
+	call.span.phase("import", object, importStart)
 	return false, nil
 }
 
@@ -1406,11 +1617,12 @@ func (n *Node) syncObjectDelta(c *countedConn, addr, object string, e *objectEnt
 // delta in each direction then ship precisely the missing commits; the
 // server's reply adds only the merge commits its pull minted. The
 // caller holds syncMu throughout, so the local set stands still.
-func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ack wire.Hello, peerPatch bool) error {
+func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ack wire.Hello, peerPatch bool, call *callState) error {
 	type keyRange struct{ x, y recon.Item }
 	work := []keyRange{{}} // the zero pair spans the whole keyspace
 	var want []store.Hash
 	ship := make(map[store.Hash]bool)
+	descStart, probes := time.Now(), 0
 	// The node's sync freeze keeps other exchanges out, but a local
 	// Apply takes only the store lock and can land a commit after its
 	// range was already compared. Capture everything installed during
@@ -1435,6 +1647,10 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 		}
 		n.total.rangesSent.Add(1)
 		e.stats.rangesSent.Add(1)
+		probes++
+		if m := n.metrics; m != nil {
+			m.rangesClient.Inc()
+		}
 		kind, fields, err := wire.ReadMsg(c)
 		if err != nil {
 			return err
@@ -1502,6 +1718,10 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 			return fmt.Errorf("%w: unexpected kind %d in recon descent", ErrProtocol, kind)
 		}
 	}
+	call.span.phase("descend", object, descStart)
+	if m := n.metrics; m != nil {
+		m.descent(probes)
+	}
 	// Converged shortcut: equal sets and equal heads need no delta phase
 	// at all — the whole re-sync was the root probe. (Equal sets with
 	// differing branch heads still run the empty-delta exchange below,
@@ -1513,9 +1733,12 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 	if len(want) == 0 && len(ship) == 0 && ack.Frontier.Head == localHead {
 		for _, s := range []*syncStats{&n.total, &e.stats} {
 			s.deltaSyncs.Add(1)
+			s.addTier(tierRecon)
 		}
+		call.object(tierRecon)
 		return nil
 	}
+	shipStart := time.Now()
 	if err := wire.WriteMsg(c, wire.FrameReconWant, wire.EncodeReconWant(want)); err != nil {
 		return err
 	}
@@ -1531,6 +1754,8 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 	if err != nil {
 		return err
 	}
+	call.span.phase("ship", object, shipStart)
+	importStart := time.Now()
 	reply, replyHead, err := wire.ReadDelta(c)
 	if err != nil {
 		var pe *wire.PeerError
@@ -1553,7 +1778,10 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 		s.patchesSent.Add(countPatches(commits))
 		s.patchesRecv.Add(countPatches(reply))
 		s.redundantCommits.Add(int64(redundant))
+		s.addTier(tierRecon)
 	}
+	call.object(tierRecon)
+	call.span.phase("import", object, importStart)
 	return nil
 }
 
@@ -1564,7 +1792,7 @@ func (n *Node) syncObjectRecon(c *countedConn, object string, e *objectEntry, ac
 // resolve and type-check it; if the peer refuses it and this node hosts
 // a single object, the original two-field form is retried on a fresh
 // connection for interop with pre-multi-object peers.
-func (n *Node) syncFull(ctx context.Context, addr string, object string, sole bool, call *syncStats) error {
+func (n *Node) syncFull(ctx context.Context, addr string, object string, sole bool, call *callState) error {
 	e, ok := n.entry(object)
 	if !ok {
 		return nil
@@ -1586,7 +1814,7 @@ var errLegacyRequest = errors.New("replica: peer cannot parse request")
 
 // syncFullOnce runs one v1 exchange on its own connection, using the
 // named request form when named is true.
-func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectEntry, named bool, call *syncStats) error {
+func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectEntry, named bool, call *callState) error {
 	conn, err := n.dialPeer(ctx, addr)
 	if err != nil {
 		return err
@@ -1594,12 +1822,13 @@ func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectE
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	c := n.newConn(conn, call)
+	c := n.newConn(conn, &call.stats)
 	c.obj.Store(&e.stats)
 
 	// As in syncObjectDelta, the branch freezes from export to integrate.
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
+	exStart := time.Now()
 	commits, head, err := e.obj.Export()
 	if err != nil {
 		return err
@@ -1645,7 +1874,10 @@ func (n *Node) syncFullOnce(ctx context.Context, addr, object string, e *objectE
 		s.fullSyncs.Add(1)
 		s.commitsSent.Add(int64(len(commits)))
 		s.commitsRecv.Add(int64(len(peerCommits)))
+		s.addTier(tierV1)
 	}
+	call.object(tierV1)
+	call.span.phase("exchange", object, exStart)
 	return nil
 }
 

@@ -102,8 +102,10 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 	p.add(a, flagP1)
 	p.add(b, flagP2)
 	var maximal []Hash
+	steps := 0
 	for p.active() {
 		h, f := p.pop()
+		steps++
 		if f&flagStale == 0 && f&(flagP1|flagP2) == flagP1|flagP2 {
 			maximal = append(maximal, h)
 			f |= flagStale
@@ -111,6 +113,9 @@ func (s *Store[S, Op, Val]) maximalCommonAncestors(a, b Hash) []Hash {
 		for _, par := range s.commitAtLocked(h).Parents {
 			p.add(par, f)
 		}
+	}
+	if m := s.metrics; m != nil {
+		m.lcaSteps.Add(int64(steps))
 	}
 	return maximal
 }
@@ -126,8 +131,10 @@ func (s *Store[S, Op, Val]) exclusiveOps(a, b Hash) (aOps, bOps []Hash) {
 	p := newPainter(s.commitAtLocked, flagStale)
 	p.add(a, flagP1)
 	p.add(b, flagP2)
+	steps := 0
 	for p.active() {
 		h, f := p.pop()
+		steps++
 		c := s.commitAtLocked(h)
 		if f&flagStale == 0 && f&(flagP1|flagP2) == flagP1|flagP2 {
 			f |= flagStale
@@ -142,6 +149,9 @@ func (s *Store[S, Op, Val]) exclusiveOps(a, b Hash) (aOps, bOps []Hash) {
 		for _, par := range c.Parents {
 			p.add(par, f)
 		}
+	}
+	if m := s.metrics; m != nil {
+		m.lcaSteps.Add(int64(steps))
 	}
 	return aOps, bOps
 }

@@ -1,0 +1,42 @@
+package store
+
+// Store-layer observability: merge and pull latency, LCA walk effort,
+// and the hit ratios of the two caches that make deep histories cheap
+// (the decoded-state LRU and the one-slot reassembly cache). All
+// instruments hang off an optional obs.Registry handed in with WithObs;
+// without one s.metrics stays nil and every instrumented site pays a
+// single nil check. Instruments are looked up by name, so several
+// stores on one node (one per replicated object) share the same series.
+
+import "repro/internal/obs"
+
+type storeMetrics struct {
+	pullNs    *obs.Histogram
+	mergeNs   *obs.Histogram
+	lcaSteps  *obs.Counter
+	cacheHit  *obs.Counter
+	cacheMiss *obs.Counter
+	reasmHit  *obs.Counter
+	reasmMiss *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &storeMetrics{
+		pullNs:    reg.Histogram("peepul_store_pull_ns", obs.LatencyBuckets),
+		mergeNs:   reg.Histogram("peepul_store_merge_ns", obs.LatencyBuckets),
+		lcaSteps:  reg.Counter("peepul_store_lca_steps_total"),
+		cacheHit:  reg.Counter("peepul_store_state_cache_total", "result", "hit"),
+		cacheMiss: reg.Counter("peepul_store_state_cache_total", "result", "miss"),
+		reasmHit:  reg.Counter("peepul_store_reassembly_total", "result", "hit"),
+		reasmMiss: reg.Counter("peepul_store_reassembly_total", "result", "miss"),
+	}
+	reg.Describe("peepul_store_pull_ns", "wall time of one branch pull, merge base to head move")
+	reg.Describe("peepul_store_merge_ns", "wall time of one three-way data type merge commit")
+	reg.Describe("peepul_store_lca_steps_total", "commits popped by paint-down-to-common LCA walks")
+	reg.Describe("peepul_store_state_cache_total", "decoded-state LRU lookups by result")
+	reg.Describe("peepul_store_reassembly_total", "pack chain reassemblies short-circuited by the one-slot cache vs walked")
+	return m
+}

@@ -201,13 +201,22 @@ func (s *Store[S, Op, Val]) materializeLocked(h Hash) ([]byte, error) {
 // interleaving.
 func (s *Store[S, Op, Val]) materializeHintLocked(h Hash, hintHash Hash, hintEnc []byte) ([]byte, error) {
 	if hintHash == h && hintEnc != nil {
+		if m := s.metrics; m != nil {
+			m.reasmHit.Inc()
+		}
 		return hintEnc, nil
 	}
 	s.encMu.Lock()
 	cached, cachedHash := s.encBuf, s.encHash
 	s.encMu.Unlock()
 	if cachedHash == h && cached != nil {
+		if m := s.metrics; m != nil {
+			m.reasmHit.Inc()
+		}
 		return cached, nil
+	}
+	if m := s.metrics; m != nil {
+		m.reasmMiss.Inc()
 	}
 
 	var chain []*packObject // objects from h down, snapshot excluded
@@ -262,7 +271,13 @@ func (s *Store[S, Op, Val]) materializeHintLocked(h Hash, hintHash Hash, hintEnc
 // Callers must hold s.mu (read or write).
 func (s *Store[S, Op, Val]) stateLocked(h Hash) (S, error) {
 	if st, ok := s.cache.get(h); ok {
+		if m := s.metrics; m != nil {
+			m.cacheHit.Inc()
+		}
 		return st, nil
+	}
+	if m := s.metrics; m != nil {
+		m.cacheMiss.Inc()
 	}
 	var zero S
 	enc, err := s.materializeLocked(h)

@@ -196,6 +196,7 @@ func OpenRecovered[S, Op, Val any](impl core.MRDT[S, Op, Val], codec Codec[S], m
 		commits: make(map[Hash]Commit, nc+1),
 		heads:   make(map[string]Hash),
 		clocks:  make(map[string]*clock.Clock),
+		metrics: newStoreMetrics(o.Obs),
 	}
 	if rs == nil || len(rs.Branches) == 0 {
 		// Fresh start — possibly over a log whose branch records were

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/recon"
 )
 
@@ -73,6 +75,10 @@ type Options struct {
 	// Persister, when non-nil, receives every durable mutation (see
 	// persist.go). nil keeps the store purely in-memory.
 	Persister Persister
+	// Obs, when non-nil, receives the store's metrics (merge/pull
+	// latency, LCA walk steps, cache hit ratios — see obs.go). nil
+	// disables instrumentation; the hot paths then pay one nil check.
+	Obs *obs.Registry
 	// VerifyOnOpen makes OpenRecovered run VerifyPack — the full
 	// chain-forest reassembly and decode of every recovered state object
 	// — before handing the store out. Off by default: recovery installs
@@ -147,6 +153,13 @@ func WithPersister(p Persister) Option {
 	return func(o *Options) { o.Persister = p }
 }
 
+// WithObs attaches an observability registry: the store registers its
+// latency histograms, LCA walk counter and cache hit-ratio counters on
+// it. A nil registry keeps instrumentation disabled.
+func WithObs(reg *obs.Registry) Option {
+	return func(o *Options) { o.Obs = reg }
+}
+
 // Commit is one version in the DAG.
 type Commit struct {
 	// Parents are the commit's parents: none for the root, one for an
@@ -207,6 +220,9 @@ type Store[S, Op, Val any] struct {
 	// persistErr is the sticky persistence failure (persist.go): once a
 	// Persister call fails, every later mutation reports it.
 	persistErr error
+	// metrics is the optional instrumentation (obs.go); nil when no
+	// registry was attached.
+	metrics *storeMetrics
 
 	// One-slot reassembly cache (pack.go); own lock so readers holding
 	// mu.RLock can refresh it.
@@ -395,6 +411,10 @@ func (s *Store[S, Op, Val]) PullCaptured(dst, src string) ([]Hash, error) {
 }
 
 func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.pullNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	hs, ok := s.heads[src]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoBranch, src)
@@ -451,6 +471,10 @@ func (s *Store[S, Op, Val]) pullLocked(dst, src string) error {
 // commit other over base, and advances dst to the merge commit. The
 // caller has already observed the source clock.
 func (s *Store[S, Op, Val]) mergeHeadsLocked(dst string, hd, other, base Hash) error {
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.mergeNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	dc, oc := s.commitAtLocked(hd), s.commitAtLocked(other)
 	baseState, err := s.stateLocked(s.commitAtLocked(base).State)
 	if err != nil {

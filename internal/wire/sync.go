@@ -107,6 +107,16 @@ type PeerError struct{ Msg string }
 // Error renders the peer's message.
 func (e *PeerError) Error() string { return "wire: peer error: " + e.Msg }
 
+// FrameMeter is the observability hook of the framing layer: a stream
+// that also implements it has every complete framed message reported —
+// kind plus total on-the-wire bytes (header, length prefixes, fields).
+// ReadMsg and WriteMsg type-assert their stream for it, so metering
+// needs no wrapper types and unmetered streams pay one interface check.
+type FrameMeter interface {
+	FrameRead(kind FrameKind, bytes int)
+	FrameWrote(kind FrameKind, bytes int)
+}
+
 // WriteMsg frames a message: kind byte, field count, then length-prefixed
 // fields.
 func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
@@ -116,6 +126,7 @@ func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
+	total := len(hdr)
 	for _, f := range fields {
 		var lp [4]byte
 		binary.BigEndian.PutUint32(lp[:], uint32(len(f)))
@@ -125,6 +136,10 @@ func WriteMsg(w io.Writer, kind FrameKind, fields ...[]byte) error {
 		if _, err := w.Write(f); err != nil {
 			return err
 		}
+		total += len(lp) + len(f)
+	}
+	if m, ok := w.(FrameMeter); ok {
+		m.FrameWrote(kind, total)
 	}
 	return nil
 }
@@ -172,6 +187,7 @@ func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d fields exceeds limit", ErrFraming, count)
 	}
 	fields := make([][]byte, count)
+	total := len(hdr)
 	for i := range fields {
 		var lp [4]byte
 		if _, err := io.ReadFull(r, lp[:]); err != nil {
@@ -189,6 +205,10 @@ func ReadMsg(r io.Reader) (FrameKind, [][]byte, error) {
 			return 0, nil, fmt.Errorf("%w: %w", ErrFraming, err)
 		}
 		fields[i] = field
+		total += len(lp) + len(field)
+	}
+	if m, ok := r.(FrameMeter); ok {
+		m.FrameRead(kind, total)
 	}
 	return kind, fields, nil
 }

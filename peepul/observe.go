@@ -1,0 +1,97 @@
+package peepul
+
+// Observability surface: the flight recorder and metrics registry
+// behind WithObservability, and the live debug endpoint behind
+// WithDebugAddr. Both are off by default and cost the hot paths one
+// nil check per instrumentation site when disabled.
+
+import (
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/replica"
+)
+
+// Metric is one metric series from the node's registry: name, sorted
+// labels, and either a counter/gauge value or histogram buckets.
+type Metric = obs.Metric
+
+// Trace is a snapshot of the node's flight recorder — the retained
+// sync-session spans and mesh lifecycle events, oldest first.
+type Trace = obs.Trace
+
+// Span is one recorded sync session: role, peer, negotiated ladder
+// tier, per-phase durations, byte/commit totals and outcome.
+type Span = obs.Span
+
+// SpanPhase is one named phase of a sync-session span (negotiate,
+// descend, span-probe, ship, import, exchange) with its duration.
+type SpanPhase = obs.Phase
+
+// TraceEvent is one mesh lifecycle event (backoff change, quarantine
+// enter/lift, outbox overflow) with its reason.
+type TraceEvent = obs.Event
+
+// DebugSnapshot is the one-document debug view: node identity,
+// aggregate and per-object sync stats, per-peer mesh state, every
+// metric series, and the recent trace. Served at
+// /debug/peepul/snapshot when WithDebugAddr is set.
+type DebugSnapshot = replica.DebugSnapshot
+
+// ObjectDebug is one object's row in a DebugSnapshot.
+type ObjectDebug = replica.ObjectDebug
+
+// WithObservability turns on the node's metrics registry and flight
+// recorder: wire framing, store merges, disk appends, mesh rounds and
+// sync sessions all record into one registry, and each sync session
+// leaves a trace span. Read them back with Metrics, WriteMetrics,
+// Trace and DebugSnapshot.
+func WithObservability() NodeOption { return replica.WithObservability() }
+
+// WithDebugAddr serves the node's live debug endpoint on addr
+// ("127.0.0.1:0" picks a free port — read it back with DebugAddr):
+// /metrics in Prometheus text format, /debug/peepul/snapshot,
+// /debug/peepul/trace (append ?format=text for a human-readable
+// timeline), /healthz, and the net/http/pprof profiles under
+// /debug/pprof/. Implies WithObservability.
+func WithDebugAddr(addr string) NodeOption { return replica.WithDebugAddr(addr) }
+
+// Trace snapshots the node's flight recorder. Empty without
+// WithObservability.
+func (n *Node) Trace() Trace { return n.rn.Trace() }
+
+// DebugAddr returns the bound debug-endpoint address, "" without
+// WithDebugAddr.
+func (n *Node) DebugAddr() string { return n.rn.DebugAddr() }
+
+// DebugSnapshot assembles the unified debug document in process — the
+// same document WithDebugAddr serves over HTTP.
+func (n *Node) DebugSnapshot() DebugSnapshot { return n.rn.DebugSnapshot() }
+
+// Metrics snapshots every metric series of the node's registry, sorted
+// by name and labels. Nil without WithObservability.
+func (n *Node) Metrics() []Metric {
+	reg := n.rn.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
+// WriteMetrics writes the node's registry to w in Prometheus text
+// exposition format — what /metrics serves. A no-op without
+// WithObservability.
+func (n *Node) WriteMetrics(w io.Writer) error {
+	reg := n.rn.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.WriteProm(w)
+}
+
+// FormatTrace renders a trace as a human-readable timeline, one line
+// per event and per span phase.
+func FormatTrace(t Trace) string { return obs.FormatTrace(t) }
+
+// FormatSpan renders one span as a single timeline line.
+func FormatSpan(s Span) string { return obs.FormatSpan(s) }
